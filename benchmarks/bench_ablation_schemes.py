@@ -1,0 +1,63 @@
+"""Ablation: the three Section 6 long-line implementation schemes.
+
+The paper offers three ways to hold excluded lines so sequential words
+cost one miss: an instruction register, a last-line buffer, and a
+stream buffer.  This bench compares them (plus the baselines) at 16B
+lines.  The first two should be equivalent on instruction streams; the
+stream buffer additionally hides sequential misses, which is why the
+paper calls it "probably the simplest if the machine already uses a
+stream buffer".
+"""
+
+import statistics
+
+from repro.analysis.report import format_table
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import IdealHitLastStore
+from repro.core.long_lines import (
+    ExclusionStreamBufferCache,
+    InstructionRegisterCache,
+    LastLineBufferCache,
+)
+from repro.experiments.common import REFERENCE_SIZE, all_traces
+
+LINE_SIZE = 16
+
+
+def _inner(geometry):
+    return DynamicExclusionCache(geometry, store=IdealHitLastStore(default=True))
+
+
+def run():
+    geometry = CacheGeometry(REFERENCE_SIZE, LINE_SIZE)
+    configs = {
+        "direct-mapped": lambda: DirectMappedCache(geometry),
+        "DE + instruction register": lambda: InstructionRegisterCache(_inner(geometry)),
+        "DE + last-line buffer": lambda: LastLineBufferCache(_inner(geometry)),
+        "DE + stream buffer (4)": lambda: ExclusionStreamBufferCache(
+            _inner(geometry), depth=4
+        ),
+    }
+    traces = all_traces("instruction")
+    return {
+        label: statistics.mean(factory().simulate(t).miss_rate for t in traces)
+        for label, factory in configs.items()
+    }
+
+
+def test_ablation_long_line_schemes(benchmark, results_dir):
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["scheme", "mean miss rate"],
+        [[label, f"{100 * rate:.3f}%"] for label, rate in rates.items()],
+        title=f"Ablation: Section 6 schemes (S=32KB, b={LINE_SIZE}B)",
+    )
+    (results_dir / "ablation_schemes.txt").write_text(table + "\n")
+    print(f"\n{table}\n")
+    # Register and last-line buffer are equivalent on pure I-streams.
+    assert rates["DE + instruction register"] == rates["DE + last-line buffer"]
+    # The stream buffer hides sequential misses on top of exclusion.
+    assert rates["DE + stream buffer (4)"] < rates["DE + last-line buffer"]
+    assert rates["DE + last-line buffer"] < rates["direct-mapped"]

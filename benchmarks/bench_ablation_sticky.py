@@ -1,0 +1,50 @@
+"""Ablation: number of sticky levels (the McF91a multi-sticky extension).
+
+The paper (Section 5) reports that extra sticky bits give *mixed*
+results: they rescue the three-way conflict pattern but add startup
+time and hurt other patterns.  This bench quantifies that on the SPEC
+mix and on the three-way microkernel.
+"""
+
+import statistics
+
+from repro.analysis.report import format_table
+from repro.caches.geometry import CacheGeometry
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import IdealHitLastStore
+from repro.experiments.common import REFERENCE_LINE, REFERENCE_SIZE, all_traces
+from repro.workloads.patterns import three_way
+
+LEVELS = [1, 2, 3, 4]
+
+
+def run():
+    geometry = CacheGeometry(REFERENCE_SIZE, REFERENCE_LINE)
+    traces = all_traces("instruction")
+    rows = []
+    for levels in LEVELS:
+        rates = []
+        for trace in traces:
+            cache = DynamicExclusionCache(
+                geometry, store=IdealHitLastStore(default=True), sticky_levels=levels
+            )
+            rates.append(cache.simulate(trace).miss_rate)
+        kernel = DynamicExclusionCache(
+            geometry, store=IdealHitLastStore(default=False), sticky_levels=levels
+        )
+        kernel_misses = kernel.simulate(three_way(geometry, trips=50)).misses
+        rows.append((levels, statistics.mean(rates), kernel_misses))
+    return rows
+
+
+def test_ablation_sticky_levels(benchmark, results_dir):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["sticky levels", "mean SPEC miss rate", "(abc)^50 misses"],
+        [[lv, f"{100 * rate:.3f}%", misses] for lv, rate, misses in rows],
+        title="Ablation: sticky depth (S=32KB, b=4B)",
+    )
+    (results_dir / "ablation_sticky.txt").write_text(table + "\n")
+    print(f"\n{table}\n")
+    # More sticky levels must help the pathological three-way kernel.
+    assert rows[-1][2] < rows[0][2]

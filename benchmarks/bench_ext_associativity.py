@@ -1,0 +1,12 @@
+"""Extension experiment: DE vs associativity/victim, with AMAT.
+
+The regenerated table/chart is written to
+``benchmarks/results/ext-assoc.txt``.
+"""
+
+from repro.experiments import ext_associativity as experiment
+
+
+def test_ext_assoc(figure_bench):
+    report = figure_bench(experiment, "ext-assoc")
+    assert "AMAT" in report

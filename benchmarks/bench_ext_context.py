@@ -1,0 +1,12 @@
+"""Extension experiment: timesharing / context switches.
+
+The regenerated table/chart is written to
+``benchmarks/results/ext-context.txt``.
+"""
+
+from repro.experiments import ext_context_switch as experiment
+
+
+def test_ext_context(figure_bench):
+    report = figure_bench(experiment, "ext-context")
+    assert "quantum" in report

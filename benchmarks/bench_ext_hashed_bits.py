@@ -1,0 +1,12 @@
+"""Extension experiment: hashed hit-last table sizing.
+
+The regenerated table/chart is written to
+``benchmarks/results/ext-hashed.txt``.
+"""
+
+from repro.experiments import ext_hashed_bits as experiment
+
+
+def test_ext_hashed(figure_bench):
+    report = figure_bench(experiment, "ext-hashed")
+    assert "bits/line" in report

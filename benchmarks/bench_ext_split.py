@@ -1,0 +1,12 @@
+"""Extension experiment: split I/D vs unified caches.
+
+The regenerated table/chart is written to
+``benchmarks/results/ext-split.txt``.
+"""
+
+from repro.experiments import ext_split as experiment
+
+
+def test_ext_split(figure_bench):
+    report = figure_bench(experiment, "ext-split")
+    assert "unified" in report

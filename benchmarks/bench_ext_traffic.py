@@ -1,0 +1,11 @@
+"""Extension experiment: memory traffic accounting.
+
+The regenerated table is written to ``benchmarks/results/ext-traffic.txt``.
+"""
+
+from repro.experiments import ext_traffic as experiment
+
+
+def test_ext_traffic(figure_bench):
+    report = figure_bench(experiment, "ext-traffic")
+    assert "fetch" in report

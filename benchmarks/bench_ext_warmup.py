@@ -1,0 +1,11 @@
+"""Extension experiment: cold vs warm improvement split.
+
+The regenerated table is written to ``benchmarks/results/ext-warmup.txt``.
+"""
+
+from repro.experiments import ext_warmup as experiment
+
+
+def test_ext_warmup(figure_bench):
+    report = figure_bench(experiment, "ext-warmup")
+    assert "warm" in report

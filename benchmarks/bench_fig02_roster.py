@@ -1,0 +1,11 @@
+"""Figure 2 benchmark roster: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig02.txt``.
+"""
+
+from repro.experiments import fig02_benchmarks as experiment
+
+
+def test_fig02(figure_bench):
+    report = figure_bench(experiment, "fig02")
+    assert experiment.TITLE.split(":")[0] in report

@@ -1,0 +1,11 @@
+"""Figure 3 per-benchmark miss rates: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig03.txt``.
+"""
+
+from repro.experiments import fig03_per_benchmark as experiment
+
+
+def test_fig03(figure_bench):
+    report = figure_bench(experiment, "fig03")
+    assert experiment.TITLE.split(":")[0] in report

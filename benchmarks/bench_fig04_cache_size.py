@@ -1,0 +1,11 @@
+"""Figure 4 size sweep: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig04.txt``.
+"""
+
+from repro.experiments import fig04_cache_size as experiment
+
+
+def test_fig04(figure_bench):
+    report = figure_bench(experiment, "fig04")
+    assert experiment.TITLE.split(":")[0] in report

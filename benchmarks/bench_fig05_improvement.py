@@ -1,0 +1,11 @@
+"""Figure 5 improvement sweep: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig05.txt``.
+"""
+
+from repro.experiments import fig05_improvement as experiment
+
+
+def test_fig05(figure_bench):
+    report = figure_bench(experiment, "fig05")
+    assert experiment.TITLE.split(":")[0] in report

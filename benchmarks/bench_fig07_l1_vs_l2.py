@@ -1,0 +1,11 @@
+"""Figure 7 L1 vs L2 size: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig07.txt``.
+"""
+
+from repro.experiments import fig07_l1_vs_l2 as experiment
+
+
+def test_fig07(figure_bench):
+    report = figure_bench(experiment, "fig07")
+    assert experiment.TITLE.split(":")[0] in report

@@ -1,0 +1,11 @@
+"""Figure 8 L2 miss rates: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig08.txt``.
+"""
+
+from repro.experiments import fig08_l2_missrate as experiment
+
+
+def test_fig08(figure_bench):
+    report = figure_bench(experiment, "fig08")
+    assert experiment.TITLE.split(":")[0] in report

@@ -1,0 +1,11 @@
+"""Figure 9 L1 improvement: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig09.txt``.
+"""
+
+from repro.experiments import fig09_l1_improvement as experiment
+
+
+def test_fig09(figure_bench):
+    report = figure_bench(experiment, "fig09")
+    assert experiment.TITLE.split(":")[0] in report

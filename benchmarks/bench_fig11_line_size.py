@@ -1,0 +1,11 @@
+"""Figure 11 line-size sweep: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig11.txt``.
+"""
+
+from repro.experiments import fig11_line_size as experiment
+
+
+def test_fig11(figure_bench):
+    report = figure_bench(experiment, "fig11")
+    assert experiment.TITLE.split(":")[0] in report

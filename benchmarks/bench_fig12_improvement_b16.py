@@ -1,0 +1,11 @@
+"""Figure 12 improvement at b=16B: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig12.txt``.
+"""
+
+from repro.experiments import fig12_improvement_b16 as experiment
+
+
+def test_fig12(figure_bench):
+    report = figure_bench(experiment, "fig12")
+    assert experiment.TITLE.split(":")[0] in report

@@ -1,0 +1,11 @@
+"""Figure 13 efficiency table: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig13.txt``.
+"""
+
+from repro.experiments import fig13_efficiency as experiment
+
+
+def test_fig13(figure_bench):
+    report = figure_bench(experiment, "fig13")
+    assert experiment.TITLE.split(":")[0] in report

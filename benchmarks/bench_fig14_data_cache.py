@@ -1,0 +1,11 @@
+"""Figure 14 data-cache sweep: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig14.txt``.
+"""
+
+from repro.experiments import fig14_data_cache as experiment
+
+
+def test_fig14(figure_bench):
+    report = figure_bench(experiment, "fig14")
+    assert experiment.TITLE.split(":")[0] in report

@@ -1,0 +1,11 @@
+"""Figure 15 mixed-cache sweep: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/fig15.txt``.
+"""
+
+from repro.experiments import fig15_mixed_cache as experiment
+
+
+def test_fig15(figure_bench):
+    report = figure_bench(experiment, "fig15")
+    assert experiment.TITLE.split(":")[0] in report

@@ -1,0 +1,85 @@
+"""Microbenchmarks: raw simulation throughput of each cache model.
+
+These are conventional pytest-benchmark timings (multiple rounds) over
+a fixed 50k-reference trace, so simulator performance regressions show
+up independently of the figure passes.
+"""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.optimal import OptimalDirectMappedCache
+from repro.caches.set_associative import SetAssociativeCache
+from repro.caches.victim import VictimCache
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import HashedHitLastStore, IdealHitLastStore
+from repro.core.long_lines import make_long_line_exclusion_cache
+from repro.hierarchy.two_level import TwoLevelCache
+from repro.workloads.registry import instruction_trace
+
+GEOMETRY = CacheGeometry(32 * 1024, 4)
+TRACE_REFS = 50_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return instruction_trace("gcc", TRACE_REFS)
+
+
+def test_throughput_direct_mapped(benchmark, trace):
+    stats = benchmark(lambda: DirectMappedCache(GEOMETRY).simulate(trace))
+    assert stats.accesses == TRACE_REFS
+
+
+def test_throughput_two_way(benchmark, trace):
+    geometry = CacheGeometry(32 * 1024, 4, associativity=2)
+    stats = benchmark(lambda: SetAssociativeCache(geometry).simulate(trace))
+    assert stats.accesses == TRACE_REFS
+
+
+def test_throughput_victim(benchmark, trace):
+    stats = benchmark(lambda: VictimCache(GEOMETRY, entries=4).simulate(trace))
+    assert stats.accesses == TRACE_REFS
+
+
+def test_throughput_exclusion_ideal(benchmark, trace):
+    def run():
+        cache = DynamicExclusionCache(GEOMETRY, store=IdealHitLastStore())
+        return cache.simulate(trace)
+
+    assert benchmark(run).accesses == TRACE_REFS
+
+
+def test_throughput_exclusion_hashed(benchmark, trace):
+    def run():
+        store = HashedHitLastStore(GEOMETRY.num_lines * 4)
+        return DynamicExclusionCache(GEOMETRY, store=store).simulate(trace)
+
+    assert benchmark(run).accesses == TRACE_REFS
+
+
+def test_throughput_exclusion_long_lines(benchmark, trace):
+    geometry = CacheGeometry(32 * 1024, 16)
+    def run():
+        return make_long_line_exclusion_cache(geometry).simulate(trace)
+
+    assert benchmark(run).accesses == TRACE_REFS
+
+
+def test_throughput_optimal(benchmark, trace):
+    stats = benchmark(lambda: OptimalDirectMappedCache(GEOMETRY).simulate(trace))
+    assert stats.accesses == TRACE_REFS
+
+
+def test_throughput_two_level(benchmark, trace):
+    l2 = CacheGeometry(256 * 1024, 4)
+    def run():
+        return TwoLevelCache(GEOMETRY, l2, strategy="assume-miss").simulate(trace)
+
+    assert benchmark(run).l1.accesses == TRACE_REFS
+
+
+def test_throughput_trace_generation(benchmark):
+    trace = benchmark(lambda: instruction_trace("espresso", 20_000))
+    assert len(trace) == 20_000

@@ -1,0 +1,11 @@
+"""Section 3 analytic patterns: regenerate the paper artefact and time the pass.
+
+The regenerated table/chart is written to ``benchmarks/results/sec3.txt``.
+"""
+
+from repro.experiments import sec3_patterns as experiment
+
+
+def test_sec3(figure_bench):
+    report = figure_bench(experiment, "sec3")
+    assert experiment.TITLE.split(":")[0] in report

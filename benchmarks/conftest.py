@@ -1,0 +1,40 @@
+"""Shared infrastructure for the figure benchmarks.
+
+Each ``bench_figXX`` module times the figure's simulation pass once
+(``benchmark.pedantic`` with a single round — these are minutes-scale
+workloads, not microbenchmarks) and writes the regenerated table/chart
+to ``benchmarks/results/<id>.txt`` so the paper comparison in
+EXPERIMENTS.md can be refreshed from the artefacts.
+
+Trace length follows REPRO_TRACE_SCALE (default 1.0 = 200k references
+per benchmark trace).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def figure_bench(benchmark, results_dir):
+    """Run a figure module once under the benchmark timer and persist
+    its report."""
+
+    def _run(module, experiment_id: str):
+        benchmark.pedantic(module.run, rounds=1, iterations=1)
+        report = module.report()
+        (results_dir / f"{experiment_id}.txt").write_text(report + "\n")
+        print(f"\n{report}\n")
+        return report
+
+    return _run

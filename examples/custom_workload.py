@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Build a custom workload with the program model and analyse it.
+
+This is the "bring your own program" path a downstream user would take:
+describe a loop structure, attach data patterns, emit a trace, classify
+its misses (compulsory / capacity / conflict), and see what dynamic
+exclusion does to it at several cache sizes.
+
+The program below is a small image-filter-like kernel: an outer loop
+over rows calling two worker routines (laid out so they conflict in
+small caches) plus a shared lookup table.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from repro import CacheGeometry, DirectMappedCache, DynamicExclusionCache
+from repro.analysis import classify_misses, format_table
+from repro.caches.stats import percent_reduction
+from repro.workloads import (
+    Block,
+    Call,
+    Loop,
+    Procedure,
+    Program,
+    RandomAccess,
+    ScalarAccess,
+    StridedAccess,
+)
+
+
+def build_program() -> Program:
+    row_pixels = StridedAccess(base=0x1000_0000, length=64 * 1024, stride=4,
+                               refs_per_visit=4)
+    accumulator = ScalarAccess(addr=0x2000_0000, write_every=2)
+    lookup_table = RandomAccess(base=0x3000_0000, size=2 * 1024,
+                                refs_per_visit=2, seed=7)
+
+    # Two worker routines with a padding procedure between them so that,
+    # in a 4KB cache, their hot blocks collide.
+    horizontal = Procedure("horizontal_pass", [
+        Block(20),
+        Loop(Block(30, data=[row_pixels, accumulator]), trips=8),
+        Block(10),
+    ])
+    padding = Procedure("cold_helpers", [Block(1000)])  # rarely executed
+    vertical = Procedure("vertical_pass", [
+        Block(18),
+        Loop(Block(28, data=[row_pixels, lookup_table]), trips=8),
+        Block(12),
+    ])
+    main = Procedure("main", [
+        Block(16),
+        Loop([Call("horizontal_pass"), Call("vertical_pass")], trips=200),
+        Block(8),
+    ])
+    return Program([horizontal, padding, vertical, main], entry="main",
+                   code_base=0x1000, seed=3)
+
+
+def main() -> None:
+    program = build_program()
+    trace = program.trace(max_refs=150_000, name="image-filter")
+    print(f"program code size : {program.code_size:,} bytes")
+    print(f"trace             : {len(trace):,} references "
+          f"({trace.counts_by_kind()})\n")
+
+    rows = []
+    for size_kb in [1, 2, 4, 8, 16]:
+        geometry = CacheGeometry(size_kb * 1024, 4)
+        breakdown = classify_misses(trace, geometry)
+        dm = DirectMappedCache(geometry).simulate(trace)
+        de = DynamicExclusionCache(geometry).simulate(trace)
+        rows.append([
+            f"{size_kb}KB",
+            f"{breakdown.rate('compulsory'):.2%}",
+            f"{breakdown.rate('capacity'):.2%}",
+            f"{breakdown.rate('conflict'):.2%}",
+            f"{dm.miss_rate:.2%}",
+            f"{de.miss_rate:.2%}",
+            f"{percent_reduction(dm.miss_rate, de.miss_rate):5.1f}%",
+        ])
+    print(format_table(
+        ["cache", "compulsory", "capacity", "conflict",
+         "DM miss", "DE miss", "DE reduction"],
+        rows,
+        title="miss classification and dynamic exclusion (b=4B)",
+    ))
+    print(
+        "\nNote how the DE reduction tracks the conflict component:"
+        "\ndynamic exclusion only attacks conflict misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Diagnose a workload's cache conflicts and save the results.
+
+Uses the conflict profiler to answer "why does this code miss?": which
+sets thrash, which address pairs ping-pong (the within-loop pattern
+dynamic exclusion halves), and how much of the miss rate is two-way
+alternation at all.  Finishes by saving a sweep result as JSON so the
+analysis can be reloaded later.
+
+Run with::
+
+    python examples/diagnose_conflicts.py [benchmark] [cache_kb]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CacheGeometry,
+    DirectMappedCache,
+    DynamicExclusionCache,
+    benchmark_names,
+    instruction_trace,
+)
+from repro.analysis import (
+    format_profile,
+    load_result,
+    profile_conflicts,
+    save_result,
+)
+from repro.analysis.sweep import SweepResult
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "spice"
+    cache_kb = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    if benchmark not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {benchmark!r}")
+
+    geometry = CacheGeometry(cache_kb * 1024, 4)
+    trace = instruction_trace(benchmark, 150_000)
+    print(f"profiling {benchmark} against {geometry} ...\n")
+
+    profile = profile_conflicts(trace, geometry)
+    print(format_profile(profile, top=8))
+
+    # How much of that ping-pong does exclusion actually recover?
+    dm = DirectMappedCache(geometry).simulate(trace)
+    de = DynamicExclusionCache(geometry).simulate(trace)
+    saved = dm.misses - de.misses
+    print(
+        f"\nping-pong misses: {profile.ping_pongs:,}  "
+        f"(dynamic exclusion removed {saved:,} misses = "
+        f"{saved / profile.ping_pongs:.0%} of them)"
+        if profile.ping_pongs
+        else "\nno ping-pong conflicts found"
+    )
+
+    # Persist a small sweep as JSON and read it back.
+    sweep = SweepResult("cache size", [geometry.size])
+    sweep.add("direct-mapped", geometry.size, dm.miss_rate)
+    sweep.add("dynamic-exclusion", geometry.size, de.miss_rate)
+    out = Path(tempfile.gettempdir()) / f"{benchmark}_conflicts.json"
+    save_result(sweep, out)
+    restored = load_result(out)
+    print(f"\nsaved sweep to {out} and reloaded it: "
+          f"{restored.series['dynamic-exclusion'].points[geometry.size]:.3%} DE miss rate")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Section 3/4 analysis, access by access.
+
+For each of the three common conflict patterns this prints the exact
+reference stream with hit/miss/bypass annotations from the
+dynamic-exclusion FSM, alongside the conventional and optimal miss
+counts — the paper's worked examples, reproduced live.
+
+Run with::
+
+    python examples/loop_conflicts.py
+"""
+
+from repro import (
+    CacheGeometry,
+    DirectMappedCache,
+    DynamicExclusionCache,
+    IdealHitLastStore,
+    OptimalDirectMappedCache,
+)
+from repro.workloads import patterns
+
+GEOMETRY = CacheGeometry(32 * 1024, 4)
+
+#: Short symbolic names for the conflicting addresses.
+NAMES = "abc"
+
+
+def annotate(trace) -> str:
+    """Annotated reference string, e.g. 'a_m a_h b_m ...'."""
+    cache = DynamicExclusionCache(GEOMETRY, store=IdealHitLastStore(default=True))
+    addr_names = {}
+    parts = []
+    for ref in trace:
+        if ref.addr not in addr_names:
+            addr_names[ref.addr] = NAMES[len(addr_names)]
+        symbol = addr_names[ref.addr]
+        result = cache.access(ref.addr)
+        if result.hit:
+            suffix = "h"
+        elif result.bypassed:
+            suffix = "m*"  # miss, bypassed (not stored)
+        else:
+            suffix = "m"
+        parts.append(f"{symbol}_{suffix}")
+    return " ".join(parts)
+
+
+def show(title: str, trace, note: str) -> None:
+    dm = DirectMappedCache(GEOMETRY).simulate(trace)
+    de = DynamicExclusionCache(GEOMETRY, store=IdealHitLastStore(default=True)).simulate(trace)
+    opt = OptimalDirectMappedCache(GEOMETRY).simulate(trace)
+    print(f"== {title} ==")
+    print(note)
+    print(f"  stream : {annotate(trace)}")
+    print(
+        f"  misses : direct-mapped {dm.misses}/{len(trace)}  "
+        f"dynamic-exclusion {de.misses}/{len(trace)}  "
+        f"optimal {opt.misses}/{len(trace)}"
+    )
+    print()
+
+
+def main() -> None:
+    print(f"cache: {GEOMETRY}; a, b, c are addresses one cache-size apart\n")
+    show(
+        "conflict between loops: (a^5 b^5)^4",
+        patterns.between_loops(GEOMETRY, inner=5, outer=4),
+        "Each phase change misses once; direct-mapped is already optimal.",
+    )
+    show(
+        "conflict between loop levels: (a^5 b)^4",
+        patterns.loop_level(GEOMETRY, inner=5, outer=4),
+        "b runs once per outer trip; the FSM learns to keep it out (m* = bypass),",
+    )
+    show(
+        "conflict within a loop: (a b)^8",
+        patterns.within_loop(GEOMETRY, trips=8),
+        "The sticky bit keeps one of the pair resident, halving the misses.",
+    )
+    show(
+        "three-way conflict: (a b c)^6",
+        patterns.three_way(GEOMETRY, trips=6),
+        "One sticky bit cannot help here (the paper's Section 5 caveat).",
+    )
+
+
+if __name__ == "__main__":
+    main()

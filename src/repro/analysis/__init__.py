@@ -1,0 +1,59 @@
+"""Analysis and reporting: miss classification, sweeps, tables, charts."""
+
+from .conflicts import ConflictProfile, SetConflictReport, format_profile, profile_conflicts
+from .missclass import MissBreakdown, classify_misses
+from .serialize import dumps as dumps_result
+from .serialize import load as load_result
+from .serialize import loads as loads_result
+from .serialize import save as save_result
+from .sweep import Series, SweepResult, per_trace_rates, run_sweep
+from .report import format_percent, format_sweep, format_table, size_label
+from .plot import ascii_chart, sweep_chart
+from .svg import svg_line_chart, sweep_svg
+from .warmup import (
+    ColdWarmSplit,
+    WarmupCurve,
+    cold_warm_split,
+    steady_state_reduction,
+    windowed_miss_rates,
+)
+from .timing import (
+    DEFAULT_MODELS,
+    TimingModel,
+    amat_comparison,
+    breakeven_hit_time,
+)
+
+__all__ = [
+    "ColdWarmSplit",
+    "ConflictProfile",
+    "DEFAULT_MODELS",
+    "MissBreakdown",
+    "Series",
+    "SetConflictReport",
+    "TimingModel",
+    "WarmupCurve",
+    "SweepResult",
+    "amat_comparison",
+    "ascii_chart",
+    "breakeven_hit_time",
+    "classify_misses",
+    "cold_warm_split",
+    "dumps_result",
+    "format_profile",
+    "load_result",
+    "loads_result",
+    "format_percent",
+    "format_sweep",
+    "format_table",
+    "per_trace_rates",
+    "profile_conflicts",
+    "save_result",
+    "steady_state_reduction",
+    "run_sweep",
+    "size_label",
+    "sweep_chart",
+    "sweep_svg",
+    "svg_line_chart",
+    "windowed_miss_rates",
+]

@@ -1,0 +1,165 @@
+"""Conflict diagnostics: find the thrashing sets and ping-pong pairs.
+
+Dynamic exclusion attacks two-way alternation; this module measures how
+much of it a (trace, geometry) pair actually contains, and which
+addresses are responsible.  It is the tool used to validate the
+synthetic workloads against the paper's conflict taxonomy, and it is
+useful on its own for anyone asking "*why* does my code miss in this
+cache?".
+
+For each set we track the sequence of lines that miss there and count
+*ping-pongs*: a miss on line ``a`` that evicts ``b`` immediately after
+a miss on ``b`` that evicted ``a``.  A high ping-pong fraction is
+exactly the within-loop pattern where exclusion (or more
+associativity) pays off.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..caches.geometry import CacheGeometry
+from ..trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class SetConflictReport:
+    """Conflict activity of one cache set."""
+
+    set_index: int
+    misses: int
+    ping_pongs: int
+    #: Distinct lines that missed in this set.
+    lines: Tuple[int, ...]
+    #: The most active alternating pair, as (line_a, line_b, count).
+    hottest_pair: Optional[Tuple[int, int, int]]
+
+    @property
+    def ping_pong_fraction(self) -> float:
+        if self.misses == 0:
+            return 0.0
+        return self.ping_pongs / self.misses
+
+
+@dataclass
+class ConflictProfile:
+    """Whole-cache conflict summary for one (trace, geometry) pair."""
+
+    geometry: CacheGeometry
+    accesses: int
+    misses: int
+    ping_pongs: int
+    sets: List[SetConflictReport] = field(default_factory=list)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def ping_pong_fraction(self) -> float:
+        """Fraction of all misses that are two-way alternation — an
+        upper-bound estimate of what exclusion can halve."""
+        return self.ping_pongs / self.misses if self.misses else 0.0
+
+    def top_sets(self, count: int = 10) -> List[SetConflictReport]:
+        """The ``count`` sets with the most ping-pong misses."""
+        ranked = sorted(self.sets, key=lambda r: r.ping_pongs, reverse=True)
+        return ranked[:count]
+
+
+def profile_conflicts(trace: Trace, geometry: CacheGeometry) -> ConflictProfile:
+    """Simulate a direct-mapped cache and profile its conflicts."""
+    if geometry.associativity != 1:
+        raise ValueError("conflict profiling is defined for direct-mapped caches")
+    offset_bits = geometry.offset_bits
+    mask = geometry.num_sets - 1
+
+    resident: Dict[int, int] = {}
+    # Per set: the previous (evicted, by) event, pair counters, line set.
+    last_eviction: Dict[int, Tuple[int, int]] = {}
+    pair_counts: Dict[int, Counter] = defaultdict(Counter)
+    set_lines: Dict[int, set] = defaultdict(set)
+    set_misses: Counter = Counter()
+    set_ping_pongs: Counter = Counter()
+
+    accesses = 0
+    misses = 0
+    for addr, _ in trace.pairs():
+        accesses += 1
+        line = addr >> offset_bits
+        index = line & mask
+        current = resident.get(index)
+        if current == line:
+            continue
+        misses += 1
+        set_misses[index] += 1
+        set_lines[index].add(line)
+        if current is not None:
+            previous = last_eviction.get(index)
+            if previous is not None and previous == (line, current):
+                # current evicted line last time; now line evicts current.
+                set_ping_pongs[index] += 1
+                pair = (min(line, current), max(line, current))
+                pair_counts[index][pair] += 1
+            last_eviction[index] = (current, line)
+        resident[index] = line
+
+    reports: List[SetConflictReport] = []
+    for index in sorted(set_misses):
+        pairs = pair_counts.get(index)
+        hottest: Optional[Tuple[int, int, int]] = None
+        if pairs:
+            (a, b), count = pairs.most_common(1)[0]
+            hottest = (a, b, count)
+        reports.append(
+            SetConflictReport(
+                set_index=index,
+                misses=set_misses[index],
+                ping_pongs=set_ping_pongs.get(index, 0),
+                lines=tuple(sorted(set_lines[index])),
+                hottest_pair=hottest,
+            )
+        )
+    return ConflictProfile(
+        geometry=geometry,
+        accesses=accesses,
+        misses=misses,
+        ping_pongs=sum(set_ping_pongs.values()),
+        sets=reports,
+    )
+
+
+def format_profile(profile: ConflictProfile, top: int = 8) -> str:
+    """Human-readable conflict report."""
+    from .report import format_table
+
+    lines = [
+        f"cache {profile.geometry}: miss rate {profile.miss_rate:.3%}, "
+        f"ping-pong fraction {profile.ping_pong_fraction:.1%}",
+    ]
+    rows = []
+    for report in profile.top_sets(top):
+        if report.hottest_pair:
+            a, b, count = report.hottest_pair
+            pair_text = f"0x{a:x} <-> 0x{b:x} ({count}x)"
+        else:
+            pair_text = "-"
+        rows.append(
+            [
+                report.set_index,
+                report.misses,
+                report.ping_pongs,
+                len(report.lines),
+                pair_text,
+            ]
+        )
+    lines.append(
+        format_table(
+            ["set", "misses", "ping-pongs", "lines", "hottest pair (line addrs)"],
+            rows,
+            title=f"top {top} conflicting sets",
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Three-C miss classification (Hill): compulsory / capacity / conflict.
+
+Used to characterise the synthetic workloads and to explain *where*
+dynamic exclusion's gains come from — it attacks conflict misses only,
+so the classification is the natural sanity check on the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..caches.direct_mapped import DirectMappedCache
+from ..caches.geometry import CacheGeometry
+from ..caches.set_associative import FullyAssociativeCache
+from ..trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class MissBreakdown:
+    """Counts of each miss class for one (trace, geometry) pair."""
+
+    accesses: int
+    compulsory: int
+    capacity: int
+    conflict: int
+
+    @property
+    def total(self) -> int:
+        return self.compulsory + self.capacity + self.conflict
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.total / self.accesses
+
+    def rate(self, component: str) -> float:
+        """Miss rate of one component: 'compulsory', 'capacity', 'conflict'."""
+        if self.accesses == 0:
+            return 0.0
+        return getattr(self, component) / self.accesses
+
+
+def classify_misses(trace: Trace, geometry: CacheGeometry) -> MissBreakdown:
+    """Classify the misses of a direct-mapped cache on ``trace``.
+
+    * compulsory — first reference to a line (misses in any cache);
+    * capacity — further misses that a fully-associative LRU cache of
+      the same size also takes;
+    * conflict — everything else (what dynamic exclusion targets).
+    """
+    if geometry.associativity != 1:
+        raise ValueError("classification here is defined for direct-mapped caches")
+    direct = DirectMappedCache(geometry)
+    full = FullyAssociativeCache(geometry.size, geometry.line_size)
+    seen_lines = set()
+    compulsory = 0
+    capacity = 0
+    conflict = 0
+    for addr, kind in trace.pairs():
+        line = addr >> geometry.offset_bits
+        direct_result = direct.access(addr, kind)  # type: ignore[arg-type]
+        full_result = full.access(addr, kind)  # type: ignore[arg-type]
+        if line not in seen_lines:
+            seen_lines.add(line)
+            # First touch: a miss everywhere.
+            compulsory += 1
+            continue
+        if direct_result.hit:
+            continue
+        if full_result.miss:
+            capacity += 1
+        else:
+            conflict += 1
+    return MissBreakdown(
+        accesses=len(trace),
+        compulsory=compulsory,
+        capacity=capacity,
+        conflict=conflict,
+    )

@@ -1,0 +1,85 @@
+"""ASCII line charts, so each experiment can render its paper figure
+directly in a terminal (no plotting dependency is available offline)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_MARKERS = "*+xo#@%&"
+
+
+def ascii_chart(
+    series: "Dict[str, Sequence[float]]",
+    x_labels: Sequence[str],
+    title: str = "",
+    height: int = 16,
+    y_format: str = "{:.1f}",
+    y_max: Optional[float] = None,
+) -> str:
+    """Render labelled curves as a character grid.
+
+    ``series`` maps a curve label to y-values (all the same length as
+    ``x_labels``).  Curves get distinct markers; a legend is appended.
+    """
+    if not series:
+        return title
+    n_points = len(x_labels)
+    for label, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(f"series {label!r} has {len(values)} points, expected {n_points}")
+    all_values = [v for values in series.values() for v in values]
+    top = y_max if y_max is not None else max(all_values or [1.0])
+    if top <= 0:
+        top = 1.0
+
+    column_width = max(max((len(x) for x in x_labels), default=1) + 1, 6)
+    grid = [[" "] * (n_points * column_width) for _ in range(height)]
+    for series_index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for i, value in enumerate(values):
+            scaled = min(value / top, 1.0)
+            row = height - 1 - int(round(scaled * (height - 1)))
+            col = i * column_width + column_width // 2
+            if grid[row][col] != " ":
+                # Overlapping points: show that two curves coincide.
+                grid[row][col] = "="
+            else:
+                grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis_width = max(len(y_format.format(top)), len(y_format.format(0.0)))
+    for row_index, row in enumerate(grid):
+        fraction = (height - 1 - row_index) / (height - 1)
+        y_label = y_format.format(fraction * top) if row_index % 4 == 0 else ""
+        lines.append(f"{y_label.rjust(axis_width)} |{''.join(row)}")
+    lines.append(f"{' ' * axis_width} +{'-' * (n_points * column_width)}")
+    x_axis = "".join(x.center(column_width) for x in x_labels)
+    lines.append(f"{' ' * axis_width}  {x_axis}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{' ' * axis_width}  legend: {legend}   (= overlap)")
+    return "\n".join(lines)
+
+
+def sweep_chart(result: "object", title: str = "", height: int = 16,
+                percent: bool = True) -> str:
+    """Chart a :class:`~repro.analysis.sweep.SweepResult`."""
+    from .report import size_label
+
+    x_labels = []
+    for p in result.parameters:
+        x_labels.append(size_label(p) if isinstance(p, int) else str(p))
+    series = {}
+    for label in result.series:
+        values = result.curve(label)
+        series[label] = [100.0 * v for v in values] if percent else list(values)
+    return ascii_chart(
+        series,
+        x_labels,
+        title=title,
+        height=height,
+        y_format="{:.1f}" if percent else "{:.3f}",
+    )

@@ -1,0 +1,86 @@
+"""Plain-text tables for the experiment harness output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """``0.0234 -> '2.3%'`` (takes a fraction, prints a percentage)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def size_label(size_bytes: int) -> str:
+    """``32768 -> '32KB'``; keeps sub-KB sizes in bytes."""
+    if size_bytes >= 1024 and size_bytes % 1024 == 0:
+        kb = size_bytes // 1024
+        if kb >= 1024 and kb % 1024 == 0:
+            return f"{kb // 1024}MB"
+        return f"{kb}KB"
+    return f"{size_bytes}B"
+
+
+def format_sweep(
+    result: "object",
+    value_format: str = "{:.3%}",
+    title: str = "",
+    param_format: Optional[str] = None,
+) -> str:
+    """Render a :class:`~repro.analysis.sweep.SweepResult` as a table.
+
+    One row per parameter value, one column per series.
+    """
+    labels = list(result.series)
+    headers = [result.parameter_name] + labels
+    rows: List[List[object]] = []
+    for parameter in result.parameters:
+        if param_format is not None:
+            param_cell: object = param_format.format(parameter)
+        elif isinstance(parameter, int):
+            param_cell = size_label(parameter)
+        else:
+            param_cell = parameter
+        row: List[object] = [param_cell]
+        for label in labels:
+            row.append(value_format.format(result.series[label].points[parameter]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,191 @@
+"""Minimal SVG line charts (no plotting dependency is available offline).
+
+Renders the experiment sweeps as standalone ``.svg`` files so the
+regenerated figures can go straight into a paper or README.  Pure
+string assembly — no third-party code.
+
+The visual language is deliberately plain: one polyline plus markers
+per series, a light grid, axis tick labels, and a legend block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Default series colours (colour-blind-safe-ish qualitative set).
+PALETTE = [
+    "#1b6ca8",  # blue
+    "#c0392b",  # red
+    "#1e8449",  # green
+    "#8e44ad",  # purple
+    "#d68910",  # orange
+    "#34495e",  # slate
+    "#16a085",  # teal
+    "#7f8c8d",  # grey
+]
+
+_MARKERS = ["circle", "square", "diamond", "triangle"]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{color}"/>'
+    if shape == "square":
+        return (
+            f'<rect x="{x - 3:.1f}" y="{y - 3:.1f}" width="6" height="6" '
+            f'fill="{color}"/>'
+        )
+    if shape == "diamond":
+        return (
+            f'<polygon points="{x:.1f},{y - 4:.1f} {x + 4:.1f},{y:.1f} '
+            f'{x:.1f},{y + 4:.1f} {x - 4:.1f},{y:.1f}" fill="{color}"/>'
+        )
+    return (
+        f'<polygon points="{x:.1f},{y - 4:.1f} {x + 4:.1f},{y + 3:.1f} '
+        f'{x - 4:.1f},{y + 3:.1f}" fill="{color}"/>'
+    )
+
+
+def svg_line_chart(
+    series: "Dict[str, Sequence[float]]",
+    x_labels: Sequence[str],
+    title: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 400,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render labelled curves as an SVG document string.
+
+    ``series`` maps curve labels to y-values aligned with ``x_labels``.
+    The y-axis starts at zero (miss rates and percentages — the data
+    this package plots — should not have truncated axes).
+    """
+    n_points = len(x_labels)
+    if n_points == 0:
+        raise ValueError("need at least one x position")
+    for label, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(
+                f"series {label!r} has {len(values)} points, expected {n_points}"
+            )
+
+    all_values = [v for values in series.values() for v in values]
+    top = y_max if y_max is not None else max(all_values or [1.0])
+    if top <= 0:
+        top = 1.0
+    top *= 1.05  # headroom
+
+    margin_left, margin_right = 64, 24
+    margin_top, margin_bottom = 48, 64
+    plot_width = width - margin_left - margin_right
+    plot_height = height - margin_top - margin_bottom
+
+    def x_pos(i: int) -> float:
+        if n_points == 1:
+            return margin_left + plot_width / 2
+        return margin_left + plot_width * i / (n_points - 1)
+
+    def y_pos(value: float) -> float:
+        return margin_top + plot_height * (1 - value / top)
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_escape(title)}</text>'
+        )
+
+    # Grid and y ticks (five divisions).
+    for tick in range(6):
+        value = top * tick / 5
+        y = y_pos(value)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{width - margin_right}" y2="{y:.1f}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{value:.3g}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="16" y="{margin_top + plot_height / 2:.0f}" '
+            f'text-anchor="middle" '
+            f'transform="rotate(-90 16 {margin_top + plot_height / 2:.0f})">'
+            f"{_escape(y_label)}</text>"
+        )
+
+    # X axis labels.
+    for i, label in enumerate(x_labels):
+        parts.append(
+            f'<text x="{x_pos(i):.1f}" y="{height - margin_bottom + 20}" '
+            f'text-anchor="middle">{_escape(str(label))}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top + plot_height}" '
+        f'x2="{width - margin_right}" y2="{margin_top + plot_height}" '
+        f'stroke="#333333" stroke-width="1.5"/>'
+    )
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top}" '
+        f'x2="{margin_left}" y2="{margin_top + plot_height}" '
+        f'stroke="#333333" stroke-width="1.5"/>'
+    )
+
+    # Curves.
+    for index, (label, values) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        shape = _MARKERS[index % len(_MARKERS)]
+        points = " ".join(
+            f"{x_pos(i):.1f},{y_pos(v):.1f}" for i, v in enumerate(values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for i, v in enumerate(values):
+            parts.append(_marker(shape, x_pos(i), y_pos(v), color))
+
+    # Legend (bottom strip).
+    legend_y = height - 16
+    x_cursor = float(margin_left)
+    for index, label in enumerate(series):
+        color = PALETTE[index % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x_cursor:.1f}" y="{legend_y - 9}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x_cursor + 14:.1f}" y="{legend_y}">{_escape(label)}</text>'
+        )
+        x_cursor += 14 + 7 * len(label) + 20
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def sweep_svg(result: "object", title: str = "", percent: bool = True) -> str:
+    """Render a :class:`~repro.analysis.sweep.SweepResult` as SVG."""
+    from .report import size_label
+
+    x_labels = [
+        size_label(p) if isinstance(p, int) else str(p) for p in result.parameters
+    ]
+    series = {}
+    for label in result.series:
+        values = result.curve(label)
+        series[label] = [100.0 * v for v in values] if percent else list(values)
+    y_label = "miss rate (%)" if percent else ""
+    return svg_line_chart(series, x_labels, title=title, y_label=y_label)

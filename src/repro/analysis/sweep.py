@@ -1,0 +1,81 @@
+"""Parameter-sweep helpers shared by the experiment modules.
+
+A sweep runs one simulator factory over a grid of parameter values and a
+set of traces, collecting miss rates into a
+:class:`SweepResult` that the report/plot modules can render directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Union
+
+from ..caches.base import Cache, OfflineCache
+from ..trace.trace import Trace
+
+#: A factory mapping one sweep parameter value to a fresh simulator.
+CacheFactory = Callable[[object], Union[Cache, OfflineCache]]
+
+
+@dataclass
+class Series:
+    """One labelled curve: parameter values to mean miss rates."""
+
+    label: str
+    points: "Dict[object, float]" = field(default_factory=dict)
+
+    def values(self, params: Sequence[object]) -> List[float]:
+        return [self.points[p] for p in params]
+
+
+@dataclass
+class SweepResult:
+    """All curves from one sweep, plus the parameter axis."""
+
+    parameter_name: str
+    parameters: List[object]
+    series: "Dict[str, Series]" = field(default_factory=dict)
+
+    def add(self, label: str, parameter: object, value: float) -> None:
+        self.series.setdefault(label, Series(label)).points[parameter] = value
+
+    def curve(self, label: str) -> List[float]:
+        return self.series[label].values(self.parameters)
+
+
+def run_sweep(
+    parameter_name: str,
+    parameters: Sequence[object],
+    factories: "Dict[str, CacheFactory]",
+    traces: Sequence[Trace],
+) -> SweepResult:
+    """Simulate every (parameter, factory) pair over ``traces``.
+
+    The recorded value is the *mean miss rate across traces* — the
+    paper averages miss rates over the SPEC benchmarks, not over pooled
+    references, and we follow it.
+    """
+    result = SweepResult(parameter_name=parameter_name, parameters=list(parameters))
+    for parameter in parameters:
+        for label, factory in factories.items():
+            rates = []
+            for trace in traces:
+                simulator = factory(parameter)
+                stats = simulator.simulate(trace)
+                rates.append(stats.miss_rate)
+            mean = sum(rates) / len(rates) if rates else 0.0
+            result.add(label, parameter, mean)
+    return result
+
+
+def per_trace_rates(
+    factory: Callable[[], Union[Cache, OfflineCache]],
+    traces: Sequence[Trace],
+) -> "Dict[str, float]":
+    """Miss rate of one configuration on each trace, keyed by trace name."""
+    rates: "Dict[str, float]" = {}
+    for trace in traces:
+        simulator = factory()
+        stats = simulator.simulate(trace)
+        rates[trace.name or f"trace{len(rates)}"] = stats.miss_rate
+    return rates

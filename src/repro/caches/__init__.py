@@ -1,0 +1,60 @@
+"""Cache substrate: geometries, stats, and the baseline cache models."""
+
+from .geometry import CacheGeometry
+from .stats import CacheStats, SimulationResult, percent_reduction
+from .base import AccessResult, Cache, OfflineCache
+from .direct_mapped import DirectMappedCache
+from .set_associative import FullyAssociativeCache, SetAssociativeCache
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .optimal import (
+    NEVER,
+    OptimalCache,
+    OptimalDirectMappedCache,
+    OptimalLastLineCache,
+    next_use_times,
+)
+from .stack_sim import (
+    direct_mapped_miss_counts_by_size,
+    lru_miss_counts,
+    set_lru_miss_counts,
+)
+from .victim import VictimCache
+from .write_policy import TrafficStats, WritePolicy, WritePolicyCache
+from .stream_buffer import StreamBufferCache
+
+__all__ = [
+    "NEVER",
+    "AccessResult",
+    "Cache",
+    "CacheGeometry",
+    "CacheStats",
+    "DirectMappedCache",
+    "FIFOPolicy",
+    "FullyAssociativeCache",
+    "LRUPolicy",
+    "OfflineCache",
+    "OptimalCache",
+    "OptimalDirectMappedCache",
+    "OptimalLastLineCache",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "SimulationResult",
+    "StreamBufferCache",
+    "TrafficStats",
+    "WritePolicy",
+    "WritePolicyCache",
+    "VictimCache",
+    "direct_mapped_miss_counts_by_size",
+    "lru_miss_counts",
+    "set_lru_miss_counts",
+    "make_policy",
+    "next_use_times",
+    "percent_reduction",
+]

@@ -1,0 +1,119 @@
+"""Cache geometry: the tag / set-index / offset arithmetic.
+
+Every simulator in :mod:`repro.caches` and :mod:`repro.core` shares this
+class so that the address decomposition is defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of a cache: capacity, line size, and associativity.
+
+    Parameters
+    ----------
+    size:
+        Total data capacity in bytes.
+    line_size:
+        Line (block) size in bytes.
+    associativity:
+        Ways per set; 1 for direct-mapped.  Use
+        :meth:`fully_associative` for a single-set cache.
+    """
+
+    size: int
+    line_size: int
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_size):
+            raise ValueError(f"line size must be a power of two, got {self.line_size}")
+        if self.size <= 0:
+            raise ValueError(f"cache size must be positive, got {self.size}")
+        if self.line_size > self.size:
+            raise ValueError("line size cannot exceed cache size")
+        if self.associativity < 1:
+            raise ValueError("associativity must be at least 1")
+        if self.size % self.line_size:
+            raise ValueError("cache size must be a multiple of the line size")
+        lines = self.size // self.line_size
+        if lines % self.associativity:
+            raise ValueError(
+                f"{lines} lines do not divide evenly into "
+                f"{self.associativity}-way sets"
+            )
+        # Only the set count must be a power of two (index bits); odd
+        # associativities like 3-way / 12KB caches are legal.
+        if not _is_power_of_two(lines // self.associativity):
+            raise ValueError("number of sets must be a power of two")
+
+    @classmethod
+    def fully_associative(cls, size: int, line_size: int) -> "CacheGeometry":
+        """A single-set cache holding ``size / line_size`` ways."""
+        return cls(size=size, line_size=line_size, associativity=size // line_size)
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines."""
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_lines // self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        return _log2(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        return _log2(self.num_sets)
+
+    # -- address decomposition ---------------------------------------------
+
+    def line_address(self, addr: int) -> int:
+        """Address divided by line size (unique id of the memory line)."""
+        return addr >> self.offset_bits
+
+    def set_index(self, addr: int) -> int:
+        """Which set a byte address maps to."""
+        return (addr >> self.offset_bits) & (self.num_sets - 1)
+
+    def set_index_of_line(self, line_addr: int) -> int:
+        """Which set a line address maps to."""
+        return line_addr & (self.num_sets - 1)
+
+    def tag(self, addr: int) -> int:
+        """Tag bits of a byte address."""
+        return addr >> (self.offset_bits + self.index_bits)
+
+    def line_base(self, addr: int) -> int:
+        """Byte address of the start of the line containing ``addr``."""
+        return addr & ~(self.line_size - 1)
+
+    def scaled(self, factor: int) -> "CacheGeometry":
+        """A geometry ``factor`` times larger (same line size and ways)."""
+        return CacheGeometry(self.size * factor, self.line_size, self.associativity)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.associativity == self.num_lines:
+            org = "fully-associative"
+        elif self.associativity == 1:
+            org = "direct-mapped"
+        else:
+            org = f"{self.associativity}-way"
+        return f"{self.size // 1024}KB/{self.line_size}B {org}"

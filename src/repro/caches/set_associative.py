@@ -1,0 +1,109 @@
+"""N-way set-associative cache (the organisation the paper compares
+direct-mapped caches against)."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from ..trace.reference import RefKind
+from .base import AccessResult, Cache
+from .geometry import CacheGeometry
+from .replacement import ReplacementPolicy, make_policy
+
+_HIT = AccessResult(hit=True)
+_COLD_MISS = AccessResult(hit=False)
+
+
+class SetAssociativeCache(Cache):
+    """Set-associative cache with a pluggable replacement policy.
+
+    Parameters
+    ----------
+    geometry:
+        Must have ``associativity >= 1``.  With associativity 1 this
+        behaves exactly like :class:`DirectMappedCache` (useful for
+        cross-checking).
+    policy:
+        ``"lru"`` (default), ``"fifo"``, or ``"random"``.
+    seed:
+        Seed for the random policy.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: str = "lru",
+        seed: int = 0,
+        name: str = "",
+    ) -> None:
+        super().__init__(geometry, name=name or f"{geometry.associativity}-way-{policy}")
+        self._policy_name = policy
+        self._seed = seed
+        self._offset_bits = geometry.offset_bits
+        self._index_mask = geometry.num_sets - 1
+        self._build_sets()
+
+    def _build_sets(self) -> None:
+        ways = self.geometry.associativity
+        sets = self.geometry.num_sets
+        self._tags: List[List[Optional[int]]] = [[None] * ways for _ in range(sets)]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(self._policy_name, ways, seed=self._seed + i)
+            for i in range(sets)
+        ]
+
+    def _reset_state(self) -> None:
+        self._build_sets()
+
+    def access(self, addr: int, kind: RefKind = RefKind.IFETCH) -> AccessResult:
+        line = addr >> self._offset_bits
+        index = line & self._index_mask
+        stats = self.stats
+        stats.accesses += 1
+        tags = self._tags[index]
+        policy = self._policies[index]
+        try:
+            way = tags.index(line)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            stats.hits += 1
+            policy.touch(way)
+            return _HIT
+        stats.misses += 1
+        try:
+            empty_way = tags.index(None)
+        except ValueError:
+            empty_way = -1
+        if empty_way >= 0:
+            tags[empty_way] = line
+            policy.fill(empty_way)
+            stats.cold_misses += 1
+            return _COLD_MISS
+        victim_way = policy.victim()
+        evicted = tags[victim_way]
+        tags[victim_way] = line
+        policy.fill(victim_way)
+        stats.evictions += 1
+        return AccessResult(hit=False, evicted_line=evicted)
+
+    def contains(self, addr: int) -> bool:
+        # O(ways) override of the base-class full scan.
+        line = addr >> self._offset_bits
+        return line in self._tags[line & self._index_mask]
+
+    def resident_lines(self) -> FrozenSet[int]:
+        resident = set()
+        for tags in self._tags:
+            for tag in tags:
+                if tag is not None:
+                    resident.add(tag)
+        return frozenset(resident)
+
+
+class FullyAssociativeCache(SetAssociativeCache):
+    """A single-set LRU cache (used for capacity-miss classification)."""
+
+    def __init__(self, size: int, line_size: int, policy: str = "lru", name: str = "") -> None:
+        geometry = CacheGeometry.fully_associative(size, line_size)
+        super().__init__(geometry, policy=policy, name=name or f"fully-associative-{policy}")

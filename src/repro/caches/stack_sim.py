@@ -1,0 +1,125 @@
+"""Single-pass stack simulation (Mattson et al.).
+
+LRU obeys the stack-inclusion property, so one pass over a trace yields
+the miss counts of *every* capacity at once:
+
+* :func:`lru_miss_counts` — fully-associative LRU for any set of
+  capacities, via the reuse-distance machinery in
+  :mod:`repro.trace.stats`;
+* :func:`set_lru_miss_counts` — set-associative LRU with a fixed number
+  of sets, for every associativity from 1 to ``max_ways``, via per-set
+  stack distances.
+
+These make sweep experiments cheap and, more importantly, serve as an
+independent oracle for the event-driven simulators: the property tests
+check :class:`~repro.caches.set_associative.SetAssociativeCache`
+against this module configuration by configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..trace.stats import reuse_distances
+from ..trace.trace import Trace
+
+
+def lru_miss_counts(
+    trace: Trace, capacities_lines: Sequence[int], line_size: int = 4
+) -> Dict[int, int]:
+    """Miss counts of fully-associative LRU caches of each capacity.
+
+    ``capacities_lines`` are capacities in *lines*.  One pass computes
+    all of them (stack inclusion: a reference misses at capacity C iff
+    its reuse distance is >= C or it is a first use).
+    """
+    for capacity in capacities_lines:
+        if capacity <= 0:
+            raise ValueError("capacities must be positive")
+    distances = reuse_distances(trace, line_size)
+    counts = {capacity: 0 for capacity in capacities_lines}
+    for distance in distances.tolist():
+        for capacity in capacities_lines:
+            if distance < 0 or distance >= capacity:
+                counts[capacity] += 1
+    return counts
+
+
+def set_lru_miss_counts(
+    trace: Trace,
+    num_sets: int,
+    max_ways: int,
+    line_size: int = 4,
+) -> Dict[int, int]:
+    """Miss counts of ``num_sets``-set LRU caches for ways 1..max_ways.
+
+    Maintains one LRU stack per set; the stack position of each
+    reference gives its per-set stack distance, and a reference misses
+    with A ways iff that distance is >= A (or the line is new).  One
+    pass covers every associativity.
+    """
+    if num_sets <= 0 or num_sets & (num_sets - 1):
+        raise ValueError("num_sets must be a positive power of two")
+    if max_ways < 1:
+        raise ValueError("max_ways must be at least 1")
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise ValueError("line_size must be a positive power of two")
+
+    offset_bits = line_size.bit_length() - 1
+    set_mask = num_sets - 1
+    # Per set, an MRU-first list of lines.  Stacks are truncated to
+    # max_ways since deeper positions always miss at every tracked
+    # associativity.
+    stacks: Dict[int, List[int]] = {}
+    counts = {ways: 0 for ways in range(1, max_ways + 1)}
+    for addr, _ in trace.pairs():
+        line = addr >> offset_bits
+        index = line & set_mask
+        stack = stacks.setdefault(index, [])
+        try:
+            depth = stack.index(line)
+        except ValueError:
+            depth = -1
+        if depth < 0:
+            # New (or long-evicted) line: misses at every associativity.
+            for ways in counts:
+                counts[ways] += 1
+            stack.insert(0, line)
+            del stack[max_ways:]
+        else:
+            # Misses wherever the associativity is <= its stack depth.
+            for ways in range(1, depth + 1):
+                counts[ways] += 1
+            del stack[depth]
+            stack.insert(0, line)
+    return counts
+
+
+def direct_mapped_miss_counts_by_size(
+    trace: Trace, sizes: Sequence[int], line_size: int = 4
+) -> Dict[int, int]:
+    """Miss counts of direct-mapped caches of several sizes, one pass.
+
+    Direct-mapped caches do not stack (a bigger DM cache can miss where
+    a smaller one hits), so this simply advances all tag arrays in a
+    single trace traversal — cheaper than one pass per size because the
+    trace decode cost is shared.
+    """
+    offset_bits = line_size.bit_length() - 1
+    configs = []
+    for size in sizes:
+        if size <= 0 or size % line_size:
+            raise ValueError(f"bad cache size {size}")
+        num_sets = size // line_size
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"size {size} does not give a power-of-two set count")
+        configs.append((size, num_sets - 1, [None] * num_sets))
+    counts = {size: 0 for size in sizes}
+    for addr, _ in trace.pairs():
+        line = addr >> offset_bits
+        for size, mask, tags in configs:
+            index = line & mask
+            if tags[index] != line:
+                counts[size] += 1
+                tags[index] = line
+    return counts

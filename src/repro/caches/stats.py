@@ -1,0 +1,89 @@
+"""Hit/miss accounting shared by every cache simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a cache over a simulation.
+
+    ``bypasses`` counts misses where the fetched line was deliberately
+    *not* stored (dynamic exclusion or optimal bypass); they are a subset
+    of ``misses``.  ``buffer_hits`` counts references satisfied by an
+    auxiliary structure (last-line buffer, victim cache, stream buffer)
+    and are a subset of ``hits``.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+    buffer_hits: int = 0
+    cold_misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0.0 for an untouched cache)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stats objects."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            bypasses=self.bypasses + other.bypasses,
+            evictions=self.evictions + other.evictions,
+            buffer_hits=self.buffer_hits + other.buffer_hits,
+            cold_misses=self.cold_misses + other.cold_misses,
+        )
+
+    def check(self) -> None:
+        """Assert the internal consistency invariants."""
+        if self.hits + self.misses != self.accesses:
+            raise AssertionError(
+                f"hits({self.hits}) + misses({self.misses}) != accesses({self.accesses})"
+            )
+        if self.bypasses > self.misses:
+            raise AssertionError("bypasses cannot exceed misses")
+        if self.buffer_hits > self.hits:
+            raise AssertionError("buffer hits cannot exceed hits")
+        if self.cold_misses > self.misses:
+            raise AssertionError("cold misses cannot exceed misses")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """A finished simulation: the configuration label plus its stats."""
+
+    label: str
+    stats: CacheStats
+    trace_name: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.miss_rate
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """Relative miss-rate reduction, in percent (positive = better).
+
+    Matches the paper's "percentage reduction from the normal
+    direct-mapped cache miss rate".
+    """
+    if baseline == 0.0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,221 @@
+"""General-purpose command line tools.
+
+Three subcommands make the library usable without writing Python:
+
+* ``trace``    — generate a benchmark trace and write it as din text;
+* ``simulate`` — run a cache configuration over a din trace (or a named
+  benchmark) and print the statistics;
+* ``classify`` — 3C miss classification of a trace against a geometry;
+* ``conflicts`` — find the thrashing sets and ping-pong address pairs.
+
+Examples::
+
+    python -m repro.cli trace gcc --kind instruction --refs 100000 --out gcc.din
+    python -m repro.cli simulate gcc.din --size 32768 --line 4 --policy exclusion
+    python -m repro.cli simulate gcc --policy optimal --size 8192
+    python -m repro.cli classify gcc.din --size 32768 --line 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Union
+
+from .analysis.conflicts import format_profile, profile_conflicts
+from .analysis.missclass import classify_misses
+from .caches.base import Cache, OfflineCache
+from .caches.direct_mapped import DirectMappedCache
+from .caches.geometry import CacheGeometry
+from .caches.optimal import OptimalDirectMappedCache, OptimalLastLineCache
+from .caches.set_associative import SetAssociativeCache
+from .caches.stream_buffer import StreamBufferCache
+from .caches.victim import VictimCache
+from .core.exclusion_cache import DynamicExclusionCache
+from .core.hitlast import HashedHitLastStore, IdealHitLastStore
+from .core.long_lines import make_long_line_exclusion_cache
+from .trace.io import load_din, save_din
+from .trace.trace import Trace
+from .workloads.registry import benchmark_names, trace_by_kind
+
+POLICIES = [
+    "direct",
+    "exclusion",
+    "exclusion-hashed",
+    "optimal",
+    "lru",
+    "fifo",
+    "random",
+    "victim",
+    "stream",
+]
+
+
+def _load_trace(source: str, kind: str, refs: int) -> Trace:
+    """A din file path or a benchmark name."""
+    if source in benchmark_names():
+        return trace_by_kind(source, kind, max_refs=refs)
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"{source!r} is neither a benchmark ({benchmark_names()}) "
+            f"nor an existing trace file"
+        )
+    return load_din(path, name=path.stem)
+
+
+def _build_simulator(
+    policy: str, geometry: CacheGeometry, args: argparse.Namespace
+) -> Union[Cache, OfflineCache]:
+    if policy == "direct":
+        return DirectMappedCache(geometry)
+    if policy == "exclusion":
+        store = IdealHitLastStore(default=not args.assume_miss)
+        if geometry.line_size > 4:
+            return make_long_line_exclusion_cache(
+                geometry, store=store, sticky_levels=args.sticky
+            )
+        return DynamicExclusionCache(geometry, store=store, sticky_levels=args.sticky)
+    if policy == "exclusion-hashed":
+        store = HashedHitLastStore(
+            geometry.num_lines * args.hashed_bits, default=not args.assume_miss
+        )
+        if geometry.line_size > 4:
+            return make_long_line_exclusion_cache(
+                geometry, store=store, sticky_levels=args.sticky
+            )
+        return DynamicExclusionCache(geometry, store=store, sticky_levels=args.sticky)
+    if policy == "optimal":
+        if geometry.line_size > 4:
+            return OptimalLastLineCache(geometry)
+        return OptimalDirectMappedCache(geometry)
+    if policy in ("lru", "fifo", "random"):
+        assoc_geometry = CacheGeometry(
+            geometry.size, geometry.line_size, associativity=args.ways
+        )
+        return SetAssociativeCache(assoc_geometry, policy=policy)
+    if policy == "victim":
+        return VictimCache(geometry, entries=args.victim_entries)
+    if policy == "stream":
+        return StreamBufferCache(geometry, depth=args.stream_depth)
+    raise SystemExit(f"unknown policy {policy!r}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = trace_by_kind(args.benchmark, args.kind, max_refs=args.refs)
+    if args.out:
+        save_din(trace, args.out)
+        print(f"wrote {len(trace):,} references to {args.out}")
+    else:
+        save_din(trace, sys.stdout)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    geometry = CacheGeometry(args.size, args.line)
+    trace = _load_trace(args.trace, args.kind, args.refs)
+    simulator = _build_simulator(args.policy, geometry, args)
+    stats = simulator.simulate(trace)
+    print(f"trace      : {trace.name or args.trace} ({len(trace):,} refs)")
+    print(f"cache      : {geometry} [{args.policy}]")
+    print(f"accesses   : {stats.accesses:,}")
+    print(f"hits       : {stats.hits:,}  ({stats.hit_rate:.3%})")
+    print(f"misses     : {stats.misses:,}  ({stats.miss_rate:.3%})")
+    if stats.bypasses:
+        print(f"bypasses   : {stats.bypasses:,}")
+    if stats.buffer_hits:
+        print(f"buffer hits: {stats.buffer_hits:,}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    geometry = CacheGeometry(args.size, args.line)
+    trace = _load_trace(args.trace, args.kind, args.refs)
+    breakdown = classify_misses(trace, geometry)
+    print(f"trace      : {trace.name or args.trace} ({len(trace):,} refs)")
+    print(f"cache      : {geometry}")
+    print(f"compulsory : {breakdown.compulsory:,}  ({breakdown.rate('compulsory'):.3%})")
+    print(f"capacity   : {breakdown.capacity:,}  ({breakdown.rate('capacity'):.3%})")
+    print(f"conflict   : {breakdown.conflict:,}  ({breakdown.rate('conflict'):.3%})")
+    print(f"total      : {breakdown.total:,}  ({breakdown.miss_rate:.3%})")
+    return 0
+
+
+def _cmd_conflicts(args: argparse.Namespace) -> int:
+    geometry = CacheGeometry(args.size, args.line)
+    trace = _load_trace(args.trace, args.kind, args.refs)
+    profile = profile_conflicts(trace, geometry)
+    print(f"trace      : {trace.name or args.trace} ({len(trace):,} refs)")
+    print(format_profile(profile, top=args.top))
+    return 0
+
+
+def _add_trace_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace", help="din file path or benchmark name")
+    parser.add_argument("--kind", default="instruction",
+                        choices=["instruction", "data", "mixed"],
+                        help="reference kind for benchmark traces")
+    parser.add_argument("--refs", type=int, default=200_000,
+                        help="reference budget for benchmark traces")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trace and cache-simulation tools for the dynamic-exclusion reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace_parser = sub.add_parser("trace", help="generate a benchmark trace as din text")
+    trace_parser.add_argument("benchmark", choices=benchmark_names())
+    trace_parser.add_argument("--kind", default="instruction",
+                              choices=["instruction", "data", "mixed"])
+    trace_parser.add_argument("--refs", type=int, default=200_000)
+    trace_parser.add_argument("--out", help="output path (default: stdout)")
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    sim_parser = sub.add_parser("simulate", help="simulate a cache over a trace")
+    _add_trace_source(sim_parser)
+    sim_parser.add_argument("--size", type=int, default=32 * 1024, help="bytes")
+    sim_parser.add_argument("--line", type=int, default=4, help="line size, bytes")
+    sim_parser.add_argument("--policy", default="direct", choices=POLICIES)
+    sim_parser.add_argument("--ways", type=int, default=2,
+                            help="associativity for lru/fifo/random")
+    sim_parser.add_argument("--sticky", type=int, default=1,
+                            help="sticky levels for exclusion policies")
+    sim_parser.add_argument("--hashed-bits", type=int, default=4,
+                            help="hashed hit-last bits per line")
+    sim_parser.add_argument("--assume-miss", action="store_true",
+                            help="cold hit-last polarity 0 instead of 1")
+    sim_parser.add_argument("--victim-entries", type=int, default=4)
+    sim_parser.add_argument("--stream-depth", type=int, default=4)
+    sim_parser.set_defaults(func=_cmd_simulate)
+
+    classify_parser = sub.add_parser("classify", help="3C miss classification")
+    _add_trace_source(classify_parser)
+    classify_parser.add_argument("--size", type=int, default=32 * 1024)
+    classify_parser.add_argument("--line", type=int, default=4)
+    classify_parser.set_defaults(func=_cmd_classify)
+
+    conflicts_parser = sub.add_parser(
+        "conflicts", help="find thrashing sets and ping-pong pairs"
+    )
+    _add_trace_source(conflicts_parser)
+    conflicts_parser.add_argument("--size", type=int, default=32 * 1024)
+    conflicts_parser.add_argument("--line", type=int, default=4)
+    conflicts_parser.add_argument("--top", type=int, default=10,
+                                  help="how many sets to show")
+    conflicts_parser.set_defaults(func=_cmd_conflicts)
+
+    return parser
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

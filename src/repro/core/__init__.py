@@ -1,0 +1,55 @@
+"""Dynamic exclusion: the paper's contribution.
+
+Public surface: the FSM, the hit-last stores, the single-word-line DE
+cache, the long-line variants, and the hardware cost model.
+"""
+
+from .fsm import Decision, DynamicExclusionFSM, LineState
+from .hitlast import (
+    HashedHitLastStore,
+    HitLastStore,
+    IdealHitLastStore,
+    L2BackedHitLastStore,
+    make_hitlast_store,
+)
+from .exclusion_cache import DynamicExclusionCache
+from .set_assoc_exclusion import SetAssociativeExclusionCache
+from .victim_exclusion import ExclusionVictimCache
+from .long_lines import (
+    ExclusionStreamBufferCache,
+    InstructionRegisterCache,
+    LastLineBufferCache,
+    make_long_line_exclusion_cache,
+)
+from .cost import (
+    ADDRESS_BITS,
+    EfficiencyRow,
+    direct_mapped_bits,
+    doubling_efficiency,
+    exclusion_efficiency,
+    exclusion_overhead_bits,
+)
+
+__all__ = [
+    "ADDRESS_BITS",
+    "Decision",
+    "DynamicExclusionCache",
+    "DynamicExclusionFSM",
+    "EfficiencyRow",
+    "ExclusionStreamBufferCache",
+    "ExclusionVictimCache",
+    "HashedHitLastStore",
+    "HitLastStore",
+    "IdealHitLastStore",
+    "InstructionRegisterCache",
+    "L2BackedHitLastStore",
+    "LastLineBufferCache",
+    "LineState",
+    "SetAssociativeExclusionCache",
+    "direct_mapped_bits",
+    "doubling_efficiency",
+    "exclusion_efficiency",
+    "exclusion_overhead_bits",
+    "make_hitlast_store",
+    "make_long_line_exclusion_cache",
+]

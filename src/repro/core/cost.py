@@ -1,0 +1,109 @@
+"""Hardware cost model for dynamic exclusion (paper Figure 13).
+
+Figure 13 compares the *efficiency* of adding dynamic exclusion to a
+direct-mapped cache against simply doubling the capacity: the miss-rate
+reduction divided by the SRAM growth.  This module counts the bits.
+
+The DE configuration assumed by the paper's table: the hashing hit-last
+strategy with four bits per L1 line, one sticky bit per line, and a
+last-line buffer (one line of data plus a last-tag register).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..caches.geometry import CacheGeometry
+
+#: Physical address width assumed for tag sizing (the DECstation 3100 is
+#: a 32-bit machine).
+ADDRESS_BITS = 32
+
+
+def direct_mapped_bits(geometry: CacheGeometry, address_bits: int = ADDRESS_BITS) -> int:
+    """Total SRAM bits of a conventional cache: data + tag + valid."""
+    tag_bits = address_bits - geometry.offset_bits - geometry.index_bits
+    per_line = geometry.line_size * 8 + tag_bits + 1
+    return geometry.num_lines * per_line
+
+
+def exclusion_overhead_bits(
+    geometry: CacheGeometry,
+    sticky_levels: int = 1,
+    hashed_hitlast_bits_per_line: int = 4,
+    last_line_buffer: bool = True,
+    address_bits: int = ADDRESS_BITS,
+) -> int:
+    """Extra bits dynamic exclusion adds to a direct-mapped cache."""
+    sticky_bits = max(1, math.ceil(math.log2(sticky_levels + 1)))
+    per_line = sticky_bits + hashed_hitlast_bits_per_line
+    total = geometry.num_lines * per_line
+    if last_line_buffer:
+        # One line of data plus the last-tag register (a full line
+        # address) plus a valid bit.
+        total += geometry.line_size * 8
+        total += (address_bits - geometry.offset_bits) + 1
+    return total
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """One column of the Figure 13 table."""
+
+    label: str
+    delta_size_percent: float
+    delta_miss_percent: float
+
+    @property
+    def efficiency(self) -> float:
+        """Miss-rate reduction per unit of size growth (bigger = better)."""
+        if self.delta_size_percent == 0.0:
+            return math.inf if self.delta_miss_percent > 0 else 0.0
+        return self.delta_miss_percent / self.delta_size_percent
+
+
+def exclusion_efficiency(
+    geometry: CacheGeometry,
+    baseline_miss_rate: float,
+    exclusion_miss_rate: float,
+    sticky_levels: int = 1,
+    hashed_hitlast_bits_per_line: int = 4,
+) -> EfficiencyRow:
+    """Efficiency of adding DE to ``geometry`` (Figure 13, middle column)."""
+    base_bits = direct_mapped_bits(geometry)
+    extra_bits = exclusion_overhead_bits(
+        geometry,
+        sticky_levels=sticky_levels,
+        hashed_hitlast_bits_per_line=hashed_hitlast_bits_per_line,
+    )
+    delta_size = 100.0 * extra_bits / base_bits
+    delta_miss = _percent_reduction(baseline_miss_rate, exclusion_miss_rate)
+    return EfficiencyRow(
+        label=f"{geometry.size // 1024}KB DE",
+        delta_size_percent=delta_size,
+        delta_miss_percent=delta_miss,
+    )
+
+
+def doubling_efficiency(
+    geometry: CacheGeometry,
+    baseline_miss_rate: float,
+    doubled_miss_rate: float,
+) -> EfficiencyRow:
+    """Efficiency of doubling capacity (Figure 13, right column)."""
+    base_bits = direct_mapped_bits(geometry)
+    doubled_bits = direct_mapped_bits(geometry.scaled(2))
+    delta_size = 100.0 * (doubled_bits - base_bits) / base_bits
+    delta_miss = _percent_reduction(baseline_miss_rate, doubled_miss_rate)
+    return EfficiencyRow(
+        label=f"{geometry.size * 2 // 1024}KB DM",
+        delta_size_percent=delta_size,
+        delta_miss_percent=delta_miss,
+    )
+
+
+def _percent_reduction(baseline: float, improved: float) -> float:
+    if baseline == 0.0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

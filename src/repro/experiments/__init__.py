@@ -1,0 +1,54 @@
+"""The experiment harness: one module per paper figure/table.
+
+Run everything with ``python -m repro.experiments`` or a single figure
+with ``python -m repro.experiments --only fig05``.
+"""
+
+from typing import Dict
+
+from . import (
+    ext_associativity,
+    ext_context_switch,
+    ext_hashed_bits,
+    ext_split,
+    ext_traffic,
+    ext_warmup,
+    fig02_benchmarks,
+    fig03_per_benchmark,
+    fig04_cache_size,
+    fig05_improvement,
+    fig07_l1_vs_l2,
+    fig08_l2_missrate,
+    fig09_l1_improvement,
+    fig11_line_size,
+    fig12_improvement_b16,
+    fig13_efficiency,
+    fig14_data_cache,
+    fig15_mixed_cache,
+    sec3_patterns,
+)
+
+#: Experiment id -> module with TITLE / run() / report().
+EXPERIMENTS: Dict[str, object] = {
+    "sec3": sec3_patterns,
+    "fig02": fig02_benchmarks,
+    "fig03": fig03_per_benchmark,
+    "fig04": fig04_cache_size,
+    "fig05": fig05_improvement,
+    "fig07": fig07_l1_vs_l2,
+    "fig08": fig08_l2_missrate,
+    "fig09": fig09_l1_improvement,
+    "fig11": fig11_line_size,
+    "fig12": fig12_improvement_b16,
+    "fig13": fig13_efficiency,
+    "fig14": fig14_data_cache,
+    "fig15": fig15_mixed_cache,
+    "ext-assoc": ext_associativity,
+    "ext-split": ext_split,
+    "ext-context": ext_context_switch,
+    "ext-hashed": ext_hashed_bits,
+    "ext-traffic": ext_traffic,
+    "ext-warmup": ext_warmup,
+}
+
+__all__ = ["EXPERIMENTS"]

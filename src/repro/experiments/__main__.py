@@ -1,0 +1,89 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments                 # run every figure
+    python -m repro.experiments --only fig05    # one figure
+    python -m repro.experiments --list          # what exists
+    python -m repro.experiments --svg figures/  # also save SVG charts
+    REPRO_TRACE_SCALE=5 python -m repro.experiments --only fig04
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from . import EXPERIMENTS
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of 'Cache Replacement with Dynamic Exclusion'",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="ID",
+        help="experiment id (repeatable); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        help="also render each sweep-style experiment as DIR/<id>.svg",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, module in EXPERIMENTS.items():
+            print(f"{key:8s} {module.TITLE}")
+        return 0
+
+    selected = args.only or list(EXPERIMENTS)
+    unknown = [key for key in selected if key not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids {unknown}; try --list")
+
+    svg_dir = None
+    if args.svg:
+        svg_dir = Path(args.svg)
+        svg_dir.mkdir(parents=True, exist_ok=True)
+
+    for key in selected:
+        module = EXPERIMENTS[key]
+        started = time.time()
+        print(f"\n{'#' * 72}\n# {key}: {module.TITLE}\n{'#' * 72}")
+        print(module.report())
+        if svg_dir is not None:
+            path = _maybe_save_svg(module, key, svg_dir)
+            if path is not None:
+                print(f"[svg written to {path}]")
+        print(f"\n[{key} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+def _maybe_save_svg(module, key: str, directory):
+    """Render the experiment as SVG when its run() yields a sweep."""
+    from ..analysis.svg import sweep_svg
+    from ..analysis.sweep import SweepResult
+
+    result = module.run()
+    if not isinstance(result, SweepResult):
+        return None
+    path = directory / f"{key}.svg"
+    percent = all(
+        0.0 <= value <= 1.0
+        for series in result.series.values()
+        for value in series.points.values()
+    )
+    path.write_text(sweep_svg(result, title=module.TITLE, percent=percent))
+    return path
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Shared infrastructure for the experiment modules.
+
+* a process-wide memoising trace cache (trace generation is the most
+  expensive part of small experiments);
+* the reference-budget policy (``REPRO_TRACE_SCALE`` environment
+  variable scales every experiment's trace length);
+* the standard cache factories used across figures.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Tuple
+
+from ..caches.direct_mapped import DirectMappedCache
+from ..caches.geometry import CacheGeometry
+from ..caches.optimal import OptimalDirectMappedCache, OptimalLastLineCache
+from ..core.exclusion_cache import DynamicExclusionCache
+from ..core.hitlast import IdealHitLastStore
+from ..core.long_lines import make_long_line_exclusion_cache
+from ..trace.trace import Trace
+from ..workloads.registry import benchmark_names, trace_by_kind
+
+#: Base number of references per benchmark trace.  The paper uses the
+#: first 10 M references; 200 k keeps the full suite laptop-fast while
+#: preserving the miss-rate shapes (see DESIGN.md §2).  Scale with the
+#: REPRO_TRACE_SCALE environment variable (e.g. 5.0 for 1 M references).
+BASE_MAX_REFS = 200_000
+
+#: Cache sizes swept by the size figures (Figures 4, 5, 12, 14, 15).
+SIZE_SWEEP_KB = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+#: Line sizes swept by Figure 11.
+LINE_SIZE_SWEEP = [4, 8, 16, 32, 64]
+
+#: Relative L2 sizes swept by Figures 7-9.
+L2_RATIO_SWEEP = [1, 2, 4, 8, 16, 32, 64]
+
+#: The reference cache size of most figures (32 KB, 4 B lines).
+REFERENCE_SIZE = 32 * 1024
+REFERENCE_LINE = 4
+
+
+def trace_scale() -> float:
+    """The REPRO_TRACE_SCALE multiplier (default 1.0)."""
+    raw = os.environ.get("REPRO_TRACE_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_TRACE_SCALE must be a number, got {raw!r}") from None
+    if scale <= 0:
+        raise ValueError("REPRO_TRACE_SCALE must be positive")
+    return scale
+
+
+def max_refs() -> int:
+    """The per-trace reference budget after scaling."""
+    return int(BASE_MAX_REFS * trace_scale())
+
+
+_TRACE_CACHE: Dict[Tuple[str, str, int], Trace] = {}
+
+
+def cached_trace(name: str, kind: str = "instruction") -> Trace:
+    """Memoised benchmark trace (kind in instruction / data / mixed)."""
+    key = (name, kind, max_refs())
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = trace_by_kind(name, kind, max_refs=max_refs())
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def all_traces(kind: str = "instruction") -> List[Trace]:
+    """One trace per SPEC benchmark, in name order."""
+    return [cached_trace(name, kind) for name in benchmark_names()]
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoised traces (tests use this to control memory)."""
+    _TRACE_CACHE.clear()
+
+
+# -- standard simulator factories ---------------------------------------------
+
+
+def direct_mapped(geometry: CacheGeometry) -> DirectMappedCache:
+    """The conventional baseline."""
+    return DirectMappedCache(geometry)
+
+
+def dynamic_exclusion(geometry: CacheGeometry) -> DynamicExclusionCache:
+    """DE with the ideal hit-last store (Figures 3-5, 14, 15)."""
+    return DynamicExclusionCache(geometry, store=IdealHitLastStore(default=True))
+
+
+def dynamic_exclusion_long_lines(geometry: CacheGeometry):
+    """DE with the last-line buffer (Figures 11-13)."""
+    return make_long_line_exclusion_cache(
+        geometry, store=IdealHitLastStore(default=True)
+    )
+
+
+def optimal(geometry: CacheGeometry) -> OptimalDirectMappedCache:
+    """Belady-with-bypass at the geometry's own line granularity."""
+    return OptimalDirectMappedCache(geometry)
+
+
+def optimal_long_lines(geometry: CacheGeometry) -> OptimalLastLineCache:
+    """Belady-with-bypass over collapsed line-reference events."""
+    return OptimalLastLineCache(geometry)
+
+
+#: Factory name -> callable, for the single-level figures.  For line
+#: sizes above one word the DE and optimal models get the Section 6
+#: treatment automatically.
+def standard_factories(line_size: int) -> "Dict[str, Callable[[object], object]]":
+    """The three curves of Figures 4/11/12/14/15, parameterised by size."""
+    if line_size <= 4:
+        de_factory = dynamic_exclusion
+        opt_factory = optimal
+    else:
+        de_factory = dynamic_exclusion_long_lines
+        opt_factory = optimal_long_lines
+    return {
+        "direct-mapped": lambda size: direct_mapped(CacheGeometry(int(size), line_size)),
+        "dynamic-exclusion": lambda size: de_factory(CacheGeometry(int(size), line_size)),
+        "optimal": lambda size: opt_factory(CacheGeometry(int(size), line_size)),
+    }

@@ -1,0 +1,109 @@
+"""Extension: split instruction/data caches vs a unified cache.
+
+Section 7 of the paper evaluates dynamic exclusion on combined
+(unified) caches and observes that its benefit tracks the instruction
+share of the misses.  The natural follow-up — which the paper leaves
+implicit — is the split-vs-unified design question: with a fixed
+transistor budget, is it better to run a unified cache with exclusion
+or split it into I and D halves?  This experiment compares, per total
+capacity:
+
+* unified direct-mapped;
+* unified + dynamic exclusion;
+* split (half I / half D) direct-mapped;
+* split with exclusion on the instruction half only (where Section 7
+  says it pays).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Dict
+
+from ..analysis.plot import sweep_chart
+from ..analysis.report import format_sweep
+from ..analysis.sweep import SweepResult
+from ..caches.base import Cache
+from ..caches.direct_mapped import DirectMappedCache
+from ..caches.geometry import CacheGeometry
+from ..core.exclusion_cache import DynamicExclusionCache
+from ..core.hitlast import IdealHitLastStore
+from ..trace.reference import RefKind
+from ..trace.trace import Trace
+from .common import all_traces, max_refs
+
+TITLE = "Extension: split I/D caches vs unified (b=4B)"
+
+SIZES_KB = [2, 4, 8, 16, 32, 64, 128]
+
+
+def _split_miss_rate(icache: Cache, dcache: Cache, trace: Trace) -> float:
+    """Route references by kind and pool the misses."""
+    ifetch = int(RefKind.IFETCH)
+    for addr, kind in trace.pairs():
+        if kind == ifetch:
+            icache.access(addr, kind)  # type: ignore[arg-type]
+        else:
+            dcache.access(addr, kind)  # type: ignore[arg-type]
+    total_misses = icache.stats.misses + dcache.stats.misses
+    total_accesses = icache.stats.accesses + dcache.stats.accesses
+    return total_misses / total_accesses if total_accesses else 0.0
+
+
+def _unified(size: int, exclusion: bool) -> Cache:
+    geometry = CacheGeometry(size, 4)
+    if exclusion:
+        return DynamicExclusionCache(geometry, store=IdealHitLastStore(default=True))
+    return DirectMappedCache(geometry)
+
+
+def _configs() -> "Dict[str, Callable[[int, Trace], float]]":
+    def unified_dm(size: int, trace: Trace) -> float:
+        return _unified(size, exclusion=False).simulate(trace).miss_rate
+
+    def unified_de(size: int, trace: Trace) -> float:
+        return _unified(size, exclusion=True).simulate(trace).miss_rate
+
+    def split_dm(size: int, trace: Trace) -> float:
+        half = CacheGeometry(size // 2, 4)
+        return _split_miss_rate(
+            DirectMappedCache(half), DirectMappedCache(half), trace
+        )
+
+    def split_de_icache(size: int, trace: Trace) -> float:
+        half = CacheGeometry(size // 2, 4)
+        icache = DynamicExclusionCache(half, store=IdealHitLastStore(default=True))
+        return _split_miss_rate(icache, DirectMappedCache(half), trace)
+
+    return {
+        "unified DM": unified_dm,
+        "unified DE": unified_de,
+        "split DM": split_dm,
+        "split DM+DE(I)": split_de_icache,
+    }
+
+
+_CACHE: "dict[int, SweepResult]" = {}
+
+
+def run() -> SweepResult:
+    key = max_refs()
+    if key not in _CACHE:
+        traces = all_traces("mixed")
+        result = SweepResult(
+            parameter_name="total size",
+            parameters=[kb * 1024 for kb in SIZES_KB],
+        )
+        for size in result.parameters:
+            for label, runner in _configs().items():
+                rates = [runner(int(size), trace) for trace in traces]
+                result.add(label, size, statistics.mean(rates))
+        _CACHE[key] = result
+    return _CACHE[key]
+
+
+def report() -> str:
+    result = run()
+    table = format_sweep(result, title=TITLE, value_format="{:.3%}")
+    chart = sweep_chart(result, title="miss rate (%)")
+    return f"{table}\n\n{chart}"

@@ -1,0 +1,49 @@
+"""Figure 2: the SPEC benchmark roster (plus trace characteristics).
+
+The paper's Figure 2 is just the name/description table; we extend it
+with the synthetic traces' measured properties so the substitution
+documented in DESIGN.md is auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.report import format_table, size_label
+from ..trace.stats import TraceSummary, summarize
+from ..workloads.registry import benchmark_names, describe
+from .common import cached_trace
+
+TITLE = "Figure 2: SPEC benchmarks used for evaluation"
+
+
+def run() -> "Dict[str, TraceSummary]":
+    """Per-benchmark summaries of the mixed traces."""
+    summaries: "Dict[str, TraceSummary]" = {}
+    for name in benchmark_names():
+        summaries[name] = summarize(cached_trace(name, "mixed"))
+    return summaries
+
+
+def report() -> str:
+    summaries = run()
+    rows: List[List[object]] = []
+    for name, summary in summaries.items():
+        data_share = (
+            100.0 * summary.data_refs / summary.length if summary.length else 0.0
+        )
+        rows.append(
+            [
+                name,
+                describe(name),
+                summary.length,
+                size_label(summary.instruction_footprint_bytes),
+                size_label(summary.data_footprint_bytes),
+                f"{data_share:.1f}%",
+            ]
+        )
+    return format_table(
+        ["benchmark", "description", "refs", "I-footprint", "D-footprint", "data refs"],
+        rows,
+        title=TITLE,
+    )

@@ -1,0 +1,42 @@
+"""Figure 4: mean instruction-cache miss rate vs cache size (b=4B).
+
+Sweeps the three policies over the standard size grid, averaging miss
+rates across the SPEC benchmarks (as the paper does).
+"""
+
+from __future__ import annotations
+
+from ..analysis.plot import sweep_chart
+from ..analysis.report import format_sweep
+from ..analysis.sweep import SweepResult, run_sweep
+from .common import (
+    REFERENCE_LINE,
+    SIZE_SWEEP_KB,
+    all_traces,
+    max_refs,
+    standard_factories,
+)
+
+TITLE = "Figure 4: instruction cache miss rate vs cache size (b=4B)"
+
+_CACHE: "dict[tuple, SweepResult]" = {}
+
+
+def run(line_size: int = REFERENCE_LINE, kind: str = "instruction") -> SweepResult:
+    """The three curves over the size grid (memoised per process)."""
+    key = (line_size, kind, max_refs())
+    if key not in _CACHE:
+        _CACHE[key] = run_sweep(
+            parameter_name="cache size",
+            parameters=[kb * 1024 for kb in SIZE_SWEEP_KB],
+            factories=standard_factories(line_size),
+            traces=all_traces(kind),
+        )
+    return _CACHE[key]
+
+
+def report() -> str:
+    result = run()
+    table = format_sweep(result, title=TITLE, value_format="{:.3%}")
+    chart = sweep_chart(result, title="miss rate (%)")
+    return f"{table}\n\n{chart}"

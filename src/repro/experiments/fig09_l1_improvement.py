@@ -1,0 +1,52 @@
+"""Figure 9: percent L1 miss-rate improvement vs L2 size.
+
+Derived from the Figure 7 sweep: each strategy's L1 improvement over
+the conventional direct-mapped L1, as a function of the L2 size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.plot import ascii_chart
+from ..analysis.report import format_table
+from ..caches.stats import percent_reduction
+from ..hierarchy.two_level import Strategy
+from . import hierarchy_sweep
+
+TITLE = "Figure 9: dynamic exclusion L1 improvement vs L2 size (L1=32KB, b=4B)"
+
+CURVES = [Strategy.IDEAL, Strategy.ASSUME_HIT, Strategy.ASSUME_MISS, Strategy.HASHED]
+
+
+def run() -> "Dict[Strategy, List[float]]":
+    """Percent L1 improvement per strategy, over the ratio grid."""
+    sweep = hierarchy_sweep.run()
+    curves: "Dict[Strategy, List[float]]" = {}
+    for strategy in CURVES:
+        improvements = []
+        for ratio in sweep.ratios:
+            baseline = sweep.points[(Strategy.DIRECT_MAPPED, ratio)].l1_miss_rate
+            value = sweep.points[(strategy, ratio)].l1_miss_rate
+            improvements.append(percent_reduction(baseline, value))
+        curves[strategy] = improvements
+    return curves
+
+
+def report() -> str:
+    sweep = hierarchy_sweep.run()
+    curves = run()
+    headers = ["L2 size"] + [s.value for s in CURVES]
+    rows: List[List[object]] = []
+    for i, ratio in enumerate(sweep.ratios):
+        row: List[object] = [f"{sweep.l1_size * ratio // 1024}KB"]
+        for strategy in CURVES:
+            row.append(f"{curves[strategy][i]:.1f}%")
+        rows.append(row)
+    table = format_table(headers, rows, title=TITLE)
+    chart = ascii_chart(
+        {s.value: curves[s] for s in CURVES},
+        x_labels=[f"{sweep.l1_size * r // 1024}K" for r in sweep.ratios],
+        title="L1 miss-rate improvement (%)",
+    )
+    return f"{table}\n\n{chart}"

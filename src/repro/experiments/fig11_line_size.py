@@ -1,0 +1,70 @@
+"""Figure 11: instruction cache performance vs line size (S=32KB).
+
+Dynamic exclusion uses the Section 6 last-line buffer; the optimal
+comparison point is computed over collapsed line-reference events (see
+:class:`repro.caches.optimal.OptimalLastLineCache`).  Paper expectation:
+the percentage improvement declines as lines grow (37% at 4B down to
+25% at 64B) because longer lines create additional conflicts.
+"""
+
+from __future__ import annotations
+
+from ..analysis.plot import sweep_chart
+from ..analysis.report import format_sweep
+from ..analysis.sweep import SweepResult, run_sweep
+from ..caches.geometry import CacheGeometry
+from ..caches.stats import percent_reduction
+from .common import (
+    LINE_SIZE_SWEEP,
+    REFERENCE_SIZE,
+    all_traces,
+    direct_mapped,
+    dynamic_exclusion_long_lines,
+    max_refs,
+    optimal_long_lines,
+)
+
+TITLE = "Figure 11: instruction cache miss rate vs line size (S=32KB)"
+
+_CACHE: "dict[tuple, SweepResult]" = {}
+
+
+def run(size: int = REFERENCE_SIZE) -> SweepResult:
+    key = (size, max_refs())
+    if key not in _CACHE:
+        factories = {
+            "direct-mapped": lambda b: direct_mapped(CacheGeometry(size, int(b))),
+            "dynamic-exclusion": lambda b: dynamic_exclusion_long_lines(
+                CacheGeometry(size, int(b))
+            ),
+            "optimal": lambda b: optimal_long_lines(CacheGeometry(size, int(b))),
+        }
+        _CACHE[key] = run_sweep(
+            parameter_name="line size",
+            parameters=list(LINE_SIZE_SWEEP),
+            factories=factories,
+            traces=all_traces("instruction"),
+        )
+    return _CACHE[key]
+
+
+def improvements() -> "dict[int, float]":
+    """Line size -> percent miss-rate reduction from dynamic exclusion."""
+    result = run()
+    out = {}
+    for b in result.parameters:
+        dm = result.series["direct-mapped"].points[b]
+        de = result.series["dynamic-exclusion"].points[b]
+        out[int(b)] = percent_reduction(dm, de)
+    return out
+
+
+def report() -> str:
+    result = run()
+    table = format_sweep(
+        result, title=TITLE, value_format="{:.3%}", param_format="{}B"
+    )
+    chart = sweep_chart(result, title="miss rate (%)")
+    reductions = improvements()
+    trail = ", ".join(f"{b}B: {r:.1f}%" for b, r in reductions.items())
+    return f"{table}\n\n{chart}\n\nDE reduction by line size: {trail}"

@@ -1,0 +1,88 @@
+"""Shared two-level sweep behind Figures 7, 8, and 9.
+
+One simulation pass produces both the L1 and the L2 curves for every
+hit-last storage strategy and every L2/L1 size ratio; the three figure
+modules slice this result.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..caches.geometry import CacheGeometry
+from ..hierarchy.two_level import Strategy, TwoLevelCache
+from .common import L2_RATIO_SWEEP, REFERENCE_LINE, REFERENCE_SIZE, all_traces, max_refs
+
+#: The strategies compared by the Section 5 figures.
+STRATEGIES: List[Strategy] = [
+    Strategy.DIRECT_MAPPED,
+    Strategy.ASSUME_HIT,
+    Strategy.ASSUME_MISS,
+    Strategy.HASHED,
+    Strategy.IDEAL,
+]
+
+
+@dataclass
+class HierarchyPoint:
+    """Mean rates for one (strategy, ratio) grid cell."""
+
+    l1_miss_rate: float
+    l2_global_miss_rate: float
+    l2_local_miss_rate: float
+
+
+@dataclass
+class HierarchySweep:
+    """The whole Figures 7-9 grid."""
+
+    l1_size: int
+    line_size: int
+    ratios: List[int]
+    points: "Dict[Tuple[Strategy, int], HierarchyPoint]" = field(default_factory=dict)
+
+    def l1_curve(self, strategy: Strategy) -> List[float]:
+        return [self.points[(strategy, r)].l1_miss_rate for r in self.ratios]
+
+    def l2_curve(self, strategy: Strategy) -> List[float]:
+        return [self.points[(strategy, r)].l2_global_miss_rate for r in self.ratios]
+
+
+_CACHE: "Dict[Tuple[int, int, Tuple[int, ...], int], HierarchySweep]" = {}
+
+
+def run(
+    l1_size: int = REFERENCE_SIZE,
+    line_size: int = REFERENCE_LINE,
+    ratios: "List[int] | None" = None,
+) -> HierarchySweep:
+    """Simulate the full strategy x ratio grid (memoised per process)."""
+    ratios = list(ratios) if ratios is not None else list(L2_RATIO_SWEEP)
+    key = (l1_size, line_size, tuple(ratios), max_refs())
+    if key in _CACHE:
+        return _CACHE[key]
+
+    l1_geometry = CacheGeometry(l1_size, line_size)
+    traces = all_traces("instruction")
+    sweep = HierarchySweep(l1_size=l1_size, line_size=line_size, ratios=ratios)
+    for ratio in ratios:
+        l2_geometry = CacheGeometry(l1_size * ratio, line_size)
+        for strategy in STRATEGIES:
+            l1_rates: List[float] = []
+            l2_global: List[float] = []
+            l2_local: List[float] = []
+            for trace in traces:
+                hierarchy = TwoLevelCache(l1_geometry, l2_geometry, strategy=strategy)
+                result = hierarchy.simulate(trace)
+                l1_rates.append(result.l1_miss_rate)
+                l2_global.append(result.l2_global_miss_rate)
+                l2_local.append(result.l2_local_miss_rate)
+            sweep.points[(strategy, ratio)] = HierarchyPoint(
+                l1_miss_rate=statistics.mean(l1_rates),
+                l2_global_miss_rate=statistics.mean(l2_global),
+                l2_local_miss_rate=statistics.mean(l2_local),
+            )
+    _CACHE[key] = sweep
+    return sweep

@@ -1,0 +1,5 @@
+"""Two-level cache hierarchies (paper Section 5)."""
+
+from .two_level import Strategy, TwoLevelCache, TwoLevelResult
+
+__all__ = ["Strategy", "TwoLevelCache", "TwoLevelResult"]

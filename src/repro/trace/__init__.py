@@ -1,0 +1,53 @@
+"""Address-trace substrate: containers, I/O, transforms, statistics."""
+
+from .reference import INSTRUCTION_SIZE, Reference, RefKind
+from .trace import Trace, TraceBuilder
+from .io import dumps_din, load_din, loads_din, save_din
+from .transforms import (
+    collapse_sequential_lines,
+    concatenate,
+    filter_kinds,
+    interleave,
+    line_addresses,
+    only_data,
+    only_instructions,
+    rebase,
+    timeshare,
+    truncate,
+)
+from .stats import (
+    TraceSummary,
+    lru_miss_rate_from_distances,
+    reuse_distance_histogram,
+    reuse_distances,
+    summarize,
+    working_set_sizes,
+)
+
+__all__ = [
+    "INSTRUCTION_SIZE",
+    "Reference",
+    "RefKind",
+    "Trace",
+    "TraceBuilder",
+    "TraceSummary",
+    "collapse_sequential_lines",
+    "concatenate",
+    "dumps_din",
+    "filter_kinds",
+    "interleave",
+    "line_addresses",
+    "load_din",
+    "loads_din",
+    "lru_miss_rate_from_distances",
+    "only_data",
+    "only_instructions",
+    "rebase",
+    "reuse_distance_histogram",
+    "reuse_distances",
+    "save_din",
+    "summarize",
+    "timeshare",
+    "truncate",
+    "working_set_sizes",
+]

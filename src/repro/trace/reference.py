@@ -1,0 +1,63 @@
+"""Memory-reference primitives shared by every simulator in the package.
+
+A trace is a sequence of :class:`Reference` objects: an address plus a
+:class:`RefKind` saying whether the reference is an instruction fetch, a
+data load, or a data store.  Addresses are plain byte addresses stored as
+Python integers (numpy ``uint64`` inside :class:`~repro.trace.trace.Trace`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class RefKind(enum.IntEnum):
+    """Kind of a memory reference.
+
+    The integer values are stable and are what
+    :class:`~repro.trace.trace.Trace` stores in its ``kinds`` array, so
+    they must never be renumbered.
+    """
+
+    IFETCH = 0
+    LOAD = 1
+    STORE = 2
+
+    @property
+    def is_instruction(self) -> bool:
+        """True for instruction fetches."""
+        return self is RefKind.IFETCH
+
+    @property
+    def is_data(self) -> bool:
+        """True for loads and stores."""
+        return self is not RefKind.IFETCH
+
+    @property
+    def is_write(self) -> bool:
+        """True for stores."""
+        return self is RefKind.STORE
+
+
+class Reference(NamedTuple):
+    """A single memory reference: a byte address and its kind."""
+
+    addr: int
+    kind: RefKind
+
+    def line(self, line_size: int) -> int:
+        """Return the line-aligned address for the given line size.
+
+        ``line_size`` must be a power of two.
+        """
+        return self.addr & ~(line_size - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Reference(0x{self.addr:x}, {self.kind.name})"
+
+
+#: Default instruction width, in bytes, used by the synthetic workload
+#: generators.  The paper's traces come from a MIPS-like DECstation, so
+#: every instruction is four bytes.
+INSTRUCTION_SIZE = 4

@@ -1,0 +1,150 @@
+"""Trace-level statistics: footprints, working sets, reuse distances.
+
+These are used to characterise the synthetic workloads (so we can check
+they resemble the paper's description of each SPEC benchmark) and in
+tests as independent cross-checks on the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .reference import RefKind
+from .trace import Trace
+from .transforms import line_addresses
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline numbers for a trace."""
+
+    name: str
+    length: int
+    instruction_refs: int
+    load_refs: int
+    store_refs: int
+    footprint_bytes: int
+    instruction_footprint_bytes: int
+    data_footprint_bytes: int
+
+    @property
+    def data_refs(self) -> int:
+        return self.load_refs + self.store_refs
+
+
+def summarize(trace: Trace, granule: int = 4) -> TraceSummary:
+    """Compute a :class:`TraceSummary`.
+
+    ``granule`` is the number of bytes each distinct address is assumed
+    to cover when converting a count of unique addresses to a footprint
+    in bytes (4 for word-granular traces).
+    """
+    counts = trace.counts_by_kind()
+    is_ifetch = trace.kinds == int(RefKind.IFETCH)
+    unique_total = int(np.unique(trace.addrs).shape[0])
+    unique_instr = int(np.unique(trace.addrs[is_ifetch]).shape[0])
+    unique_data = int(np.unique(trace.addrs[~is_ifetch]).shape[0])
+    return TraceSummary(
+        name=trace.name,
+        length=len(trace),
+        instruction_refs=counts[RefKind.IFETCH],
+        load_refs=counts[RefKind.LOAD],
+        store_refs=counts[RefKind.STORE],
+        footprint_bytes=unique_total * granule,
+        instruction_footprint_bytes=unique_instr * granule,
+        data_footprint_bytes=unique_data * granule,
+    )
+
+
+def working_set_sizes(trace: Trace, window: int, line_size: int = 4) -> List[int]:
+    """Denning working-set sizes: distinct lines per non-overlapping window."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    lines = line_addresses(trace, line_size)
+    sizes = []
+    for start in range(0, len(trace), window):
+        chunk = lines[start : start + window]
+        sizes.append(int(np.unique(chunk).shape[0]))
+    return sizes
+
+
+class _FenwickTree:
+    """Binary indexed tree over reference positions, used for counting
+    distinct lines between successive uses (LRU stack distance)."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+        self._size = size
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        while i <= self._size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of elements 0..index inclusive."""
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+
+def reuse_distances(trace: Trace, line_size: int = 4) -> np.ndarray:
+    """Per-reference LRU stack distances at line granularity.
+
+    Distance is the number of *distinct* lines referenced since the
+    previous use of the same line; first-use references get distance -1.
+    Runs in O(n log n) via a Fenwick tree.
+    """
+    lines = line_addresses(trace, line_size).tolist()
+    n = len(lines)
+    distances = np.empty(n, dtype=np.int64)
+    tree = _FenwickTree(n)
+    last_pos: Dict[int, int] = {}
+    for i, line in enumerate(lines):
+        prev = last_pos.get(line)
+        if prev is None:
+            distances[i] = -1
+        else:
+            # distinct lines whose most recent use is strictly between
+            # prev and i
+            distances[i] = tree.prefix_sum(i - 1) - tree.prefix_sum(prev)
+            tree.add(prev, -1)
+        tree.add(i, 1)
+        last_pos[line] = i
+    return distances
+
+
+def reuse_distance_histogram(
+    trace: Trace, line_size: int = 4, max_distance: Optional[int] = None
+) -> Dict[int, int]:
+    """Histogram of reuse distances (cold misses keyed as -1).
+
+    Distances above ``max_distance`` (if given) are clamped into the
+    ``max_distance`` bucket.
+    """
+    distances = reuse_distances(trace, line_size)
+    if max_distance is not None:
+        distances = np.where(
+            (distances >= 0) & (distances > max_distance), max_distance, distances
+        )
+    values, counts = np.unique(distances, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def lru_miss_rate_from_distances(
+    trace: Trace, capacity_lines: int, line_size: int = 4
+) -> float:
+    """Miss rate of a fully-associative LRU cache, computed analytically
+    from reuse distances (a cross-check for the cache simulators)."""
+    if len(trace) == 0:
+        return 0.0
+    distances = reuse_distances(trace, line_size)
+    misses = int(((distances < 0) | (distances >= capacity_lines)).sum())
+    return misses / len(trace)

@@ -1,0 +1,193 @@
+"""The :class:`Trace` container: a compact, immutable address trace.
+
+Traces are stored as parallel numpy arrays (``uint64`` addresses and
+``uint8`` kinds).  They behave like read-only sequences of
+:class:`~repro.trace.reference.Reference` and support slicing,
+concatenation, and cheap per-kind selection.
+
+Use :class:`TraceBuilder` to construct a trace incrementally; it buffers
+into Python lists and freezes into numpy arrays at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .reference import Reference, RefKind
+
+
+class Trace:
+    """An immutable sequence of memory references.
+
+    Parameters
+    ----------
+    addrs:
+        Byte addresses, any integer sequence; stored as ``uint64``.
+    kinds:
+        :class:`RefKind` values (or raw ints), same length as ``addrs``.
+    name:
+        Optional label used in reports ("gcc", "loop-conflict", ...).
+    """
+
+    __slots__ = ("_addrs", "_kinds", "name")
+
+    def __init__(
+        self,
+        addrs: Union[Sequence[int], np.ndarray],
+        kinds: Union[Sequence[int], np.ndarray],
+        name: str = "",
+    ) -> None:
+        addr_array = np.asarray(addrs, dtype=np.uint64)
+        kind_array = np.asarray(kinds, dtype=np.uint8)
+        if addr_array.shape != kind_array.shape:
+            raise ValueError(
+                f"addrs and kinds must have the same length, got "
+                f"{addr_array.shape[0]} and {kind_array.shape[0]}"
+            )
+        if addr_array.ndim != 1:
+            raise ValueError("a trace is one-dimensional")
+        invalid = kind_array > max(RefKind)
+        if invalid.any():
+            bad = int(kind_array[invalid][0])
+            raise ValueError(f"invalid reference kind {bad}")
+        addr_array.setflags(write=False)
+        kind_array.setflags(write=False)
+        self._addrs = addr_array
+        self._kinds = kind_array
+        self.name = name
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_references(cls, refs: Iterable[Reference], name: str = "") -> "Trace":
+        """Build a trace from an iterable of :class:`Reference`."""
+        addrs: List[int] = []
+        kinds: List[int] = []
+        for ref in refs:
+            addrs.append(ref.addr)
+            kinds.append(int(ref.kind))
+        return cls(addrs, kinds, name=name)
+
+    @classmethod
+    def empty(cls, name: str = "") -> "Trace":
+        """An empty trace."""
+        return cls([], [], name=name)
+
+    # -- array views -----------------------------------------------------
+
+    @property
+    def addrs(self) -> np.ndarray:
+        """Read-only ``uint64`` address array."""
+        return self._addrs
+
+    @property
+    def kinds(self) -> np.ndarray:
+        """Read-only ``uint8`` kind array."""
+        return self._kinds
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._addrs.shape[0])
+
+    def __iter__(self) -> Iterator[Reference]:
+        for addr, kind in zip(self._addrs.tolist(), self._kinds.tolist()):
+            yield Reference(addr, RefKind(kind))
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Reference, "Trace"]:
+        if isinstance(index, slice):
+            return Trace(self._addrs[index], self._kinds[index], name=self.name)
+        i = int(index)
+        return Reference(int(self._addrs[i]), RefKind(int(self._kinds[i])))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._addrs, other._addrs)
+            and np.array_equal(self._kinds, other._kinds)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._addrs.tobytes(), self._kinds.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" name={self.name!r}" if self.name else ""
+        return f"<Trace len={len(self)}{label}>"
+
+    # -- convenience -------------------------------------------------------
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(addr, kind)`` as plain ints.
+
+        This is the hot path used by the simulators; it avoids building a
+        :class:`Reference` per element.
+        """
+        return zip(self._addrs.tolist(), self._kinds.tolist())
+
+    def counts_by_kind(self) -> "dict[RefKind, int]":
+        """Number of references of each kind."""
+        counts = np.bincount(self._kinds, minlength=max(RefKind) + 1)
+        return {kind: int(counts[kind]) for kind in RefKind}
+
+    def footprint(self) -> int:
+        """Number of distinct byte addresses touched."""
+        return int(np.unique(self._addrs).shape[0])
+
+    def line_footprint(self, line_size: int) -> int:
+        """Number of distinct cache lines touched for ``line_size`` bytes."""
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        return int(np.unique(self._addrs >> np.uint64(line_size.bit_length() - 1)).shape[0])
+
+    def with_name(self, name: str) -> "Trace":
+        """Return a copy of this trace with a different label."""
+        return Trace(self._addrs, self._kinds, name=name)
+
+
+class TraceBuilder:
+    """Incremental builder for :class:`Trace`.
+
+    >>> builder = TraceBuilder()
+    >>> builder.ifetch(0x1000)
+    >>> builder.load(0x2000)
+    >>> trace = builder.build("example")
+    """
+
+    def __init__(self) -> None:
+        self._addrs: List[int] = []
+        self._kinds: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+    def append(self, addr: int, kind: RefKind) -> None:
+        """Append one reference."""
+        self._addrs.append(addr)
+        self._kinds.append(int(kind))
+
+    def ifetch(self, addr: int) -> None:
+        """Append an instruction fetch."""
+        self._addrs.append(addr)
+        self._kinds.append(int(RefKind.IFETCH))
+
+    def load(self, addr: int) -> None:
+        """Append a data load."""
+        self._addrs.append(addr)
+        self._kinds.append(int(RefKind.LOAD))
+
+    def store(self, addr: int) -> None:
+        """Append a data store."""
+        self._addrs.append(addr)
+        self._kinds.append(int(RefKind.STORE))
+
+    def extend(self, refs: Iterable[Reference]) -> None:
+        """Append every reference from an iterable."""
+        for ref in refs:
+            self.append(ref.addr, ref.kind)
+
+    def build(self, name: str = "") -> Trace:
+        """Freeze the buffered references into an immutable :class:`Trace`."""
+        return Trace(self._addrs, self._kinds, name=name)

@@ -1,0 +1,138 @@
+"""Pure functions that derive new traces from existing ones.
+
+All transforms return new :class:`~repro.trace.trace.Trace` objects; the
+inputs are never mutated (traces are immutable anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .reference import RefKind
+from .trace import Trace
+
+
+def filter_kinds(trace: Trace, kinds: Iterable[RefKind]) -> Trace:
+    """Keep only references whose kind is in ``kinds``."""
+    wanted = np.zeros(max(RefKind) + 1, dtype=bool)
+    for kind in kinds:
+        wanted[int(kind)] = True
+    mask = wanted[trace.kinds]
+    return Trace(trace.addrs[mask], trace.kinds[mask], name=trace.name)
+
+
+def only_instructions(trace: Trace) -> Trace:
+    """The instruction-fetch sub-trace."""
+    return filter_kinds(trace, [RefKind.IFETCH])
+
+
+def only_data(trace: Trace) -> Trace:
+    """The load/store sub-trace."""
+    return filter_kinds(trace, [RefKind.LOAD, RefKind.STORE])
+
+
+def truncate(trace: Trace, max_refs: int) -> Trace:
+    """The first ``max_refs`` references (the paper uses the first 10 M)."""
+    if max_refs < 0:
+        raise ValueError("max_refs must be non-negative")
+    return trace[:max_refs]
+
+
+def concatenate(traces: Sequence[Trace], name: str = "") -> Trace:
+    """Join traces end to end."""
+    if not traces:
+        return Trace.empty(name=name)
+    addrs = np.concatenate([t.addrs for t in traces])
+    kinds = np.concatenate([t.kinds for t in traces])
+    return Trace(addrs, kinds, name=name or traces[0].name)
+
+
+def rebase(trace: Trace, offset: int) -> Trace:
+    """Shift every address by ``offset`` bytes (may be negative).
+
+    Raises :class:`ValueError` if any address would become negative.
+    """
+    addrs = trace.addrs.astype(np.int64) + offset
+    if (addrs < 0).any():
+        raise ValueError("rebase would produce a negative address")
+    return Trace(addrs.astype(np.uint64), trace.kinds, name=trace.name)
+
+
+def line_addresses(trace: Trace, line_size: int) -> np.ndarray:
+    """Per-reference line addresses (``addr // line_size``) as ``uint64``.
+
+    ``line_size`` must be a power of two.
+    """
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise ValueError("line_size must be a positive power of two")
+    shift = np.uint64(line_size.bit_length() - 1)
+    return trace.addrs >> shift
+
+
+def collapse_sequential_lines(trace: Trace, line_size: int) -> Trace:
+    """Merge runs of references to the same line into one reference.
+
+    This models the paper's Section 6 observation that sequential
+    references within one cache line should be treated as a single
+    line-reference event.  Kinds are taken from the first reference of
+    each run.
+    """
+    if len(trace) == 0:
+        return trace
+    lines = line_addresses(trace, line_size)
+    boundary = np.empty(len(trace), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = lines[1:] != lines[:-1]
+    shift = np.uint64(line_size.bit_length() - 1)
+    addrs = (lines[boundary] << shift).astype(np.uint64)
+    return Trace(addrs, trace.kinds[boundary], name=trace.name)
+
+
+def timeshare(traces: Sequence[Trace], quantum: int, name: str = "") -> Trace:
+    """Interleave traces in ``quantum``-reference time slices.
+
+    Models multiprogramming: the processor runs each program for a
+    quantum, then switches.  Exhausted traces drop out; the result ends
+    when every input is consumed.  Used by the context-switch study to
+    measure how cache state (including dynamic-exclusion state) survives
+    sharing.
+    """
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    positions = [0] * len(traces)
+    addrs = []
+    kinds = []
+    remaining = sum(len(t) for t in traces)
+    while remaining > 0:
+        for i, trace in enumerate(traces):
+            start = positions[i]
+            if start >= len(trace):
+                continue
+            end = min(start + quantum, len(trace))
+            addrs.extend(trace.addrs[start:end].tolist())
+            kinds.extend(trace.kinds[start:end].tolist())
+            remaining -= end - start
+            positions[i] = end
+    return Trace(addrs, kinds, name=name)
+
+
+def interleave(traces: Sequence[Trace], name: str = "") -> Trace:
+    """Round-robin interleave several traces (models timesharing)."""
+    iterators = [iter(t.pairs()) for t in traces]
+    addrs = []
+    kinds = []
+    live = list(iterators)
+    while live:
+        still_live = []
+        for it in live:
+            try:
+                addr, kind = next(it)
+            except StopIteration:
+                continue
+            addrs.append(addr)
+            kinds.append(kind)
+            still_live.append(it)
+        live = still_live
+    return Trace(addrs, kinds, name=name)

@@ -1,0 +1,128 @@
+"""The paper's Section 3 conflict microkernels.
+
+Each function returns an instruction trace over addresses that collide
+in a given direct-mapped geometry, reproducing the three common
+reference patterns (plus the pathological three-way conflict of
+Section 5) with exactly the paper's notation:
+
+* ``between_loops``  — ``(a^inner b^inner)^outer``
+* ``loop_level``     — ``(a^inner b)^outer``
+* ``within_loop``    — ``(a b)^trips``
+* ``three_way``      — ``(a b c)^trips``
+
+The module also provides the paper's analytic miss counts for the
+conventional and optimal direct-mapped caches, which the test suite
+checks against the simulators, miss for miss.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..caches.geometry import CacheGeometry
+from ..trace.reference import RefKind
+from ..trace.trace import Trace
+
+
+def conflicting_addresses(geometry: CacheGeometry, count: int, set_index: int = 0) -> List[int]:
+    """``count`` byte addresses that all map to ``set_index``.
+
+    Successive addresses are one cache-size apart, so they share a set in
+    ``geometry`` *and* in every smaller direct-mapped cache with the same
+    line size.
+    """
+    if geometry.associativity != 1:
+        raise ValueError("conflict patterns are defined for direct-mapped caches")
+    if not 0 <= set_index < geometry.num_sets:
+        raise ValueError("set_index out of range")
+    base = set_index * geometry.line_size
+    return [base + i * geometry.size for i in range(count)]
+
+
+def _instruction_trace(addrs: List[int], name: str) -> Trace:
+    return Trace(addrs, [int(RefKind.IFETCH)] * len(addrs), name=name)
+
+
+def between_loops(geometry: CacheGeometry, inner: int = 10, outer: int = 10) -> Trace:
+    """Two sibling loops whose bodies conflict: ``(a^inner b^inner)^outer``."""
+    a, b = conflicting_addresses(geometry, 2)
+    addrs: List[int] = []
+    for _ in range(outer):
+        addrs.extend([a] * inner)
+        addrs.extend([b] * inner)
+    return _instruction_trace(addrs, "between-loops")
+
+
+def loop_level(geometry: CacheGeometry, inner: int = 10, outer: int = 10) -> Trace:
+    """An inner-loop instruction vs one outside it: ``(a^inner b)^outer``."""
+    a, b = conflicting_addresses(geometry, 2)
+    addrs: List[int] = []
+    for _ in range(outer):
+        addrs.extend([a] * inner)
+        addrs.append(b)
+    return _instruction_trace(addrs, "loop-level")
+
+
+def within_loop(geometry: CacheGeometry, trips: int = 10) -> Trace:
+    """Two instructions inside one loop: ``(a b)^trips``."""
+    a, b = conflicting_addresses(geometry, 2)
+    addrs: List[int] = []
+    for _ in range(trips):
+        addrs.append(a)
+        addrs.append(b)
+    return _instruction_trace(addrs, "within-loop")
+
+
+def three_way(geometry: CacheGeometry, trips: int = 10) -> Trace:
+    """Three instructions in one loop: ``(a b c)^trips`` (Section 5's
+    pattern that defeats the single-sticky-bit FSM)."""
+    a, b, c = conflicting_addresses(geometry, 3)
+    addrs: List[int] = []
+    for _ in range(trips):
+        addrs.extend([a, b, c])
+    return _instruction_trace(addrs, "three-way")
+
+
+# -- the paper's analytic miss counts ----------------------------------------
+
+
+def between_loops_misses_dm(inner: int = 10, outer: int = 10) -> int:
+    """Conventional DM: one miss per loop phase — ``(a_m a_h^9 b_m b_h^9)^10``."""
+    return 2 * outer
+
+
+def between_loops_misses_optimal(inner: int = 10, outer: int = 10) -> int:
+    """Optimal DM is identical here (the paper's 10%)."""
+    return 2 * outer
+
+
+def loop_level_misses_dm(inner: int = 10, outer: int = 10) -> int:
+    """Conventional DM: ``(a_m a_h^{inner-1} b_m)^outer`` — each b knocks
+    a out, so a misses once per outer trip too (the paper's 18%)."""
+    return 2 * outer
+
+
+def loop_level_misses_optimal(inner: int = 10, outer: int = 10) -> int:
+    """Optimal DM: ``a_m a_h^{inner-1} b_m (a_h^{inner} b_m)^{outer-1}``
+    — a misses once ever (the paper's 10%)."""
+    return outer + 1
+
+
+def within_loop_misses_dm(trips: int = 10) -> int:
+    """Conventional DM: everything misses (the paper's 100%)."""
+    return 2 * trips
+
+
+def within_loop_misses_optimal(trips: int = 10) -> int:
+    """Optimal DM: ``a_m b_m (a_h b_m)^{trips-1}`` (the paper's 55%)."""
+    return trips + 1
+
+
+def three_way_misses_dm(trips: int = 10) -> int:
+    """Both conventional DM and single-sticky DE miss on all references."""
+    return 3 * trips
+
+
+def three_way_misses_optimal(trips: int = 10) -> int:
+    """Optimal DM locks one instruction in: ``a_m b_m c_m (a_h b_m c_m)^{trips-1}``."""
+    return 2 * trips + 1

@@ -1,0 +1,506 @@
+"""SPEC'89-like synthetic benchmarks (paper Figure 2).
+
+The paper traces ten SPEC benchmarks with ``pixie``.  We cannot ship
+those traces, so each benchmark is modelled as a seeded synthetic
+program whose *structure* — code footprint, loop nesting, call density,
+basic-block length, and data-reference mix — follows the published
+character of the original:
+
+===========  ============================================  ==============
+benchmark    paper description                             modelled as
+===========  ============================================  ==============
+doduc        Monte Carlo simulation                        mid-size numeric phases, deep loops, strided + scalar data
+eqntott      equation to truth table conversion            small hot loops with long trip counts, bit-vector streams
+espresso     boolean function minimisation                 mid-size symbolic phases, nested loops, reused heap region
+fpppp        quantum chemistry                             few procedures with very long basic blocks
+gcc          GNU C compiler                                many large code phases, short trip counts, stack traffic
+li           lisp interpreter                              dispatch switch over many small handlers, recursion, pointer chase
+matrix300    matrix multiplication                         tiny triple loop, large streaming arrays
+nasa7        NASA Ames FORTRAN kernels                     seven small kernels run in sequence
+spice        circuit simulation                            large numeric phases, moderate loops
+tomcatv      vectorised mesh generation                    tiny loops, several large streaming arrays
+===========  ============================================  ==============
+
+**How the conflict patterns arise.**  Each benchmark lays out a large
+pool of leaf procedures (its total code range, mostly cold at any one
+time — like a real binary) and runs a sequence of *phases*.  A phase is
+a loop whose body calls a fixed, randomly chosen, sparse subset of the
+pool plus a few shared *utility* procedures.  Three kinds of conflict
+follow, matching the paper's Section 3 taxonomy:
+
+* two leaves of one phase whose words happen to share a cache set
+  alternate once per loop iteration — the *conflict within loops*
+  pattern that dynamic exclusion halves;
+* leaf-internal loops (and hot utilities) conflicting with
+  once-per-iteration straight-line code give the *loop level* pattern
+  that dynamic exclusion nearly eliminates;
+* consecutive phases reusing the same cache sets give the *between
+  loops* pattern, for which a direct-mapped cache is already optimal.
+
+Because the subsets are sparse, most conflicts involve exactly two hot
+words — the regime where the single-sticky-bit FSM wins; at small cache
+sizes the same programs develop three-way conflicts and the improvement
+shrinks, exactly as the paper's Figure 5 describes.  Code ranges differ
+per benchmark (gcc largest, the little numeric kernels smallest), which
+produces the paper's Figure 3 split: large improvements for the big
+codes, essentially nothing for matrix300/nasa7/tomcatv.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .data_model import (
+    DataPattern,
+    PointerChase,
+    RandomAccess,
+    ScalarAccess,
+    StackAccess,
+    StridedAccess,
+)
+from .program import Block, Call, Loop, Node, Procedure, Program, Seq, TripSpec
+
+#: Where synthetic data regions start (well away from code).
+DATA_BASE = 0x1000_0000
+
+#: Where synthetic stacks start.
+STACK_BASE = 0x7FFF_0000
+
+
+class _Allocator:
+    """Hands out disjoint data regions for one program."""
+
+    def __init__(self, base: int = DATA_BASE, align: int = 64) -> None:
+        self._next = base
+        self._align = align
+
+    def alloc(self, size: int) -> int:
+        base = self._next
+        step = (size + self._align - 1) // self._align * self._align
+        self._next += step
+        return base
+
+
+#: A data profile decides the data patterns of one leaf procedure.
+DataProfile = Callable[[random.Random, _Allocator, int], List[DataPattern]]
+
+
+def _no_data(rng: random.Random, alloc: _Allocator, index: int) -> List[DataPattern]:
+    return []
+
+
+def _phased_benchmark(
+    name: str,
+    seed: int,
+    n_leaves: int,
+    leaf_words: "tuple[int, int]",
+    n_phases: int,
+    leaves_per_iteration: int,
+    phase_trips: TripSpec,
+    data_profile: DataProfile = _no_data,
+    leaf_loop_fraction: float = 0.3,
+    leaf_loop_trips: TripSpec = (4, 12),
+    n_utilities: int = 5,
+    utility_words: "tuple[int, int]" = (10, 36),
+    utilities_per_iteration: int = 2,
+    utility_loop_fraction: float = 0.5,
+    utility_loop_trips: TripSpec = (3, 8),
+    driver_words: "tuple[int, int]" = (8, 24),
+    stack: Optional[StackAccess] = None,
+    proc_gap: int = 16,
+) -> Program:
+    """The common benchmark skeleton (see the module docstring).
+
+    ``n_leaves`` procedures are laid out contiguously (the code range);
+    each of the ``n_phases`` drivers loops ``phase_trips`` times over a
+    fixed random subset of ``leaves_per_iteration`` of them plus
+    ``utilities_per_iteration`` shared utilities.
+    """
+    rng = random.Random(seed)
+    alloc = _Allocator()
+    procedures: List[Procedure] = []
+
+    utility_names: List[str] = []
+    for u in range(n_utilities):
+        words = rng.randint(*utility_words)
+        if rng.random() < utility_loop_fraction:
+            nodes: Sequence[Node] = [
+                Block(max(2, words // 3)),
+                Loop(Block(max(2, words // 2)), utility_loop_trips),
+                Block(max(1, words // 6)),
+            ]
+        else:
+            nodes = [Block(words)]
+        utility_name = f"{name}_util{u}"
+        utility_names.append(utility_name)
+        procedures.append(Procedure(utility_name, nodes))
+
+    leaf_names: List[str] = []
+    for i in range(n_leaves):
+        words = rng.randint(*leaf_words)
+        data = data_profile(rng, alloc, i)
+        if leaf_loop_fraction and rng.random() < leaf_loop_fraction:
+            nodes = [
+                Block(max(2, words // 4)),
+                Loop(Block(max(2, words // 2), data=data), leaf_loop_trips),
+                Block(max(1, words // 4)),
+            ]
+        else:
+            nodes = [Block(words, data=data)]
+        leaf_name = f"{name}_leaf{i}"
+        leaf_names.append(leaf_name)
+        procedures.append(Procedure(leaf_name, nodes))
+
+    phase_names: List[str] = []
+    for p in range(n_phases):
+        callees = rng.sample(leaf_names, min(leaves_per_iteration, n_leaves))
+        utilities = rng.sample(
+            utility_names, min(utilities_per_iteration, len(utility_names))
+        )
+        body: List[Node] = [Block(rng.randint(*driver_words))]
+        # Interleave the utility calls among the leaf calls so utility
+        # words sit between different leaves in the reference stream.
+        step = max(1, len(callees) // (len(utilities) + 1))
+        for i, callee in enumerate(callees):
+            body.append(Call(callee))
+            slot = (i + 1) // step - 1
+            if (i + 1) % step == 0 and 0 <= slot < len(utilities):
+                body.append(Call(utilities[slot]))
+        phase_name = f"{name}_phase{p}"
+        phase_names.append(phase_name)
+        procedures.append(Procedure(phase_name, [Loop(body, phase_trips)]))
+
+    main = Procedure("main", [Call(p) for p in phase_names])
+    procedures.append(main)
+    return Program(
+        procedures,
+        entry="main",
+        proc_gap=proc_gap,
+        stack=stack,
+        seed=seed,
+    )
+
+
+# -- the ten benchmarks ------------------------------------------------------
+
+
+def doduc() -> Program:
+    """Monte Carlo simulation: numeric, mid-size phases, deep loops."""
+
+    streams: List[StridedAccess] = []
+
+    def profile(rng: random.Random, alloc: _Allocator, index: int) -> List[DataPattern]:
+        # Per-leaf: a tiny local array (wraps within a few visits, so it
+        # is reused heavily) and a loop-carried scalar.  Every third
+        # leaf also walks one of three shared streaming arrays.
+        if len(streams) < 3:
+            streams.append(
+                StridedAccess(alloc.alloc(24 * 1024), 24 * 1024, stride=8, refs_per_visit=2)
+            )
+        patterns: List[DataPattern] = [
+            StridedAccess(alloc.alloc(256), 256, stride=4, refs_per_visit=3),
+            ScalarAccess(alloc.alloc(8), write_every=4),
+        ]
+        if index % 3 == 0:
+            patterns.append(streams[index % len(streams)])
+        return patterns
+
+    return _phased_benchmark(
+        "doduc",
+        seed=0xD0D,
+        n_leaves=420,
+        leaf_words=(16, 72),
+        n_phases=7,
+        leaves_per_iteration=26,
+        phase_trips=(12, 35),
+        data_profile=profile,
+        leaf_loop_fraction=0.5,
+        leaf_loop_trips=(3, 8),
+    )
+
+
+def eqntott() -> Program:
+    """Truth-table conversion: few hot loops, long trips, bit vectors."""
+
+    vectors: List[StridedAccess] = []
+
+    def profile(rng: random.Random, alloc: _Allocator, index: int) -> List[DataPattern]:
+        if len(vectors) < 2:
+            vectors.append(
+                StridedAccess(alloc.alloc(32 * 1024), 32 * 1024, stride=4, refs_per_visit=3)
+            )
+        return [
+            vectors[index % len(vectors)],
+            StridedAccess(alloc.alloc(512), 512, stride=4, refs_per_visit=2),
+            ScalarAccess(alloc.alloc(8)),
+        ]
+
+    return _phased_benchmark(
+        "eqntott",
+        seed=0xE47,
+        n_leaves=80,
+        leaf_words=(32, 120),
+        n_phases=5,
+        leaves_per_iteration=4,
+        phase_trips=(30, 80),
+        data_profile=profile,
+        leaf_loop_fraction=0.5,
+        leaf_loop_trips=(4, 12),
+        n_utilities=4,
+    )
+
+
+def espresso() -> Program:
+    """Boolean minimisation: symbolic, nested loops, reused heap."""
+    shared_regions: List[int] = []
+
+    def profile(rng: random.Random, alloc: _Allocator, index: int) -> List[DataPattern]:
+        # Many leaves share a few heap regions, giving high data reuse.
+        if index % 8 == 0 or not shared_regions:
+            shared_regions.append(alloc.alloc(16 * 1024))
+        return [
+            RandomAccess(shared_regions[-1], 16 * 1024, refs_per_visit=2,
+                         write_fraction=0.2, seed=index),
+            StridedAccess(alloc.alloc(512), 512, stride=4, refs_per_visit=2),
+            ScalarAccess(alloc.alloc(8), write_every=6),
+        ]
+
+    return _phased_benchmark(
+        "espresso",
+        seed=0xE59,
+        n_leaves=280,
+        leaf_words=(16, 72),
+        n_phases=8,
+        leaves_per_iteration=20,
+        phase_trips=(15, 40),
+        data_profile=profile,
+        leaf_loop_fraction=0.45,
+        leaf_loop_trips=(2, 8),
+    )
+
+
+def fpppp() -> Program:
+    """Quantum chemistry: a handful of enormous basic blocks."""
+
+    integrals: List[StridedAccess] = []
+
+    def profile(rng: random.Random, alloc: _Allocator, index: int) -> List[DataPattern]:
+        if not integrals:
+            integrals.append(
+                StridedAccess(alloc.alloc(24 * 1024), 24 * 1024, stride=8, refs_per_visit=4)
+            )
+        return [
+            StridedAccess(alloc.alloc(1024), 1024, stride=8, refs_per_visit=8),
+            integrals[0],
+            ScalarAccess(alloc.alloc(8), write_every=3),
+        ]
+
+    return _phased_benchmark(
+        "fpppp",
+        seed=0xF99,
+        n_leaves=80,
+        leaf_words=(160, 420),
+        n_phases=5,
+        leaves_per_iteration=6,
+        phase_trips=(10, 25),
+        data_profile=profile,
+        leaf_loop_fraction=0.15,
+        driver_words=(16, 40),
+    )
+
+
+def gcc() -> Program:
+    """C compiler: very large phases, short trips, stack traffic."""
+    stack = StackAccess(STACK_BASE, frame_size=48, refs_per_visit=3, seed=0x6CC)
+
+    tables: List[RandomAccess] = []
+
+    def profile(rng: random.Random, alloc: _Allocator, index: int) -> List[DataPattern]:
+        if len(tables) < 3:
+            tables.append(
+                RandomAccess(alloc.alloc(24 * 1024), 24 * 1024, refs_per_visit=2,
+                             write_fraction=0.3, seed=index)
+            )
+        patterns: List[DataPattern] = [stack, ScalarAccess(alloc.alloc(16))]
+        if index % 4 == 0:
+            patterns.append(tables[index % len(tables)])
+        return patterns
+
+    return _phased_benchmark(
+        "gcc",
+        seed=0x6CC,
+        n_leaves=900,
+        leaf_words=(16, 100),
+        n_phases=8,
+        leaves_per_iteration=30,
+        phase_trips=(12, 30),
+        data_profile=profile,
+        leaf_loop_fraction=0.3,
+        leaf_loop_trips=(2, 5),
+        n_utilities=8,
+        utilities_per_iteration=3,
+        stack=stack,
+    )
+
+
+def li() -> Program:
+    """Lisp interpreter: handler pool, repeated expressions, pointer chasing.
+
+    Each phase models one expression being evaluated over and over by
+    the interpreter's driver loop: a fixed sequence of handler
+    procedures, so the same handlers alternate for many iterations —
+    the interpreter analogue of the within-loop conflict pattern.
+    """
+    seed = 0x115
+    stack = StackAccess(STACK_BASE, frame_size=32, refs_per_visit=2, seed=seed)
+    heap_holder: List[PointerChase] = []
+
+    def profile(rng: random.Random, alloc: _Allocator, index: int) -> List[DataPattern]:
+        if not heap_holder:
+            heap_holder.append(
+                PointerChase(alloc.alloc(96 * 1024), num_nodes=6 * 1024,
+                             node_size=16, hops_per_visit=2, seed=seed)
+            )
+        patterns: List[DataPattern] = [stack, ScalarAccess(alloc.alloc(8))]
+        if index % 2 == 0:
+            patterns.append(heap_holder[0])
+        return patterns
+
+    return _phased_benchmark(
+        "li",
+        seed=seed,
+        n_leaves=300,
+        leaf_words=(12, 64),
+        n_phases=8,
+        leaves_per_iteration=36,
+        phase_trips=(12, 35),
+        data_profile=profile,
+        leaf_loop_fraction=0.15,
+        leaf_loop_trips=(2, 5),
+        n_utilities=6,
+        utilities_per_iteration=4,
+        utility_loop_fraction=0.3,
+        stack=stack,
+    )
+
+
+def matrix300() -> Program:
+    """300x300 matrix multiply: three tiny loops, huge streaming arrays."""
+    alloc = _Allocator()
+    # One row of A is reused across the whole inner loop; B is walked
+    # column-wise over the full matrix (the classic unblocked matmul).
+    a = StridedAccess(alloc.alloc(2400), 2400, stride=8, refs_per_visit=2)
+    b = StridedAccess(alloc.alloc(720 * 1024), 720 * 1024, stride=8, refs_per_visit=2)
+    c = ScalarAccess(alloc.alloc(8), write_every=2)
+    inner = Block(14, data=[a, b, c])
+    mid = Loop([Block(6), inner], trips=(24, 24))
+    outer = Loop([Block(8), mid], trips=(24, 24))
+    main = Procedure("main", [Block(40), Loop([outer], trips=(4, 4)), Block(20)])
+    return Program([main], entry="main", seed=0x300)
+
+
+def nasa7() -> Program:
+    """Seven small FORTRAN kernels run in sequence."""
+    seed = 0x7A5
+    rng = random.Random(seed)
+    alloc = _Allocator()
+    procedures: List[Procedure] = []
+    kernel_names: List[str] = []
+    for k in range(7):
+        array = StridedAccess(alloc.alloc(48 * 1024), 48 * 1024, stride=8,
+                              refs_per_visit=3, write_fraction=0.25)
+        scalar = ScalarAccess(alloc.alloc(8))
+        inner = Block(rng.randint(10, 26), data=[array, scalar])
+        body = Loop([Block(rng.randint(4, 10)), Loop([inner], trips=(16, 16))],
+                    trips=(12, 12))
+        kernel_name = f"nasa7_kernel{k}"
+        kernel_names.append(kernel_name)
+        procedures.append(Procedure(kernel_name, [Block(rng.randint(8, 20)), body]))
+    main = Procedure("main", [Seq([Call(k) for k in kernel_names])])
+    procedures.append(main)
+    return Program(procedures, entry="main", proc_gap=32, seed=seed)
+
+
+def spice() -> Program:
+    """Circuit simulation: large numeric phases, moderate loop structure."""
+
+    matrices: List[DataPattern] = []
+
+    def profile(rng: random.Random, alloc: _Allocator, index: int) -> List[DataPattern]:
+        if len(matrices) < 4:
+            matrices.append(
+                StridedAccess(alloc.alloc(24 * 1024), 24 * 1024, stride=8, refs_per_visit=2)
+                if len(matrices) % 2 == 0
+                else RandomAccess(alloc.alloc(24 * 1024), 24 * 1024, refs_per_visit=2,
+                                  write_fraction=0.1, seed=len(matrices))
+            )
+        patterns: List[DataPattern] = [
+            ScalarAccess(alloc.alloc(8), write_every=5),
+            StridedAccess(alloc.alloc(512), 512, stride=4, refs_per_visit=2),
+        ]
+        if index % 3 == 0:
+            patterns.append(matrices[index % len(matrices)])
+        return patterns
+
+    return _phased_benchmark(
+        "spice",
+        seed=0x59C,
+        n_leaves=550,
+        leaf_words=(20, 104),
+        n_phases=7,
+        leaves_per_iteration=24,
+        phase_trips=(12, 30),
+        data_profile=profile,
+        leaf_loop_fraction=0.4,
+        leaf_loop_trips=(2, 6),
+        n_utilities=7,
+    )
+
+
+def tomcatv() -> Program:
+    """Vectorised mesh generation: tiny loops over large arrays."""
+    alloc = _Allocator()
+    arrays = [
+        StridedAccess(alloc.alloc(96 * 1024), 96 * 1024, stride=8,
+                      refs_per_visit=3, write_fraction=0.3)
+        for _ in range(3)
+    ]
+    scalar = ScalarAccess(alloc.alloc(8))
+    inner1 = Block(22, data=[arrays[0], arrays[1], scalar])
+    inner2 = Block(18, data=[arrays[1], arrays[2]])
+    sweep1 = Loop([Block(6), Loop([inner1], trips=(20, 20))], trips=(10, 10))
+    sweep2 = Loop([Block(6), Loop([inner2], trips=(20, 20))], trips=(10, 10))
+    main = Procedure("main", [Block(30), Loop([sweep1, sweep2], trips=(6, 6))])
+    return Program([main], entry="main", seed=0x70C)
+
+
+#: Paper Figure 2: benchmark name -> description.
+SPEC_DESCRIPTIONS: Dict[str, str] = {
+    "doduc": "Monte Carlo simulation",
+    "eqntott": "conversion from equation to truth table",
+    "espresso": "minimization of boolean functions",
+    "fpppp": "quantum chemistry calculations",
+    "gcc": "GNU C compiler",
+    "li": "lisp interpreter",
+    "matrix300": "matrix multiplication",
+    "nasa7": "NASA Ames FORTRAN Kernels",
+    "spice": "circuit simulation",
+    "tomcatv": "vectorized mesh generation",
+}
+
+#: Benchmark name -> zero-argument Program builder.
+SPEC_BUILDERS: Dict[str, Callable[[], Program]] = {
+    "doduc": doduc,
+    "eqntott": eqntott,
+    "espresso": espresso,
+    "fpppp": fpppp,
+    "gcc": gcc,
+    "li": li,
+    "matrix300": matrix300,
+    "nasa7": nasa7,
+    "spice": spice,
+    "tomcatv": tomcatv,
+}
+
+SPEC_NAMES: List[str] = sorted(SPEC_BUILDERS)

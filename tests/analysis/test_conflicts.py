@@ -1,0 +1,101 @@
+"""Tests for the conflict profiler."""
+
+import pytest
+
+from repro.analysis.conflicts import format_profile, profile_conflicts
+from repro.caches.geometry import CacheGeometry
+from repro.trace.trace import Trace
+from repro.workloads.patterns import between_loops, within_loop
+
+GEOMETRY = CacheGeometry(64, 4)
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+class TestProfile:
+    def test_no_conflicts(self):
+        profile = profile_conflicts(itrace([0, 4, 0, 4]), GEOMETRY)
+        assert profile.misses == 2
+        assert profile.ping_pongs == 0
+        assert profile.ping_pong_fraction == 0.0
+
+    def test_pure_ping_pong(self):
+        # (a b)^10 with a, b conflicting: after the first two misses,
+        # every miss is a ping-pong.
+        profile = profile_conflicts(itrace([0, 64] * 10), GEOMETRY)
+        assert profile.misses == 20
+        assert profile.ping_pongs == 18
+
+    def test_within_loop_pattern_flags_hot_pair(self):
+        geometry = CacheGeometry(32 * 1024, 4)
+        profile = profile_conflicts(within_loop(geometry, trips=10), geometry)
+        report = profile.top_sets(1)[0]
+        assert report.hottest_pair is not None
+        a, b, count = report.hottest_pair
+        assert count >= 8
+        assert {a, b} == {0, 8192}  # line addresses one cache apart
+
+    def test_between_loops_pattern_has_no_ping_pong(self):
+        """Phase alternation with long runs is not ping-pong (each
+        eviction pair occurs with 9 hits between — not back-to-back)."""
+        geometry = CacheGeometry(32 * 1024, 4)
+        profile = profile_conflicts(between_loops(geometry), geometry)
+        assert profile.ping_pong_fraction > 0.5  # alternating pair a/b
+        # Actually (a^10 b^10): evictions alternate a<->b back to back
+        # at phase boundaries, so these *are* ping-pongs.
+
+    def test_three_way_rotation_is_not_ping_pong(self):
+        # a evicts c, b evicts a, c evicts b: never the same pair twice
+        # in a row.
+        profile = profile_conflicts(itrace([0, 64, 128] * 10), GEOMETRY)
+        assert profile.ping_pongs == 0
+
+    def test_misses_match_direct_mapped_simulation(self):
+        from repro.caches.direct_mapped import DirectMappedCache
+        import random
+
+        rng = random.Random(9)
+        trace = itrace([rng.randrange(64) * 4 for _ in range(500)])
+        profile = profile_conflicts(trace, GEOMETRY)
+        simulated = DirectMappedCache(GEOMETRY).simulate(trace)
+        assert profile.misses == simulated.misses
+
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ValueError):
+            profile_conflicts(itrace([0]), CacheGeometry(64, 4, associativity=2))
+
+    def test_top_sets_ranked_by_ping_pongs(self):
+        # Set 0 ping-pongs; set 1 only misses once.
+        addrs = [0, 64] * 10 + [4]
+        profile = profile_conflicts(itrace(addrs), GEOMETRY)
+        top = profile.top_sets(2)
+        assert top[0].set_index == 0
+        assert top[0].ping_pongs > top[1].ping_pongs
+
+
+class TestFormat:
+    def test_report_contains_summary_and_pairs(self):
+        profile = profile_conflicts(itrace([0, 64] * 10), GEOMETRY)
+        text = format_profile(profile)
+        assert "ping-pong fraction" in text
+        assert "0x0 <-> 0x10" in text
+
+    def test_handles_sets_without_pairs(self):
+        profile = profile_conflicts(itrace([0, 4, 8]), GEOMETRY)
+        text = format_profile(profile)
+        assert "-" in text
+
+
+class TestWorkloadValidation:
+    def test_spec_workloads_are_ping_pong_rich(self):
+        """The synthetic benchmarks must contain substantial two-way
+        alternation at the reference size — that is what makes them
+        paper-faithful (see docs/workloads.md)."""
+        from repro.workloads.registry import instruction_trace
+
+        geometry = CacheGeometry(32 * 1024, 4)
+        trace = instruction_trace("gcc", 60_000)
+        profile = profile_conflicts(trace, geometry)
+        assert profile.ping_pong_fraction > 0.25

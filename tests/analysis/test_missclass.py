@@ -1,0 +1,81 @@
+"""Tests for 3C miss classification."""
+
+import pytest
+
+from repro.analysis.missclass import classify_misses
+from repro.caches.geometry import CacheGeometry
+from repro.trace.trace import Trace
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+GEOMETRY = CacheGeometry(16, 4)  # 4 lines
+
+
+class TestClassification:
+    def test_pure_cold_trace(self):
+        breakdown = classify_misses(itrace([0, 4, 8]), GEOMETRY)
+        assert breakdown.compulsory == 3
+        assert breakdown.capacity == 0
+        assert breakdown.conflict == 0
+
+    def test_conflict_misses(self):
+        # 0 and 16 share a set in a 16B cache but fit a fully-assoc one.
+        breakdown = classify_misses(itrace([0, 16, 0, 16]), GEOMETRY)
+        assert breakdown.compulsory == 2
+        assert breakdown.conflict == 2
+        assert breakdown.capacity == 0
+
+    def test_capacity_misses(self):
+        # Cycle through 5 lines in a 4-line cache: LRU misses everything
+        # after the cold start, and those are capacity misses.
+        addrs = [0, 4, 8, 12, 16] * 3
+        breakdown = classify_misses(itrace(addrs), GEOMETRY)
+        assert breakdown.compulsory == 5
+        assert breakdown.capacity > 0
+
+    def test_totals_match_direct_mapped_misses(self):
+        from repro.caches.direct_mapped import DirectMappedCache
+
+        addrs = [0, 16, 4, 0, 20, 16, 8, 4] * 5
+        trace = itrace(addrs)
+        breakdown = classify_misses(trace, GEOMETRY)
+        direct = DirectMappedCache(GEOMETRY).simulate(trace)
+        assert breakdown.total == direct.misses
+
+    def test_miss_rate(self):
+        breakdown = classify_misses(itrace([0, 0, 0, 16]), GEOMETRY)
+        assert breakdown.miss_rate == pytest.approx(0.5)
+
+    def test_component_rate(self):
+        breakdown = classify_misses(itrace([0, 16, 0]), GEOMETRY)
+        assert breakdown.rate("compulsory") == pytest.approx(2 / 3)
+        assert breakdown.rate("conflict") == pytest.approx(1 / 3)
+
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ValueError):
+            classify_misses(itrace([0]), CacheGeometry(16, 4, associativity=2))
+
+    def test_empty_trace(self):
+        breakdown = classify_misses(Trace.empty(), GEOMETRY)
+        assert breakdown.total == 0
+        assert breakdown.miss_rate == 0.0
+
+    def test_exclusion_targets_conflict_misses(self):
+        """Sanity link to the paper: on a conflict-heavy trace, the
+        conflict component is what dynamic exclusion removes."""
+        from repro.core.exclusion_cache import DynamicExclusionCache
+        from repro.caches.direct_mapped import DirectMappedCache
+
+        addrs = []
+        for _ in range(50):
+            addrs.extend([0, 16])
+        trace = itrace(addrs)
+        breakdown = classify_misses(trace, GEOMETRY)
+        dm = DirectMappedCache(GEOMETRY).simulate(trace)
+        de = DynamicExclusionCache(GEOMETRY).simulate(trace)
+        saved = dm.misses - de.misses
+        assert saved > 0
+        assert saved <= breakdown.conflict

@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.plot import ascii_chart, sweep_chart
+from repro.analysis.sweep import SweepResult
+
+
+class TestAsciiChart:
+    def test_contains_axis_and_legend(self):
+        text = ascii_chart({"a": [1.0, 2.0]}, ["x1", "x2"], title="T")
+        assert text.startswith("T")
+        assert "legend:" in text
+        assert "x1" in text and "x2" in text
+
+    def test_marker_per_series(self):
+        text = ascii_chart({"a": [1.0], "b": [2.0]}, ["x"])
+        assert "* a" in text
+        assert "+ b" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_chart({"a": [1.0]}, ["x", "y"])
+
+    def test_peak_is_higher_on_grid(self):
+        text = ascii_chart({"a": [0.0, 10.0, 0.0]}, ["l", "m", "r"], height=8)
+        lines = [ln for ln in text.splitlines() if "|" in ln]
+        # The middle point must appear above the side points.
+        rows_with_marker = [i for i, ln in enumerate(lines) if "*" in ln]
+        top_row = min(rows_with_marker)
+        assert lines[top_row].index("*") != lines[max(rows_with_marker)].index("*")
+
+    def test_overlap_marker(self):
+        text = ascii_chart({"a": [5.0], "b": [5.0]}, ["x"], height=6)
+        assert "=" in text
+
+    def test_empty_series_returns_title(self):
+        assert ascii_chart({}, [], title="Empty") == "Empty"
+
+    def test_all_zero_values_no_crash(self):
+        text = ascii_chart({"a": [0.0, 0.0]}, ["x", "y"])
+        assert "legend" in text
+
+    def test_y_max_override(self):
+        text = ascii_chart({"a": [1.0]}, ["x"], y_max=100.0, y_format="{:.0f}")
+        assert "100" in text
+
+
+class TestSweepChart:
+    def test_renders_from_sweep_result(self):
+        result = SweepResult("cache size", [1024, 2048])
+        result.add("dm", 1024, 0.10)
+        result.add("dm", 2048, 0.05)
+        text = sweep_chart(result, title="sweeps")
+        assert "1KB" in text
+        assert "dm" in text
+
+    def test_percent_scaling(self):
+        result = SweepResult("cache size", [1024])
+        result.add("dm", 1024, 0.5)
+        text = sweep_chart(result, percent=True, title="t")
+        assert "50.0" in text

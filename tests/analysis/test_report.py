@@ -1,0 +1,75 @@
+"""Tests for table formatting."""
+
+from repro.analysis.report import format_percent, format_sweep, format_table, size_label
+from repro.analysis.sweep import SweepResult
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "value" in lines[0]
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[0.5]], float_format="{:.1%}")
+        assert "50.0%" in text
+
+    def test_title_and_rule(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["x"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text
+
+
+class TestLabels:
+    def test_format_percent(self):
+        assert format_percent(0.0234) == "2.3%"
+        assert format_percent(0.0234, digits=2) == "2.34%"
+
+    def test_size_label_kb(self):
+        assert size_label(32 * 1024) == "32KB"
+
+    def test_size_label_mb(self):
+        assert size_label(2 * 1024 * 1024) == "2MB"
+
+    def test_size_label_bytes(self):
+        assert size_label(512) == "512B"
+
+
+class TestFormatSweep:
+    def _result(self):
+        result = SweepResult("cache size", [1024, 2048])
+        result.add("dm", 1024, 0.10)
+        result.add("dm", 2048, 0.05)
+        result.add("de", 1024, 0.07)
+        result.add("de", 2048, 0.04)
+        return result
+
+    def test_rows_per_parameter(self):
+        text = format_sweep(self._result())
+        assert "1KB" in text
+        assert "2KB" in text
+
+    def test_columns_per_series(self):
+        text = format_sweep(self._result())
+        header = text.splitlines()[0]
+        assert "dm" in header
+        assert "de" in header
+
+    def test_values_formatted(self):
+        text = format_sweep(self._result(), value_format="{:.1%}")
+        assert "10.0%" in text
+
+    def test_param_format_override(self):
+        text = format_sweep(self._result(), param_format="{}B")
+        assert "1024B" in text

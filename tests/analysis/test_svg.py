@@ -1,0 +1,103 @@
+"""Tests for the SVG chart renderer."""
+
+import pytest
+
+from repro.analysis.svg import PALETTE, svg_line_chart, sweep_svg
+from repro.analysis.sweep import SweepResult
+
+
+def simple_chart(**kwargs):
+    return svg_line_chart(
+        {"a": [1.0, 3.0, 2.0], "b": [0.5, 0.5, 0.5]},
+        ["x1", "x2", "x3"],
+        title="Chart <Title>",
+        y_label="rate",
+        **kwargs,
+    )
+
+
+class TestSvgLineChart:
+    def test_is_a_well_formed_svg_document(self):
+        text = simple_chart()
+        assert text.startswith("<svg ")
+        assert text.endswith("</svg>")
+        # Balanced tags for the elements we emit.
+        assert text.count("<svg ") == 1
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(simple_chart())
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        assert simple_chart().count("<polyline") == 2
+
+    def test_title_is_escaped(self):
+        text = simple_chart()
+        assert "Chart &lt;Title&gt;" in text
+        assert "<Title>" not in text
+
+    def test_axis_labels_present(self):
+        text = simple_chart()
+        for label in ["x1", "x2", "x3", "rate"]:
+            assert label in text
+
+    def test_legend_lists_series(self):
+        text = simple_chart()
+        assert ">a</text>" in text
+        assert ">b</text>" in text
+
+    def test_colors_from_palette(self):
+        text = simple_chart()
+        assert PALETTE[0] in text
+        assert PALETTE[1] in text
+
+    def test_higher_values_have_smaller_y(self):
+        import re
+
+        text = svg_line_chart({"a": [0.0, 10.0]}, ["lo", "hi"])
+        match = re.search(r'<polyline points="([\d.,\- ]+)"', text)
+        assert match is not None
+        points = [tuple(map(float, p.split(","))) for p in match.group(1).split()]
+        assert points[1][1] < points[0][1]  # SVG y grows downward
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            svg_line_chart({"a": [1.0]}, ["x", "y"])
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({}, [])
+
+    def test_single_point_series(self):
+        text = svg_line_chart({"a": [2.0]}, ["only"])
+        assert "<polyline" in text
+
+    def test_all_zero_values(self):
+        text = svg_line_chart({"a": [0.0, 0.0]}, ["x", "y"])
+        assert "<svg" in text
+
+    def test_y_max_override_sets_top_tick(self):
+        text = svg_line_chart({"a": [1.0]}, ["x"], y_max=100.0)
+        assert "105" in text  # 5% headroom over the forced maximum
+
+
+class TestSweepSvg:
+    def _result(self):
+        result = SweepResult("cache size", [1024, 2048])
+        result.add("dm", 1024, 0.10)
+        result.add("dm", 2048, 0.05)
+        return result
+
+    def test_sizes_become_labels(self):
+        text = sweep_svg(self._result(), title="t")
+        assert "1KB" in text and "2KB" in text
+
+    def test_percent_scaling(self):
+        text = sweep_svg(self._result(), percent=True)
+        assert "miss rate (%)" in text
+
+    def test_raw_values(self):
+        text = sweep_svg(self._result(), percent=False)
+        assert "miss rate (%)" not in text

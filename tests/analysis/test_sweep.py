@@ -1,0 +1,85 @@
+"""Tests for the sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult, per_trace_rates, run_sweep
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.trace.trace import Trace
+
+
+def itrace(addrs, name=""):
+    return Trace(addrs, [0] * len(addrs), name=name)
+
+
+class TestSweepResult:
+    def test_add_and_curve(self):
+        result = SweepResult("size", [1, 2])
+        result.add("a", 1, 0.5)
+        result.add("a", 2, 0.25)
+        assert result.curve("a") == [0.5, 0.25]
+
+    def test_series_values_follow_parameter_order(self):
+        result = SweepResult("size", [2, 1])
+        result.add("a", 1, 0.1)
+        result.add("a", 2, 0.2)
+        assert result.curve("a") == [0.2, 0.1]
+
+
+class TestRunSweep:
+    def test_mean_across_traces(self):
+        factories = {
+            "dm": lambda size: DirectMappedCache(CacheGeometry(int(size), 4)),
+        }
+        # Trace A always misses in 8B cache; trace B has hits.
+        trace_a = itrace([0, 8] * 10, "a")
+        trace_b = itrace([0, 0] * 10, "b")
+        result = run_sweep("size", [8], factories, [trace_a, trace_b])
+        # a: 100% misses; b: 5% (one cold miss of 20) -> mean 52.5%.
+        assert result.series["dm"].points[8] == pytest.approx((1.0 + 0.05) / 2)
+
+    def test_every_factory_and_parameter_covered(self):
+        factories = {
+            "dm": lambda size: DirectMappedCache(CacheGeometry(int(size), 4)),
+            "dm2": lambda size: DirectMappedCache(CacheGeometry(int(size) * 2, 4)),
+        }
+        result = run_sweep("size", [8, 16], factories, [itrace([0, 4])])
+        assert set(result.series) == {"dm", "dm2"}
+        assert len(result.curve("dm")) == 2
+
+    def test_fresh_simulator_per_cell(self):
+        created = []
+
+        def factory(size):
+            cache = DirectMappedCache(CacheGeometry(int(size), 4))
+            created.append(cache)
+            return cache
+
+        run_sweep("size", [8], {"dm": factory}, [itrace([0]), itrace([4])])
+        assert len(created) == 2
+
+    def test_empty_traces(self):
+        result = run_sweep(
+            "size",
+            [8],
+            {"dm": lambda size: DirectMappedCache(CacheGeometry(int(size), 4))},
+            [],
+        )
+        assert result.series["dm"].points[8] == 0.0
+
+
+class TestPerTraceRates:
+    def test_keyed_by_trace_name(self):
+        rates = per_trace_rates(
+            lambda: DirectMappedCache(CacheGeometry(8, 4)),
+            [itrace([0, 0], "x"), itrace([0, 8], "y")],
+        )
+        assert rates["x"] == pytest.approx(0.5)
+        assert rates["y"] == pytest.approx(1.0)
+
+    def test_unnamed_traces_get_indices(self):
+        rates = per_trace_rates(
+            lambda: DirectMappedCache(CacheGeometry(8, 4)),
+            [itrace([0]), itrace([0])],
+        )
+        assert set(rates) == {"trace0", "trace1"}

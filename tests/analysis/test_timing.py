@@ -1,0 +1,86 @@
+"""Tests for the AMAT timing model."""
+
+import pytest
+
+from repro.analysis.timing import (
+    DEFAULT_MODELS,
+    TimingModel,
+    amat_comparison,
+    breakeven_hit_time,
+)
+
+
+class TestTimingModel:
+    def test_amat_formula(self):
+        model = TimingModel(hit_time=1.0, miss_penalty=20.0)
+        assert model.amat(0.05) == pytest.approx(2.0)
+
+    def test_zero_miss_rate(self):
+        model = TimingModel(1.0, 20.0)
+        assert model.amat(0.0) == 1.0
+
+    def test_full_miss_rate(self):
+        model = TimingModel(1.0, 20.0)
+        assert model.amat(1.0) == 21.0
+
+    def test_miss_rate_out_of_range(self):
+        with pytest.raises(ValueError):
+            TimingModel(1.0, 20.0).amat(1.5)
+
+    def test_hit_time_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimingModel(0.0, 20.0)
+
+    def test_miss_penalty_non_negative(self):
+        with pytest.raises(ValueError):
+            TimingModel(1.0, -1.0)
+
+
+class TestComparison:
+    def test_defaults_cover_three_configs(self):
+        amats = amat_comparison(
+            {"direct-mapped": 0.06, "dynamic-exclusion": 0.04, "2-way": 0.045}
+        )
+        assert set(amats) == {"direct-mapped", "dynamic-exclusion", "2-way"}
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(ValueError, match="no timing model"):
+            amat_comparison({"mystery": 0.1})
+
+    def test_custom_models(self):
+        models = {"x": TimingModel(2.0, 10.0)}
+        assert amat_comparison({"x": 0.1}, models)["x"] == pytest.approx(3.0)
+
+    def test_paper_argument_de_beats_two_way(self):
+        """The paper's pitch: DE keeps the direct-mapped hit time, so a
+        modest miss-rate win beats 2-way associativity's better miss
+        rate once the way-mux penalty is charged."""
+        amats = amat_comparison(
+            {"direct-mapped": 0.060, "dynamic-exclusion": 0.042, "2-way": 0.040}
+        )
+        assert amats["dynamic-exclusion"] < amats["2-way"]
+        assert amats["dynamic-exclusion"] < amats["direct-mapped"]
+
+    def test_exclusion_hit_time_matches_direct_mapped(self):
+        assert (
+            DEFAULT_MODELS["dynamic-exclusion"].hit_time
+            == DEFAULT_MODELS["direct-mapped"].hit_time
+        )
+
+
+class TestBreakeven:
+    def test_breakeven_formula(self):
+        baseline = TimingModel(1.0, 20.0)
+        # Baseline AMAT at 6% = 2.2; alternative at 4% needs
+        # hit_time <= 2.2 - 0.8 = 1.4 to win.
+        value = breakeven_hit_time(baseline, 0.06, 0.04)
+        assert value == pytest.approx(1.4)
+
+    def test_equal_miss_rates_give_equal_hit_time(self):
+        baseline = TimingModel(1.0, 20.0)
+        assert breakeven_hit_time(baseline, 0.05, 0.05) == pytest.approx(1.0)
+
+    def test_custom_penalty(self):
+        baseline = TimingModel(1.0, 20.0)
+        value = breakeven_hit_time(baseline, 0.06, 0.04, miss_penalty=10.0)
+        assert value == pytest.approx(2.2 - 0.4)

@@ -1,0 +1,107 @@
+"""Tests for warm-up analysis."""
+
+import pytest
+
+from repro.analysis.warmup import (
+    ColdWarmSplit,
+    WarmupCurve,
+    cold_warm_split,
+    steady_state_reduction,
+    windowed_miss_rates,
+)
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import IdealHitLastStore
+from repro.trace.trace import Trace
+
+GEOMETRY = CacheGeometry(64, 4)
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+def dm_factory():
+    return DirectMappedCache(GEOMETRY)
+
+
+class TestWindowedMissRates:
+    def test_loops_warm_up(self):
+        # First pass over 8 lines misses; later passes hit entirely.
+        trace = itrace(list(range(0, 32, 4)) * 10)
+        curve = windowed_miss_rates(dm_factory, trace, window=8)
+        assert curve.miss_rates[0] == 1.0
+        assert curve.miss_rates[-1] == 0.0
+
+    def test_steady_rate_uses_tail(self):
+        trace = itrace(list(range(0, 32, 4)) * 10)
+        curve = windowed_miss_rates(dm_factory, trace, window=8)
+        assert curve.steady_rate == 0.0
+        assert curve.cold_rate == 1.0
+
+    def test_warmup_windows(self):
+        trace = itrace(list(range(0, 32, 4)) * 10)
+        curve = windowed_miss_rates(dm_factory, trace, window=8)
+        assert curve.warmup_windows == 1
+
+    def test_partial_final_window(self):
+        trace = itrace([0, 4, 8])
+        curve = windowed_miss_rates(dm_factory, trace, window=2)
+        assert len(curve.miss_rates) == 2
+        assert curve.miss_rates[1] == 1.0  # single cold ref
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            windowed_miss_rates(dm_factory, itrace([0]), window=0)
+
+    def test_empty_trace(self):
+        curve = windowed_miss_rates(dm_factory, Trace.empty(), window=4)
+        assert curve.miss_rates == ()
+        assert curve.steady_rate == 0.0
+
+
+class TestColdWarmSplit:
+    def test_split_counts_add_up(self):
+        trace = itrace([0, 64] * 20)
+        split = cold_warm_split(dm_factory, trace, boundary=10)
+        assert split.cold.accesses == 10
+        assert split.warm.accesses == 30
+        total = DirectMappedCache(GEOMETRY).simulate(trace)
+        assert split.cold.misses + split.warm.misses == total.misses
+
+    def test_boundary_zero(self):
+        split = cold_warm_split(dm_factory, itrace([0, 0]), boundary=0)
+        assert split.cold.accesses == 0
+        assert split.warm.accesses == 2
+
+    def test_negative_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            cold_warm_split(dm_factory, itrace([0]), boundary=-1)
+
+    def test_warm_stats_consistent(self):
+        trace = itrace([0, 64, 4, 68] * 25)
+        split = cold_warm_split(dm_factory, trace, boundary=17)
+        split.warm.check()
+
+
+class TestSteadyStateReduction:
+    def test_training_cost_isolated(self):
+        """On the within-loop pattern, DE's benefit is concentrated in
+        the warm half (the cold half pays the training misses)."""
+        a, b = 0, 64
+        trace = itrace([a, b] * 50)
+
+        def de_factory():
+            return DynamicExclusionCache(
+                GEOMETRY, store=IdealHitLastStore(default=True)
+            )
+
+        cold, warm = steady_state_reduction(dm_factory, de_factory, trace)
+        assert warm == pytest.approx(50.0, abs=5.0)
+        assert warm >= cold
+
+    def test_default_boundary_is_half(self):
+        trace = itrace([0] * 10)
+        cold, warm = steady_state_reduction(dm_factory, dm_factory, trace)
+        assert cold == 0.0 and warm == 0.0

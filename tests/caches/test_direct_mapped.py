@@ -1,0 +1,130 @@
+"""Tests for the conventional direct-mapped cache."""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.trace.trace import Trace
+
+
+def small_cache(size=64, line=4, **kwargs):
+    return DirectMappedCache(CacheGeometry(size, line), **kwargs)
+
+
+class TestBasics:
+    def test_requires_direct_mapped_geometry(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(CacheGeometry(64, 4, associativity=2))
+
+    def test_first_access_is_cold_miss(self):
+        cache = small_cache()
+        result = cache.access(0)
+        assert result.miss
+        assert cache.stats.cold_misses == 1
+
+    def test_repeat_access_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_same_line_different_word_hits(self):
+        cache = DirectMappedCache(CacheGeometry(64, 16))
+        cache.access(0)
+        assert cache.access(4).hit
+
+    def test_conflicting_access_evicts(self):
+        cache = small_cache(size=64)
+        cache.access(0)
+        result = cache.access(64)  # same set
+        assert result.miss
+        assert result.evicted_line == 0
+        assert cache.stats.evictions == 1
+
+    def test_after_eviction_original_misses(self):
+        cache = small_cache(size=64)
+        cache.access(0)
+        cache.access(64)
+        assert cache.access(0).miss
+
+    def test_distinct_sets_do_not_interfere(self):
+        cache = small_cache(size=64)
+        cache.access(0)
+        cache.access(4)
+        assert cache.access(0).hit
+        assert cache.access(4).hit
+
+    def test_resident_lines(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(4)
+        assert cache.resident_lines() == {0, 1}
+
+    def test_contains(self):
+        cache = small_cache()
+        cache.access(8)
+        assert cache.contains(8)
+        assert not cache.contains(16)
+
+    def test_contains_line(self):
+        cache = small_cache()
+        cache.access(8)
+        assert cache.contains_line(2)
+        assert not cache.contains_line(3)
+
+    def test_reset_clears_contents_and_stats(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.contains(0)
+
+
+class TestAllocateOnMiss:
+    def test_no_allocate_mode_never_stores(self):
+        cache = small_cache(allocate_on_miss=False)
+        cache.access(0)
+        assert cache.access(0).miss
+        assert cache.stats.bypasses == 2
+
+    def test_install_line_fills_frame(self):
+        cache = small_cache(allocate_on_miss=False)
+        displaced = cache.install_line(0)
+        assert displaced is None
+        assert cache.access(0).hit
+
+    def test_install_line_reports_displacement(self):
+        cache = small_cache(size=64)
+        cache.install_line(0)
+        assert cache.install_line(16) == 0  # 16 lines -> same set 0
+
+    def test_install_same_line_reports_none(self):
+        cache = small_cache()
+        cache.install_line(3)
+        assert cache.install_line(3) is None
+
+    def test_install_does_not_touch_stats(self):
+        cache = small_cache()
+        cache.install_line(5)
+        assert cache.stats.accesses == 0
+
+
+class TestSimulate:
+    def test_stats_are_consistent(self):
+        cache = small_cache(size=64)
+        trace = Trace([0, 64, 0, 64, 4, 8], [0] * 6)
+        stats = cache.simulate(trace)
+        stats.check()
+        assert stats.accesses == 6
+
+    def test_thrashing_pair_always_misses(self):
+        cache = small_cache(size=64)
+        trace = Trace([0, 64] * 10, [0] * 20)
+        stats = cache.simulate(trace)
+        assert stats.misses == 20
+
+    def test_sequential_within_line_hits(self):
+        cache = DirectMappedCache(CacheGeometry(64, 16))
+        trace = Trace([0, 4, 8, 12], [0] * 4)
+        stats = cache.simulate(trace)
+        assert stats.misses == 1
+        assert stats.hits == 3

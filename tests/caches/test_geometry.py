@@ -1,0 +1,105 @@
+"""Tests for CacheGeometry address arithmetic."""
+
+import pytest
+
+from repro.caches.geometry import CacheGeometry
+
+
+class TestValidation:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheGeometry(3000, 4)
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheGeometry(1024, 12)
+
+    def test_line_cannot_exceed_size(self):
+        with pytest.raises(ValueError, match="exceed"):
+            CacheGeometry(16, 32)
+
+    def test_associativity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 16, associativity=0)
+
+    def test_ways_must_divide_lines(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 16, associativity=3)
+
+    def test_line_equal_to_size_is_allowed(self):
+        geometry = CacheGeometry(64, 64)
+        assert geometry.num_lines == 1
+
+    def test_odd_associativity_is_legal(self):
+        # 12KB 3-way: 3072 lines, 1024 sets — real hardware exists.
+        geometry = CacheGeometry(12 * 1024, 4, associativity=3)
+        assert geometry.num_sets == 1024
+
+    def test_set_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="number of sets"):
+            CacheGeometry(12 * 1024, 4, associativity=2)
+
+    def test_size_must_be_line_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheGeometry(100, 8)
+
+
+class TestDerived:
+    def test_num_lines(self):
+        assert CacheGeometry(32 * 1024, 16).num_lines == 2048
+
+    def test_num_sets_direct_mapped(self):
+        assert CacheGeometry(32 * 1024, 16).num_sets == 2048
+
+    def test_num_sets_two_way(self):
+        assert CacheGeometry(32 * 1024, 16, associativity=2).num_sets == 1024
+
+    def test_offset_bits(self):
+        assert CacheGeometry(1024, 16).offset_bits == 4
+
+    def test_index_bits(self):
+        assert CacheGeometry(1024, 16).index_bits == 6
+
+    def test_fully_associative_constructor(self):
+        geometry = CacheGeometry.fully_associative(1024, 16)
+        assert geometry.num_sets == 1
+        assert geometry.associativity == 64
+
+    def test_scaled(self):
+        doubled = CacheGeometry(1024, 16).scaled(2)
+        assert doubled.size == 2048
+        assert doubled.line_size == 16
+
+
+class TestAddressDecomposition:
+    def test_line_address(self):
+        assert CacheGeometry(1024, 16).line_address(0x35) == 3
+
+    def test_set_index_wraps(self):
+        geometry = CacheGeometry(1024, 16)  # 64 sets
+        assert geometry.set_index(0x0) == 0
+        assert geometry.set_index(1024) == 0
+        assert geometry.set_index(16) == 1
+
+    def test_set_index_of_line(self):
+        geometry = CacheGeometry(1024, 16)
+        line = geometry.line_address(1024 + 32)
+        assert geometry.set_index_of_line(line) == 2
+
+    def test_tag(self):
+        geometry = CacheGeometry(1024, 16)
+        assert geometry.tag(0) == 0
+        assert geometry.tag(1024) == 1
+        assert geometry.tag(2048 + 16) == 2
+
+    def test_line_base(self):
+        assert CacheGeometry(1024, 16).line_base(0x37) == 0x30
+
+    def test_conflicting_addresses_share_set(self):
+        geometry = CacheGeometry(32 * 1024, 4)
+        assert geometry.set_index(0x100) == geometry.set_index(0x100 + 32 * 1024)
+
+    def test_str_mentions_organization(self):
+        assert "direct-mapped" in str(CacheGeometry(1024, 16))
+        assert "2-way" in str(CacheGeometry(1024, 16, associativity=2))
+        assert "fully-associative" in str(CacheGeometry.fully_associative(1024, 16))

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) on the cache substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.optimal import OptimalCache, OptimalDirectMappedCache
+from repro.caches.set_associative import FullyAssociativeCache, SetAssociativeCache
+from repro.caches.victim import VictimCache
+from repro.trace.stats import lru_miss_rate_from_distances
+from repro.trace.trace import Trace
+
+#: Word-aligned addresses in a small space so conflicts are common.
+addresses = st.lists(
+    st.integers(min_value=0, max_value=255).map(lambda slot: slot * 4),
+    min_size=1,
+    max_size=200,
+)
+
+geometries = st.sampled_from(
+    [
+        CacheGeometry(64, 4),
+        CacheGeometry(128, 4),
+        CacheGeometry(64, 16),
+        CacheGeometry(256, 8),
+    ]
+)
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+@given(addrs=addresses, geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_direct_mapped_stats_consistent(addrs, geometry):
+    stats = DirectMappedCache(geometry).simulate(itrace(addrs))
+    stats.check()
+    assert stats.accesses == len(addrs)
+
+
+@given(addrs=addresses, geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_direct_mapped_contents_are_last_line_per_set(addrs, geometry):
+    """The resident line of each set is always the most recent line
+    mapped to it — the defining property of always-allocate DM."""
+    cache = DirectMappedCache(geometry)
+    last_per_set = {}
+    for addr in addrs:
+        cache.access(addr)
+        line = geometry.line_address(addr)
+        last_per_set[geometry.set_index_of_line(line)] = line
+    assert cache.resident_lines() == frozenset(last_per_set.values())
+
+
+@given(addrs=addresses, geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_optimal_never_worse_than_direct_mapped(addrs, geometry):
+    trace = itrace(addrs)
+    optimal = OptimalDirectMappedCache(geometry).simulate(trace)
+    direct = DirectMappedCache(geometry).simulate(trace)
+    assert optimal.misses <= direct.misses
+
+
+@given(addrs=addresses, geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_victim_cache_never_worse_than_direct_mapped(addrs, geometry):
+    trace = itrace(addrs)
+    victim = VictimCache(geometry, entries=4).simulate(trace)
+    direct = DirectMappedCache(geometry).simulate(trace)
+    assert victim.misses <= direct.misses
+
+
+@given(addrs=addresses)
+@settings(max_examples=60, deadline=None)
+def test_lru_inclusion_property(addrs):
+    """A bigger fully-associative LRU cache never misses more."""
+    trace = itrace(addrs)
+    small = FullyAssociativeCache(64, 4).simulate(trace)
+    large = FullyAssociativeCache(128, 4).simulate(trace)
+    assert large.misses <= small.misses
+
+
+@given(addrs=addresses)
+@settings(max_examples=40, deadline=None)
+def test_lru_matches_reuse_distance_analysis(addrs):
+    """Fully-associative LRU simulation equals the stack-distance
+    computation — two independent implementations of the same model."""
+    trace = itrace(addrs)
+    capacity_lines = 8
+    simulated = FullyAssociativeCache(capacity_lines * 4, 4).simulate(trace)
+    analytic = lru_miss_rate_from_distances(trace, capacity_lines, line_size=4)
+    assert simulated.miss_rate == analytic
+
+
+@given(addrs=addresses)
+@settings(max_examples=40, deadline=None)
+def test_optimal_not_worse_than_lru_fully_associative(addrs):
+    """Belady with bypass is optimal, so it cannot lose to LRU at equal
+    geometry."""
+    trace = itrace(addrs)
+    geometry = CacheGeometry.fully_associative(64, 4)
+    optimal = OptimalCache(geometry).simulate(trace)
+    lru = SetAssociativeCache(geometry).simulate(trace)
+    assert optimal.misses <= lru.misses
+
+
+@given(addrs=addresses, geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_hits_require_prior_access(addrs, geometry):
+    """No cache may hit on a line never accessed before (no prefetch
+    in the plain models)."""
+    cache = DirectMappedCache(geometry)
+    seen = set()
+    for addr in addrs:
+        line = geometry.line_address(addr)
+        result = cache.access(addr)
+        if result.hit:
+            assert line in seen
+        seen.add(line)
+
+
+@given(
+    slot=st.integers(min_value=0, max_value=10_000),
+    geometry=geometries,
+)
+@settings(max_examples=100, deadline=None)
+def test_geometry_decomposition_recomposes(slot, geometry):
+    addr = slot * 4
+    line = geometry.line_address(addr)
+    recomposed = (
+        (geometry.tag(addr) << geometry.index_bits) | geometry.set_index(addr)
+    )
+    assert recomposed == line
+    assert geometry.line_base(addr) == line << geometry.offset_bits

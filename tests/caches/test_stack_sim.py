@@ -1,0 +1,125 @@
+"""Tests for the single-pass stack simulators."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.set_associative import FullyAssociativeCache, SetAssociativeCache
+from repro.caches.stack_sim import (
+    direct_mapped_miss_counts_by_size,
+    lru_miss_counts,
+    set_lru_miss_counts,
+)
+from repro.trace.trace import Trace
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+def random_trace(seed, n=300, slots=64):
+    rng = random.Random(seed)
+    return itrace([rng.randrange(slots) * 4 for _ in range(n)])
+
+
+class TestFullyAssociative:
+    def test_matches_event_simulation(self):
+        trace = random_trace(1)
+        counts = lru_miss_counts(trace, [2, 4, 8, 16])
+        for capacity, misses in counts.items():
+            cache = FullyAssociativeCache(capacity * 4, 4)
+            assert cache.simulate(trace).misses == misses, capacity
+
+    def test_monotone_in_capacity(self):
+        trace = random_trace(2)
+        counts = lru_miss_counts(trace, [1, 2, 4, 8, 16, 32])
+        values = [counts[c] for c in sorted(counts)]
+        assert values == sorted(values, reverse=True)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            lru_miss_counts(itrace([0]), [0])
+
+    def test_empty_trace(self):
+        assert lru_miss_counts(Trace.empty(), [4]) == {4: 0}
+
+
+class TestSetAssociative:
+    @pytest.mark.parametrize("num_sets", [1, 4, 16])
+    def test_matches_event_simulation(self, num_sets):
+        trace = random_trace(3)
+        max_ways = 4
+        counts = set_lru_miss_counts(trace, num_sets, max_ways)
+        for ways in range(1, max_ways + 1):
+            geometry = CacheGeometry(num_sets * ways * 4, 4, associativity=ways)
+            simulated = SetAssociativeCache(geometry).simulate(trace).misses
+            assert counts[ways] == simulated, ways
+
+    def test_one_way_matches_direct_mapped(self):
+        trace = random_trace(4)
+        counts = set_lru_miss_counts(trace, 16, 1)
+        direct = DirectMappedCache(CacheGeometry(64, 4)).simulate(trace)
+        assert counts[1] == direct.misses
+
+    def test_monotone_in_ways(self):
+        trace = random_trace(5)
+        counts = set_lru_miss_counts(trace, 8, 6)
+        values = [counts[w] for w in sorted(counts)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            set_lru_miss_counts(itrace([0]), 3, 2)
+        with pytest.raises(ValueError):
+            set_lru_miss_counts(itrace([0]), 4, 0)
+        with pytest.raises(ValueError):
+            set_lru_miss_counts(itrace([0]), 4, 2, line_size=3)
+
+
+class TestDirectMappedMultiSize:
+    def test_matches_event_simulation(self):
+        trace = random_trace(6)
+        sizes = [16, 64, 256]
+        counts = direct_mapped_miss_counts_by_size(trace, sizes)
+        for size in sizes:
+            simulated = DirectMappedCache(CacheGeometry(size, 4)).simulate(trace)
+            assert counts[size] == simulated.misses, size
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            direct_mapped_miss_counts_by_size(itrace([0]), [48])
+
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=63).map(lambda s: s * 4),
+    min_size=1,
+    max_size=150,
+)
+
+
+@given(addrs=addresses)
+@settings(max_examples=40, deadline=None)
+def test_stack_property_holds(addrs):
+    """Fully-associative miss counts decrease with capacity, and the
+    largest capacity's misses equal the number of distinct lines when
+    capacity covers the footprint."""
+    trace = itrace(addrs)
+    counts = lru_miss_counts(trace, [1, 2, 4, 64])
+    assert counts[1] >= counts[2] >= counts[4] >= counts[64]
+    assert counts[64] == trace.line_footprint(4)
+
+
+@given(addrs=addresses)
+@settings(max_examples=40, deadline=None)
+def test_set_assoc_oracle_agreement(addrs):
+    """The stack simulator and the event simulator must agree exactly
+    for every associativity — two independent LRU implementations."""
+    trace = itrace(addrs)
+    counts = set_lru_miss_counts(trace, 4, 3)
+    for ways in [1, 2, 3]:
+        geometry = CacheGeometry(4 * ways * 4, 4, associativity=ways)
+        assert counts[ways] == SetAssociativeCache(geometry).simulate(trace).misses

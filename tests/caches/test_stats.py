@@ -1,0 +1,69 @@
+"""Tests for CacheStats and helpers."""
+
+import pytest
+
+from repro.caches.stats import CacheStats, SimulationResult, percent_reduction
+
+
+class TestCacheStats:
+    def test_miss_rate(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.miss_rate == pytest.approx(0.3)
+
+    def test_hit_rate(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.hit_rate == pytest.approx(0.7)
+
+    def test_rates_of_empty_stats(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_merge_sums_fields(self):
+        a = CacheStats(accesses=5, hits=3, misses=2, bypasses=1, evictions=1)
+        b = CacheStats(accesses=5, hits=4, misses=1, cold_misses=1)
+        merged = a.merge(b)
+        assert merged.accesses == 10
+        assert merged.hits == 7
+        assert merged.misses == 3
+        assert merged.bypasses == 1
+        assert merged.cold_misses == 1
+
+    def test_check_passes_for_consistent_stats(self):
+        CacheStats(accesses=4, hits=2, misses=2, bypasses=1).check()
+
+    def test_check_rejects_unbalanced_counts(self):
+        with pytest.raises(AssertionError, match="accesses"):
+            CacheStats(accesses=5, hits=2, misses=2).check()
+
+    def test_check_rejects_excess_bypasses(self):
+        with pytest.raises(AssertionError, match="bypasses"):
+            CacheStats(accesses=2, hits=1, misses=1, bypasses=2).check()
+
+    def test_check_rejects_excess_buffer_hits(self):
+        with pytest.raises(AssertionError, match="buffer"):
+            CacheStats(accesses=2, hits=1, misses=1, buffer_hits=2).check()
+
+    def test_check_rejects_excess_cold_misses(self):
+        with pytest.raises(AssertionError, match="cold"):
+            CacheStats(accesses=2, hits=1, misses=1, cold_misses=2).check()
+
+
+class TestSimulationResult:
+    def test_miss_rate_delegates(self):
+        result = SimulationResult("x", CacheStats(accesses=4, hits=3, misses=1))
+        assert result.miss_rate == pytest.approx(0.25)
+
+
+class TestPercentReduction:
+    def test_basic(self):
+        assert percent_reduction(0.10, 0.05) == pytest.approx(50.0)
+
+    def test_no_change(self):
+        assert percent_reduction(0.10, 0.10) == 0.0
+
+    def test_worse_is_negative(self):
+        assert percent_reduction(0.10, 0.12) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert percent_reduction(0.0, 0.1) == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the stream-buffer prefetcher."""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.stream_buffer import StreamBufferCache
+from repro.trace.trace import Trace
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+class TestBasics:
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ValueError):
+            StreamBufferCache(CacheGeometry(64, 4, associativity=2))
+
+    def test_requires_positive_depth(self):
+        with pytest.raises(ValueError):
+            StreamBufferCache(CacheGeometry(64, 4), depth=0)
+
+    def test_sequential_stream_costs_one_memory_miss(self):
+        cache = StreamBufferCache(CacheGeometry(64, 4), depth=4)
+        stats = cache.simulate(itrace([0, 4, 8, 12, 16]))
+        assert stats.misses == 1
+        assert stats.buffer_hits == 4
+
+    def test_prefetch_hit_promotes_into_cache(self):
+        cache = StreamBufferCache(CacheGeometry(64, 4), depth=2)
+        cache.access(0)
+        cache.access(4)  # buffer hit, promoted
+        assert cache.contains(4)
+
+    def test_non_sequential_restart(self):
+        cache = StreamBufferCache(CacheGeometry(64, 4), depth=2)
+        cache.access(0)
+        result = cache.access(100)  # not head of stream
+        assert result.miss
+        assert cache.stats.misses == 2
+
+    def test_does_not_reduce_conflict_misses(self):
+        """The paper's point: stream buffers fix miss penalty, not
+        conflicts — the alternating pair still misses every time."""
+        geometry = CacheGeometry(64, 4)
+        trace = itrace([0, 64] * 10)
+        stream = StreamBufferCache(geometry, depth=4).simulate(trace)
+        direct = DirectMappedCache(geometry).simulate(trace)
+        assert stream.misses == direct.misses
+
+    def test_stream_continues_extending(self):
+        cache = StreamBufferCache(CacheGeometry(256, 4), depth=1)
+        stats = cache.simulate(itrace([0, 4, 8, 12]))
+        # depth 1: each buffer hit re-extends by one line.
+        assert stats.misses == 1
+
+    def test_stats_consistent(self):
+        cache = StreamBufferCache(CacheGeometry(64, 4), depth=3)
+        stats = cache.simulate(itrace([0, 4, 100, 104, 0, 64]))
+        stats.check()
+
+    def test_reset(self):
+        cache = StreamBufferCache(CacheGeometry(64, 4))
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_lines() == frozenset()

@@ -1,0 +1,78 @@
+"""Tests for the victim cache (Jouppi)."""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.victim import VictimCache
+from repro.trace.trace import Trace
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+class TestBasics:
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ValueError):
+            VictimCache(CacheGeometry(64, 4, associativity=2))
+
+    def test_requires_positive_entries(self):
+        with pytest.raises(ValueError):
+            VictimCache(CacheGeometry(64, 4), entries=0)
+
+    def test_evicted_line_lands_in_buffer(self):
+        cache = VictimCache(CacheGeometry(64, 4), entries=2)
+        cache.access(0)
+        cache.access(64)  # evicts line 0 into the buffer
+        assert 0 in cache.resident_lines()
+
+    def test_buffer_hit_swaps(self):
+        cache = VictimCache(CacheGeometry(64, 4), entries=2)
+        cache.access(0)
+        cache.access(64)
+        result = cache.access(0)  # hit in victim buffer
+        assert result.hit
+        assert cache.stats.buffer_hits == 1
+        # After the swap, 64's line is in the buffer.
+        assert cache.access(64).hit
+
+    def test_thrashing_pair_fixed(self):
+        """The pathological DM pattern costs only the two cold misses."""
+        cache = VictimCache(CacheGeometry(64, 4), entries=1)
+        stats = cache.simulate(itrace([0, 64] * 20))
+        assert stats.misses == 2
+        assert stats.buffer_hits == 38
+
+    def test_buffer_capacity_limits_benefit(self):
+        # Three conflicting lines rotating through a 1-entry buffer miss.
+        cache = VictimCache(CacheGeometry(64, 4), entries=1)
+        stats = cache.simulate(itrace([0, 64, 128] * 10))
+        assert stats.misses == 30
+
+    def test_larger_buffer_catches_rotation(self):
+        cache = VictimCache(CacheGeometry(64, 4), entries=2)
+        stats = cache.simulate(itrace([0, 64, 128] * 10))
+        assert stats.misses == 3  # cold only
+
+    def test_never_worse_than_direct_mapped(self):
+        import random
+        rng = random.Random(2)
+        addrs = [rng.randrange(128) * 4 for _ in range(1000)]
+        geometry = CacheGeometry(128, 4)
+        victim = VictimCache(geometry, entries=4).simulate(itrace(addrs))
+        direct = DirectMappedCache(geometry).simulate(itrace(addrs))
+        assert victim.misses <= direct.misses
+
+    def test_stats_consistent(self):
+        cache = VictimCache(CacheGeometry(64, 4), entries=2)
+        stats = cache.simulate(itrace([0, 64, 0, 128, 64, 0]))
+        stats.check()
+
+    def test_reset(self):
+        cache = VictimCache(CacheGeometry(64, 4))
+        cache.access(0)
+        cache.access(64)
+        cache.reset()
+        assert cache.resident_lines() == frozenset()
+        assert cache.stats.accesses == 0

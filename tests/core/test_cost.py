@@ -1,0 +1,91 @@
+"""Tests for the hardware cost model (Figure 13 support)."""
+
+import math
+
+import pytest
+
+from repro.caches.geometry import CacheGeometry
+from repro.core.cost import (
+    EfficiencyRow,
+    direct_mapped_bits,
+    doubling_efficiency,
+    exclusion_efficiency,
+    exclusion_overhead_bits,
+)
+
+
+class TestDirectMappedBits:
+    def test_counts_data_tag_valid(self):
+        # 8KB, 16B lines, 32-bit addresses: 512 lines,
+        # tag = 32 - 4 - 9 = 19 bits; per line 128 + 19 + 1 = 148.
+        geometry = CacheGeometry(8 * 1024, 16)
+        assert direct_mapped_bits(geometry) == 512 * 148
+
+    def test_doubling_size_slightly_less_than_doubles_bits(self):
+        # The doubled cache has one less tag bit per line.
+        geometry = CacheGeometry(8 * 1024, 16)
+        small = direct_mapped_bits(geometry)
+        large = direct_mapped_bits(geometry.scaled(2))
+        assert small < large < 2 * small
+
+    def test_address_width_parameter(self):
+        geometry = CacheGeometry(8 * 1024, 16)
+        assert direct_mapped_bits(geometry, address_bits=40) > direct_mapped_bits(geometry)
+
+
+class TestOverheadBits:
+    def test_single_sticky_hashed_four_plus_buffer(self):
+        geometry = CacheGeometry(8 * 1024, 16)
+        bits = exclusion_overhead_bits(geometry)
+        # 512 lines x (1 sticky + 4 hashed) + 16B buffer + last-tag.
+        expected = 512 * 5 + 16 * 8 + (32 - 4) + 1
+        assert bits == expected
+
+    def test_without_buffer(self):
+        geometry = CacheGeometry(8 * 1024, 16)
+        assert exclusion_overhead_bits(geometry, last_line_buffer=False) == 512 * 5
+
+    def test_multi_sticky_needs_more_bits(self):
+        geometry = CacheGeometry(8 * 1024, 16)
+        one = exclusion_overhead_bits(geometry, sticky_levels=1, last_line_buffer=False)
+        three = exclusion_overhead_bits(geometry, sticky_levels=3, last_line_buffer=False)
+        assert three - one == geometry.num_lines  # 2 bits vs 1 bit
+
+    def test_overhead_is_small_fraction(self):
+        """The paper's table quotes ~3.4% size overhead."""
+        geometry = CacheGeometry(8 * 1024, 16)
+        fraction = exclusion_overhead_bits(geometry) / direct_mapped_bits(geometry)
+        assert 0.02 < fraction < 0.05
+
+
+class TestEfficiencyRows:
+    def test_efficiency_ratio(self):
+        row = EfficiencyRow("x", delta_size_percent=4.0, delta_miss_percent=20.0)
+        assert row.efficiency == pytest.approx(5.0)
+
+    def test_zero_size_growth(self):
+        row = EfficiencyRow("x", delta_size_percent=0.0, delta_miss_percent=10.0)
+        assert math.isinf(row.efficiency)
+
+    def test_exclusion_efficiency_row(self):
+        geometry = CacheGeometry(8 * 1024, 16)
+        row = exclusion_efficiency(geometry, baseline_miss_rate=0.10,
+                                   exclusion_miss_rate=0.07)
+        assert row.delta_miss_percent == pytest.approx(30.0)
+        assert 2.0 < row.delta_size_percent < 5.0
+        assert row.label == "8KB DE"
+
+    def test_doubling_efficiency_row(self):
+        geometry = CacheGeometry(8 * 1024, 16)
+        row = doubling_efficiency(geometry, baseline_miss_rate=0.10,
+                                  doubled_miss_rate=0.06)
+        assert row.delta_miss_percent == pytest.approx(40.0)
+        assert 95.0 < row.delta_size_percent < 100.0
+        assert row.label == "16KB DM"
+
+    def test_paper_shape_de_more_efficient(self):
+        """With paper-like numbers, DE efficiency dwarfs doubling."""
+        geometry = CacheGeometry(8 * 1024, 16)
+        de = exclusion_efficiency(geometry, 0.10, 0.079)  # 21% reduction
+        double = doubling_efficiency(geometry, 0.10, 0.059)  # 41% reduction
+        assert de.efficiency > 10 * double.efficiency

@@ -1,0 +1,168 @@
+"""Tests for the production DynamicExclusionCache, including a full
+differential check against the readable reference FSM."""
+
+import random
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.fsm import Decision, DynamicExclusionFSM, LineState
+from repro.core.hitlast import IdealHitLastStore
+from repro.trace.trace import Trace
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+class TestBasics:
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ValueError):
+            DynamicExclusionCache(CacheGeometry(64, 4, associativity=2))
+
+    def test_requires_positive_sticky(self):
+        with pytest.raises(ValueError):
+            DynamicExclusionCache(CacheGeometry(64, 4), sticky_levels=0)
+
+    def test_default_store_is_ideal(self):
+        cache = DynamicExclusionCache(CacheGeometry(64, 4))
+        assert isinstance(cache.store, IdealHitLastStore)
+
+    def test_cold_miss_loads(self):
+        cache = DynamicExclusionCache(CacheGeometry(64, 4))
+        result = cache.access(0)
+        assert result.miss and not result.bypassed
+        assert cache.contains(0)
+
+    def test_hit(self):
+        cache = DynamicExclusionCache(CacheGeometry(64, 4))
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_bypass_reported(self):
+        cache = DynamicExclusionCache(
+            CacheGeometry(64, 4), store=IdealHitLastStore(default=False)
+        )
+        cache.access(0)
+        result = cache.access(64)
+        assert result.miss and result.bypassed
+        assert cache.stats.bypasses == 1
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_eviction_reports_line(self):
+        cache = DynamicExclusionCache(
+            CacheGeometry(64, 4), store=IdealHitLastStore(default=False)
+        )
+        cache.access(0)
+        cache.access(64)  # bypass, sticky 0
+        result = cache.access(64)  # replace
+        assert result.evicted_line == 0
+
+    def test_line_state_snapshot(self):
+        cache = DynamicExclusionCache(CacheGeometry(64, 4))
+        cache.access(0)
+        state = cache.line_state(0)
+        assert state.tag == 0
+        assert state.sticky == 1
+        assert state.hit_last
+
+    def test_flush_hitlast_writes_resident_bits(self):
+        store = IdealHitLastStore(default=False)
+        cache = DynamicExclusionCache(CacheGeometry(64, 4), store=store)
+        cache.access(0)
+        cache.access(0)  # hit: hl set
+        cache.flush_hitlast()
+        assert store.lookup(0) is True
+
+    def test_reset_clears_everything(self):
+        store = IdealHitLastStore(default=False)
+        cache = DynamicExclusionCache(CacheGeometry(64, 4), store=store)
+        cache.access(0)
+        cache.access(0)
+        cache.flush_hitlast()
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_lines() == frozenset()
+        assert store.lookup(0) is False  # store reset too
+
+    def test_stats_consistent_on_random_trace(self):
+        rng = random.Random(0)
+        addrs = [rng.randrange(64) * 4 for _ in range(500)]
+        cache = DynamicExclusionCache(CacheGeometry(64, 4))
+        stats = cache.simulate(itrace(addrs))
+        stats.check()
+
+
+class _ReferenceModel:
+    """A DE cache built directly on the readable FSM, used as the
+    differential-testing oracle."""
+
+    def __init__(self, geometry, store, sticky_levels=1):
+        self.geometry = geometry
+        self.fsm = DynamicExclusionFSM(store, sticky_levels)
+        self.lines = [LineState() for _ in range(geometry.num_sets)]
+
+    def access(self, addr):
+        line_addr = self.geometry.line_address(addr)
+        index = self.geometry.set_index_of_line(line_addr)
+        return self.fsm.step(self.lines[index], line_addr)
+
+
+class TestDifferentialAgainstFSM:
+    @pytest.mark.parametrize("default", [True, False])
+    @pytest.mark.parametrize("sticky_levels", [1, 2, 3])
+    def test_matches_reference_model(self, default, sticky_levels):
+        geometry = CacheGeometry(64, 4)
+        fast = DynamicExclusionCache(
+            geometry,
+            store=IdealHitLastStore(default=default),
+            sticky_levels=sticky_levels,
+        )
+        slow = _ReferenceModel(
+            geometry, IdealHitLastStore(default=default), sticky_levels
+        )
+        rng = random.Random(42)
+        for step in range(3000):
+            addr = rng.randrange(80) * 4
+            fast_result = fast.access(addr)
+            decision = slow.access(addr)
+            if decision is Decision.HIT:
+                assert fast_result.hit, f"step {step}"
+            elif decision is Decision.BYPASS:
+                assert fast_result.miss and fast_result.bypassed, f"step {step}"
+            else:
+                assert fast_result.miss and not fast_result.bypassed, f"step {step}"
+        # Final contents must agree too.
+        reference_lines = {
+            state.tag for state in slow.lines if state.tag is not None
+        }
+        assert fast.resident_lines() == reference_lines
+
+
+class TestAgainstDirectMapped:
+    def test_exclusion_never_hits_unseen_lines(self):
+        geometry = CacheGeometry(64, 4)
+        cache = DynamicExclusionCache(geometry)
+        seen = set()
+        rng = random.Random(1)
+        for _ in range(1000):
+            addr = rng.randrange(64) * 4
+            line = geometry.line_address(addr)
+            if cache.access(addr).hit:
+                assert line in seen
+            seen.add(line)
+
+    def test_exclusion_helps_on_conflict_heavy_trace(self):
+        """On a trace dominated by two-way alternation DE must beat DM."""
+        geometry = CacheGeometry(64, 4)
+        addrs = []
+        for _ in range(50):
+            addrs.extend([0, 64])  # conflict pair
+            addrs.extend([4, 8, 12])  # private hits
+        trace = itrace(addrs)
+        dm = DirectMappedCache(geometry).simulate(trace)
+        de = DynamicExclusionCache(geometry).simulate(trace)
+        assert de.misses < dm.misses

@@ -1,0 +1,103 @@
+"""Unit tests for the dynamic-exclusion FSM transition table."""
+
+import pytest
+
+from repro.core.fsm import Decision, DynamicExclusionFSM, LineState
+from repro.core.hitlast import IdealHitLastStore
+
+
+def make_fsm(default=True, sticky_levels=1):
+    return DynamicExclusionFSM(IdealHitLastStore(default=default), sticky_levels)
+
+
+class TestTransitions:
+    def test_sticky_levels_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_fsm(sticky_levels=0)
+
+    def test_hit_sets_sticky_and_hitlast(self):
+        fsm = make_fsm()
+        line = LineState(tag=1, sticky=0, hit_last=False)
+        assert fsm.step(line, 1) is Decision.HIT
+        assert line.sticky == 1
+        assert line.hit_last
+
+    def test_cold_line_loads(self):
+        fsm = make_fsm()
+        line = LineState()
+        assert fsm.step(line, 5) is Decision.LOAD
+        assert line.tag == 5
+        assert line.sticky == 1
+        assert line.hit_last
+
+    def test_unsticky_resident_replaced(self):
+        fsm = make_fsm(default=False)
+        line = LineState(tag=1, sticky=0, hit_last=True)
+        assert fsm.step(line, 2) is Decision.LOAD
+        assert line.tag == 2
+        # The paper's A,!s -> B,s transition sets the incoming hl bit.
+        assert line.hit_last
+
+    def test_unsticky_replacement_writes_back_old_bit(self):
+        store = IdealHitLastStore(default=False)
+        fsm = DynamicExclusionFSM(store)
+        line = LineState(tag=1, sticky=0, hit_last=True)
+        fsm.step(line, 2)
+        assert store.lookup(1) is True
+
+    def test_sticky_resident_with_hitlast_incoming_replaced(self):
+        store = IdealHitLastStore(default=False)
+        store.update(2, True)
+        fsm = DynamicExclusionFSM(store)
+        line = LineState(tag=1, sticky=1, hit_last=True)
+        assert fsm.step(line, 2) is Decision.LOAD
+        assert line.tag == 2
+        # Fresh hl copy starts clear on the hit-last load path.
+        assert not line.hit_last
+
+    def test_sticky_resident_without_hitlast_incoming_bypassed(self):
+        fsm = make_fsm(default=False)
+        line = LineState(tag=1, sticky=1, hit_last=True)
+        assert fsm.step(line, 2) is Decision.BYPASS
+        assert line.tag == 1
+        assert line.sticky == 0
+
+    def test_bypass_then_second_conflict_replaces(self):
+        fsm = make_fsm(default=False)
+        line = LineState(tag=1, sticky=1, hit_last=True)
+        fsm.step(line, 2)
+        assert fsm.step(line, 2) is Decision.LOAD
+        assert line.tag == 2
+
+    def test_rereference_restores_sticky(self):
+        fsm = make_fsm(default=False)
+        line = LineState(tag=1, sticky=1, hit_last=True)
+        fsm.step(line, 2)  # bypass, sticky drops to 0
+        fsm.step(line, 1)  # hit restores stickiness
+        assert line.sticky == 1
+        assert fsm.step(line, 2) is Decision.BYPASS
+
+
+class TestMultiSticky:
+    def test_multiple_conflicts_needed_to_replace(self):
+        fsm = make_fsm(default=False, sticky_levels=3)
+        line = LineState(tag=1, sticky=3, hit_last=True)
+        assert fsm.step(line, 2) is Decision.BYPASS
+        assert fsm.step(line, 2) is Decision.BYPASS
+        assert fsm.step(line, 2) is Decision.BYPASS
+        assert fsm.step(line, 2) is Decision.LOAD
+
+    def test_hit_resets_counter_to_max(self):
+        fsm = make_fsm(default=False, sticky_levels=2)
+        line = LineState(tag=1, sticky=2, hit_last=True)
+        fsm.step(line, 2)
+        fsm.step(line, 1)
+        assert line.sticky == 2
+
+
+class TestLineState:
+    def test_copy_is_independent(self):
+        line = LineState(tag=1, sticky=1, hit_last=True)
+        clone = line.copy()
+        clone.tag = 9
+        assert line.tag == 1

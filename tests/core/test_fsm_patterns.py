@@ -1,0 +1,137 @@
+"""The paper's Section 3/4 worked examples, checked miss by miss.
+
+These are the paper's central analytic claims: on each common pattern
+the dynamic-exclusion cache converges to the optimal direct-mapped
+behaviour within at most two extra misses regardless of initial state.
+"""
+
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.optimal import OptimalDirectMappedCache
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import IdealHitLastStore
+from repro.workloads import patterns
+
+GEOMETRY = CacheGeometry(32 * 1024, 4)
+
+
+def de_cache(default):
+    return DynamicExclusionCache(GEOMETRY, store=IdealHitLastStore(default=default))
+
+
+def misses(cache, trace):
+    return cache.simulate(trace).misses
+
+
+class TestBetweenLoops:
+    """(a^10 b^10)^10 — direct-mapped is already optimal (10%)."""
+
+    trace = patterns.between_loops(GEOMETRY)
+
+    def test_direct_mapped_matches_paper(self):
+        assert misses(DirectMappedCache(GEOMETRY), self.trace) == 20
+
+    def test_optimal_matches_paper(self):
+        assert misses(OptimalDirectMappedCache(GEOMETRY), self.trace) == 20
+
+    @pytest.mark.parametrize("default", [True, False])
+    def test_exclusion_within_two_of_optimal(self, default):
+        de = misses(de_cache(default), self.trace)
+        assert 20 <= de <= 22
+
+    def test_exclusion_miss_rate_close_to_ten_percent(self):
+        de = misses(de_cache(True), self.trace)
+        assert de / len(self.trace) == pytest.approx(0.10, abs=0.02)
+
+
+class TestLoopLevel:
+    """(a^10 b)^10 — paper: DM 18%, optimal 10%, DE within 2 misses."""
+
+    trace = patterns.loop_level(GEOMETRY)
+
+    def test_direct_mapped_matches_paper(self):
+        assert misses(DirectMappedCache(GEOMETRY), self.trace) == 20
+
+    def test_optimal_matches_paper(self):
+        assert misses(OptimalDirectMappedCache(GEOMETRY), self.trace) == 11
+
+    @pytest.mark.parametrize("default", [True, False])
+    def test_exclusion_within_two_of_optimal(self, default):
+        de = misses(de_cache(default), self.trace)
+        assert 11 <= de <= 13
+
+    def test_b_is_eventually_locked_out(self):
+        """After training, b bypasses forever: its hit-last bit is reset
+        and the sticky bit protects a (the paper's key worked example)."""
+        cache = de_cache(True)
+        cache.simulate(self.trace)
+        a, b = patterns.conflicting_addresses(GEOMETRY, 2)
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.store.lookup(GEOMETRY.line_address(b)) is False
+
+
+class TestWithinLoop:
+    """(a b)^10 — paper: DM 100%, optimal 55%, DE keeps one of the two."""
+
+    trace = patterns.within_loop(GEOMETRY)
+
+    def test_direct_mapped_matches_paper(self):
+        assert misses(DirectMappedCache(GEOMETRY), self.trace) == 20
+
+    def test_optimal_matches_paper(self):
+        assert misses(OptimalDirectMappedCache(GEOMETRY), self.trace) == 11
+
+    @pytest.mark.parametrize("default", [True, False])
+    def test_exclusion_roughly_halves_misses(self, default):
+        de = misses(de_cache(default), self.trace)
+        assert 11 <= de <= 13
+
+    def test_one_instruction_stays_resident(self):
+        cache = de_cache(True)
+        cache.simulate(self.trace)
+        a, b = patterns.conflicting_addresses(GEOMETRY, 2)
+        assert cache.contains(a) or cache.contains(b)
+
+
+class TestThreeWay:
+    """(a b c)^10 — defeats the single sticky bit (paper Section 5)."""
+
+    trace = patterns.three_way(GEOMETRY)
+
+    def test_direct_mapped_misses_everything(self):
+        assert misses(DirectMappedCache(GEOMETRY), self.trace) == 30
+
+    def test_single_sticky_exclusion_misses_everything(self):
+        assert misses(de_cache(True), self.trace) == 30
+
+    def test_optimal_locks_one_instruction(self):
+        assert misses(OptimalDirectMappedCache(GEOMETRY), self.trace) == 21
+
+    def test_extra_sticky_bits_help_here(self):
+        """With more sticky levels the FSM can hold one instruction in
+        (the McF91a extension); the paper notes this helps this pattern
+        but hurts others."""
+        cache = DynamicExclusionCache(
+            GEOMETRY, store=IdealHitLastStore(default=False), sticky_levels=3
+        )
+        assert cache.simulate(self.trace).misses < 30
+
+
+class TestAnalyticHelpers:
+    def test_expected_counts_are_self_consistent(self):
+        assert patterns.between_loops_misses_dm() == 20
+        assert patterns.between_loops_misses_optimal() == 20
+        assert patterns.loop_level_misses_dm() == 20
+        assert patterns.loop_level_misses_optimal() == 11
+        assert patterns.within_loop_misses_dm() == 20
+        assert patterns.within_loop_misses_optimal() == 11
+        assert patterns.three_way_misses_dm() == 30
+        assert patterns.three_way_misses_optimal() == 21
+
+    def test_scaling_with_parameters(self):
+        assert patterns.loop_level_misses_dm(inner=5, outer=7) == 14
+        assert patterns.loop_level_misses_optimal(inner=5, outer=7) == 8
+        assert patterns.within_loop_misses_optimal(trips=4) == 5

@@ -1,0 +1,147 @@
+"""Tests for the hit-last storage strategies."""
+
+import pytest
+
+from repro.core.hitlast import (
+    HashedHitLastStore,
+    IdealHitLastStore,
+    L2BackedHitLastStore,
+    make_hitlast_store,
+)
+
+
+class TestIdealStore:
+    def test_default_polarity(self):
+        assert IdealHitLastStore(default=True).lookup(1) is True
+        assert IdealHitLastStore(default=False).lookup(1) is False
+
+    def test_update_then_lookup(self):
+        store = IdealHitLastStore(default=True)
+        store.update(5, False)
+        assert store.lookup(5) is False
+        assert store.lookup(6) is True
+
+    def test_reset(self):
+        store = IdealHitLastStore(default=True)
+        store.update(5, False)
+        store.reset()
+        assert store.lookup(5) is True
+        assert len(store) == 0
+
+    def test_len_counts_entries(self):
+        store = IdealHitLastStore()
+        store.update(1, True)
+        store.update(2, False)
+        store.update(1, False)
+        assert len(store) == 2
+
+
+class TestHashedStore:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            HashedHitLastStore(12)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashedHitLastStore(0)
+
+    def test_update_then_lookup(self):
+        store = HashedHitLastStore(64, default=True)
+        store.update(5, False)
+        assert store.lookup(5) is False
+
+    def test_collisions_share_a_bit(self):
+        store = HashedHitLastStore(4, default=True)
+        # Find two words that collide.
+        target = store._index(0)
+        collider = next(
+            w for w in range(1, 10_000) if store._index(w) == target
+        )
+        store.update(0, False)
+        assert store.lookup(collider) is False
+
+    def test_low_bits_index_the_table(self):
+        """Adjacent words get distinct bits; words one table-size
+        apart collide (the paper's untagged low-address indexing)."""
+        store = HashedHitLastStore(1 << 14)
+        assert store._index(5) != store._index(6)
+        assert store._index(7) == store._index(7 + (1 << 14))
+
+    def test_reset(self):
+        store = HashedHitLastStore(16, default=True)
+        store.update(3, False)
+        store.reset()
+        assert store.lookup(3) is True
+
+
+class TestL2BackedStore:
+    def _store(self, resident_lines, assume_hit, record_when_absent=False):
+        return L2BackedHitLastStore(
+            resident=lambda line: line in resident_lines,
+            l2_line_of=lambda word: word,  # identity for simplicity
+            assume_hit=assume_hit,
+            record_when_absent=record_when_absent,
+        )
+
+    def test_assume_hit_fallback(self):
+        store = self._store(set(), assume_hit=True)
+        assert store.lookup(7) is True
+
+    def test_assume_miss_fallback(self):
+        store = self._store(set(), assume_hit=False)
+        assert store.lookup(7) is False
+
+    def test_resident_word_uses_stored_bit(self):
+        resident = {7}
+        store = self._store(resident, assume_hit=True)
+        store.update(7, False)
+        assert store.lookup(7) is False
+
+    def test_update_to_absent_word_dropped(self):
+        resident = {1}
+        store = self._store(resident, assume_hit=False)
+        store.update(7, True)
+        resident.add(7)
+        # The bit was dropped, so the stored default applies.
+        assert store.lookup(7) is False
+
+    def test_record_when_absent_keeps_bit(self):
+        resident = set()
+        store = self._store(resident, assume_hit=False, record_when_absent=True)
+        store.update(7, True)
+        resident.add(7)  # victim transfer completes
+        assert store.lookup(7) is True
+
+    def test_invalidate_specific_words(self):
+        resident = {7}
+        store = self._store(resident, assume_hit=True)
+        store.update(7, False)
+        store.invalidate(7, words={7})
+        assert store.lookup(7) is True
+
+    def test_invalidate_sweep(self):
+        resident = {7}
+        store = self._store(resident, assume_hit=True)
+        store.update(7, False)
+        store.invalidate(7)
+        assert store.lookup(7) is True
+
+    def test_reset(self):
+        resident = {7}
+        store = self._store(resident, assume_hit=True)
+        store.update(7, False)
+        store.reset()
+        assert store.lookup(7) is True
+
+
+class TestFactory:
+    def test_ideal(self):
+        assert isinstance(make_hitlast_store("ideal"), IdealHitLastStore)
+
+    def test_hashed(self):
+        store = make_hitlast_store("hashed", num_bits=16)
+        assert isinstance(store, HashedHitLastStore)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_hitlast_store("mystery")

@@ -1,0 +1,111 @@
+"""Property-based tests on the dynamic-exclusion cache."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.optimal import OptimalDirectMappedCache
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import HashedHitLastStore, IdealHitLastStore
+from repro.trace.trace import Trace
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=127).map(lambda slot: slot * 4),
+    min_size=1,
+    max_size=200,
+)
+
+defaults = st.booleans()
+sticky = st.integers(min_value=1, max_value=3)
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+@given(addrs=addresses, default=defaults, levels=sticky)
+@settings(max_examples=60, deadline=None)
+def test_stats_always_consistent(addrs, default, levels):
+    cache = DynamicExclusionCache(
+        CacheGeometry(64, 4),
+        store=IdealHitLastStore(default=default),
+        sticky_levels=levels,
+    )
+    stats = cache.simulate(itrace(addrs))
+    stats.check()
+    assert stats.accesses == len(addrs)
+
+
+@given(addrs=addresses, default=defaults)
+@settings(max_examples=60, deadline=None)
+def test_optimal_is_a_lower_bound(addrs, default):
+    """No realizable policy may beat Belady-with-bypass."""
+    trace = itrace(addrs)
+    geometry = CacheGeometry(64, 4)
+    optimal = OptimalDirectMappedCache(geometry).simulate(trace)
+    exclusion = DynamicExclusionCache(
+        geometry, store=IdealHitLastStore(default=default)
+    ).simulate(trace)
+    assert exclusion.misses >= optimal.misses
+
+
+@given(addrs=addresses, default=defaults)
+@settings(max_examples=60, deadline=None)
+def test_hits_only_on_resident_lines(addrs, default):
+    geometry = CacheGeometry(64, 4)
+    cache = DynamicExclusionCache(
+        geometry, store=IdealHitLastStore(default=default)
+    )
+    resident = dict.fromkeys(range(geometry.num_sets))
+    for addr in addrs:
+        line = geometry.line_address(addr)
+        index = geometry.set_index_of_line(line)
+        result = cache.access(addr)
+        if result.hit:
+            assert resident[index] == line
+        elif not result.bypassed:
+            resident[index] = line  # loaded
+
+
+@given(addrs=addresses, default=defaults)
+@settings(max_examples=60, deadline=None)
+def test_bypass_leaves_contents_untouched(addrs, default):
+    geometry = CacheGeometry(64, 4)
+    cache = DynamicExclusionCache(
+        geometry, store=IdealHitLastStore(default=default)
+    )
+    for addr in addrs:
+        before = cache.resident_lines()
+        result = cache.access(addr)
+        if result.bypassed:
+            assert cache.resident_lines() == before
+
+
+@given(addrs=addresses)
+@settings(max_examples=40, deadline=None)
+def test_hashed_store_cache_is_well_behaved(addrs):
+    """The hashed store may mispredict but never corrupts the cache:
+    stats stay consistent and hits imply residency."""
+    geometry = CacheGeometry(64, 4)
+    cache = DynamicExclusionCache(
+        geometry, store=HashedHitLastStore(num_bits=16)
+    )
+    stats = cache.simulate(itrace(addrs))
+    stats.check()
+
+
+@given(addrs=addresses, default=defaults)
+@settings(max_examples=40, deadline=None)
+def test_misses_bounded_by_double_direct_mapped(addrs, default):
+    """A sticky bit delays reloading by at most one access per conflict,
+    so DE can at worst roughly double the DM misses; in practice the
+    bound below (DM misses + trace length slack) is loose but proves the
+    policy cannot diverge."""
+    trace = itrace(addrs)
+    geometry = CacheGeometry(64, 4)
+    dm = DirectMappedCache(geometry).simulate(trace)
+    de = DynamicExclusionCache(
+        geometry, store=IdealHitLastStore(default=default)
+    ).simulate(trace)
+    assert de.misses <= 2 * dm.misses

@@ -1,0 +1,15 @@
+"""Shared fixtures for experiment tests: shrink traces so the whole
+figure suite runs in seconds."""
+
+import pytest
+
+from repro.experiments.common import clear_trace_cache
+
+
+@pytest.fixture(autouse=True)
+def tiny_traces(monkeypatch):
+    """Run every experiment on 4k-reference traces."""
+    monkeypatch.setenv("REPRO_TRACE_SCALE", "0.02")
+    clear_trace_cache()
+    yield
+    clear_trace_cache()

@@ -1,0 +1,79 @@
+"""Tests for the experiment infrastructure."""
+
+import pytest
+
+from repro.caches.geometry import CacheGeometry
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.long_lines import LastLineBufferCache
+from repro.experiments import common
+
+
+class TestTraceScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SCALE", raising=False)
+        assert common.trace_scale() == 1.0
+        assert common.max_refs() == common.BASE_MAX_REFS
+
+    def test_scale_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.5")
+        assert common.max_refs() == common.BASE_MAX_REFS // 2
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "banana")
+        with pytest.raises(ValueError, match="number"):
+            common.trace_scale()
+
+    def test_non_positive_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0")
+        with pytest.raises(ValueError, match="positive"):
+            common.trace_scale()
+
+
+class TestTraceCache:
+    def test_traces_are_memoised(self):
+        a = common.cached_trace("tomcatv")
+        b = common.cached_trace("tomcatv")
+        assert a is b
+
+    def test_distinct_kinds_distinct_traces(self):
+        assert common.cached_trace("tomcatv", "instruction") is not common.cached_trace(
+            "tomcatv", "data"
+        )
+
+    def test_scale_invalidates(self, monkeypatch):
+        a = common.cached_trace("tomcatv")
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        b = common.cached_trace("tomcatv")
+        assert len(b) < len(a)
+
+    def test_all_traces_order(self):
+        from repro.workloads.registry import benchmark_names
+
+        traces = common.all_traces()
+        assert [t.name for t in traces] == benchmark_names()
+
+    def test_clear(self):
+        a = common.cached_trace("tomcatv")
+        common.clear_trace_cache()
+        assert common.cached_trace("tomcatv") is not a
+
+
+class TestFactories:
+    def test_standard_factories_single_word(self):
+        factories = common.standard_factories(4)
+        de = factories["dynamic-exclusion"](1024)
+        assert isinstance(de, DynamicExclusionCache)
+
+    def test_standard_factories_long_lines(self):
+        factories = common.standard_factories(16)
+        de = factories["dynamic-exclusion"](1024)
+        assert isinstance(de, LastLineBufferCache)
+
+    def test_factories_build_fresh_instances(self):
+        factories = common.standard_factories(4)
+        assert factories["direct-mapped"](1024) is not factories["direct-mapped"](1024)
+
+    def test_geometry_matches_parameter(self):
+        factories = common.standard_factories(4)
+        cache = factories["direct-mapped"](2048)
+        assert cache.geometry == CacheGeometry(2048, 4)

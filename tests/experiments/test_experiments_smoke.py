@@ -1,0 +1,143 @@
+"""Every experiment module must run end to end and produce a report.
+
+These run on 4k-reference traces (see conftest) so they only check
+plumbing and gross structure, not the paper numbers — those are the
+integration tests' job.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+
+@pytest.mark.parametrize("key", sorted(EXPERIMENTS))
+def test_report_is_nonempty_text(key):
+    module = EXPERIMENTS[key]
+    text = module.report()
+    assert isinstance(text, str)
+    assert len(text.splitlines()) >= 3
+    assert module.TITLE.split(":")[0] in text
+
+
+def test_fig03_covers_every_benchmark():
+    from repro.experiments import fig03_per_benchmark
+    from repro.workloads.registry import benchmark_names
+
+    results = fig03_per_benchmark.run()
+    assert sorted(results) == benchmark_names()
+    for rates in results.values():
+        assert set(rates) == {"direct-mapped", "dynamic-exclusion", "optimal"}
+        for value in rates.values():
+            assert 0.0 <= value <= 1.0
+
+
+def test_fig04_grid_is_complete():
+    from repro.experiments import fig04_cache_size
+    from repro.experiments.common import SIZE_SWEEP_KB
+
+    result = fig04_cache_size.run()
+    assert result.parameters == [kb * 1024 for kb in SIZE_SWEEP_KB]
+    for label in ["direct-mapped", "dynamic-exclusion", "optimal"]:
+        assert len(result.curve(label)) == len(SIZE_SWEEP_KB)
+
+
+def test_fig05_reductions_derive_from_fig04():
+    from repro.experiments import fig04_cache_size, fig05_improvement
+
+    base = fig04_cache_size.run()
+    reductions = fig05_improvement.run()
+    size = base.parameters[0]
+    dm = base.series["direct-mapped"].points[size]
+    de = base.series["dynamic-exclusion"].points[size]
+    expected = 100.0 * (dm - de) / dm if dm else 0.0
+    assert reductions.series["dynamic-exclusion"].points[size] == pytest.approx(expected)
+
+
+def test_fig05_peak_reports_a_swept_size():
+    from repro.experiments import fig05_improvement
+    from repro.experiments.common import SIZE_SWEEP_KB
+
+    size, value = fig05_improvement.peak()
+    assert size // 1024 in SIZE_SWEEP_KB
+    assert value == max(fig05_improvement.run().curve("dynamic-exclusion"))
+
+
+def test_hierarchy_sweep_shared_by_fig07_08_09():
+    from repro.experiments import fig07_l1_vs_l2, fig08_l2_missrate, hierarchy_sweep
+
+    assert fig07_l1_vs_l2.run() is fig08_l2_missrate.run()
+    assert fig07_l1_vs_l2.run() is hierarchy_sweep.run()
+
+
+def test_fig09_improvements_bounded():
+    from repro.experiments import fig09_l1_improvement
+
+    curves = fig09_l1_improvement.run()
+    for values in curves.values():
+        for value in values:
+            assert -100.0 <= value <= 100.0
+
+
+def test_fig11_line_sizes():
+    from repro.experiments import fig11_line_size
+    from repro.experiments.common import LINE_SIZE_SWEEP
+
+    result = fig11_line_size.run()
+    assert result.parameters == LINE_SIZE_SWEEP
+    assert set(fig11_line_size.improvements()) == set(LINE_SIZE_SWEEP)
+
+
+def test_fig13_structure():
+    from repro.experiments import fig13_efficiency
+
+    result = fig13_efficiency.run()
+    assert 0.0 <= result.exclusion_miss_rate <= result.baseline_miss_rate + 0.05
+    assert result.exclusion.delta_size_percent < 10.0
+    assert result.doubling.delta_size_percent > 90.0
+
+
+def test_sec3_matches_analytic_counts():
+    from repro.experiments import sec3_patterns
+
+    for row in sec3_patterns.run():
+        assert row.dm_misses == row.dm_expected
+        assert row.opt_misses == row.opt_expected
+
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out
+
+
+def test_cli_single_experiment(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--only", "sec3"]) == 0
+    out = capsys.readouterr().out
+    assert "Section 3" in out
+
+
+def test_cli_rejects_unknown_id(capsys):
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--only", "fig99"])
+
+
+def test_cli_svg_output(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--only", "fig04", "--svg", str(tmp_path)]) == 0
+    svg = tmp_path / "fig04.svg"
+    assert svg.exists()
+    assert svg.read_text().startswith("<svg")
+
+
+def test_cli_svg_skips_non_sweep_experiments(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--only", "sec3", "--svg", str(tmp_path)]) == 0
+    assert not (tmp_path / "sec3.svg").exists()

@@ -1,0 +1,87 @@
+"""Property tests on the two-level hierarchy."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.caches.geometry import CacheGeometry
+from repro.hierarchy.two_level import Strategy, TwoLevelCache
+from repro.trace.trace import Trace
+
+L1 = CacheGeometry(64, 4)
+L2 = CacheGeometry(256, 4)
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=255).map(lambda s: s * 4),
+    min_size=1,
+    max_size=200,
+)
+
+strategies = st.sampled_from(list(Strategy))
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+@given(addrs=addresses, strategy=strategies)
+@settings(max_examples=60, deadline=None)
+def test_l2_sees_exactly_the_l1_misses(addrs, strategy):
+    hierarchy = TwoLevelCache(L1, L2, strategy=strategy)
+    result = hierarchy.simulate(itrace(addrs))
+    assert result.l2.accesses == result.l1.misses
+    result.l1.check()
+    result.l2.check()
+
+
+@given(addrs=addresses, strategy=strategies)
+@settings(max_examples=60, deadline=None)
+def test_global_l2_misses_bounded_by_l1_misses(addrs, strategy):
+    hierarchy = TwoLevelCache(L1, L2, strategy=strategy)
+    result = hierarchy.simulate(itrace(addrs))
+    assert result.l2.misses <= result.l1.misses
+    assert result.l2_global_miss_rate <= result.l1_miss_rate + 1e-12
+
+
+@given(addrs=addresses)
+@settings(max_examples=60, deadline=None)
+def test_exclusion_l1_never_worse_than_plain_l1(addrs):
+    """The ideal-store hierarchy's L1 cannot lose to the conventional
+    one by more than the FSM's bounded training cost; on these short
+    traces we check the global bound misses_DE <= 2 * misses_DM."""
+    trace = itrace(addrs)
+    plain = TwoLevelCache(L1, L2, strategy="direct-mapped").simulate(trace)
+    ideal = TwoLevelCache(L1, L2, strategy="ideal").simulate(trace)
+    assert ideal.l1.misses <= 2 * max(1, plain.l1.misses)
+
+
+@given(addrs=addresses)
+@settings(max_examples=60, deadline=None)
+def test_assume_hit_at_equal_sizes_equals_direct_mapped(addrs):
+    """The degenerate case must hold on arbitrary traces, not just the
+    figure workloads (paper Section 5)."""
+    trace = itrace(addrs)
+    same_size = CacheGeometry(64, 4)
+    assume_hit = TwoLevelCache(L1, same_size, strategy="assume-hit").simulate(trace)
+    plain = TwoLevelCache(L1, same_size, strategy="direct-mapped").simulate(trace)
+    assert assume_hit.l1.misses == plain.l1.misses
+
+
+@given(addrs=addresses)
+@settings(max_examples=40, deadline=None)
+def test_exclusive_l2_holds_victims_immediately(addrs):
+    """In an exclusive hierarchy, an evicted L1 line is L2-resident the
+    moment the victim transfer completes, and a bypassed word is kept in
+    L2 right away."""
+    hierarchy = TwoLevelCache(L1, L2, strategy="assume-miss")
+    for addr in addrs:
+        before_resident = hierarchy.l1.contains(addr)
+        hierarchy.access(addr)
+        if before_resident:
+            continue
+        line = hierarchy.l1_geometry.line_address(addr)
+        l2_line = hierarchy._l2_line_of(line)
+        if hierarchy.l1.contains(addr):
+            # Stored in L1; nothing to assert about L2 (exclusive).
+            continue
+        # The word was bypassed: it must have been installed in L2.
+        assert hierarchy.l2.contains_line(l2_line)

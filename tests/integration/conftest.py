@@ -1,0 +1,21 @@
+"""Integration tests run on mid-size traces (50k references): large
+enough for the paper's shapes to be stable, small enough for CI."""
+
+import pytest
+
+from repro.experiments.common import clear_trace_cache
+
+
+@pytest.fixture(autouse=True, scope="module")
+def medium_traces():
+    import os
+
+    old = os.environ.get("REPRO_TRACE_SCALE")
+    os.environ["REPRO_TRACE_SCALE"] = "0.25"
+    clear_trace_cache()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_TRACE_SCALE", None)
+    else:
+        os.environ["REPRO_TRACE_SCALE"] = old
+    clear_trace_cache()

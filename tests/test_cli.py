@@ -1,0 +1,115 @@
+"""Tests for the repro.cli command line tools."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.io import load_din, save_din
+from repro.trace.trace import Trace
+
+
+class TestTraceCommand:
+    def test_writes_din_file(self, tmp_path, capsys):
+        out = tmp_path / "t.din"
+        assert main(["trace", "tomcatv", "--refs", "500", "--out", str(out)]) == 0
+        trace = load_din(out)
+        assert len(trace) == 500
+        assert "wrote" in capsys.readouterr().out
+
+    def test_stdout_output(self, capsys):
+        assert main(["trace", "tomcatv", "--refs", "10"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 10
+
+    def test_data_kind(self, tmp_path):
+        out = tmp_path / "d.din"
+        main(["trace", "tomcatv", "--kind", "data", "--refs", "100", "--out", str(out)])
+        trace = load_din(out)
+        assert all(r.kind.is_data for r in trace)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "quake", "--refs", "10"])
+
+
+class TestSimulateCommand:
+    def test_simulate_benchmark_by_name(self, capsys):
+        assert main(["simulate", "tomcatv", "--refs", "2000",
+                     "--size", "1024", "--line", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "misses" in out
+        assert "direct" in out
+
+    def test_simulate_din_file(self, tmp_path, capsys):
+        path = tmp_path / "t.din"
+        save_din(Trace([0, 4, 0, 4], [0] * 4), path)
+        assert main(["simulate", str(path), "--size", "64", "--line", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "accesses   : 4" in out
+
+    @pytest.mark.parametrize("policy", [
+        "direct", "exclusion", "exclusion-hashed", "optimal",
+        "lru", "fifo", "random", "victim", "stream",
+    ])
+    def test_every_policy_runs(self, policy, capsys):
+        assert main(["simulate", "tomcatv", "--refs", "1000",
+                     "--size", "1024", "--policy", policy]) == 0
+        assert "miss" in capsys.readouterr().out
+
+    def test_exclusion_reports_bypasses(self, tmp_path, capsys):
+        path = tmp_path / "t.din"
+        # Conflict pair in a 64B cache; assume-miss polarity forces a
+        # bypass immediately.
+        save_din(Trace([0, 64, 0, 64], [0] * 4), path)
+        assert main(["simulate", str(path), "--size", "64", "--line", "4",
+                     "--policy", "exclusion", "--assume-miss"]) == 0
+        assert "bypasses" in capsys.readouterr().out
+
+    def test_long_line_exclusion_uses_buffer(self, tmp_path, capsys):
+        path = tmp_path / "t.din"
+        save_din(Trace([0, 4, 8, 12], [0] * 4), path)
+        assert main(["simulate", str(path), "--size", "64", "--line", "16",
+                     "--policy", "exclusion"]) == 0
+        assert "buffer hits" in capsys.readouterr().out
+
+    def test_missing_trace_file(self):
+        with pytest.raises(SystemExit, match="neither a benchmark"):
+            main(["simulate", "/nonexistent/trace.din"])
+
+
+class TestClassifyCommand:
+    def test_classify_file(self, tmp_path, capsys):
+        path = tmp_path / "t.din"
+        save_din(Trace([0, 64, 0, 64], [0] * 4), path)
+        assert main(["classify", str(path), "--size", "64", "--line", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "compulsory : 2" in out
+        assert "conflict   : 2" in out
+
+    def test_classify_benchmark(self, capsys):
+        assert main(["classify", "tomcatv", "--refs", "2000", "--size", "1024"]) == 0
+        assert "total" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])
+
+
+class TestConflictsCommand:
+    def test_conflicts_on_file(self, tmp_path, capsys):
+        path = tmp_path / "t.din"
+        save_din(Trace([0, 64] * 10, [0] * 20), path)
+        assert main(["conflicts", str(path), "--size", "64", "--line", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ping-pong fraction" in out
+        assert "0x0 <-> 0x10" in out
+
+    def test_conflicts_on_benchmark(self, capsys):
+        assert main(["conflicts", "tomcatv", "--refs", "2000",
+                     "--size", "1024", "--top", "3"]) == 0
+        assert "conflicting sets" in capsys.readouterr().out

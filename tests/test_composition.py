@@ -1,0 +1,122 @@
+"""Cross-cutting composition tests: the wrappers must stack.
+
+A credible cache library lets policies compose — write policies around
+long-line exclusion around hierarchies.  These tests exercise the
+combinations the individual module tests do not.
+"""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.caches.geometry import CacheGeometry
+from repro.caches.write_policy import WritePolicy, WritePolicyCache
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import IdealHitLastStore
+from repro.core.long_lines import ExclusionStreamBufferCache, LastLineBufferCache
+from repro.core.victim_exclusion import ExclusionVictimCache
+from repro.trace.reference import RefKind
+from repro.trace.trace import Trace
+
+GEOMETRY = CacheGeometry(128, 16)
+
+
+def mixed_trace(seed, n=400):
+    rng = random.Random(seed)
+    addrs = []
+    kinds = []
+    for _ in range(n):
+        addrs.append(rng.randrange(128) * 4)
+        kinds.append(rng.choice([0, 0, 0, 1, 2]))
+    return Trace(addrs, kinds)
+
+
+def de_inner(default=True):
+    return DynamicExclusionCache(GEOMETRY, store=IdealHitLastStore(default=default))
+
+
+class TestWritePolicyOverLongLines:
+    def test_write_back_over_last_line_buffer(self):
+        cache = WritePolicyCache(LastLineBufferCache(de_inner()))
+        stats = cache.simulate(mixed_trace(1))
+        stats.check()
+        assert cache.traffic.lines_fetched > 0
+
+    def test_write_through_over_last_line_buffer(self):
+        cache = WritePolicyCache(
+            LastLineBufferCache(de_inner()), WritePolicy.WRITE_THROUGH
+        )
+        trace = mixed_trace(2)
+        stats = cache.simulate(trace)
+        stats.check()
+        stores = sum(1 for _, k in trace.pairs() if k == int(RefKind.STORE))
+        assert cache.traffic.words_written_through == stores
+
+    def test_write_back_over_stream_buffer(self):
+        cache = WritePolicyCache(ExclusionStreamBufferCache(de_inner(), depth=2))
+        stats = cache.simulate(mixed_trace(3))
+        stats.check()
+
+    def test_write_back_over_victim_hybrid(self):
+        cache = WritePolicyCache(
+            ExclusionVictimCache(CacheGeometry(128, 4), entries=2)
+        )
+        stats = cache.simulate(mixed_trace(4))
+        stats.check()
+
+
+class TestNamesCompose:
+    def test_wrapper_names_are_descriptive(self):
+        cache = WritePolicyCache(LastLineBufferCache(de_inner()))
+        assert "write-back" in cache.name
+        assert "last-line" in cache.name
+        assert "dynamic-exclusion" in cache.name
+
+
+class TestResetCascades:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: WritePolicyCache(LastLineBufferCache(de_inner())),
+            lambda: WritePolicyCache(ExclusionStreamBufferCache(de_inner())),
+            lambda: LastLineBufferCache(de_inner()),
+        ],
+    )
+    def test_reset_clears_every_layer(self, factory):
+        cache = factory()
+        cache.simulate(mixed_trace(5, n=100))
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_lines() == frozenset()
+        # Re-simulating from reset must reproduce the fresh-run stats.
+        first = factory().simulate(mixed_trace(6, n=100))
+        again = cache.simulate(mixed_trace(6, n=100))
+        assert first.misses == again.misses
+
+
+addresses_and_kinds = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=127).map(lambda s: s * 4),
+        st.sampled_from([0, 1, 2]),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+@given(refs=addresses_and_kinds, policy=st.sampled_from(list(WritePolicy)))
+@settings(max_examples=50, deadline=None)
+def test_composed_stack_invariants(refs, policy):
+    """Any reference mix through the full stack keeps stats consistent
+    and traffic non-negative."""
+    cache = WritePolicyCache(LastLineBufferCache(de_inner()), policy)
+    trace = Trace([a for a, _ in refs], [k for _, k in refs])
+    stats = cache.simulate(trace)
+    stats.check()
+    assert cache.traffic.lines_fetched >= 0
+    assert cache.traffic.lines_written_back >= 0
+    # Write-back can never write back more lines than it fetched.
+    if policy is WritePolicy.WRITE_BACK:
+        assert cache.traffic.lines_written_back <= cache.traffic.lines_fetched

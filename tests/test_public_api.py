@@ -1,0 +1,72 @@
+"""The public surface: exports exist, README quickstart works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.trace",
+            "repro.workloads",
+            "repro.caches",
+            "repro.core",
+            "repro.hierarchy",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_core_types_reachable_from_root(self):
+        assert repro.DynamicExclusionCache
+        assert repro.CacheGeometry
+        assert repro.TwoLevelCache
+        assert repro.OptimalDirectMappedCache
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        """The code block in README.md, verbatim in spirit."""
+        from repro import (
+            CacheGeometry,
+            DirectMappedCache,
+            DynamicExclusionCache,
+            OptimalDirectMappedCache,
+            instruction_trace,
+        )
+
+        geometry = CacheGeometry(size=32 * 1024, line_size=4)
+        trace = instruction_trace("gcc", max_refs=20_000)
+
+        conventional = DirectMappedCache(geometry).simulate(trace)
+        exclusion = DynamicExclusionCache(geometry).simulate(trace)
+        optimal = OptimalDirectMappedCache(geometry).simulate(trace)
+
+        assert optimal.miss_rate <= exclusion.miss_rate <= conventional.miss_rate
+
+    def test_examples_are_importable_as_scripts(self):
+        """Every example must at least compile."""
+        import pathlib
+        import py_compile
+
+        examples = pathlib.Path(__file__).parent.parent / "examples"
+        scripts = sorted(examples.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,66 @@
+"""Tests for repro.trace.reference."""
+
+import pytest
+
+from repro.trace.reference import INSTRUCTION_SIZE, Reference, RefKind
+
+
+class TestRefKind:
+    def test_values_are_stable(self):
+        assert RefKind.IFETCH == 0
+        assert RefKind.LOAD == 1
+        assert RefKind.STORE == 2
+
+    def test_ifetch_is_instruction(self):
+        assert RefKind.IFETCH.is_instruction
+
+    def test_load_is_not_instruction(self):
+        assert not RefKind.LOAD.is_instruction
+
+    def test_store_is_not_instruction(self):
+        assert not RefKind.STORE.is_instruction
+
+    def test_load_is_data(self):
+        assert RefKind.LOAD.is_data
+
+    def test_store_is_data(self):
+        assert RefKind.STORE.is_data
+
+    def test_ifetch_is_not_data(self):
+        assert not RefKind.IFETCH.is_data
+
+    def test_only_store_is_write(self):
+        assert RefKind.STORE.is_write
+        assert not RefKind.LOAD.is_write
+        assert not RefKind.IFETCH.is_write
+
+    def test_kinds_are_ints(self):
+        # Simulators rely on the IntEnum property for cheap dispatch.
+        assert int(RefKind.STORE) == 2
+        assert RefKind(1) is RefKind.LOAD
+
+
+class TestReference:
+    def test_fields(self):
+        ref = Reference(0x1234, RefKind.LOAD)
+        assert ref.addr == 0x1234
+        assert ref.kind is RefKind.LOAD
+
+    def test_line_alignment(self):
+        ref = Reference(0x1237, RefKind.IFETCH)
+        assert ref.line(16) == 0x1230
+
+    def test_line_of_aligned_address_is_identity(self):
+        ref = Reference(0x1000, RefKind.IFETCH)
+        assert ref.line(16) == 0x1000
+
+    def test_line_size_one_word(self):
+        ref = Reference(0x1001, RefKind.IFETCH)
+        assert ref.line(4) == 0x1000
+
+    def test_is_a_tuple(self):
+        addr, kind = Reference(5, RefKind.STORE)
+        assert (addr, kind) == (5, RefKind.STORE)
+
+    def test_instruction_size_is_four(self):
+        assert INSTRUCTION_SIZE == 4

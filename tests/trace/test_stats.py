@@ -1,0 +1,105 @@
+"""Tests for trace statistics (summaries, working sets, reuse distance)."""
+
+import pytest
+
+from repro.trace.stats import (
+    lru_miss_rate_from_distances,
+    reuse_distance_histogram,
+    reuse_distances,
+    summarize,
+    working_set_sizes,
+)
+from repro.trace.trace import Trace
+
+
+class TestSummarize:
+    def test_counts(self):
+        trace = Trace([0, 4, 100, 200], [0, 0, 1, 2], name="x")
+        summary = summarize(trace)
+        assert summary.length == 4
+        assert summary.instruction_refs == 2
+        assert summary.load_refs == 1
+        assert summary.store_refs == 1
+        assert summary.data_refs == 2
+
+    def test_footprints(self):
+        trace = Trace([0, 0, 4, 100], [0, 0, 0, 1])
+        summary = summarize(trace)
+        assert summary.instruction_footprint_bytes == 8
+        assert summary.data_footprint_bytes == 4
+        assert summary.footprint_bytes == 12
+
+    def test_name_propagates(self):
+        assert summarize(Trace([1], [0], name="n")).name == "n"
+
+
+class TestWorkingSets:
+    def test_non_overlapping_windows(self):
+        trace = Trace([0, 4, 0, 4, 8, 12], [0] * 6)
+        sizes = working_set_sizes(trace, window=2, line_size=4)
+        assert sizes == [2, 2, 2]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            working_set_sizes(Trace([0], [0]), window=0)
+
+    def test_last_partial_window(self):
+        trace = Trace([0, 4, 8], [0] * 3)
+        sizes = working_set_sizes(trace, window=2, line_size=4)
+        assert sizes == [2, 1]
+
+
+class TestReuseDistances:
+    def test_first_use_is_minus_one(self):
+        distances = reuse_distances(Trace([0, 4, 8], [0] * 3))
+        assert list(distances) == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        distances = reuse_distances(Trace([0, 0], [0, 0]))
+        assert list(distances) == [-1, 0]
+
+    def test_distance_counts_distinct_lines(self):
+        # 0, 4, 8, 0 at 4B lines: the second 0 has two distinct lines
+        # (4 and 8) between its uses.
+        distances = reuse_distances(Trace([0, 4, 8, 0], [0] * 4))
+        assert distances[3] == 2
+
+    def test_repeated_intermediate_counts_once(self):
+        # 0, 4, 4, 0 -> only one distinct line between the uses of 0.
+        distances = reuse_distances(Trace([0, 4, 4, 0], [0] * 4))
+        assert distances[3] == 1
+
+    def test_line_granularity(self):
+        # 0 and 4 share a 16B line, so reuse of 0 sees no intermediates.
+        distances = reuse_distances(Trace([0, 4, 0], [0] * 3), line_size=16)
+        assert list(distances) == [-1, 0, 0]
+
+    def test_histogram(self):
+        hist = reuse_distance_histogram(Trace([0, 4, 0, 4], [0] * 4))
+        assert hist[-1] == 2
+        assert hist[1] == 2
+
+    def test_histogram_clamping(self):
+        trace = Trace([0, 4, 8, 12, 0], [0] * 5)
+        hist = reuse_distance_histogram(trace, max_distance=2)
+        assert hist[2] == 1  # the distance-3 reuse is clamped to 2
+
+
+class TestLRUCrossCheck:
+    def test_matches_fully_associative_simulation(self):
+        from repro.caches.set_associative import FullyAssociativeCache
+
+        addrs = [0, 4, 8, 12, 0, 4, 16, 0, 20, 8] * 5
+        trace = Trace(addrs, [0] * len(addrs))
+        capacity_lines = 4
+        analytic = lru_miss_rate_from_distances(trace, capacity_lines, line_size=4)
+        cache = FullyAssociativeCache(capacity_lines * 4, 4)
+        simulated = cache.simulate(trace).miss_rate
+        assert analytic == pytest.approx(simulated)
+
+    def test_empty_trace(self):
+        assert lru_miss_rate_from_distances(Trace.empty(), 4) == 0.0
+
+    def test_everything_misses_with_capacity_zero_reuse(self):
+        trace = Trace([0, 8, 16, 24], [0] * 4)
+        assert lru_miss_rate_from_distances(trace, 2) == 1.0

@@ -1,0 +1,139 @@
+"""Tests for repro.trace.trace."""
+
+import numpy as np
+import pytest
+
+from repro.trace.reference import Reference, RefKind
+from repro.trace.trace import Trace, TraceBuilder
+
+
+def make_trace():
+    return Trace([0x100, 0x104, 0x200, 0x100], [0, 0, 1, 2], name="t")
+
+
+class TestConstruction:
+    def test_length(self):
+        assert len(make_trace()) == 4
+
+    def test_empty(self):
+        trace = Trace.empty("e")
+        assert len(trace) == 0
+        assert trace.name == "e"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            Trace([1, 2], [0])
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="invalid reference kind"):
+            Trace([1], [7])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Trace(np.zeros((2, 2), dtype=np.uint64), np.zeros((2, 2), dtype=np.uint8))
+
+    def test_from_references(self):
+        refs = [Reference(1, RefKind.IFETCH), Reference(2, RefKind.STORE)]
+        trace = Trace.from_references(refs)
+        assert list(trace) == refs
+
+    def test_arrays_are_read_only(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            trace.addrs[0] = 9
+
+
+class TestSequenceProtocol:
+    def test_iteration_yields_references(self):
+        trace = make_trace()
+        refs = list(trace)
+        assert refs[0] == Reference(0x100, RefKind.IFETCH)
+        assert refs[2] == Reference(0x200, RefKind.LOAD)
+        assert refs[3] == Reference(0x100, RefKind.STORE)
+
+    def test_indexing(self):
+        trace = make_trace()
+        assert trace[1] == Reference(0x104, RefKind.IFETCH)
+
+    def test_negative_indexing(self):
+        trace = make_trace()
+        assert trace[-1] == Reference(0x100, RefKind.STORE)
+
+    def test_slicing_returns_trace(self):
+        trace = make_trace()
+        head = trace[:2]
+        assert isinstance(head, Trace)
+        assert len(head) == 2
+        assert head.name == "t"
+
+    def test_pairs_are_plain_ints(self):
+        pairs = list(make_trace().pairs())
+        assert pairs[0] == (0x100, 0)
+        assert all(isinstance(a, int) for a, _ in pairs)
+
+    def test_equality(self):
+        assert make_trace() == make_trace()
+
+    def test_inequality(self):
+        assert make_trace() != Trace([1], [0])
+
+    def test_hash_consistency(self):
+        assert hash(make_trace()) == hash(make_trace())
+
+
+class TestConvenience:
+    def test_counts_by_kind(self):
+        counts = make_trace().counts_by_kind()
+        assert counts[RefKind.IFETCH] == 2
+        assert counts[RefKind.LOAD] == 1
+        assert counts[RefKind.STORE] == 1
+
+    def test_footprint_counts_unique_addresses(self):
+        assert make_trace().footprint() == 3
+
+    def test_line_footprint(self):
+        # 0x100 and 0x104 share a 16B line; 0x200 is separate.
+        assert make_trace().line_footprint(16) == 2
+
+    def test_line_footprint_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            make_trace().line_footprint(12)
+
+    def test_with_name(self):
+        renamed = make_trace().with_name("other")
+        assert renamed.name == "other"
+        assert renamed == make_trace()
+
+
+class TestTraceBuilder:
+    def test_build_empty(self):
+        assert len(TraceBuilder().build()) == 0
+
+    def test_kind_helpers(self):
+        builder = TraceBuilder()
+        builder.ifetch(1)
+        builder.load(2)
+        builder.store(3)
+        trace = builder.build("b")
+        assert list(trace) == [
+            Reference(1, RefKind.IFETCH),
+            Reference(2, RefKind.LOAD),
+            Reference(3, RefKind.STORE),
+        ]
+        assert trace.name == "b"
+
+    def test_len_tracks_appends(self):
+        builder = TraceBuilder()
+        assert len(builder) == 0
+        builder.ifetch(0)
+        assert len(builder) == 1
+
+    def test_extend(self):
+        builder = TraceBuilder()
+        builder.extend([Reference(1, RefKind.LOAD), Reference(2, RefKind.LOAD)])
+        assert len(builder.build()) == 2
+
+    def test_append_with_kind(self):
+        builder = TraceBuilder()
+        builder.append(7, RefKind.STORE)
+        assert builder.build()[0] == Reference(7, RefKind.STORE)

@@ -1,0 +1,184 @@
+"""Tests for trace transforms."""
+
+import pytest
+
+from repro.trace.reference import Reference, RefKind
+from repro.trace.trace import Trace
+from repro.trace.transforms import (
+    collapse_sequential_lines,
+    concatenate,
+    filter_kinds,
+    interleave,
+    line_addresses,
+    only_data,
+    only_instructions,
+    rebase,
+    truncate,
+)
+
+
+def mixed_trace():
+    return Trace(
+        [0x10, 0x14, 0x1000, 0x18, 0x2000],
+        [0, 0, 1, 0, 2],
+        name="m",
+    )
+
+
+class TestFiltering:
+    def test_only_instructions(self):
+        instr = only_instructions(mixed_trace())
+        assert len(instr) == 3
+        assert all(r.kind is RefKind.IFETCH for r in instr)
+
+    def test_only_data(self):
+        data = only_data(mixed_trace())
+        assert [r.kind for r in data] == [RefKind.LOAD, RefKind.STORE]
+
+    def test_filter_preserves_order(self):
+        instr = only_instructions(mixed_trace())
+        assert [r.addr for r in instr] == [0x10, 0x14, 0x18]
+
+    def test_filter_kinds_custom(self):
+        stores = filter_kinds(mixed_trace(), [RefKind.STORE])
+        assert [r.addr for r in stores] == [0x2000]
+
+    def test_filter_preserves_name(self):
+        assert only_data(mixed_trace()).name == "m"
+
+
+class TestTruncateConcat:
+    def test_truncate(self):
+        assert len(truncate(mixed_trace(), 2)) == 2
+
+    def test_truncate_beyond_length(self):
+        assert len(truncate(mixed_trace(), 100)) == 5
+
+    def test_truncate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            truncate(mixed_trace(), -1)
+
+    def test_concatenate(self):
+        joined = concatenate([mixed_trace(), mixed_trace()])
+        assert len(joined) == 10
+        assert joined[5] == mixed_trace()[0]
+
+    def test_concatenate_empty_list(self):
+        assert len(concatenate([])) == 0
+
+    def test_concatenate_names(self):
+        assert concatenate([mixed_trace()], name="x").name == "x"
+        assert concatenate([mixed_trace()]).name == "m"
+
+
+class TestRebase:
+    def test_shifts_addresses(self):
+        shifted = rebase(mixed_trace(), 0x100)
+        assert shifted[0].addr == 0x110
+
+    def test_negative_shift(self):
+        shifted = rebase(mixed_trace(), -0x10)
+        assert shifted[0].addr == 0
+
+    def test_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            rebase(mixed_trace(), -0x1000000)
+
+    def test_kinds_unchanged(self):
+        shifted = rebase(mixed_trace(), 4)
+        assert list(shifted.kinds) == list(mixed_trace().kinds)
+
+
+class TestLineAddresses:
+    def test_divides_by_line_size(self):
+        lines = line_addresses(Trace([0, 4, 8, 12], [0, 0, 0, 0]), 8)
+        assert list(lines) == [0, 0, 1, 1]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            line_addresses(mixed_trace(), 3)
+
+
+class TestCollapseSequentialLines:
+    def test_merges_runs(self):
+        trace = Trace([0, 4, 8, 16, 20, 0], [0] * 6)
+        collapsed = collapse_sequential_lines(trace, 16)
+        # lines: 0,0,0,1,1,0 -> events at 0, 1, 0
+        assert [r.addr for r in collapsed] == [0, 16, 0]
+
+    def test_empty_trace(self):
+        trace = Trace.empty()
+        assert len(collapse_sequential_lines(trace, 16)) == 0
+
+    def test_single_word_lines_merge_immediate_repeats_only(self):
+        trace = Trace([0, 0, 4, 0], [0] * 4)
+        collapsed = collapse_sequential_lines(trace, 4)
+        assert [r.addr for r in collapsed] == [0, 4, 0]
+
+    def test_kind_of_run_head_is_kept(self):
+        trace = Trace([0, 4], [int(RefKind.STORE), int(RefKind.LOAD)])
+        collapsed = collapse_sequential_lines(trace, 16)
+        assert collapsed[0].kind is RefKind.STORE
+
+    def test_addresses_are_line_aligned(self):
+        trace = Trace([20], [0])
+        collapsed = collapse_sequential_lines(trace, 16)
+        assert collapsed[0].addr == 16
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = Trace([1, 2], [0, 0])
+        b = Trace([10, 20], [1, 1])
+        merged = interleave([a, b])
+        assert [r.addr for r in merged] == [1, 10, 2, 20]
+
+    def test_uneven_lengths(self):
+        a = Trace([1, 2, 3], [0, 0, 0])
+        b = Trace([10], [1])
+        merged = interleave([a, b])
+        assert [r.addr for r in merged] == [1, 10, 2, 3]
+
+    def test_empty_inputs(self):
+        assert len(interleave([])) == 0
+
+
+class TestTimeshare:
+    def _traces(self):
+        from repro.trace.transforms import timeshare
+
+        a = Trace([1, 2, 3, 4], [0] * 4, name="a")
+        b = Trace([10, 20], [1] * 2, name="b")
+        return timeshare, a, b
+
+    def test_quantum_slicing(self):
+        timeshare, a, b = self._traces()
+        merged = timeshare([a, b], quantum=2)
+        assert [r.addr for r in merged] == [1, 2, 10, 20, 3, 4]
+
+    def test_kinds_preserved(self):
+        timeshare, a, b = self._traces()
+        merged = timeshare([a, b], quantum=2)
+        assert [int(k) for k in merged.kinds] == [0, 0, 1, 1, 0, 0]
+
+    def test_exhausted_trace_drops_out(self):
+        timeshare, a, b = self._traces()
+        merged = timeshare([a, b], quantum=1)
+        assert [r.addr for r in merged] == [1, 10, 2, 20, 3, 4]
+
+    def test_total_length_conserved(self):
+        timeshare, a, b = self._traces()
+        assert len(timeshare([a, b], quantum=3)) == 6
+
+    def test_quantum_must_be_positive(self):
+        timeshare, a, b = self._traces()
+        with pytest.raises(ValueError):
+            timeshare([a, b], quantum=0)
+
+    def test_single_trace_passthrough(self):
+        timeshare, a, _ = self._traces()
+        assert timeshare([a], quantum=2) == a.with_name("")
+
+    def test_name(self):
+        timeshare, a, b = self._traces()
+        assert timeshare([a, b], quantum=2, name="shared").name == "shared"

@@ -1,0 +1,177 @@
+"""Tests for the data-reference patterns."""
+
+import pytest
+
+from repro.trace.reference import RefKind
+from repro.workloads.data_model import (
+    PointerChase,
+    RandomAccess,
+    ScalarAccess,
+    StackAccess,
+    StridedAccess,
+    interleave_refs,
+)
+
+
+class TestScalar:
+    def test_same_address_every_time(self):
+        scalar = ScalarAccess(0x100)
+        assert scalar.emit() == [(0x100, RefKind.LOAD)]
+        assert scalar.emit() == [(0x100, RefKind.LOAD)]
+
+    def test_periodic_writes(self):
+        scalar = ScalarAccess(0x100, write_every=2)
+        kinds = [scalar.emit()[0][1] for _ in range(4)]
+        assert kinds == [RefKind.LOAD, RefKind.STORE, RefKind.LOAD, RefKind.STORE]
+
+    def test_reset_restarts_write_phase(self):
+        scalar = ScalarAccess(0x100, write_every=2)
+        scalar.emit()
+        scalar.reset()
+        assert scalar.emit()[0][1] is RefKind.LOAD
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarAccess(-1)
+
+
+class TestStrided:
+    def test_advances_by_stride(self):
+        stream = StridedAccess(0, length=64, stride=8, refs_per_visit=2)
+        assert [a for a, _ in stream.emit()] == [0, 8]
+        assert [a for a, _ in stream.emit()] == [16, 24]
+
+    def test_wraps_at_length(self):
+        stream = StridedAccess(0x1000, length=16, stride=8, refs_per_visit=3)
+        addrs = [a for a, _ in stream.emit()]
+        assert addrs == [0x1000, 0x1008, 0x1000]
+
+    def test_reset(self):
+        stream = StridedAccess(0, length=64, stride=8)
+        stream.emit()
+        stream.reset()
+        assert stream.emit()[0][0] == 0
+
+    def test_write_fraction_produces_stores(self):
+        stream = StridedAccess(0, length=1024, stride=4, refs_per_visit=4,
+                               write_fraction=0.5)
+        kinds = [k for _ in range(10) for _, k in stream.emit()]
+        stores = sum(1 for k in kinds if k is RefKind.STORE)
+        assert 0 < stores < len(kinds)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StridedAccess(0, length=0)
+        with pytest.raises(ValueError):
+            StridedAccess(0, length=16, write_fraction=2.0)
+
+
+class TestRandom:
+    def test_addresses_inside_region(self):
+        region = RandomAccess(0x1000, size=256, refs_per_visit=4, seed=1)
+        for _ in range(20):
+            for addr, _ in region.emit():
+                assert 0x1000 <= addr < 0x1100
+
+    def test_granule_alignment(self):
+        region = RandomAccess(0, size=256, refs_per_visit=8, granule=4, seed=2)
+        for addr, _ in region.emit():
+            assert addr % 4 == 0
+
+    def test_deterministic_after_reset(self):
+        region = RandomAccess(0, size=256, refs_per_visit=4, seed=3)
+        first = region.emit()
+        region.reset()
+        assert region.emit() == first
+
+    def test_region_must_hold_a_granule(self):
+        with pytest.raises(ValueError):
+            RandomAccess(0, size=2, granule=4)
+
+
+class TestPointerChase:
+    def test_visits_every_node_once_per_cycle(self):
+        chase = PointerChase(0, num_nodes=8, node_size=16, hops_per_visit=1, seed=4)
+        visited = [chase.emit()[0][0] for _ in range(8)]
+        assert len(set(visited)) == 8
+
+    def test_cycle_repeats(self):
+        chase = PointerChase(0, num_nodes=4, node_size=16, hops_per_visit=1, seed=5)
+        first_cycle = [chase.emit()[0][0] for _ in range(4)]
+        second_cycle = [chase.emit()[0][0] for _ in range(4)]
+        assert first_cycle == second_cycle
+
+    def test_addresses_are_node_aligned(self):
+        chase = PointerChase(0x1000, num_nodes=4, node_size=16, seed=6)
+        for _ in range(8):
+            for addr, _ in chase.emit():
+                assert (addr - 0x1000) % 16 == 0
+
+    def test_reset_restarts_cycle(self):
+        chase = PointerChase(0, num_nodes=4, node_size=16, seed=7)
+        start = chase.emit()[0][0]
+        chase.emit()
+        chase.reset()
+        assert chase.emit()[0][0] == start
+
+    def test_needs_a_node(self):
+        with pytest.raises(ValueError):
+            PointerChase(0, num_nodes=0)
+
+
+class TestStack:
+    def test_depth_tracks_push_pop(self):
+        stack = StackAccess(0x1000, frame_size=32)
+        assert stack.depth == 0
+        stack.push()
+        stack.push()
+        assert stack.depth == 2
+        stack.pop()
+        assert stack.depth == 1
+
+    def test_pop_at_zero_is_safe(self):
+        stack = StackAccess(0x1000)
+        stack.pop()
+        assert stack.depth == 0
+
+    def test_max_depth_clamps(self):
+        stack = StackAccess(0x1000, max_depth=1)
+        stack.push()
+        stack.push()
+        assert stack.depth == 1
+
+    def test_refs_stay_in_current_frame(self):
+        stack = StackAccess(0x1000, frame_size=32, refs_per_visit=8, seed=8)
+        stack.push()
+        for addr, _ in stack.emit():
+            assert 0x1000 + 32 <= addr < 0x1000 + 64
+
+    def test_reset_clears_depth(self):
+        stack = StackAccess(0x1000)
+        stack.push()
+        stack.reset()
+        assert stack.depth == 0
+
+
+class TestInterleave:
+    def test_data_spread_between_instructions(self):
+        instructions = [0, 4, 8, 12]
+        data = [(100, RefKind.LOAD), (200, RefKind.STORE)]
+        merged = list(interleave_refs(instructions, data))
+        assert len(merged) == 6
+        # Instructions keep their order; data refs interleave evenly.
+        instr_positions = [i for i, (_, k) in enumerate(merged) if k is RefKind.IFETCH]
+        assert instr_positions == [0, 1, 3, 4]
+
+    def test_no_instructions_yields_data_only(self):
+        data = [(1, RefKind.LOAD)]
+        assert list(interleave_refs([], data)) == data
+
+    def test_no_data_yields_instructions_only(self):
+        merged = list(interleave_refs([0, 4], []))
+        assert merged == [(0, RefKind.IFETCH), (4, RefKind.IFETCH)]
+
+    def test_all_data_emitted(self):
+        data = [(i, RefKind.LOAD) for i in range(7)]
+        merged = list(interleave_refs([0, 4], data))
+        assert len(merged) == 9

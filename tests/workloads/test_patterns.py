@@ -1,0 +1,84 @@
+"""Tests for the Section-3 conflict microkernels."""
+
+import pytest
+
+from repro.caches.geometry import CacheGeometry
+from repro.trace.reference import RefKind
+from repro.workloads.patterns import (
+    between_loops,
+    conflicting_addresses,
+    loop_level,
+    three_way,
+    within_loop,
+)
+
+GEOMETRY = CacheGeometry(1024, 4)
+
+
+class TestConflictingAddresses:
+    def test_all_map_to_same_set(self):
+        addrs = conflicting_addresses(GEOMETRY, 4)
+        sets = {GEOMETRY.set_index(a) for a in addrs}
+        assert len(sets) == 1
+
+    def test_addresses_are_distinct_lines(self):
+        addrs = conflicting_addresses(GEOMETRY, 4)
+        lines = {GEOMETRY.line_address(a) for a in addrs}
+        assert len(lines) == 4
+
+    def test_set_index_parameter(self):
+        addrs = conflicting_addresses(GEOMETRY, 2, set_index=5)
+        assert all(GEOMETRY.set_index(a) == 5 for a in addrs)
+
+    def test_set_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            conflicting_addresses(GEOMETRY, 2, set_index=10_000)
+
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ValueError):
+            conflicting_addresses(CacheGeometry(1024, 4, associativity=2), 2)
+
+    def test_conflicts_survive_in_smaller_caches(self):
+        """Addresses one cache-size apart also conflict at half size."""
+        addrs = conflicting_addresses(GEOMETRY, 2)
+        half = CacheGeometry(512, 4)
+        assert half.set_index(addrs[0]) == half.set_index(addrs[1])
+
+
+class TestPatternShapes:
+    def test_between_loops_sequence(self):
+        trace = between_loops(GEOMETRY, inner=2, outer=2)
+        a, b = conflicting_addresses(GEOMETRY, 2)
+        assert [r.addr for r in trace] == [a, a, b, b, a, a, b, b]
+
+    def test_loop_level_sequence(self):
+        trace = loop_level(GEOMETRY, inner=3, outer=2)
+        a, b = conflicting_addresses(GEOMETRY, 2)
+        assert [r.addr for r in trace] == [a, a, a, b, a, a, a, b]
+
+    def test_within_loop_sequence(self):
+        trace = within_loop(GEOMETRY, trips=3)
+        a, b = conflicting_addresses(GEOMETRY, 2)
+        assert [r.addr for r in trace] == [a, b, a, b, a, b]
+
+    def test_three_way_sequence(self):
+        trace = three_way(GEOMETRY, trips=2)
+        a, b, c = conflicting_addresses(GEOMETRY, 3)
+        assert [r.addr for r in trace] == [a, b, c, a, b, c]
+
+    def test_all_instruction_kind(self):
+        for trace in [between_loops(GEOMETRY), loop_level(GEOMETRY),
+                      within_loop(GEOMETRY), three_way(GEOMETRY)]:
+            assert all(r.kind is RefKind.IFETCH for r in trace)
+
+    def test_lengths(self):
+        assert len(between_loops(GEOMETRY, 10, 10)) == 200
+        assert len(loop_level(GEOMETRY, 10, 10)) == 110
+        assert len(within_loop(GEOMETRY, 10)) == 20
+        assert len(three_way(GEOMETRY, 10)) == 30
+
+    def test_names(self):
+        assert between_loops(GEOMETRY).name == "between-loops"
+        assert loop_level(GEOMETRY).name == "loop-level"
+        assert within_loop(GEOMETRY).name == "within-loop"
+        assert three_way(GEOMETRY).name == "three-way"

@@ -1,0 +1,92 @@
+"""Tests for the ten SPEC-like benchmark generators.
+
+These check the *structural* properties each benchmark is supposed to
+have (footprint class, data mix, determinism), not exact miss rates —
+those live in the integration tests.
+"""
+
+import pytest
+
+from repro.trace.reference import RefKind
+from repro.trace.stats import summarize
+from repro.workloads.spec import SPEC_BUILDERS, SPEC_DESCRIPTIONS, SPEC_NAMES
+from repro.workloads.registry import instruction_trace, mixed_trace
+
+
+class TestRoster:
+    def test_ten_benchmarks(self):
+        assert len(SPEC_NAMES) == 10
+
+    def test_names_match_paper_figure_2(self):
+        assert SPEC_NAMES == sorted(
+            ["doduc", "eqntott", "espresso", "fpppp", "gcc",
+             "li", "matrix300", "nasa7", "spice", "tomcatv"]
+        )
+
+    def test_every_benchmark_has_description(self):
+        assert set(SPEC_DESCRIPTIONS) == set(SPEC_BUILDERS)
+
+    def test_descriptions_match_paper(self):
+        assert SPEC_DESCRIPTIONS["gcc"] == "GNU C compiler"
+        assert SPEC_DESCRIPTIONS["li"] == "lisp interpreter"
+        assert SPEC_DESCRIPTIONS["tomcatv"] == "vectorized mesh generation"
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+class TestEveryBenchmark:
+    def test_builds_and_emits(self, name):
+        trace = mixed_trace(name, max_refs=5_000)
+        assert len(trace) == 5_000
+
+    def test_deterministic(self, name):
+        assert mixed_trace(name, 2_000) == mixed_trace(name, 2_000)
+
+    def test_contains_instructions_and_data(self, name):
+        counts = mixed_trace(name, 10_000).counts_by_kind()
+        assert counts[RefKind.IFETCH] > 0
+        assert counts[RefKind.LOAD] > 0
+
+    def test_instruction_addresses_word_aligned(self, name):
+        trace = instruction_trace(name, 2_000)
+        assert all(r.addr % 4 == 0 for r in trace)
+
+
+class TestFootprintClasses:
+    """The paper's Figure 3 split depends on these size relations."""
+
+    def _ifootprint(self, name):
+        return summarize(instruction_trace(name, 50_000)).instruction_footprint_bytes
+
+    def test_small_numeric_kernels_fit_tiny_caches(self):
+        for name in ["matrix300", "tomcatv", "nasa7"]:
+            assert self._ifootprint(name) < 4 * 1024, name
+
+    def test_large_codes_exceed_reference_cache(self):
+        # Their *code range* spans multiple 32KB windows, which is what
+        # generates conflicts (the touched footprint may be smaller).
+        from repro.workloads.registry import build_program
+
+        for name in ["gcc", "spice"]:
+            assert build_program(name).code_size > 64 * 1024, name
+
+    def test_gcc_is_the_largest(self):
+        sizes = {name: self._ifootprint(name) for name in ["gcc", "eqntott", "tomcatv"]}
+        assert sizes["gcc"] > sizes["eqntott"] > sizes["tomcatv"]
+
+
+class TestDataMix:
+    def test_numeric_codes_have_more_data_refs(self):
+        def data_share(name):
+            counts = mixed_trace(name, 30_000).counts_by_kind()
+            total = sum(counts.values())
+            return (counts[RefKind.LOAD] + counts[RefKind.STORE]) / total
+
+        assert data_share("matrix300") > data_share("gcc")
+
+    def test_gcc_has_stores(self):
+        counts = mixed_trace("gcc", 30_000).counts_by_kind()
+        assert counts[RefKind.STORE] > 0
+
+    def test_eqntott_data_is_loads_dominated(self):
+        counts = mixed_trace("eqntott", 30_000).counts_by_kind()
+        assert counts[RefKind.LOAD] > counts[RefKind.STORE]
