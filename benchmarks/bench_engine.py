@@ -1,0 +1,74 @@
+"""Fast-engine speedup benchmark: set-partitioned kernels vs reference.
+
+Times both engines on the same 200k-reference gcc trace for the two
+kernel-backed policies (direct-mapped and dynamic exclusion), reports
+refs/sec and speedup, and persists the table to
+``benchmarks/results/bench_engine.txt``.  The acceptance floor for this
+optimisation is a 5x speedup on the direct-mapped model and 2x on
+dynamic exclusion; the assertions below keep regressions visible.
+"""
+
+import time
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.perf import engine
+from repro.workloads.registry import instruction_trace
+
+GEOMETRY = CacheGeometry(32 * 1024, 4)
+TRACE_REFS = 200_000
+ROUNDS = 3
+
+
+def _best_seconds(make_cache, trace, engine_name):
+    """Minimum wall-clock over ROUNDS runs, fresh model each run."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        cache = make_cache()
+        start = time.perf_counter()
+        result = engine.simulate(cache, trace, engine=engine_name)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _measure(label, make_cache, trace):
+    ref_s, ref_stats = _best_seconds(make_cache, trace, "reference")
+    fast_s, fast_stats = _best_seconds(make_cache, trace, "fast")
+    assert fast_stats == ref_stats, f"{label}: engines disagree"
+    return {
+        "label": label,
+        "ref_rps": len(trace) / ref_s,
+        "fast_rps": len(trace) / fast_s,
+        "speedup": ref_s / fast_s,
+    }
+
+
+def test_engine_speedup(results_dir):
+    trace = instruction_trace("gcc", TRACE_REFS)
+    rows = [
+        _measure("direct-mapped", lambda: DirectMappedCache(GEOMETRY), trace),
+        _measure(
+            "dynamic-exclusion", lambda: DynamicExclusionCache(GEOMETRY), trace
+        ),
+    ]
+
+    lines = [
+        f"Engine speedup (gcc, {TRACE_REFS:,} refs, 32KB/4B, best of {ROUNDS})",
+        f"{'policy':<18} {'reference':>14} {'fast':>14} {'speedup':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['label']:<18} "
+            f"{row['ref_rps'] / 1e6:>11.1f} M/s "
+            f"{row['fast_rps'] / 1e6:>11.1f} M/s "
+            f"{row['speedup']:>7.1f}x"
+        )
+    report = "\n".join(lines)
+    (results_dir / "bench_engine.txt").write_text(report + "\n")
+    print(f"\n{report}\n")
+
+    by_label = {row["label"]: row["speedup"] for row in rows}
+    assert by_label["direct-mapped"] >= 5.0
+    assert by_label["dynamic-exclusion"] >= 2.0

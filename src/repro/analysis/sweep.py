@@ -3,14 +3,25 @@
 A sweep runs one simulator factory over a grid of parameter values and a
 set of traces, collecting miss rates into a
 :class:`SweepResult` that the report/plot modules can render directly.
+
+Sweeps execute through :mod:`repro.perf`: the ``engine`` argument picks
+the fast set-partitioned kernels or the reference simulators (results
+are identical either way), and ``workers`` fans the independent
+(parameter, policy, trace) cells out to a process pool.  Traces may be
+given as :class:`~repro.trace.trace.Trace` objects or as cheap
+:class:`~repro.perf.parallel.TraceKey` recipes; parallel runs want keys
+so workers regenerate traces locally instead of unpickling megabyte
+arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..caches.base import Cache, OfflineCache
+from ..perf import parallel
+from ..perf.engine import simulate as engine_simulate
 from ..trace.trace import Trace
 
 #: A factory mapping one sweep parameter value to a fresh simulator.
@@ -47,35 +58,49 @@ def run_sweep(
     parameter_name: str,
     parameters: Sequence[object],
     factories: "Dict[str, CacheFactory]",
-    traces: Sequence[Trace],
+    traces: Sequence[parallel.TraceLike],
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Simulate every (parameter, factory) pair over ``traces``.
 
     The recorded value is the *mean miss rate across traces* — the
     paper averages miss rates over the SPEC benchmarks, not over pooled
     references, and we follow it.
+
+    ``engine`` and ``workers`` default to the process-wide settings
+    (see :mod:`repro.perf`); passing ``workers`` above 1 requires
+    picklable factories and is cheapest with
+    :class:`~repro.perf.parallel.TraceKey` traces.
     """
     result = SweepResult(parameter_name=parameter_name, parameters=list(parameters))
+    cells = [
+        (factory, parameter, trace)
+        for parameter in parameters
+        for factory in factories.values()
+        for trace in traces
+    ]
+    rates = parallel.run_cells(cells, engine=engine, workers=workers)
+    per_trace = len(traces)
+    position = 0
     for parameter in parameters:
-        for label, factory in factories.items():
-            rates = []
-            for trace in traces:
-                simulator = factory(parameter)
-                stats = simulator.simulate(trace)
-                rates.append(stats.miss_rate)
-            mean = sum(rates) / len(rates) if rates else 0.0
+        for label in factories:
+            cell_rates = rates[position : position + per_trace]
+            position += per_trace
+            mean = sum(cell_rates) / len(cell_rates) if cell_rates else 0.0
             result.add(label, parameter, mean)
     return result
 
 
 def per_trace_rates(
     factory: Callable[[], Union[Cache, OfflineCache]],
-    traces: Sequence[Trace],
+    traces: Sequence[parallel.TraceLike],
+    engine: Optional[str] = None,
 ) -> "Dict[str, float]":
     """Miss rate of one configuration on each trace, keyed by trace name."""
     rates: "Dict[str, float]" = {}
-    for trace in traces:
-        simulator = factory()
-        stats = simulator.simulate(trace)
+    for trace_like in traces:
+        trace = parallel.as_trace(trace_like)
+        stats = engine_simulate(factory(), trace, engine=engine)
         rates[trace.name or f"trace{len(rates)}"] = stats.miss_rate
     return rates

@@ -5,8 +5,10 @@ from __future__ import annotations
 from typing import FrozenSet, List, Optional
 
 from ..trace.reference import RefKind
+from ..trace.trace import Trace
 from .base import AccessResult, Cache
 from .geometry import CacheGeometry
+from .stats import CacheStats
 
 _HIT = AccessResult(hit=True)
 _COLD_MISS = AccessResult(hit=False)
@@ -60,6 +62,50 @@ class DirectMappedCache(Cache):
             return _COLD_MISS
         stats.evictions += 1
         return AccessResult(hit=False, evicted_line=resident)
+
+    def simulate(self, trace: Trace) -> CacheStats:
+        """Stats-only fast path over :meth:`access`.
+
+        Same state transitions and counters, but no per-reference
+        :class:`AccessResult` allocation (``simulate`` callers never see
+        the per-access results).  Subclasses that override ``access``
+        keep the generic base-class loop.
+        """
+        if type(self) is not DirectMappedCache:
+            return super().simulate(trace)
+        tags = self._tags
+        mask = self._index_mask
+        shift = self._offset_bits
+        hits = cold = evictions = bypasses = 0
+        if self.allocate_on_miss:
+            for addr in trace.addrs.tolist():
+                line = addr >> shift
+                index = line & mask
+                resident = tags[index]
+                if resident == line:
+                    hits += 1
+                elif resident is None:
+                    cold += 1
+                    tags[index] = line
+                else:
+                    evictions += 1
+                    tags[index] = line
+        else:
+            for addr in trace.addrs.tolist():
+                line = addr >> shift
+                if tags[line & mask] == line:
+                    hits += 1
+                else:
+                    bypasses += 1
+        accesses = len(trace)
+        stats = self.stats
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += accesses - hits
+        stats.cold_misses += cold
+        stats.evictions += evictions
+        stats.bypasses += bypasses
+        return stats
 
     def install_line(self, line: int) -> Optional[int]:
         """Place ``line`` (a line address) without counting an access.

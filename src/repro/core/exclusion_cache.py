@@ -18,7 +18,9 @@ from typing import FrozenSet, List, Optional
 
 from ..caches.base import AccessResult, Cache
 from ..caches.geometry import CacheGeometry
+from ..caches.stats import CacheStats
 from ..trace.reference import RefKind
+from ..trace.trace import Trace
 from .fsm import LineState
 from .hitlast import HitLastStore, IdealHitLastStore
 
@@ -113,6 +115,64 @@ class DynamicExclusionCache(Cache):
         self._sticky[index] -= 1
         stats.bypasses += 1
         return _BYPASS
+
+    def simulate(self, trace: Trace) -> CacheStats:
+        """Stats-only fast path over :meth:`access`.
+
+        Identical FSM transitions and store traffic, but no per-reference
+        :class:`AccessResult` allocation and no method-call overhead per
+        reference.  Subclasses that override ``access`` keep the generic
+        base-class loop.
+        """
+        if type(self) is not DynamicExclusionCache:
+            return super().simulate(trace)
+        tags = self._tags
+        sticky = self._sticky
+        hl = self._hl
+        store = self.store
+        lookup = store.lookup
+        update = store.update
+        mask = self._index_mask
+        shift = self._offset_bits
+        sticky_max = self.sticky_levels
+        hits = cold = evictions = bypasses = 0
+        for addr in trace.addrs.tolist():
+            line = addr >> shift
+            index = line & mask
+            resident = tags[index]
+            if resident == line:
+                hits += 1
+                sticky[index] = sticky_max
+                hl[index] = True
+            elif resident is None:
+                cold += 1
+                tags[index] = line
+                sticky[index] = sticky_max
+                hl[index] = True
+            elif sticky[index] == 0:
+                update(resident, hl[index])
+                tags[index] = line
+                sticky[index] = sticky_max
+                hl[index] = True
+                evictions += 1
+            elif lookup(line):
+                update(resident, hl[index])
+                tags[index] = line
+                sticky[index] = sticky_max
+                hl[index] = False
+                evictions += 1
+            else:
+                sticky[index] -= 1
+                bypasses += 1
+        accesses = len(trace)
+        stats = self.stats
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += accesses - hits
+        stats.cold_misses += cold
+        stats.evictions += evictions
+        stats.bypasses += bypasses
+        return stats
 
     def contains(self, addr: int) -> bool:
         # O(1) override; wrappers (write policies, hierarchies) probe

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --list          # what exists
     python -m repro.experiments --svg figures/  # also save SVG charts
     REPRO_TRACE_SCALE=5 python -m repro.experiments --only fig04
+    python -m repro.experiments --only fig04 --engine fast --workers 4
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import time
 from pathlib import Path
 from typing import List
 
+from .. import perf
 from . import EXPERIMENTS
 
 
@@ -37,7 +39,30 @@ def main(argv: "List[str] | None" = None) -> int:
         metavar="DIR",
         help="also render each sweep-style experiment as DIR/<id>.svg",
     )
+    parser.add_argument(
+        "--engine",
+        choices=list(perf.ENGINES),
+        default=None,
+        help="simulation engine: 'fast' uses the set-partitioned numpy "
+        "kernels where available (identical results), 'reference' the "
+        "per-reference simulators (default)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for sweep cells (default: REPRO_WORKERS "
+        "or 1 = sequential)",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.engine is not None:
+        perf.set_default_engine(args.engine)
+    if args.workers is not None:
+        perf.set_default_workers(args.workers)
 
     if args.list:
         for key, module in EXPERIMENTS.items():

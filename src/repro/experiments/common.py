@@ -10,6 +10,7 @@
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 from ..caches.direct_mapped import DirectMappedCache
@@ -18,6 +19,7 @@ from ..caches.optimal import OptimalDirectMappedCache, OptimalLastLineCache
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import IdealHitLastStore
 from ..core.long_lines import make_long_line_exclusion_cache
+from ..perf.parallel import TraceKey, clear_trace_cache as _clear_key_cache
 from ..trace.trace import Trace
 from ..workloads.registry import benchmark_names, trace_by_kind
 
@@ -76,9 +78,21 @@ def all_traces(kind: str = "instruction") -> List[Trace]:
     return [cached_trace(name, kind) for name in benchmark_names()]
 
 
+def all_trace_keys(kind: str = "instruction") -> List[TraceKey]:
+    """One :class:`~repro.perf.parallel.TraceKey` per SPEC benchmark.
+
+    Keys pickle as three scalars, so sweeps built on them can fan out to
+    worker processes without shipping trace arrays; sequential runs
+    materialise them through the same per-process memo.
+    """
+    budget = max_refs()
+    return [TraceKey(name, kind, budget) for name in benchmark_names()]
+
+
 def clear_trace_cache() -> None:
     """Drop all memoised traces (tests use this to control memory)."""
     _TRACE_CACHE.clear()
+    _clear_key_cache()
 
 
 # -- standard simulator factories ---------------------------------------------
@@ -111,19 +125,69 @@ def optimal_long_lines(geometry: CacheGeometry) -> OptimalLastLineCache:
     return OptimalLastLineCache(geometry)
 
 
-#: Factory name -> callable, for the single-level figures.  For line
-#: sizes above one word the DE and optimal models get the Section 6
-#: treatment automatically.
+@dataclass(frozen=True)
+class StandardFactory:
+    """A picklable size-sweep factory for one standard curve.
+
+    Sweep cells cross process boundaries under ``--workers``, so the
+    factories must pickle; a frozen dataclass with the curve name and
+    line size replaces the closures that used to live here.  For line
+    sizes above one word the DE and optimal models get the Section 6
+    treatment automatically.
+    """
+
+    curve: str  # "direct-mapped" | "dynamic-exclusion" | "optimal"
+    line_size: int
+
+    def __call__(self, size: object):
+        geometry = CacheGeometry(int(size), self.line_size)  # type: ignore[call-overload]
+        if self.curve == "direct-mapped":
+            return direct_mapped(geometry)
+        if self.curve == "dynamic-exclusion":
+            if self.line_size <= 4:
+                return dynamic_exclusion(geometry)
+            return dynamic_exclusion_long_lines(geometry)
+        if self.curve == "optimal":
+            if self.line_size <= 4:
+                return optimal(geometry)
+            return optimal_long_lines(geometry)
+        raise ValueError(f"unknown standard curve {self.curve!r}")
+
+
 def standard_factories(line_size: int) -> "Dict[str, Callable[[object], object]]":
     """The three curves of Figures 4/11/12/14/15, parameterised by size."""
-    if line_size <= 4:
-        de_factory = dynamic_exclusion
-        opt_factory = optimal
-    else:
-        de_factory = dynamic_exclusion_long_lines
-        opt_factory = optimal_long_lines
     return {
-        "direct-mapped": lambda size: direct_mapped(CacheGeometry(int(size), line_size)),
-        "dynamic-exclusion": lambda size: de_factory(CacheGeometry(int(size), line_size)),
-        "optimal": lambda size: opt_factory(CacheGeometry(int(size), line_size)),
+        curve: StandardFactory(curve, line_size)
+        for curve in ["direct-mapped", "dynamic-exclusion", "optimal"]
+    }
+
+
+@dataclass(frozen=True)
+class LineSizeFactory:
+    """Picklable Figure-11 factory: fixed cache size, swept line size.
+
+    Unlike :class:`StandardFactory`, the DE and optimal curves use the
+    Section 6 last-line treatment at *every* line size (including 4B) —
+    Figure 11 compares the long-line designs across their whole axis.
+    """
+
+    curve: str  # as StandardFactory
+    size: int
+
+    def __call__(self, line_size: object):
+        geometry = CacheGeometry(self.size, int(line_size))  # type: ignore[call-overload]
+        if self.curve == "direct-mapped":
+            return direct_mapped(geometry)
+        if self.curve == "dynamic-exclusion":
+            return dynamic_exclusion_long_lines(geometry)
+        if self.curve == "optimal":
+            return optimal_long_lines(geometry)
+        raise ValueError(f"unknown standard curve {self.curve!r}")
+
+
+def line_size_factories(size: int) -> "Dict[str, Callable[[object], object]]":
+    """The three curves of Figure 11, parameterised by line size."""
+    return {
+        curve: LineSizeFactory(curve, size)
+        for curve in ["direct-mapped", "dynamic-exclusion", "optimal"]
     }

@@ -24,7 +24,7 @@ from ..caches.victim import VictimCache
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import IdealHitLastStore
 from ..core.set_assoc_exclusion import SetAssociativeExclusionCache
-from .common import REFERENCE_SIZE, SIZE_SWEEP_KB, all_traces, max_refs
+from .common import REFERENCE_SIZE, SIZE_SWEEP_KB, all_trace_keys, max_refs
 
 TITLE = "Extension: dynamic exclusion vs associativity (b=4B)"
 
@@ -41,24 +41,47 @@ TIMING_MODELS: Dict[str, TimingModel] = {
 _CACHE: "dict[int, SweepResult]" = {}
 
 
+class _Factory:
+    """Picklable size-sweep factory for one comparison curve (sweep
+    cells cross process boundaries under ``--workers``)."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __call__(self, size: object):
+        geometry = CacheGeometry(int(size), 4)  # type: ignore[call-overload]
+        if self.label == "direct-mapped":
+            return DirectMappedCache(geometry)
+        if self.label == "dynamic-exclusion":
+            return DynamicExclusionCache(geometry, store=IdealHitLastStore(default=True))
+        if self.label == "victim-4":
+            return VictimCache(geometry, entries=4)
+        if self.label == "2-way":
+            return SetAssociativeCache(
+                CacheGeometry(int(size), 4, associativity=2)  # type: ignore[call-overload]
+            )
+        if self.label == "2-way+DE":
+            return SetAssociativeExclusionCache(
+                CacheGeometry(int(size), 4, associativity=2),  # type: ignore[call-overload]
+                store=IdealHitLastStore(default=True),
+            )
+        if self.label == "4-way":
+            return SetAssociativeCache(
+                CacheGeometry(int(size), 4, associativity=4)  # type: ignore[call-overload]
+            )
+        raise ValueError(f"unknown curve {self.label!r}")
+
+
 def _factories():
-    return {
-        "direct-mapped": lambda size: DirectMappedCache(CacheGeometry(int(size), 4)),
-        "dynamic-exclusion": lambda size: DynamicExclusionCache(
-            CacheGeometry(int(size), 4), store=IdealHitLastStore(default=True)
-        ),
-        "victim-4": lambda size: VictimCache(CacheGeometry(int(size), 4), entries=4),
-        "2-way": lambda size: SetAssociativeCache(
-            CacheGeometry(int(size), 4, associativity=2)
-        ),
-        "2-way+DE": lambda size: SetAssociativeExclusionCache(
-            CacheGeometry(int(size), 4, associativity=2),
-            store=IdealHitLastStore(default=True),
-        ),
-        "4-way": lambda size: SetAssociativeCache(
-            CacheGeometry(int(size), 4, associativity=4)
-        ),
-    }
+    labels = [
+        "direct-mapped",
+        "dynamic-exclusion",
+        "victim-4",
+        "2-way",
+        "2-way+DE",
+        "4-way",
+    ]
+    return {label: _Factory(label) for label in labels}
 
 
 def run() -> SweepResult:
@@ -68,7 +91,7 @@ def run() -> SweepResult:
             parameter_name="cache size",
             parameters=[kb * 1024 for kb in SIZE_SWEEP_KB],
             factories=_factories(),
-            traces=all_traces("instruction"),
+            traces=all_trace_keys("instruction"),
         )
     return _CACHE[key]
 

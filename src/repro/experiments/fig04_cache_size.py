@@ -12,7 +12,7 @@ from ..analysis.sweep import SweepResult, run_sweep
 from .common import (
     REFERENCE_LINE,
     SIZE_SWEEP_KB,
-    all_traces,
+    all_trace_keys,
     max_refs,
     standard_factories,
 )
@@ -26,11 +26,14 @@ def run(line_size: int = REFERENCE_LINE, kind: str = "instruction") -> SweepResu
     """The three curves over the size grid (memoised per process)."""
     key = (line_size, kind, max_refs())
     if key not in _CACHE:
+        # Trace *keys*, not arrays: under --workers the sweep cells are
+        # shipped to a process pool and each worker regenerates (and
+        # memoises) the benchmark traces locally.
         _CACHE[key] = run_sweep(
             parameter_name="cache size",
             parameters=[kb * 1024 for kb in SIZE_SWEEP_KB],
             factories=standard_factories(line_size),
-            traces=all_traces(kind),
+            traces=all_trace_keys(kind),
         )
     return _CACHE[key]
 

@@ -12,16 +12,13 @@ from __future__ import annotations
 from ..analysis.plot import sweep_chart
 from ..analysis.report import format_sweep
 from ..analysis.sweep import SweepResult, run_sweep
-from ..caches.geometry import CacheGeometry
 from ..caches.stats import percent_reduction
 from .common import (
     LINE_SIZE_SWEEP,
     REFERENCE_SIZE,
-    all_traces,
-    direct_mapped,
-    dynamic_exclusion_long_lines,
+    all_trace_keys,
+    line_size_factories,
     max_refs,
-    optimal_long_lines,
 )
 
 TITLE = "Figure 11: instruction cache miss rate vs line size (S=32KB)"
@@ -32,18 +29,11 @@ _CACHE: "dict[tuple, SweepResult]" = {}
 def run(size: int = REFERENCE_SIZE) -> SweepResult:
     key = (size, max_refs())
     if key not in _CACHE:
-        factories = {
-            "direct-mapped": lambda b: direct_mapped(CacheGeometry(size, int(b))),
-            "dynamic-exclusion": lambda b: dynamic_exclusion_long_lines(
-                CacheGeometry(size, int(b))
-            ),
-            "optimal": lambda b: optimal_long_lines(CacheGeometry(size, int(b))),
-        }
         _CACHE[key] = run_sweep(
             parameter_name="line size",
             parameters=list(LINE_SIZE_SWEEP),
-            factories=factories,
-            traces=all_traces("instruction"),
+            factories=line_size_factories(size),
+            traces=all_trace_keys("instruction"),
         )
     return _CACHE[key]
 

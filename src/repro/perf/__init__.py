@@ -1,0 +1,47 @@
+"""Fast simulation: set-partitioned kernels, engine dispatch, parallel sweeps.
+
+* :mod:`repro.perf.kernels` — numpy set-partitioned kernels for the
+  direct-mapped and dynamic-exclusion caches;
+* :mod:`repro.perf.engine` — ``simulate(model, trace, engine=...)``
+  dispatch with a kernel registry and automatic reference fallback;
+* :mod:`repro.perf.parallel` — a process-pool sweep runner that ships
+  deterministic :class:`~repro.perf.parallel.TraceKey` recipes instead
+  of trace arrays.
+"""
+
+from .engine import (
+    ENGINES,
+    default_engine,
+    has_kernel,
+    kernel_for,
+    resolve_engine,
+    set_default_engine,
+    simulate,
+)
+from .kernels import simulate_direct_mapped, simulate_dynamic_exclusion
+from .parallel import (
+    TraceKey,
+    env_workers,
+    resolve_workers,
+    run_cells,
+    set_default_workers,
+    simulate_cell,
+)
+
+__all__ = [
+    "ENGINES",
+    "TraceKey",
+    "default_engine",
+    "env_workers",
+    "has_kernel",
+    "kernel_for",
+    "resolve_engine",
+    "resolve_workers",
+    "run_cells",
+    "set_default_engine",
+    "set_default_workers",
+    "simulate",
+    "simulate_cell",
+    "simulate_direct_mapped",
+    "simulate_dynamic_exclusion",
+]

@@ -1,0 +1,146 @@
+"""Simulation-engine dispatch: fast kernels with reference fallback.
+
+:func:`simulate` is the one entry point the sweep/experiment layers go
+through.  With ``engine="reference"`` it simply calls the model's own
+``simulate`` (the per-reference Python loop).  With ``engine="fast"`` it
+consults the kernel registry: configurations with a set-partitioned
+kernel (:mod:`repro.perf.kernels`) run through it, everything else —
+victim caches, set-associative models, hierarchies, non-ideal hit-last
+stores, multi-level sticky bits — silently falls back to the reference
+path, so callers never need to know which configurations are
+accelerated.
+
+The fast path is *pure*: it requires a freshly constructed model (cold
+arrays, zero stats) and does not mutate it, returning a standalone
+:class:`~repro.caches.stats.CacheStats`.  A model that has already been
+touched falls back to the reference engine, which accumulates into the
+model exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from ..caches.base import Cache, OfflineCache
+from ..caches.direct_mapped import DirectMappedCache
+from ..caches.stats import CacheStats
+from ..core.exclusion_cache import DynamicExclusionCache
+from ..core.hitlast import IdealHitLastStore
+from ..trace.trace import Trace
+from . import kernels
+
+#: The recognised engine names.
+ENGINES = ("fast", "reference")
+
+Simulator = Union[Cache, OfflineCache]
+KernelRunner = Callable[[Trace], CacheStats]
+
+#: Exact model type -> matcher returning a kernel runner (or None when
+#: the particular instance is not kernel-eligible).
+_KERNEL_FACTORIES: Dict[type, Callable[[Simulator], Optional[KernelRunner]]] = {}
+
+
+def register_kernel(cache_type: type):
+    """Class decorator target: register a kernel matcher for a model type.
+
+    The matcher receives the model *instance* and returns a callable
+    ``trace -> CacheStats`` when the instance's configuration is
+    supported, else ``None``.  Matching is by exact type, so subclasses
+    with changed behaviour never inherit a kernel silently.
+    """
+
+    def decorator(matcher: Callable[[Simulator], Optional[KernelRunner]]):
+        _KERNEL_FACTORIES[cache_type] = matcher
+        return matcher
+
+    return decorator
+
+
+def _is_cold(cache: Cache) -> bool:
+    """Freshly built: no accesses counted and nothing resident."""
+    stats = cache.stats
+    return stats.accesses == 0 and stats.misses == 0 and not cache.resident_lines()
+
+
+@register_kernel(DirectMappedCache)
+def _direct_mapped_kernel(cache: Simulator) -> Optional[KernelRunner]:
+    if type(cache) is not DirectMappedCache:
+        return None
+    if not cache.allocate_on_miss or not _is_cold(cache):
+        return None
+    geometry = cache.geometry
+    return lambda trace: kernels.simulate_direct_mapped(trace, geometry)
+
+
+@register_kernel(DynamicExclusionCache)
+def _dynamic_exclusion_kernel(cache: Simulator) -> Optional[KernelRunner]:
+    if type(cache) is not DynamicExclusionCache:
+        return None
+    if cache.sticky_levels != 1:
+        return None
+    store = cache.store
+    if type(store) is not IdealHitLastStore or len(store) != 0:
+        return None
+    if not _is_cold(cache):
+        return None
+    geometry = cache.geometry
+    default = store.default
+    return lambda trace: kernels.simulate_dynamic_exclusion(
+        trace, geometry, default_hit_last=default
+    )
+
+
+def kernel_for(simulator: Simulator) -> Optional[KernelRunner]:
+    """The fast kernel for this exact configuration, or ``None``."""
+    matcher = _KERNEL_FACTORIES.get(type(simulator))
+    if matcher is None:
+        return None
+    return matcher(simulator)
+
+
+def has_kernel(simulator: Simulator) -> bool:
+    """Whether ``simulate(..., engine="fast")`` would avoid the fallback."""
+    return kernel_for(simulator) is not None
+
+
+# -- engine selection ---------------------------------------------------------
+
+_DEFAULT_ENGINE = "reference"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine name, substituting the process default for None."""
+    if engine is None:
+        return _DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {list(ENGINES)}")
+    return engine
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide default engine (the CLI's ``--engine`` flag)."""
+    global _DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {list(ENGINES)}")
+    _DEFAULT_ENGINE = engine
+
+
+def default_engine() -> str:
+    """The process-wide default engine name."""
+    return _DEFAULT_ENGINE
+
+
+def simulate(
+    simulator: Simulator, trace: Trace, engine: Optional[str] = None
+) -> CacheStats:
+    """Run ``trace`` through ``simulator`` under the chosen engine.
+
+    ``engine=None`` uses the process default (``reference`` unless the
+    experiments CLI was invoked with ``--engine fast``).
+    """
+    engine = resolve_engine(engine)
+    if engine == "fast":
+        runner = kernel_for(simulator)
+        if runner is not None:
+            return runner(trace)
+    return simulator.simulate(trace)

@@ -1,0 +1,185 @@
+"""Set-partitioned simulation kernels.
+
+A direct-mapped cache (with or without dynamic exclusion) decomposes
+exactly: each set's behaviour depends only on the subsequence of
+references that map to it, and sets never interact.  Both kernels here
+exploit that by sorting the trace's line addresses by set index once
+(a stable argsort over a narrow integer dtype, so each set's
+subsequence keeps its program order) and then working on the compact
+per-set groups:
+
+* :func:`simulate_direct_mapped` is fully vectorized — with
+  always-allocate replacement the resident line is simply the
+  previously referenced line of the set, so a hit is "same line as the
+  predecessor within the set group", one vectorized compare;
+* :func:`simulate_dynamic_exclusion` runs the paper's FSM (ideal
+  hit-last store, one sticky bit) over *runs* of identical consecutive
+  line addresses within each set group.  A run of ``k`` identical
+  references collapses to O(1) FSM work, so the Python loop executes
+  once per run, not once per reference — on looping instruction traces
+  most sets see long runs of a single line, and the hit-last dict is
+  touched only on replacement decisions, never per reference.
+
+Both kernels return a :class:`~repro.caches.stats.CacheStats` that is
+field-for-field identical to the reference simulators'
+(``tests/perf/test_engine_equivalence.py`` proves it differentially);
+they never allocate per-reference objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..caches.geometry import CacheGeometry
+from ..caches.stats import CacheStats
+from ..trace.trace import Trace
+
+
+def _require_direct_mapped(geometry: CacheGeometry) -> None:
+    if geometry.associativity != 1:
+        raise ValueError("set-partitioned kernels require associativity 1")
+
+
+def _set_partition(trace: Trace, geometry: CacheGeometry):
+    """``(grouped_lines, new_set)``: line addresses reordered set-by-set
+    (program order preserved within a set) and the boolean mask marking
+    the first position of each set group.
+
+    The set indices are narrowed to the smallest integer dtype before
+    the stable argsort — numpy's radix sort is per-byte, so sorting
+    16-bit keys is roughly twice as fast as sorting the raw ``uint64``
+    line addresses.
+    """
+    lines = trace.lines(geometry.offset_bits)
+    sets = lines & np.uint64(geometry.num_sets - 1)
+    if geometry.num_sets <= 1 << 16:
+        sets = sets.astype(np.uint16)
+    elif geometry.num_sets <= 1 << 32:
+        sets = sets.astype(np.uint32)
+    order = np.argsort(sets, kind="stable")
+    grouped_lines = lines[order]
+    grouped_sets = sets[order]
+    new_set = np.empty(len(lines), dtype=bool)
+    new_set[0] = True
+    np.not_equal(grouped_sets[1:], grouped_sets[:-1], out=new_set[1:])
+    return grouped_lines, new_set
+
+
+def simulate_direct_mapped(trace: Trace, geometry: CacheGeometry) -> CacheStats:
+    """Vectorized direct-mapped simulation (always-allocate).
+
+    Within each set group the resident line is always the previously
+    referenced line, so hits are exactly the positions equal to their
+    predecessor; the first position of each group is the set's one cold
+    miss and every other miss displaces a line.
+    """
+    _require_direct_mapped(geometry)
+    n = len(trace)
+    stats = CacheStats(accesses=n)
+    if n == 0:
+        return stats
+    grouped_lines, new_set = _set_partition(trace, geometry)
+    same_line = np.empty(n, dtype=bool)
+    same_line[0] = False
+    np.equal(grouped_lines[1:], grouped_lines[:-1], out=same_line[1:])
+    hits = int(np.count_nonzero(same_line & ~new_set))
+    cold = int(np.count_nonzero(new_set))
+    stats.hits = hits
+    stats.misses = n - hits
+    stats.cold_misses = cold
+    stats.evictions = stats.misses - cold
+    return stats
+
+
+def simulate_dynamic_exclusion(
+    trace: Trace,
+    geometry: CacheGeometry,
+    default_hit_last: bool = True,
+) -> CacheStats:
+    """Run-compressed dynamic-exclusion simulation.
+
+    Models :class:`~repro.core.exclusion_cache.DynamicExclusionCache`
+    with an :class:`~repro.core.hitlast.IdealHitLastStore` (cold value
+    ``default_hit_last``) and ``sticky_levels=1``, starting from a cold
+    cache and an empty store.
+    """
+    _require_direct_mapped(geometry)
+    n = len(trace)
+    stats = CacheStats(accesses=n)
+    if n == 0:
+        return stats
+    grouped_lines, new_set = _set_partition(trace, geometry)
+    # Run boundaries: a new set group, or a different line than the
+    # predecessor within the group.
+    boundary = new_set.copy()
+    boundary[1:] |= grouped_lines[1:] != grouped_lines[:-1]
+    starts = np.flatnonzero(boundary)
+    run_words = grouped_lines[starts].tolist()
+    run_lengths = np.diff(starts, append=n).tolist()
+    run_new_set = new_set[starts].tolist()
+
+    bits: "dict[int, bool]" = {}
+    bits_get = bits.get
+    hits = cold = evictions = bypasses = 0
+    # Per-set FSM registers (sticky_levels == 1 throughout).  The store
+    # is touched only on replacement decisions, so the dict costs scale
+    # with conflict traffic, not trace length.
+    resident = -1
+    sticky = 0
+    hit_last = False
+    for word, length, starts_set in zip(run_words, run_lengths, run_new_set):
+        if starts_set:
+            resident = -1
+            sticky = 0
+            hit_last = False
+        if word == resident:
+            # k hits: each refreshes sticky and sets the hl copy.
+            hits += length
+            sticky = 1
+            hit_last = True
+        elif resident < 0:
+            # Cold set: allocate, then k-1 hits.
+            cold += 1
+            hits += length - 1
+            resident = word
+            sticky = 1
+            hit_last = True
+        elif sticky == 0:
+            # Unsticky resident: replace (write back its hl copy) with
+            # the optimistic hl=1 start, then k-1 hits.
+            bits[resident] = hit_last
+            evictions += 1
+            hits += length - 1
+            resident = word
+            sticky = 1
+            hit_last = True
+        elif bits_get(word, default_hit_last):
+            # Sticky resident loses to a hit-last word: replace with the
+            # pessimistic hl=0 start; any repeat is a hit (hl back to 1).
+            bits[resident] = hit_last
+            evictions += 1
+            resident = word
+            sticky = 1
+            if length > 1:
+                hits += length - 1
+                hit_last = True
+            else:
+                hit_last = False
+        else:
+            # Sticky resident wins: bypass and clear the sticky bit.  A
+            # repeat then replaces (sticky exhausted) and the rest hit.
+            bypasses += 1
+            sticky = 0
+            if length > 1:
+                bits[resident] = hit_last
+                evictions += 1
+                hits += length - 2
+                resident = word
+                sticky = 1
+                hit_last = True
+    stats.hits = hits
+    stats.misses = n - hits
+    stats.cold_misses = cold
+    stats.evictions = evictions
+    stats.bypasses = bypasses
+    return stats

@@ -1,0 +1,157 @@
+"""Process-parallel sweep execution.
+
+A figure sweep is a grid of independent (parameter, policy, benchmark)
+cells, so it parallelises trivially — except that shipping megabyte
+trace arrays to worker processes would swamp the win.  Benchmark traces
+are deterministic functions of their ``(name, kind, max_refs)`` key, so
+:class:`TraceKey` sends the *key* instead and each worker regenerates
+(and memoises) the trace on first use.
+
+Worker count resolution, in priority order:
+
+1. an explicit ``workers=`` argument,
+2. the process default set by ``--workers`` on the experiments CLI,
+3. the ``REPRO_WORKERS`` environment variable (validated like
+   ``REPRO_TRACE_SCALE``),
+4. 1 (sequential — no process pool is created at all).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..trace.trace import Trace
+from . import engine as engine_mod
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """A deterministic recipe for a benchmark trace.
+
+    Cheap to pickle (three scalars); :meth:`load` regenerates the trace
+    through :func:`repro.workloads.registry.trace_by_kind` and memoises
+    it per process, so a pool worker builds each benchmark once no
+    matter how many sweep cells it executes.
+    """
+
+    name: str
+    kind: str = "instruction"
+    max_refs: int = 200_000
+
+    def load(self) -> Trace:
+        trace = _TRACE_CACHE.get(self)
+        if trace is None:
+            from ..workloads.registry import trace_by_kind
+
+            trace = trace_by_kind(self.name, self.kind, max_refs=self.max_refs)
+            _TRACE_CACHE[self] = trace
+        return trace
+
+
+TraceLike = Union[Trace, TraceKey]
+
+_TRACE_CACHE: Dict[TraceKey, Trace] = {}
+
+
+def clear_trace_cache() -> None:
+    """Drop this process's memoised TraceKey traces."""
+    _TRACE_CACHE.clear()
+
+
+def as_trace(trace: TraceLike) -> Trace:
+    """Materialise a TraceKey; pass a Trace through unchanged."""
+    if isinstance(trace, TraceKey):
+        return trace.load()
+    return trace
+
+
+# -- worker-count resolution --------------------------------------------------
+
+_DEFAULT_WORKERS: Optional[int] = None
+
+
+def env_workers() -> Optional[int]:
+    """The validated REPRO_WORKERS setting (None when unset)."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
+    if workers < 1:
+        raise ValueError("REPRO_WORKERS must be at least 1")
+    return workers
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default (the CLI's ``--workers`` flag)."""
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be at least 1")
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = workers
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument > CLI default > REPRO_WORKERS > 1."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        return workers
+    if _DEFAULT_WORKERS is not None:
+        return _DEFAULT_WORKERS
+    env = env_workers()
+    if env is not None:
+        return env
+    return 1
+
+
+# -- cell execution -----------------------------------------------------------
+
+#: One sweep cell: (factory, parameter, trace).  The factory and the
+#: trace reference must be picklable when workers > 1 — pass module
+#: -level callables / dataclass instances and TraceKeys, not lambdas
+#: and raw Traces.
+Cell = Tuple[Callable[[object], object], object, TraceLike]
+
+
+def simulate_cell(
+    factory: Callable[[object], object],
+    parameter: object,
+    trace: TraceLike,
+    engine: Optional[str] = None,
+) -> float:
+    """Build one simulator, run one trace, return the miss rate."""
+    stats = engine_mod.simulate(factory(parameter), as_trace(trace), engine=engine)
+    return stats.miss_rate
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> List[float]:
+    """Miss rates for every cell, preserving order.
+
+    ``workers <= 1`` runs inline (no pool, nothing needs pickling).
+    Otherwise the cells are farmed to a :class:`ProcessPoolExecutor`;
+    the engine name is resolved *before* submission so the CLI's
+    ``--engine`` default reaches the workers even though module globals
+    are not shared across processes.
+    """
+    engine = engine_mod.resolve_engine(engine)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(cells) <= 1:
+        return [
+            simulate_cell(factory, parameter, trace, engine)
+            for factory, parameter, trace in cells
+        ]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        futures = [
+            pool.submit(simulate_cell, factory, parameter, trace, engine)
+            for factory, parameter, trace in cells
+        ]
+        return [future.result() for future in futures]

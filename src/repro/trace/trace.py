@@ -31,7 +31,7 @@ class Trace:
         Optional label used in reports ("gcc", "loop-conflict", ...).
     """
 
-    __slots__ = ("_addrs", "_kinds", "name")
+    __slots__ = ("_addrs", "_kinds", "name", "_hash", "_lines_cache")
 
     def __init__(
         self,
@@ -57,6 +57,8 @@ class Trace:
         self._addrs = addr_array
         self._kinds = kind_array
         self.name = name
+        self._hash: "int | None" = None
+        self._lines_cache: "dict[int, np.ndarray]" = {}
 
     # -- constructors ----------------------------------------------------
 
@@ -111,7 +113,11 @@ class Trace:
         )
 
     def __hash__(self) -> int:
-        return hash((self._addrs.tobytes(), self._kinds.tobytes()))
+        # Hashing serialises both arrays, which is expensive for long
+        # traces; traces are immutable, so compute it once and keep it.
+        if self._hash is None:
+            self._hash = hash((self._addrs.tobytes(), self._kinds.tobytes()))
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f" name={self.name!r}" if self.name else ""
@@ -127,6 +133,23 @@ class Trace:
         """
         return zip(self._addrs.tolist(), self._kinds.tolist())
 
+    def lines(self, offset_bits: int) -> np.ndarray:
+        """Read-only ``uint64`` line-address array (``addrs >> offset_bits``).
+
+        Memoised per ``offset_bits``: every geometry sharing a line size
+        (the whole of a Figure-4-style size sweep) reuses one array, so
+        the shift is paid once per (trace, line size) rather than once
+        per simulation.
+        """
+        if offset_bits < 0:
+            raise ValueError("offset_bits must be non-negative")
+        lines = self._lines_cache.get(offset_bits)
+        if lines is None:
+            lines = self._addrs >> np.uint64(offset_bits)
+            lines.setflags(write=False)
+            self._lines_cache[offset_bits] = lines
+        return lines
+
     def counts_by_kind(self) -> "dict[RefKind, int]":
         """Number of references of each kind."""
         counts = np.bincount(self._kinds, minlength=max(RefKind) + 1)
@@ -140,7 +163,7 @@ class Trace:
         """Number of distinct cache lines touched for ``line_size`` bytes."""
         if line_size <= 0 or line_size & (line_size - 1):
             raise ValueError("line_size must be a positive power of two")
-        return int(np.unique(self._addrs >> np.uint64(line_size.bit_length() - 1)).shape[0])
+        return int(np.unique(self.lines(line_size.bit_length() - 1)).shape[0])
 
     def with_name(self, name: str) -> "Trace":
         """Return a copy of this trace with a different label."""

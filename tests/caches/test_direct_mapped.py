@@ -128,3 +128,24 @@ class TestSimulate:
         stats = cache.simulate(trace)
         assert stats.misses == 1
         assert stats.hits == 3
+
+    @pytest.mark.parametrize("allocate", [True, False])
+    def test_stats_fast_path_matches_access_loop(self, allocate):
+        # simulate() uses a stats-only loop; it must agree with the
+        # allocating per-reference access() path, including the final
+        # tag array and when resumed on a warm cache.
+        import random
+
+        rng = random.Random(7)
+        addrs = [rng.randrange(64) * 4 for _ in range(500)]
+        trace = Trace(addrs, [0] * len(addrs))
+        looped = small_cache(size=128, allocate_on_miss=allocate)
+        for addr in addrs:
+            looped.access(addr)
+        fast = small_cache(size=128, allocate_on_miss=allocate)
+        fast.simulate(trace)
+        fast.simulate(trace)  # warm resume
+        for addr in addrs:
+            looped.access(addr)
+        assert fast.stats == looped.stats
+        assert fast.resident_lines() == looped.resident_lines()

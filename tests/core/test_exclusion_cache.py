@@ -95,6 +95,28 @@ class TestBasics:
         stats = cache.simulate(itrace(addrs))
         stats.check()
 
+    @pytest.mark.parametrize("sticky_levels", [1, 2])
+    def test_stats_fast_path_matches_access_loop(self, sticky_levels):
+        # simulate() uses a stats-only loop; it must agree with the
+        # per-reference access() path, carry identical hit-last state,
+        # and resume correctly on a warm cache.
+        rng = random.Random(11)
+        addrs = [rng.randrange(64) * 4 for _ in range(500)]
+        looped = DynamicExclusionCache(
+            CacheGeometry(64, 4), sticky_levels=sticky_levels
+        )
+        for addr in addrs:
+            looped.access(addr)
+        fast = DynamicExclusionCache(
+            CacheGeometry(64, 4), sticky_levels=sticky_levels
+        )
+        fast.simulate(itrace(addrs))
+        fast.simulate(itrace(addrs))  # warm resume
+        for addr in addrs:
+            looped.access(addr)
+        assert fast.stats == looped.stats
+        assert fast.resident_lines() == looped.resident_lines()
+
 
 class _ReferenceModel:
     """A DE cache built directly on the readable FSM, used as the

@@ -1,0 +1,184 @@
+"""Differential tests: the fast engine must match the reference exactly.
+
+Every supported configuration is checked for field-for-field
+:class:`~repro.caches.stats.CacheStats` equality on all ten SPEC
+analogue traces and on seeded random traces, across three geometries
+(1KB / 32KB / 256KB at b=4); unsupported configurations must fall back
+to the reference engine transparently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.set_associative import SetAssociativeCache
+from repro.caches.victim import VictimCache
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import HashedHitLastStore, IdealHitLastStore
+from repro.perf import engine
+from repro.trace.trace import Trace
+from repro.workloads.registry import benchmark_names, instruction_trace
+
+GEOMETRIES = [CacheGeometry(kb * 1024, 4) for kb in (1, 32, 256)]
+TRACE_REFS = 20_000
+
+_SPEC_TRACES = {}
+
+
+def spec_trace(name):
+    if name not in _SPEC_TRACES:
+        _SPEC_TRACES[name] = instruction_trace(name, TRACE_REFS)
+    return _SPEC_TRACES[name]
+
+
+def geometry_id(geometry):
+    return f"{geometry.size // 1024}KB"
+
+
+@pytest.mark.parametrize("geometry", GEOMETRIES, ids=geometry_id)
+@pytest.mark.parametrize("name", benchmark_names())
+class TestSpecEquivalence:
+    def test_direct_mapped(self, name, geometry):
+        trace = spec_trace(name)
+        reference = DirectMappedCache(geometry).simulate(trace)
+        fast = engine.simulate(DirectMappedCache(geometry), trace, engine="fast")
+        assert fast == reference
+
+    def test_dynamic_exclusion(self, name, geometry):
+        trace = spec_trace(name)
+        reference = DynamicExclusionCache(
+            geometry, store=IdealHitLastStore(default=True)
+        ).simulate(trace)
+        fast = engine.simulate(
+            DynamicExclusionCache(geometry, store=IdealHitLastStore(default=True)),
+            trace,
+            engine="fast",
+        )
+        assert fast == reference
+
+
+@pytest.mark.parametrize("geometry", GEOMETRIES, ids=geometry_id)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestRandomEquivalence:
+    def _trace(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 5_000
+        # Mix of local loops and far jumps so all three geometries see
+        # hits, conflicts, and cold misses.
+        addrs = (rng.integers(0, 1 << 16, size=n) * 4).tolist()
+        return Trace(addrs, [0] * n)
+
+    def test_direct_mapped(self, seed, geometry):
+        trace = self._trace(seed)
+        reference = DirectMappedCache(geometry).simulate(trace)
+        assert (
+            engine.simulate(DirectMappedCache(geometry), trace, engine="fast")
+            == reference
+        )
+
+    @pytest.mark.parametrize("default", [True, False])
+    def test_dynamic_exclusion(self, seed, geometry, default):
+        trace = self._trace(seed)
+        reference = DynamicExclusionCache(
+            geometry, store=IdealHitLastStore(default=default)
+        ).simulate(trace)
+        fast = engine.simulate(
+            DynamicExclusionCache(geometry, store=IdealHitLastStore(default=default)),
+            trace,
+            engine="fast",
+        )
+        assert fast == reference
+
+
+class TestKernelRegistry:
+    def test_supported_configurations(self):
+        geometry = CacheGeometry(1024, 4)
+        assert engine.has_kernel(DirectMappedCache(geometry))
+        assert engine.has_kernel(DynamicExclusionCache(geometry))
+        assert engine.has_kernel(
+            DynamicExclusionCache(geometry, store=IdealHitLastStore(default=False))
+        )
+
+    def test_multi_sticky_falls_back(self):
+        cache = DynamicExclusionCache(CacheGeometry(1024, 4), sticky_levels=2)
+        assert not engine.has_kernel(cache)
+        trace = Trace([0, 1024, 0, 1024] * 50, [0] * 200)
+        fast = engine.simulate(cache, trace, engine="fast")
+        reference = DynamicExclusionCache(
+            CacheGeometry(1024, 4), sticky_levels=2
+        ).simulate(trace)
+        assert fast == reference
+        # The fallback ran the reference path, which accumulates into
+        # the model itself.
+        assert cache.stats.accesses == 200
+
+    def test_victim_cache_falls_back(self):
+        cache = VictimCache(CacheGeometry(1024, 4), entries=4)
+        assert not engine.has_kernel(cache)
+        trace = Trace([0, 1024] * 20, [0] * 40)
+        fast = engine.simulate(cache, trace, engine="fast")
+        reference = VictimCache(CacheGeometry(1024, 4), entries=4).simulate(trace)
+        assert fast == reference
+
+    def test_set_associative_has_no_kernel(self):
+        assert not engine.has_kernel(
+            SetAssociativeCache(CacheGeometry(1024, 4, associativity=2))
+        )
+
+    def test_no_allocate_direct_mapped_falls_back(self):
+        assert not engine.has_kernel(
+            DirectMappedCache(CacheGeometry(1024, 4), allocate_on_miss=False)
+        )
+
+    def test_hashed_store_falls_back(self):
+        assert not engine.has_kernel(
+            DynamicExclusionCache(
+                CacheGeometry(1024, 4), store=HashedHitLastStore(256)
+            )
+        )
+
+    def test_warm_cache_falls_back(self):
+        cache = DirectMappedCache(CacheGeometry(1024, 4))
+        cache.access(0)
+        assert not engine.has_kernel(cache)
+
+    def test_prefilled_store_falls_back(self):
+        store = IdealHitLastStore()
+        store.update(7, False)
+        assert not engine.has_kernel(
+            DynamicExclusionCache(CacheGeometry(1024, 4), store=store)
+        )
+
+    def test_fast_path_does_not_mutate_the_model(self):
+        cache = DirectMappedCache(CacheGeometry(1024, 4))
+        trace = Trace([0, 4, 8], [0] * 3)
+        engine.simulate(cache, trace, engine="fast")
+        assert cache.stats.accesses == 0
+        assert not cache.resident_lines()
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            engine.simulate(
+                DirectMappedCache(CacheGeometry(64, 4)), Trace.empty(), engine="warp"
+            )
+        with pytest.raises(ValueError):
+            engine.set_default_engine("warp")
+
+    def test_default_engine_roundtrip(self):
+        assert engine.resolve_engine(None) == engine.default_engine()
+        previous = engine.default_engine()
+        try:
+            engine.set_default_engine("fast")
+            assert engine.resolve_engine(None) == "fast"
+        finally:
+            engine.set_default_engine(previous)
+
+    def test_reference_engine_ignores_kernels(self):
+        cache = DirectMappedCache(CacheGeometry(64, 4))
+        trace = Trace([0, 4, 8], [0] * 3)
+        stats = engine.simulate(cache, trace, engine="reference")
+        assert stats is cache.stats
+        assert cache.stats.accesses == 3

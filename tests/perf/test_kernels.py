@@ -1,0 +1,107 @@
+"""Unit tests for the set-partitioned kernels on hand-checkable traces."""
+
+import numpy as np
+import pytest
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.stats import CacheStats
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import IdealHitLastStore
+from repro.perf.kernels import simulate_direct_mapped, simulate_dynamic_exclusion
+from repro.trace.trace import Trace
+
+
+def itrace(addrs):
+    return Trace(addrs, [0] * len(addrs))
+
+
+GEOMETRY = CacheGeometry(64, 4)  # 16 lines, so 64 aliases with 0
+
+
+class TestDirectMappedKernel:
+    def test_empty_trace(self):
+        assert simulate_direct_mapped(Trace.empty(), GEOMETRY) == CacheStats()
+
+    def test_requires_direct_mapped_geometry(self):
+        with pytest.raises(ValueError):
+            simulate_direct_mapped(itrace([0]), CacheGeometry(64, 4, associativity=2))
+
+    def test_thrashing_pair(self):
+        # 0 and 64 alias in the same set: every access past the first
+        # fill misses and evicts; only the initial fill is cold.
+        stats = simulate_direct_mapped(itrace([0, 64] * 10), GEOMETRY)
+        assert stats.accesses == 20
+        assert stats.misses == 20
+        assert stats.cold_misses == 1
+        assert stats.evictions == 19
+        assert stats == DirectMappedCache(GEOMETRY).simulate(itrace([0, 64] * 10))
+
+    def test_pure_hits_after_cold(self):
+        stats = simulate_direct_mapped(itrace([0, 0, 0, 4, 4]), GEOMETRY)
+        assert stats.hits == 3
+        assert stats.cold_misses == 2
+        assert stats.evictions == 0
+
+    def test_matches_reference_on_interleaved_sets(self):
+        # Two sets active at once: partitioning must keep per-set order.
+        addrs = [0, 4, 64, 68, 0, 4, 64, 68, 128, 132]
+        trace = itrace(addrs)
+        assert simulate_direct_mapped(trace, GEOMETRY) == DirectMappedCache(
+            GEOMETRY
+        ).simulate(trace)
+
+
+class TestDynamicExclusionKernel:
+    def test_empty_trace(self):
+        assert simulate_dynamic_exclusion(Trace.empty(), GEOMETRY) == CacheStats()
+
+    def test_requires_direct_mapped_geometry(self):
+        with pytest.raises(ValueError):
+            simulate_dynamic_exclusion(
+                itrace([0]), CacheGeometry(64, 4, associativity=2)
+            )
+
+    def test_single_conflict_pair_learns_to_exclude(self):
+        # (a b)^10 in one set: the FSM settles into keeping one word.
+        trace = itrace([0, 64] * 10)
+        reference = DynamicExclusionCache(
+            GEOMETRY, store=IdealHitLastStore(default=True)
+        ).simulate(trace)
+        assert simulate_dynamic_exclusion(trace, GEOMETRY) == reference
+        # DE must beat the 100% miss rate of the direct-mapped cache.
+        assert reference.hits > 0
+
+    @pytest.mark.parametrize("default", [True, False])
+    def test_cold_polarity_matches_reference(self, default):
+        trace = itrace([0, 64, 0, 64, 4, 68, 4, 68, 0, 64])
+        reference = DynamicExclusionCache(
+            GEOMETRY, store=IdealHitLastStore(default=default)
+        ).simulate(trace)
+        fast = simulate_dynamic_exclusion(trace, GEOMETRY, default_hit_last=default)
+        assert fast == reference
+
+    def test_run_compression_boundaries(self):
+        # Runs of every length through every FSM edge: repeated words,
+        # single bypasses, bypass-then-reload, cold runs.
+        addrs = [0, 0, 64, 64, 64, 0, 64, 0, 0, 64, 64, 4, 4, 4, 68, 68]
+        trace = itrace(addrs)
+        reference = DynamicExclusionCache(
+            GEOMETRY, store=IdealHitLastStore(default=True)
+        ).simulate(trace)
+        assert simulate_dynamic_exclusion(trace, GEOMETRY) == reference
+
+    def test_seeded_random_traces(self):
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            n = int(rng.integers(1, 2000))
+            addrs = (rng.integers(0, 256, size=n) * 4).tolist()
+            trace = itrace(addrs)
+            for default in (True, False):
+                reference = DynamicExclusionCache(
+                    GEOMETRY, store=IdealHitLastStore(default=default)
+                ).simulate(trace)
+                fast = simulate_dynamic_exclusion(
+                    trace, GEOMETRY, default_hit_last=default
+                )
+                assert fast == reference

@@ -24,6 +24,7 @@ class TestExports:
             "repro.core",
             "repro.hierarchy",
             "repro.analysis",
+            "repro.perf",
             "repro.experiments",
             "repro.cli",
         ],

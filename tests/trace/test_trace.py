@@ -80,6 +80,13 @@ class TestSequenceProtocol:
     def test_hash_consistency(self):
         assert hash(make_trace()) == hash(make_trace())
 
+    def test_hash_is_cached(self):
+        trace = make_trace()
+        assert trace._hash is None
+        first = hash(trace)
+        assert trace._hash == first
+        assert hash(trace) == first
+
 
 class TestConvenience:
     def test_counts_by_kind(self):
@@ -94,6 +101,18 @@ class TestConvenience:
     def test_line_footprint(self):
         # 0x100 and 0x104 share a 16B line; 0x200 is separate.
         assert make_trace().line_footprint(16) == 2
+
+    def test_lines_shifts_and_memoises(self):
+        trace = make_trace()
+        lines = trace.lines(4)
+        assert lines.tolist() == [a >> 4 for a in trace.addrs.tolist()]
+        assert trace.lines(4) is lines  # memoised per offset_bits
+        assert not lines.flags.writeable
+        assert trace.lines(2) is not lines
+
+    def test_lines_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            make_trace().lines(-1)
 
     def test_line_footprint_rejects_non_power_of_two(self):
         with pytest.raises(ValueError):
