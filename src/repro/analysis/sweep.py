@@ -72,7 +72,18 @@ def run_sweep(
     (see :mod:`repro.perf`); passing ``workers`` above 1 requires
     picklable factories and is cheapest with
     :class:`~repro.perf.parallel.TraceKey` traces.
+
+    Raises :class:`ValueError` when ``parameters`` or ``traces`` is
+    empty: an empty sweep has no miss rates to average, and silently
+    recording 0.0 would plant plausible-looking zeros in figures.
     """
+    if not parameters:
+        raise ValueError("run_sweep requires at least one parameter value")
+    if not traces:
+        raise ValueError(
+            "run_sweep requires at least one trace; refusing to record "
+            "a fake 0.0 mean miss rate for an empty trace set"
+        )
     result = SweepResult(parameter_name=parameter_name, parameters=list(parameters))
     cells = [
         (factory, parameter, trace)
@@ -87,8 +98,7 @@ def run_sweep(
         for label in factories:
             cell_rates = rates[position : position + per_trace]
             position += per_trace
-            mean = sum(cell_rates) / len(cell_rates) if cell_rates else 0.0
-            result.add(label, parameter, mean)
+            result.add(label, parameter, sum(cell_rates) / per_trace)
     return result
 
 

@@ -55,6 +55,11 @@ class SetAssociativeCache(Cache):
     def _reset_state(self) -> None:
         self._build_sets()
 
+    @property
+    def policy_name(self) -> str:
+        """The replacement policy name this cache was built with."""
+        return self._policy_name
+
     def access(self, addr: int, kind: RefKind = RefKind.IFETCH) -> AccessResult:
         line = addr >> self._offset_bits
         index = line & self._index_mask

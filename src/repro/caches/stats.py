@@ -83,7 +83,17 @@ def percent_reduction(baseline: float, improved: float) -> float:
 
     Matches the paper's "percentage reduction from the normal
     direct-mapped cache miss rate".
+
+    A zero baseline with a zero improved rate is a genuine "no change"
+    (0.0); a zero baseline with a nonzero improved rate is a regression
+    whose relative size is undefined, and silently reporting "no
+    change" would hide it — that case raises :class:`ValueError`.
     """
     if baseline == 0.0:
-        return 0.0
+        if improved == 0.0:
+            return 0.0
+        raise ValueError(
+            f"percent reduction from a 0.0 baseline is undefined "
+            f"(improved miss rate is {improved!r}, a regression)"
+        )
     return 100.0 * (baseline - improved) / baseline

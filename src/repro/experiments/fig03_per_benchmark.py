@@ -11,6 +11,7 @@ from typing import Dict, List
 from ..analysis.report import format_table
 from ..caches.geometry import CacheGeometry
 from ..caches.stats import percent_reduction
+from ..perf.engine import simulate as engine_simulate
 from ..workloads.registry import benchmark_names
 from .common import (
     REFERENCE_LINE,
@@ -32,10 +33,14 @@ def run(
     results: "Dict[str, Dict[str, float]]" = {}
     for name in benchmark_names():
         trace = cached_trace(name, "instruction")
+        # Through the engine dispatch: all three policies have fast
+        # kernels, so --engine fast accelerates the whole figure.
         results[name] = {
-            "direct-mapped": direct_mapped(geometry).simulate(trace).miss_rate,
-            "dynamic-exclusion": dynamic_exclusion(geometry).simulate(trace).miss_rate,
-            "optimal": optimal(geometry).simulate(trace).miss_rate,
+            "direct-mapped": engine_simulate(direct_mapped(geometry), trace).miss_rate,
+            "dynamic-exclusion": engine_simulate(
+                dynamic_exclusion(geometry), trace
+            ).miss_rate,
+            "optimal": engine_simulate(optimal(geometry), trace).miss_rate,
         }
     return results
 

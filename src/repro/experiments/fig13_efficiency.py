@@ -19,6 +19,7 @@ from ..core.cost import EfficiencyRow, doubling_efficiency, exclusion_efficiency
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import HashedHitLastStore
 from ..core.long_lines import LastLineBufferCache
+from ..perf.engine import simulate as engine_simulate
 from .common import all_traces, direct_mapped
 
 TITLE = "Figure 13: dynamic exclusion efficiency (b=16B)"
@@ -55,14 +56,17 @@ def run(base_size: int = BASE_SIZE, line_size: int = LINE_SIZE) -> EfficiencyRes
     doubled = geometry.scaled(2)
     traces = all_traces("instruction")
 
+    # Through the engine dispatch so --engine fast reaches the two
+    # direct-mapped passes (the hashed-store DE model has no kernel and
+    # falls back transparently).
     baseline = statistics.mean(
-        direct_mapped(geometry).simulate(t).miss_rate for t in traces
+        engine_simulate(direct_mapped(geometry), t).miss_rate for t in traces
     )
     exclusion = statistics.mean(
-        _hashed_exclusion_cache(geometry).simulate(t).miss_rate for t in traces
+        engine_simulate(_hashed_exclusion_cache(geometry), t).miss_rate for t in traces
     )
     doubled_rate = statistics.mean(
-        direct_mapped(doubled).simulate(t).miss_rate for t in traces
+        engine_simulate(direct_mapped(doubled), t).miss_rate for t in traces
     )
     return EfficiencyResult(
         baseline_miss_rate=baseline,

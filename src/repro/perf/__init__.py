@@ -1,7 +1,8 @@
 """Fast simulation: set-partitioned kernels, engine dispatch, parallel sweeps.
 
 * :mod:`repro.perf.kernels` — numpy set-partitioned kernels for the
-  direct-mapped and dynamic-exclusion caches;
+  direct-mapped, dynamic-exclusion, Belady-optimal (any associativity,
+  plus the last-line variant), and LRU set-associative caches;
 * :mod:`repro.perf.engine` — ``simulate(model, trace, engine=...)``
   dispatch with a kernel registry and automatic reference fallback;
 * :mod:`repro.perf.parallel` — a process-pool sweep runner that ships
@@ -14,11 +15,18 @@ from .engine import (
     default_engine,
     has_kernel,
     kernel_for,
+    registered_kernel_types,
     resolve_engine,
     set_default_engine,
     simulate,
 )
-from .kernels import simulate_direct_mapped, simulate_dynamic_exclusion
+from .kernels import (
+    simulate_belady,
+    simulate_direct_mapped,
+    simulate_dynamic_exclusion,
+    simulate_lru,
+    simulate_optimal_last_line,
+)
 from .parallel import (
     TraceKey,
     env_workers,
@@ -35,13 +43,17 @@ __all__ = [
     "env_workers",
     "has_kernel",
     "kernel_for",
+    "registered_kernel_types",
     "resolve_engine",
     "resolve_workers",
     "run_cells",
     "set_default_engine",
     "set_default_workers",
     "simulate",
+    "simulate_belady",
     "simulate_cell",
     "simulate_direct_mapped",
     "simulate_dynamic_exclusion",
+    "simulate_lru",
+    "simulate_optimal_last_line",
 ]

@@ -4,11 +4,12 @@
 through.  With ``engine="reference"`` it simply calls the model's own
 ``simulate`` (the per-reference Python loop).  With ``engine="fast"`` it
 consults the kernel registry: configurations with a set-partitioned
-kernel (:mod:`repro.perf.kernels`) run through it, everything else —
-victim caches, set-associative models, hierarchies, non-ideal hit-last
-stores, multi-level sticky bits — silently falls back to the reference
-path, so callers never need to know which configurations are
-accelerated.
+kernel (:mod:`repro.perf.kernels`) — direct-mapped, dynamic exclusion
+with the ideal store, the Belady-optimal family, LRU set-associative —
+run through it, everything else — victim caches, FIFO/random
+replacement, hierarchies, non-ideal hit-last stores, multi-level sticky
+bits — silently falls back to the reference path, so callers never need
+to know which configurations are accelerated.
 
 The fast path is *pure*: it requires a freshly constructed model (cold
 arrays, zero stats) and does not mutate it, returning a standalone
@@ -23,6 +24,12 @@ from typing import Callable, Dict, Optional, Union
 
 from ..caches.base import Cache, OfflineCache
 from ..caches.direct_mapped import DirectMappedCache
+from ..caches.optimal import (
+    OptimalCache,
+    OptimalDirectMappedCache,
+    OptimalLastLineCache,
+)
+from ..caches.set_associative import SetAssociativeCache
 from ..caches.stats import CacheStats
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import IdealHitLastStore
@@ -88,6 +95,47 @@ def _dynamic_exclusion_kernel(cache: Simulator) -> Optional[KernelRunner]:
     return lambda trace: kernels.simulate_dynamic_exclusion(
         trace, geometry, default_hit_last=default
     )
+
+
+@register_kernel(OptimalCache)
+def _optimal_kernel(cache: Simulator) -> Optional[KernelRunner]:
+    if type(cache) is not OptimalCache:
+        return None
+    geometry = cache.geometry
+    return lambda trace: kernels.simulate_belady(trace, geometry)
+
+
+@register_kernel(OptimalDirectMappedCache)
+def _optimal_direct_mapped_kernel(cache: Simulator) -> Optional[KernelRunner]:
+    # Same simulation as OptimalCache (the subclass only constrains the
+    # geometry), but registered separately to keep exact-type matching.
+    if type(cache) is not OptimalDirectMappedCache:
+        return None
+    geometry = cache.geometry
+    return lambda trace: kernels.simulate_belady(trace, geometry)
+
+
+@register_kernel(OptimalLastLineCache)
+def _optimal_last_line_kernel(cache: Simulator) -> Optional[KernelRunner]:
+    if type(cache) is not OptimalLastLineCache:
+        return None
+    geometry = cache.geometry
+    return lambda trace: kernels.simulate_optimal_last_line(trace, geometry)
+
+
+@register_kernel(SetAssociativeCache)
+def _lru_set_associative_kernel(cache: Simulator) -> Optional[KernelRunner]:
+    if type(cache) is not SetAssociativeCache:
+        return None
+    if cache.policy_name != "lru" or not _is_cold(cache):
+        return None
+    geometry = cache.geometry
+    return lambda trace: kernels.simulate_lru(trace, geometry)
+
+
+def registered_kernel_types() -> "tuple[type, ...]":
+    """The exact model types with a registered kernel matcher."""
+    return tuple(_KERNEL_FACTORIES)
 
 
 def kernel_for(simulator: Simulator) -> Optional[KernelRunner]:

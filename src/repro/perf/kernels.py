@@ -18,12 +18,30 @@ per-set groups:
   references collapses to O(1) FSM work, so the Python loop executes
   once per run, not once per reference — on looping instruction traces
   most sets see long runs of a single line, and the hit-last dict is
-  touched only on replacement decisions, never per reference.
+  touched only on replacement decisions, never per reference;
+* :func:`simulate_belady` runs Belady-with-bypass (the paper's
+  "optimal" comparison point) over the same run-compressed groups: the
+  next-use arrays are built fully vectorised
+  (:func:`repro.caches.optimal.next_use_array`, a stable argsort
+  instead of the reference's per-reference Python dict scan) and
+  permuted into set order, so the greedy keep-sooner rule reduces to
+  integer comparisons per run.  Associativities above 1 carry one
+  line → next-use dict per set with the identical victim tie-breaking
+  (first-inserted wins ``max``) as the reference simulator;
+* :func:`simulate_lru` is the set-associative LRU kernel: each set
+  keeps an insertion-ordered dict as the recency stack (LRU first), so
+  a hit is a delete/reinsert and a victim is ``next(iter(...))``, both
+  O(1), and runs again collapse to one decision;
+* :func:`simulate_optimal_last_line` composes the Belady kernel with
+  :func:`~repro.trace.transforms.collapse_sequential_lines`, mirroring
+  :class:`~repro.caches.optimal.OptimalLastLineCache`.
 
-Both kernels return a :class:`~repro.caches.stats.CacheStats` that is
+All kernels return a :class:`~repro.caches.stats.CacheStats` that is
 field-for-field identical to the reference simulators'
 (``tests/perf/test_engine_equivalence.py`` proves it differentially);
-they never allocate per-reference objects.
+they never allocate per-reference objects, and every result passes
+:meth:`~repro.caches.stats.CacheStats.check` before it is returned so a
+kernel bug fails loudly instead of skewing a figure.
 """
 
 from __future__ import annotations
@@ -31,19 +49,22 @@ from __future__ import annotations
 import numpy as np
 
 from ..caches.geometry import CacheGeometry
+from ..caches.optimal import NEVER, next_use_array
 from ..caches.stats import CacheStats
 from ..trace.trace import Trace
 
 
 def _require_direct_mapped(geometry: CacheGeometry) -> None:
     if geometry.associativity != 1:
-        raise ValueError("set-partitioned kernels require associativity 1")
+        raise ValueError("this set-partitioned kernel requires associativity 1")
 
 
 def _set_partition(trace: Trace, geometry: CacheGeometry):
-    """``(grouped_lines, new_set)``: line addresses reordered set-by-set
-    (program order preserved within a set) and the boolean mask marking
-    the first position of each set group.
+    """``(grouped_lines, new_set, order)``: line addresses reordered
+    set-by-set (program order preserved within a set), the boolean mask
+    marking the first position of each set group, and the permutation
+    that produced the grouping (so per-position metadata such as
+    next-use arrays can be carried into set order).
 
     The set indices are narrowed to the smallest integer dtype before
     the stable argsort — numpy's radix sort is per-byte, so sorting
@@ -62,7 +83,15 @@ def _set_partition(trace: Trace, geometry: CacheGeometry):
     new_set = np.empty(len(lines), dtype=bool)
     new_set[0] = True
     np.not_equal(grouped_sets[1:], grouped_sets[:-1], out=new_set[1:])
-    return grouped_lines, new_set
+    return grouped_lines, new_set, order
+
+
+def _run_starts(grouped_lines: np.ndarray, new_set: np.ndarray) -> np.ndarray:
+    """Indices (in grouped order) where a run of identical consecutive
+    line addresses within one set group begins."""
+    boundary = new_set.copy()
+    boundary[1:] |= grouped_lines[1:] != grouped_lines[:-1]
+    return np.flatnonzero(boundary)
 
 
 def simulate_direct_mapped(trace: Trace, geometry: CacheGeometry) -> CacheStats:
@@ -77,8 +106,9 @@ def simulate_direct_mapped(trace: Trace, geometry: CacheGeometry) -> CacheStats:
     n = len(trace)
     stats = CacheStats(accesses=n)
     if n == 0:
+        stats.check()
         return stats
-    grouped_lines, new_set = _set_partition(trace, geometry)
+    grouped_lines, new_set, _ = _set_partition(trace, geometry)
     same_line = np.empty(n, dtype=bool)
     same_line[0] = False
     np.equal(grouped_lines[1:], grouped_lines[:-1], out=same_line[1:])
@@ -88,6 +118,7 @@ def simulate_direct_mapped(trace: Trace, geometry: CacheGeometry) -> CacheStats:
     stats.misses = n - hits
     stats.cold_misses = cold
     stats.evictions = stats.misses - cold
+    stats.check()
     return stats
 
 
@@ -107,13 +138,10 @@ def simulate_dynamic_exclusion(
     n = len(trace)
     stats = CacheStats(accesses=n)
     if n == 0:
+        stats.check()
         return stats
-    grouped_lines, new_set = _set_partition(trace, geometry)
-    # Run boundaries: a new set group, or a different line than the
-    # predecessor within the group.
-    boundary = new_set.copy()
-    boundary[1:] |= grouped_lines[1:] != grouped_lines[:-1]
-    starts = np.flatnonzero(boundary)
+    grouped_lines, new_set, _ = _set_partition(trace, geometry)
+    starts = _run_starts(grouped_lines, new_set)
     run_words = grouped_lines[starts].tolist()
     run_lengths = np.diff(starts, append=n).tolist()
     run_new_set = new_set[starts].tolist()
@@ -182,4 +210,186 @@ def simulate_dynamic_exclusion(
     stats.cold_misses = cold
     stats.evictions = evictions
     stats.bypasses = bypasses
+    stats.check()
+    return stats
+
+
+def simulate_belady(trace: Trace, geometry: CacheGeometry) -> CacheStats:
+    """Belady-with-bypass over set-partitioned, run-compressed groups.
+
+    Models :class:`~repro.caches.optimal.OptimalCache` (and therefore
+    :class:`~repro.caches.optimal.OptimalDirectMappedCache`) at any
+    associativity.
+
+    Run compression is exact here because a run of ``k > 1`` identical
+    references can never bypass: the incoming line's next use is the
+    run's own second element, while every resident line of the set is
+    next referenced only *after* the run ends (a line maps to exactly
+    one set, and the run is consecutive in the set's subsequence), so
+    the keep-sooner rule always installs the incoming line.  The
+    ``k - 1`` following references are then hits whose only effect is
+    to advance the stored next-use time.
+
+    The keep-sooner comparisons only ever rank next-use times of lines
+    in the *same* set, and within one set the global reference order is
+    the group order is the run order — so the greedy rule is computed in
+    **run coordinates**: the next-use array is built vectorised over the
+    compressed run words (:func:`~repro.caches.optimal.next_use_array`,
+    an argsort over the runs instead of the reference's per-reference
+    Python dict scan), and a run whose length exceeds 1 is its own
+    "immediate" next use.  This is order-isomorphic to the reference's
+    global positions, so every decision — including NEVER-vs-NEVER
+    victim ties, which Python's insertion-ordered ``max`` resolves the
+    same way in both simulators — is identical.
+    """
+    n = len(trace)
+    stats = CacheStats(accesses=n)
+    if n == 0:
+        stats.check()
+        return stats
+    grouped_lines, new_set, _ = _set_partition(trace, geometry)
+    starts = _run_starts(grouped_lines, new_set)
+    num_runs = len(starts)
+    run_word_array = grouped_lines[starts]
+    # Next run referencing the same word; a word belongs to exactly one
+    # set, so this is automatically per-set.
+    run_next = next_use_array(run_word_array).tolist()
+    run_words = run_word_array.tolist()
+    run_new_set = new_set[starts].tolist()
+    # Runs longer than one reference re-reference their word immediately
+    # and therefore always install (see above).
+    run_immediate = (np.diff(starts, append=n) > 1).tolist()
+
+    # Every run contributes length-1 hits except a fully-hitting run,
+    # which contributes one more, and a bypassed run (always length 1),
+    # which contributes length-1 = 0.  So only the run *classification*
+    # is tracked in the loop.
+    hit_runs = cold = evictions = bypasses = 0
+    if geometry.associativity == 1:
+        resident = -1
+        resident_next = NEVER
+        for word, nxt, starts_set, immediate in zip(
+            run_words, run_next, run_new_set, run_immediate
+        ):
+            if starts_set:
+                resident = -1
+            if word == resident:
+                hit_runs += 1
+                resident_next = nxt
+            elif resident < 0:
+                cold += 1
+                resident = word
+                resident_next = nxt
+            elif immediate or nxt < resident_next:
+                evictions += 1
+                resident = word
+                resident_next = nxt
+            else:
+                bypasses += 1
+    else:
+        ways = geometry.associativity
+        # One line -> next-use dict per set.  The dict sees the same
+        # insert/delete sequence as the reference simulator's per-set
+        # dict, so ``max`` resolves victim ties to the same line.
+        content: "dict[int, int]" = {}
+        for word, nxt, starts_set, immediate in zip(
+            run_words, run_next, run_new_set, run_immediate
+        ):
+            if starts_set:
+                content = {}
+            if word in content:
+                hit_runs += 1
+                content[word] = nxt
+            elif len(content) < ways:
+                cold += 1
+                content[word] = nxt
+            else:
+                victim = max(content, key=content.__getitem__)
+                if immediate or nxt < content[victim]:
+                    del content[victim]
+                    evictions += 1
+                    content[word] = nxt
+                else:
+                    bypasses += 1
+    stats.hits = n - num_runs + hit_runs
+    stats.misses = num_runs - hit_runs
+    stats.cold_misses = cold
+    stats.evictions = evictions
+    stats.bypasses = bypasses
+    stats.check()
+    return stats
+
+
+def simulate_lru(trace: Trace, geometry: CacheGeometry) -> CacheStats:
+    """Set-associative LRU simulation over run-compressed set groups.
+
+    Models :class:`~repro.caches.set_associative.SetAssociativeCache`
+    with the ``lru`` policy at any associativity.  Each set's recency
+    stack is an insertion-ordered dict (least recently used first): a
+    hit deletes and reinserts the line (O(1) move-to-back), a fill
+    appends, and the victim is the first key.  LRU always allocates, so
+    every run installs its line on the first reference and the rest of
+    the run hits.
+    """
+    n = len(trace)
+    stats = CacheStats(accesses=n)
+    if n == 0:
+        stats.check()
+        return stats
+    grouped_lines, new_set, _ = _set_partition(trace, geometry)
+    starts = _run_starts(grouped_lines, new_set)
+    run_words = grouped_lines[starts].tolist()
+    run_lengths = np.diff(starts, append=n).tolist()
+    run_new_set = new_set[starts].tolist()
+
+    ways = geometry.associativity
+    hits = cold = evictions = 0
+    recency: "dict[int, None]" = {}
+    for word, length, starts_set in zip(run_words, run_lengths, run_new_set):
+        if starts_set:
+            recency = {}
+        if word in recency:
+            hits += length
+            del recency[word]
+            recency[word] = None
+        else:
+            if len(recency) < ways:
+                cold += 1
+            else:
+                del recency[next(iter(recency))]
+                evictions += 1
+            recency[word] = None
+            hits += length - 1
+    stats.hits = hits
+    stats.misses = n - hits
+    stats.cold_misses = cold
+    stats.evictions = evictions
+    stats.check()
+    return stats
+
+
+def simulate_optimal_last_line(trace: Trace, geometry: CacheGeometry) -> CacheStats:
+    """Belady-with-bypass over collapsed line-reference events.
+
+    Models :class:`~repro.caches.optimal.OptimalLastLineCache`: runs
+    of consecutive references to one line are collapsed to a single
+    event (the last-line buffer serves the rest, counted as
+    ``buffer_hits``) and the Belady kernel runs on the collapsed
+    stream.
+    """
+    from ..trace.transforms import collapse_sequential_lines
+
+    collapsed = collapse_sequential_lines(trace, geometry.line_size)
+    inner = simulate_belady(collapsed, geometry)
+    buffer_hits = len(trace) - len(collapsed)
+    stats = CacheStats(
+        accesses=len(trace),
+        hits=inner.hits + buffer_hits,
+        misses=inner.misses,
+        bypasses=inner.bypasses,
+        evictions=inner.evictions,
+        buffer_hits=buffer_hits,
+        cold_misses=inner.cold_misses,
+    )
+    stats.check()
     return stats

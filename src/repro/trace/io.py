@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import gzip
 import io as _io
+import re
 from pathlib import Path
 from typing import IO, Union
 
@@ -30,6 +31,12 @@ _DIN_TO_KIND = {
 
 #: RefKind -> din label
 _KIND_TO_DIN = {kind: label for label, kind in _DIN_TO_KIND.items()}
+
+#: Strict din token grammars.  ``int(...)`` alone is too permissive: it
+#: accepts ``0x``/sign prefixes, surrounding whitespace, and ``_``
+#: digit separators, none of which the din format allows.
+_LABEL_RE = re.compile(r"[0-9]+\Z")
+_ADDR_RE = re.compile(r"[0-9a-fA-F]+\Z")
 
 PathOrFile = Union[str, Path, IO[str]]
 
@@ -65,28 +72,40 @@ def save_din(trace: Trace, target: PathOrFile) -> None:
 def load_din(source: PathOrFile, name: str = "") -> Trace:
     """Read a din-format trace from ``source`` (path or text file object).
 
-    Raises :class:`ValueError` on malformed lines or unknown labels.
+    Raises :class:`ValueError` on malformed lines (including
+    ``0x``-prefixed, sign-prefixed, or ``_``-separated tokens, which
+    the din format does not allow), unknown labels, and corrupt gzip
+    input.
     """
     handle, owned = _open_for_read(source)
     builder = TraceBuilder()
     try:
-        for lineno, line in enumerate(handle, start=1):
-            stripped = line.strip()
-            if not stripped or stripped.startswith("#"):
-                continue
-            parts = stripped.split()
-            if len(parts) != 2:
-                raise ValueError(f"line {lineno}: expected '<label> <hexaddr>', got {stripped!r}")
-            try:
+        try:
+            for lineno, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                parts = stripped.split()
+                if len(parts) != 2:
+                    raise ValueError(
+                        f"line {lineno}: expected '<label> <hexaddr>', got {stripped!r}"
+                    )
+                if not _LABEL_RE.match(parts[0]):
+                    raise ValueError(
+                        f"line {lineno}: malformed din label {parts[0]!r} "
+                        f"(expected a bare decimal integer)"
+                    )
+                if not _ADDR_RE.match(parts[1]):
+                    raise ValueError(
+                        f"line {lineno}: malformed address {parts[1]!r} "
+                        f"(expected bare hex digits, no 0x prefix or sign)"
+                    )
                 label = int(parts[0])
-                addr = int(parts[1], 16)
-            except ValueError as exc:
-                raise ValueError(f"line {lineno}: {exc}") from exc
-            if label not in _DIN_TO_KIND:
-                raise ValueError(f"line {lineno}: unknown din label {label}")
-            if addr < 0:
-                raise ValueError(f"line {lineno}: negative address")
-            builder.append(addr, _DIN_TO_KIND[label])
+                if label not in _DIN_TO_KIND:
+                    raise ValueError(f"line {lineno}: unknown din label {label}")
+                builder.append(int(parts[1], 16), _DIN_TO_KIND[label])
+        except gzip.BadGzipFile as exc:
+            raise ValueError(f"{source}: corrupt gzip trace ({exc})") from exc
     finally:
         if owned:
             handle.close()

@@ -58,14 +58,25 @@ class TestRunSweep:
         run_sweep("size", [8], {"dm": factory}, [itrace([0]), itrace([4])])
         assert len(created) == 2
 
-    def test_empty_traces(self):
-        result = run_sweep(
-            "size",
-            [8],
-            {"dm": lambda size: DirectMappedCache(CacheGeometry(int(size), 4))},
-            [],
-        )
-        assert result.series["dm"].points[8] == 0.0
+    def test_empty_traces_rejected(self):
+        # An empty trace set used to record a plausible-looking 0.0
+        # mean miss rate; it must fail loudly instead.
+        with pytest.raises(ValueError, match="trace"):
+            run_sweep(
+                "size",
+                [8],
+                {"dm": lambda size: DirectMappedCache(CacheGeometry(int(size), 4))},
+                [],
+            )
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError, match="parameter"):
+            run_sweep(
+                "size",
+                [],
+                {"dm": lambda size: DirectMappedCache(CacheGeometry(int(size), 4))},
+                [itrace([0])],
+            )
 
 
 class TestPerTraceRates:

@@ -65,5 +65,11 @@ class TestPercentReduction:
     def test_worse_is_negative(self):
         assert percent_reduction(0.10, 0.12) == pytest.approx(-20.0)
 
-    def test_zero_baseline(self):
-        assert percent_reduction(0.0, 0.1) == 0.0
+    def test_zero_baseline_zero_improved_is_no_change(self):
+        assert percent_reduction(0.0, 0.0) == 0.0
+
+    def test_zero_baseline_with_regression_raises(self):
+        # A regression from a perfect baseline must not masquerade as
+        # "no change".
+        with pytest.raises(ValueError, match="undefined"):
+            percent_reduction(0.0, 0.1)

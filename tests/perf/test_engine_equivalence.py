@@ -3,8 +3,9 @@
 Every supported configuration is checked for field-for-field
 :class:`~repro.caches.stats.CacheStats` equality on all ten SPEC
 analogue traces and on seeded random traces, across three geometries
-(1KB / 32KB / 256KB at b=4); unsupported configurations must fall back
-to the reference engine transparently.
+(1KB / 32KB / 256KB at b=4) and — for the associativity-capable models
+(Belady, LRU) — associativities 1, 2, and 4; unsupported
+configurations must fall back to the reference engine transparently.
 """
 
 import numpy as np
@@ -12,6 +13,11 @@ import pytest
 
 from repro.caches.direct_mapped import DirectMappedCache
 from repro.caches.geometry import CacheGeometry
+from repro.caches.optimal import (
+    OptimalCache,
+    OptimalDirectMappedCache,
+    OptimalLastLineCache,
+)
 from repro.caches.set_associative import SetAssociativeCache
 from repro.caches.victim import VictimCache
 from repro.core.exclusion_cache import DynamicExclusionCache
@@ -21,6 +27,7 @@ from repro.trace.trace import Trace
 from repro.workloads.registry import benchmark_names, instruction_trace
 
 GEOMETRIES = [CacheGeometry(kb * 1024, 4) for kb in (1, 32, 256)]
+ASSOCIATIVITIES = [1, 2, 4]
 TRACE_REFS = 20_000
 
 _SPEC_TRACES = {}
@@ -57,6 +64,37 @@ class TestSpecEquivalence:
         )
         assert fast == reference
 
+    @pytest.mark.parametrize("ways", ASSOCIATIVITIES)
+    def test_belady(self, name, geometry, ways):
+        trace = spec_trace(name)
+        shaped = CacheGeometry(geometry.size, geometry.line_size, associativity=ways)
+        reference = OptimalCache(shaped).simulate(trace)
+        fast = engine.simulate(OptimalCache(shaped), trace, engine="fast")
+        assert fast == reference
+
+    def test_optimal_direct_mapped(self, name, geometry):
+        trace = spec_trace(name)
+        reference = OptimalDirectMappedCache(geometry).simulate(trace)
+        fast = engine.simulate(
+            OptimalDirectMappedCache(geometry), trace, engine="fast"
+        )
+        assert fast == reference
+
+    def test_optimal_last_line(self, name, geometry):
+        trace = spec_trace(name)
+        shaped = CacheGeometry(geometry.size, 16)
+        reference = OptimalLastLineCache(shaped).simulate(trace)
+        fast = engine.simulate(OptimalLastLineCache(shaped), trace, engine="fast")
+        assert fast == reference
+
+    @pytest.mark.parametrize("ways", ASSOCIATIVITIES)
+    def test_lru(self, name, geometry, ways):
+        trace = spec_trace(name)
+        shaped = CacheGeometry(geometry.size, geometry.line_size, associativity=ways)
+        reference = SetAssociativeCache(shaped).simulate(trace)
+        fast = engine.simulate(SetAssociativeCache(shaped), trace, engine="fast")
+        assert fast == reference
+
 
 @pytest.mark.parametrize("geometry", GEOMETRIES, ids=geometry_id)
 @pytest.mark.parametrize("seed", [0, 1, 2])
@@ -90,6 +128,32 @@ class TestRandomEquivalence:
         )
         assert fast == reference
 
+    @pytest.mark.parametrize("ways", ASSOCIATIVITIES)
+    def test_belady(self, seed, geometry, ways):
+        trace = self._trace(seed)
+        shaped = CacheGeometry(geometry.size, geometry.line_size, associativity=ways)
+        reference = OptimalCache(shaped).simulate(trace)
+        assert engine.simulate(OptimalCache(shaped), trace, engine="fast") == reference
+
+    def test_optimal_last_line(self, seed, geometry):
+        trace = self._trace(seed)
+        shaped = CacheGeometry(geometry.size, 16)
+        reference = OptimalLastLineCache(shaped).simulate(trace)
+        assert (
+            engine.simulate(OptimalLastLineCache(shaped), trace, engine="fast")
+            == reference
+        )
+
+    @pytest.mark.parametrize("ways", ASSOCIATIVITIES)
+    def test_lru(self, seed, geometry, ways):
+        trace = self._trace(seed)
+        shaped = CacheGeometry(geometry.size, geometry.line_size, associativity=ways)
+        reference = SetAssociativeCache(shaped).simulate(trace)
+        assert (
+            engine.simulate(SetAssociativeCache(shaped), trace, engine="fast")
+            == reference
+        )
+
 
 class TestKernelRegistry:
     def test_supported_configurations(self):
@@ -99,6 +163,26 @@ class TestKernelRegistry:
         assert engine.has_kernel(
             DynamicExclusionCache(geometry, store=IdealHitLastStore(default=False))
         )
+        assert engine.has_kernel(OptimalCache(geometry))
+        assert engine.has_kernel(OptimalDirectMappedCache(geometry))
+        assert engine.has_kernel(OptimalLastLineCache(CacheGeometry(1024, 16)))
+        assert engine.has_kernel(
+            OptimalCache(CacheGeometry(1024, 4, associativity=4))
+        )
+        assert engine.has_kernel(SetAssociativeCache(geometry))
+        assert engine.has_kernel(
+            SetAssociativeCache(CacheGeometry(1024, 4, associativity=2))
+        )
+
+    def test_registered_kernel_types(self):
+        assert set(engine.registered_kernel_types()) == {
+            DirectMappedCache,
+            DynamicExclusionCache,
+            OptimalCache,
+            OptimalDirectMappedCache,
+            OptimalLastLineCache,
+            SetAssociativeCache,
+        }
 
     def test_multi_sticky_falls_back(self):
         cache = DynamicExclusionCache(CacheGeometry(1024, 4), sticky_levels=2)
@@ -121,10 +205,20 @@ class TestKernelRegistry:
         reference = VictimCache(CacheGeometry(1024, 4), entries=4).simulate(trace)
         assert fast == reference
 
-    def test_set_associative_has_no_kernel(self):
-        assert not engine.has_kernel(
-            SetAssociativeCache(CacheGeometry(1024, 4, associativity=2))
-        )
+    def test_non_lru_set_associative_falls_back(self):
+        geometry = CacheGeometry(1024, 4, associativity=2)
+        for policy in ("fifo", "random"):
+            cache = SetAssociativeCache(geometry, policy=policy)
+            assert not engine.has_kernel(cache)
+            trace = Trace([0, 1024, 2048, 0] * 10, [0] * 40)
+            fast = engine.simulate(cache, trace, engine="fast")
+            reference = SetAssociativeCache(geometry, policy=policy).simulate(trace)
+            assert fast == reference
+
+    def test_warm_lru_falls_back(self):
+        cache = SetAssociativeCache(CacheGeometry(1024, 4, associativity=2))
+        cache.access(0)
+        assert not engine.has_kernel(cache)
 
     def test_no_allocate_direct_mapped_falls_back(self):
         assert not engine.has_kernel(

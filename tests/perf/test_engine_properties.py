@@ -1,0 +1,105 @@
+"""Property tests for the engine dispatch.
+
+Two invariants, enforced over randomly generated traces and geometries:
+
+* for **every** registered kernel type, ``simulate(model, trace,
+  engine="fast")`` equals ``engine="reference"`` field for field (the
+  factory table below must cover ``engine.registered_kernel_types()``
+  exactly, so registering a new kernel without extending this test
+  fails loudly);
+* ``has_kernel`` is False — i.e. the fallback is taken — for warm
+  models and for unsupported store/policy configurations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.caches.optimal import (
+    OptimalCache,
+    OptimalDirectMappedCache,
+    OptimalLastLineCache,
+)
+from repro.caches.set_associative import SetAssociativeCache
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import HashedHitLastStore, IdealHitLastStore
+from repro.perf import engine
+from repro.trace.trace import Trace
+
+def _direct_mapped(geometry):
+    return CacheGeometry(geometry.size, geometry.line_size)
+
+
+#: Model type -> factory producing a kernel-eligible instance for a
+#: geometry.  Keys must match the registry exactly (checked below).
+#: Direct-mapped-only models reshape the geometry to associativity 1.
+FACTORIES = {
+    DirectMappedCache: lambda g: DirectMappedCache(_direct_mapped(g)),
+    DynamicExclusionCache: lambda g: DynamicExclusionCache(
+        _direct_mapped(g), store=IdealHitLastStore(default=True)
+    ),
+    OptimalCache: lambda g: OptimalCache(g),
+    OptimalDirectMappedCache: lambda g: OptimalDirectMappedCache(_direct_mapped(g)),
+    OptimalLastLineCache: lambda g: OptimalLastLineCache(_direct_mapped(g)),
+    SetAssociativeCache: lambda g: SetAssociativeCache(g, policy="lru"),
+}
+
+#: Small geometries so random traces produce real conflict traffic.
+GEOMETRIES = [
+    CacheGeometry(64, 4),
+    CacheGeometry(256, 4, associativity=2),
+    CacheGeometry(1024, 16, associativity=4),
+    CacheGeometry(512, 8),
+]
+
+traces = st.lists(
+    st.integers(min_value=0, max_value=(1 << 12) - 1), min_size=0, max_size=400
+).map(lambda words: Trace([w * 4 for w in words], [0] * len(words)))
+
+
+def test_factory_table_covers_the_registry():
+    assert set(FACTORIES) == set(engine.registered_kernel_types())
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces, index=st.integers(min_value=0, max_value=len(GEOMETRIES) - 1))
+def test_fast_engine_equals_reference_for_every_kernel_type(trace, index):
+    geometry = GEOMETRIES[index]
+    for factory in FACTORIES.values():
+        fast = engine.simulate(factory(geometry), trace, engine="fast")
+        reference = engine.simulate(factory(geometry), trace, engine="reference")
+        assert fast == reference
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=traces)
+def test_fast_path_taken_for_every_kernel_type(trace):
+    # The equality test above would pass vacuously if every model fell
+    # back; make sure the kernel actually matches a fresh instance.
+    for factory in FACTORIES.values():
+        assert engine.has_kernel(factory(GEOMETRIES[0]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=traces)
+def test_warm_models_fall_back(trace):
+    for model_type, factory in FACTORIES.items():
+        model = factory(GEOMETRIES[0])
+        if not hasattr(model, "access"):
+            continue  # offline models are stateless; nothing to warm
+        model.access(0)
+        assert not engine.has_kernel(model), model_type
+
+
+def test_unsupported_stores_and_policies_fall_back():
+    geometry = GEOMETRIES[0]
+    assert not engine.has_kernel(
+        DynamicExclusionCache(geometry, store=HashedHitLastStore(64))
+    )
+    assert not engine.has_kernel(DynamicExclusionCache(geometry, sticky_levels=2))
+    assert not engine.has_kernel(SetAssociativeCache(geometry, policy="fifo"))
+    assert not engine.has_kernel(SetAssociativeCache(geometry, policy="random"))
+    assert not engine.has_kernel(
+        DirectMappedCache(geometry, allocate_on_miss=False)
+    )

@@ -80,6 +80,31 @@ class TestErrors:
         with pytest.raises(ValueError, match="line 2"):
             loads_din("2 100\nbogus line here\n")
 
+    def test_0x_prefixed_address_rejected(self):
+        # int(x, 16) would happily accept this, but din does not.
+        with pytest.raises(ValueError, match="malformed address"):
+            loads_din("2 0x100\n")
+
+    def test_sign_prefixed_address_rejected(self):
+        with pytest.raises(ValueError, match="malformed address"):
+            loads_din("2 -100\n")
+        with pytest.raises(ValueError, match="malformed address"):
+            loads_din("2 +100\n")
+
+    def test_underscore_separated_address_rejected(self):
+        with pytest.raises(ValueError, match="malformed address"):
+            loads_din("2 1_00\n")
+
+    def test_sign_prefixed_label_rejected(self):
+        with pytest.raises(ValueError, match="malformed din label"):
+            loads_din("+2 100\n")
+        with pytest.raises(ValueError, match="malformed din label"):
+            loads_din("-1 100\n")
+
+    def test_plain_hex_still_accepted(self):
+        trace = loads_din("2 00ff\n")
+        assert trace[0].addr == 0xFF
+
 
 class TestGzip:
     def test_gz_round_trip(self, tmp_path):
@@ -102,3 +127,9 @@ class TestGzip:
         save_din(trace, plain)
         save_din(trace, packed)
         assert packed.stat().st_size < plain.stat().st_size / 5
+
+    def test_corrupt_gz_names_the_path(self, tmp_path):
+        path = tmp_path / "broken.din.gz"
+        path.write_bytes(b"this is not gzip data")
+        with pytest.raises(ValueError, match="broken.din.gz"):
+            load_din(path)
