@@ -91,3 +91,64 @@ def test_engine_speedup(results_dir):
         assert by_label[label] >= floor, (
             f"{label}: speedup {by_label[label]:.1f}x below the {floor}x floor"
         )
+
+
+def test_sweep_runner_overhead(results_dir, tmp_path):
+    """The resilient envelope layer must cost ~nothing over an inline
+    loop, and a warm journal must replay instead of recomputing.
+
+    Times the same size sweep three ways — a bare inline loop, the
+    envelope runner with a cold journal, and the envelope runner with a
+    warm journal — asserts all three agree on every miss rate, and
+    persists the comparison to ``benchmarks/results/bench_sweep_runner.txt``.
+    """
+    from repro.experiments.common import StandardFactory
+    from repro.perf import parallel
+
+    trace_key = parallel.TraceKey("gcc", "instruction", TRACE_REFS)
+    sizes = [kb * 1024 for kb in (1, 4, 16, 64, 256)]
+    factory = StandardFactory("direct-mapped", 4)
+    cells = [("direct-mapped", factory, size, trace_key) for size in sizes]
+
+    trace_key.load()  # prime the trace memo so every variant pays zero
+    start = time.perf_counter()
+    inline = [
+        parallel.simulate_cell(factory, size, trace_key, engine="fast")
+        for size in sizes
+    ]
+    inline_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold = parallel.run_labeled_cells(
+        cells, engine="fast", workers=1, journal=tmp_path
+    )
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = parallel.run_labeled_cells(
+        cells, engine="fast", workers=1, journal=tmp_path
+    )
+    warm_s = time.perf_counter() - start
+
+    assert [o.miss_rate for o in cold] == inline
+    assert [o.miss_rate for o in warm] == inline
+    assert all(o.cached for o in warm), "warm journal run recomputed cells"
+
+    overhead = 100.0 * (cold_s - inline_s) / inline_s
+    report = "\n".join(
+        [
+            f"Sweep-runner overhead (gcc, {TRACE_REFS:,} refs, "
+            f"{len(sizes)} sizes, fast engine, sequential)",
+            f"{'variant':<24} {'seconds':>10}",
+            f"{'inline loop':<24} {inline_s:>10.3f}",
+            f"{'envelopes, cold journal':<24} {cold_s:>10.3f}",
+            f"{'envelopes, warm journal':<24} {warm_s:>10.3f}",
+            f"envelope overhead: {overhead:+.1f}% over inline",
+        ]
+    )
+    (results_dir / "bench_sweep_runner.txt").write_text(report + "\n")
+    print(f"\n{report}\n")
+
+    # The warm run does no simulation at all; anything close to the
+    # cold time means the journal replay is broken.
+    assert warm_s < cold_s

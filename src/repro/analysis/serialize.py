@@ -15,6 +15,7 @@ from typing import IO, Union
 
 from ..caches.stats import CacheStats
 from ..hierarchy.two_level import Strategy, TwoLevelResult
+from ..perf.journal import canonical_parameter, parameter_from_json
 from .sweep import SweepResult
 
 FORMAT_VERSION = 1
@@ -52,15 +53,36 @@ def stats_from_dict(data: dict) -> CacheStats:
 
 
 def sweep_to_dict(result: SweepResult) -> dict:
+    """Serialise a sweep, validating it is complete and JSON-stable.
+
+    A series missing a parameter (a partial sweep — e.g. one assembled
+    by hand or truncated by an aborted run) used to surface as a bare
+    ``KeyError`` with no context; it now raises a :class:`ValueError`
+    naming the series and the missing parameters.  Parameters that do
+    not survive a JSON round trip are rejected by
+    :func:`~repro.perf.journal.canonical_parameter` (tuples are
+    canonicalised and restored as tuples on load).
+    """
+    parameters = [
+        canonical_parameter(p, where=f"sweep parameter {p!r}")
+        for p in result.parameters
+    ]
+    series_values = {}
+    for label, series in result.series.items():
+        missing = [p for p in result.parameters if p not in series.points]
+        if missing:
+            raise ValueError(
+                f"cannot serialise a partial sweep: series {label!r} has no "
+                f"value for parameter(s) {missing!r} "
+                f"({len(series.points)} of {len(result.parameters)} points present)"
+            )
+        series_values[label] = [series.points[p] for p in result.parameters]
     return {
         "kind": "sweep",
         "version": FORMAT_VERSION,
         "parameter_name": result.parameter_name,
-        "parameters": list(result.parameters),
-        "series": {
-            label: [series.points[p] for p in result.parameters]
-            for label, series in result.series.items()
-        },
+        "parameters": parameters,
+        "series": series_values,
     }
 
 
@@ -68,7 +90,10 @@ def sweep_from_dict(data: dict) -> SweepResult:
     _require_kind(data, "sweep")
     result = SweepResult(
         parameter_name=data["parameter_name"],
-        parameters=list(data["parameters"]),
+        # JSON has no tuples; canonical parameters restore arrays as
+        # tuples so Series.points lookups by the original (hashable)
+        # parameter still hit after a reload.
+        parameters=[parameter_from_json(p) for p in data["parameters"]],
     )
     for label, values in data["series"].items():
         if len(values) != len(result.parameters):

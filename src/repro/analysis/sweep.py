@@ -61,6 +61,9 @@ def run_sweep(
     traces: Sequence[parallel.TraceLike],
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    journal: "parallel.SweepJournal | str | None" = None,
+    progress: Optional[bool] = None,
+    timeout: Optional[float] = None,
 ) -> SweepResult:
     """Simulate every (parameter, factory) pair over ``traces``.
 
@@ -72,6 +75,14 @@ def run_sweep(
     (see :mod:`repro.perf`); passing ``workers`` above 1 requires
     picklable factories and is cheapest with
     :class:`~repro.perf.parallel.TraceKey` traces.
+
+    Cells run through the resilient envelope layer
+    (:func:`repro.perf.parallel.run_labeled_cells`): worker crashes are
+    retried with pool re-creation, ``journal`` (default: the CLI's
+    ``--resume-dir``) resumes an interrupted sweep from its completed
+    cells, and any cell that still fails raises
+    :class:`~repro.perf.parallel.SweepCellError` naming each failed
+    cell's (label, parameter, trace, engine) identity.
 
     Raises :class:`ValueError` when ``parameters`` or ``traces`` is
     empty: an empty sweep has no miss rates to average, and silently
@@ -86,12 +97,19 @@ def run_sweep(
         )
     result = SweepResult(parameter_name=parameter_name, parameters=list(parameters))
     cells = [
-        (factory, parameter, trace)
+        (label, factory, parameter, trace)
         for parameter in parameters
-        for factory in factories.values()
+        for label, factory in factories.items()
         for trace in traces
     ]
-    rates = parallel.run_cells(cells, engine=engine, workers=workers)
+    outcomes = parallel.run_labeled_cells(
+        cells, engine=engine, workers=workers, timeout=timeout,
+        journal=journal, progress=progress,
+    )
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        raise parallel.SweepCellError(failures, len(outcomes))
+    rates = [outcome.miss_rate for outcome in outcomes]
     per_trace = len(traces)
     position = 0
     for parameter in parameters:

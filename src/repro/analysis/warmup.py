@@ -15,8 +15,12 @@ from dataclasses import dataclass
 from typing import Callable, List, Union
 
 from ..caches.base import Cache
-from ..caches.stats import CacheStats
+from ..caches.stats import CacheStats, percent_reduction
 from ..trace.trace import Trace
+
+#: Absolute floor for the warm-up threshold: windowed rates within
+#: float dust of a zero steady state still count as warmed.
+_STEADY_EPSILON = 1e-12
 
 
 @dataclass(frozen=True)
@@ -41,8 +45,15 @@ class WarmupCurve:
 
     @property
     def warmup_windows(self) -> int:
-        """Windows until the rate first drops within 1.5x of steady."""
-        threshold = 1.5 * self.steady_rate
+        """Windows until the rate first drops within 1.5x of steady.
+
+        When the steady-state rate is 0.0 the purely relative threshold
+        would also be 0.0, and a curve whose tail plateaus within float
+        dust of zero (without ever hitting it exactly) would report
+        "never warmed"; a tiny absolute floor keeps the comparison
+        meaningful in that edge case.
+        """
+        threshold = max(1.5 * self.steady_rate, _STEADY_EPSILON)
         for i, rate in enumerate(self.miss_rates):
             if rate <= threshold:
                 return i
@@ -120,14 +131,18 @@ def steady_state_reduction(
 
     Separates training cost from steady-state benefit — the honest way
     to compare an adaptive policy against a static one on short traces.
+
+    Both halves go through
+    :func:`~repro.caches.stats.percent_reduction`, so a zero-baseline
+    half with a *regressed* improved rate raises :class:`ValueError`
+    instead of masquerading as "no change" (the same zero-baseline
+    masking bug ``percent_reduction`` itself was fixed for); a genuine
+    0.0 -> 0.0 half still reports 0.0.
     """
     boundary = boundary if boundary is not None else len(trace) // 2
     base = cold_warm_split(baseline_factory, trace, boundary)
     improved = cold_warm_split(improved_factory, trace, boundary)
-
-    def reduction(a: CacheStats, b: CacheStats) -> float:
-        if a.miss_rate == 0:
-            return 0.0
-        return 100.0 * (a.miss_rate - b.miss_rate) / a.miss_rate
-
-    return reduction(base.cold, improved.cold), reduction(base.warm, improved.warm)
+    return (
+        percent_reduction(base.cold.miss_rate, improved.cold.miss_rate),
+        percent_reduction(base.warm.miss_rate, improved.warm.miss_rate),
+    )

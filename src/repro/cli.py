@@ -35,6 +35,8 @@ from .caches.victim import VictimCache
 from .core.exclusion_cache import DynamicExclusionCache
 from .core.hitlast import HashedHitLastStore, IdealHitLastStore
 from .core.long_lines import make_long_line_exclusion_cache
+from .perf.engine import ENGINES, simulate as engine_simulate
+from .perf.parallel import env_workers, set_default_workers
 from .trace.io import load_din, save_din
 from .trace.trace import Trace
 from .workloads.registry import benchmark_names, trace_by_kind
@@ -116,7 +118,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     geometry = CacheGeometry(args.size, args.line)
     trace = _load_trace(args.trace, args.kind, args.refs)
     simulator = _build_simulator(args.policy, geometry, args)
-    stats = simulator.simulate(trace)
+    stats = engine_simulate(simulator, trace, engine=args.engine)
     print(f"trace      : {trace.name or args.trace} ({len(trace):,} refs)")
     print(f"cache      : {geometry} [{args.policy}]")
     print(f"accesses   : {stats.accesses:,}")
@@ -190,6 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="cold hit-last polarity 0 instead of 1")
     sim_parser.add_argument("--victim-entries", type=int, default=4)
     sim_parser.add_argument("--stream-depth", type=int, default=4)
+    sim_parser.add_argument("--engine", choices=list(ENGINES), default=None,
+                            help="'fast' uses the set-partitioned numpy "
+                            "kernels where available (identical results); "
+                            "default: the process default ('reference')")
+    sim_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                            help="default process-pool size for any sweep "
+                            "run in-process (default: REPRO_WORKERS or 1)")
     sim_parser.set_defaults(func=_cmd_simulate)
 
     classify_parser = sub.add_parser("classify", help="3C miss classification")
@@ -214,6 +223,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "List[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Validate the environment before any trace work: a malformed
+    # REPRO_WORKERS should fail at startup, not when a pool spins up.
+    try:
+        env_workers()
+    except ValueError as exc:
+        parser.error(str(exc))
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        if workers < 1:
+            parser.error("--workers must be at least 1")
+        set_default_workers(workers)
     return args.func(args)
 
 

@@ -8,11 +8,14 @@ Usage::
     python -m repro.experiments --svg figures/  # also save SVG charts
     REPRO_TRACE_SCALE=5 python -m repro.experiments --only fig04
     python -m repro.experiments --only fig04 --engine fast --workers 4
+    python -m repro.experiments --only fig04 --workers 4 \\
+        --resume-dir runs/fig04 --progress
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -20,6 +23,7 @@ from typing import List
 
 from .. import perf
 from . import EXPERIMENTS
+from .common import trace_scale
 
 
 def main(argv: "List[str] | None" = None) -> int:
@@ -55,7 +59,30 @@ def main(argv: "List[str] | None" = None) -> int:
         help="process-pool size for sweep cells (default: REPRO_WORKERS "
         "or 1 = sequential)",
     )
+    parser.add_argument(
+        "--resume-dir",
+        metavar="DIR",
+        default=None,
+        help="journal completed sweep cells under DIR and reuse them on "
+        "the next run, so a crashed or interrupted sweep resumes instead "
+        "of recomputing; telemetry is recorded there too",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report each sweep cell and a per-experiment telemetry "
+        "summary on stderr",
+    )
     args = parser.parse_args(argv)
+
+    # Fail on malformed environment before any trace is generated: a bad
+    # REPRO_WORKERS used to surface only when the first sweep spun up its
+    # pool, minutes into a run.
+    try:
+        perf.env_workers()
+        trace_scale()
+    except ValueError as exc:
+        parser.error(str(exc))
 
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
@@ -63,6 +90,14 @@ def main(argv: "List[str] | None" = None) -> int:
         perf.set_default_engine(args.engine)
     if args.workers is not None:
         perf.set_default_workers(args.workers)
+
+    resume_dir = None
+    if args.resume_dir:
+        resume_dir = Path(args.resume_dir)
+        resume_dir.mkdir(parents=True, exist_ok=True)
+        perf.set_default_journal_dir(resume_dir)
+    if args.progress:
+        perf.set_default_progress(True)
 
     if args.list:
         for key, module in EXPERIMENTS.items():
@@ -79,17 +114,50 @@ def main(argv: "List[str] | None" = None) -> int:
         svg_dir = Path(args.svg)
         svg_dir.mkdir(parents=True, exist_ok=True)
 
-    for key in selected:
-        module = EXPERIMENTS[key]
-        started = time.time()
-        print(f"\n{'#' * 72}\n# {key}: {module.TITLE}\n{'#' * 72}")
-        print(module.report())
-        if svg_dir is not None:
-            path = _maybe_save_svg(module, key, svg_dir)
-            if path is not None:
-                print(f"[svg written to {path}]")
-        print(f"\n[{key} done in {time.time() - started:.1f}s]")
+    telemetry_dir = resume_dir if resume_dir is not None else svg_dir
+
+    try:
+        for key in selected:
+            module = EXPERIMENTS[key]
+            started = time.time()
+            perf.drain_telemetry()  # discard any runs from a prior experiment
+            print(f"\n{'#' * 72}\n# {key}: {module.TITLE}\n{'#' * 72}")
+            print(module.report())
+            if svg_dir is not None:
+                path = _maybe_save_svg(module, key, svg_dir)
+                if path is not None:
+                    print(f"[svg written to {path}]")
+            elapsed = time.time() - started
+            sweeps = perf.drain_telemetry()
+            if telemetry_dir is not None and sweeps:
+                path = _save_telemetry(key, sweeps, elapsed, telemetry_dir)
+                print(f"[telemetry written to {path}]")
+            if args.progress:
+                for record in sweeps:
+                    print(f"[{key}] {record.summary()}", file=sys.stderr)
+            print(f"\n[{key} done in {elapsed:.1f}s]")
+    finally:
+        # The resume/progress defaults are process-wide; restore them so
+        # an embedding caller (or the test suite) is not left journaling.
+        if resume_dir is not None:
+            perf.set_default_journal_dir(None)
+        if args.progress:
+            perf.set_default_progress(False)
     return 0
+
+
+def _save_telemetry(key: str, sweeps, elapsed: float, directory: Path) -> Path:
+    """Record the experiment's sweep telemetry next to its outputs."""
+    payload = {
+        "kind": "experiment-telemetry",
+        "version": 1,
+        "experiment": key,
+        "elapsed_seconds": round(elapsed, 3),
+        "sweeps": [record.to_dict() for record in sweeps],
+    }
+    path = directory / f"{key}.telemetry.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def _maybe_save_svg(module, key: str, directory):

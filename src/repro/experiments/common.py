@@ -63,12 +63,29 @@ def max_refs() -> int:
 _TRACE_CACHE: Dict[Tuple[str, str, int], Trace] = {}
 
 
+def _evict_other_scales(budget: int) -> None:
+    """Drop memoised traces generated under a different reference budget.
+
+    Flipping ``REPRO_TRACE_SCALE`` mid-process (tests and notebooks do)
+    used to accumulate one full benchmark suite per scale ever used —
+    at scale 25 that is hundreds of megabytes of dead arrays.  Traces
+    from other scales can never be returned again until the scale flips
+    back, and regeneration is cheap relative to holding them, so the
+    cache keeps only the current scale's entries.
+    """
+    stale = [key for key in _TRACE_CACHE if key[2] != budget]
+    for key in stale:
+        del _TRACE_CACHE[key]
+
+
 def cached_trace(name: str, kind: str = "instruction") -> Trace:
     """Memoised benchmark trace (kind in instruction / data / mixed)."""
-    key = (name, kind, max_refs())
+    budget = max_refs()
+    key = (name, kind, budget)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
-        trace = trace_by_kind(name, kind, max_refs=max_refs())
+        _evict_other_scales(budget)
+        trace = trace_by_kind(name, kind, max_refs=budget)
         _TRACE_CACHE[key] = trace
     return trace
 

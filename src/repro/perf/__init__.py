@@ -5,13 +5,19 @@
   plus the last-line variant), and LRU set-associative caches;
 * :mod:`repro.perf.engine` — ``simulate(model, trace, engine=...)``
   dispatch with a kernel registry and automatic reference fallback;
-* :mod:`repro.perf.parallel` — a process-pool sweep runner that ships
-  deterministic :class:`~repro.perf.parallel.TraceKey` recipes instead
-  of trace arrays.
+* :mod:`repro.perf.parallel` — a fault-tolerant process-pool sweep
+  runner: per-cell result envelopes with full identity, bounded retry
+  with pool re-creation on worker crashes, per-cell timeouts, and
+  structured telemetry; ships deterministic
+  :class:`~repro.perf.parallel.TraceKey` recipes instead of trace
+  arrays;
+* :mod:`repro.perf.journal` — the opt-in on-disk result journal that
+  lets a crashed or interrupted sweep resume from its completed cells.
 """
 
 from .engine import (
     ENGINES,
+    KernelExecutionError,
     default_engine,
     has_kernel,
     kernel_for,
@@ -20,6 +26,7 @@ from .engine import (
     set_default_engine,
     simulate,
 )
+from .journal import SweepJournal, canonical_parameter, parameter_from_json
 from .kernels import (
     simulate_belady,
     simulate_direct_mapped,
@@ -28,26 +35,50 @@ from .kernels import (
     simulate_optimal_last_line,
 )
 from .parallel import (
+    CellIdentity,
+    CellOutcome,
+    SweepCellError,
+    SweepTelemetry,
     TraceKey,
+    default_journal_dir,
+    drain_telemetry,
     env_workers,
     resolve_workers,
     run_cells,
+    run_labeled_cells,
+    set_default_cell_timeout,
+    set_default_journal_dir,
+    set_default_progress,
     set_default_workers,
     simulate_cell,
 )
 
 __all__ = [
     "ENGINES",
+    "CellIdentity",
+    "CellOutcome",
+    "KernelExecutionError",
+    "SweepCellError",
+    "SweepJournal",
+    "SweepTelemetry",
     "TraceKey",
+    "canonical_parameter",
     "default_engine",
+    "default_journal_dir",
+    "drain_telemetry",
     "env_workers",
     "has_kernel",
     "kernel_for",
+    "parameter_from_json",
     "registered_kernel_types",
     "resolve_engine",
     "resolve_workers",
     "run_cells",
+    "run_labeled_cells",
+    "set_default_cell_timeout",
     "set_default_engine",
+    "set_default_journal_dir",
+    "set_default_progress",
     "set_default_workers",
     "simulate",
     "simulate_belady",

@@ -39,6 +39,15 @@ from . import kernels
 #: The recognised engine names.
 ENGINES = ("fast", "reference")
 
+
+class KernelExecutionError(RuntimeError):
+    """A fast kernel raised mid-simulation.
+
+    Wraps the original exception (available as ``__cause__``) with the
+    model type and trace identity, so a failure deep inside a vectorized
+    kernel during a 500-cell sweep is attributable without a debugger.
+    """
+
 Simulator = Union[Cache, OfflineCache]
 KernelRunner = Callable[[Trace], CacheStats]
 
@@ -190,5 +199,12 @@ def simulate(
     if engine == "fast":
         runner = kernel_for(simulator)
         if runner is not None:
-            return runner(trace)
+            try:
+                return runner(trace)
+            except Exception as exc:
+                raise KernelExecutionError(
+                    f"fast kernel for {type(simulator).__name__} failed on "
+                    f"trace {trace.name or '<unnamed>'!r} ({len(trace)} refs): "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
     return simulator.simulate(trace)

@@ -1,0 +1,143 @@
+"""On-disk sweep journal: resumable per-cell results.
+
+A large figure sweep at ``REPRO_TRACE_SCALE`` 5+ runs for minutes per
+figure; a single worker crash used to discard every finished cell.  The
+journal makes completed cells durable: each successful cell appends one
+JSON line keyed by a content hash of the full cell identity (factory
+fingerprint, parameter, trace recipe incl. ``max_refs``, engine), and a
+later run with the same journal directory replays those results instead
+of recomputing them.
+
+The format follows the :mod:`repro.analysis.serialize` conventions —
+``kind`` + ``version`` fields, ``sort_keys`` output — and is append-only
+so a crash mid-write costs at most the torn final line (which is
+skipped on load and simply recomputed).
+
+This module also owns :func:`canonical_parameter`, the single source of
+truth for which sweep parameter types survive a JSON round trip; the
+sweep serialiser reuses it so journal keys and persisted sweeps agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+JOURNAL_VERSION = 1
+
+#: File name used inside a resume directory.
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+def canonical_parameter(value: object, where: str = "sweep parameter") -> object:
+    """Return a JSON-stable form of a sweep parameter.
+
+    Scalars (``str``/``int``/``float``/``bool``/``None``) pass through;
+    tuples — including nested ones — become JSON arrays and are restored
+    as tuples by :func:`parameter_from_json`, so ``Series.points``
+    lookups keyed by tuple parameters still hit after a reload.
+    Anything else (lists, dicts, arbitrary objects, non-finite floats)
+    does not survive a JSON round trip losslessly and is rejected with a
+    descriptive :class:`TypeError` instead of coming back subtly
+    different.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise TypeError(f"{where} {value!r} is a non-finite float and has no stable JSON form")
+        return value
+    if isinstance(value, tuple):
+        return [canonical_parameter(item, where=where) for item in value]
+    raise TypeError(
+        f"{where} {value!r} of type {type(value).__name__} does not survive a "
+        f"JSON round trip; use str/int/float/bool/None or (nested) tuples of them"
+    )
+
+
+def parameter_from_json(value: object) -> object:
+    """Restore a canonical parameter (JSON arrays come back as tuples)."""
+    if isinstance(value, list):
+        return tuple(parameter_from_json(item) for item in value)
+    return value
+
+
+def is_stable_parameter(value: object) -> bool:
+    """Whether :func:`canonical_parameter` accepts ``value``."""
+    try:
+        canonical_parameter(value)
+    except TypeError:
+        return False
+    return True
+
+
+def content_key(payload: dict) -> str:
+    """Deterministic hex digest of a cell-identity payload dict."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class SweepJournal:
+    """Append-only JSONL cache of completed sweep cells.
+
+    ``get`` answers "has this exact cell already been computed?" from
+    the in-memory index built at load time; ``record`` appends and
+    flushes one line per completed cell so an interrupted run loses at
+    most the cell in flight.  Lines that fail to parse (torn tail write
+    from a crash), carry an unknown ``kind``, or come from a newer
+    format version are skipped — their cells are recomputed, never
+    trusted.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_FILENAME
+        self._entries: Dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a crash; recompute that cell
+            if not isinstance(entry, dict):
+                continue
+            if entry.get("kind") != "sweep-cell":
+                continue
+            if entry.get("version", 0) > JOURNAL_VERSION:
+                continue
+            key = entry.get("key")
+            if isinstance(key, str) and isinstance(entry.get("miss_rate"), (int, float)):
+                self._entries[key] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[dict]:
+        """The recorded entry for ``key``, or ``None``."""
+        return self._entries.get(key)
+
+    def record(self, key: str, fields: dict, miss_rate: float, seconds: float) -> None:
+        """Append one completed cell (flushed immediately)."""
+        entry = {
+            "kind": "sweep-cell",
+            "version": JOURNAL_VERSION,
+            "key": key,
+            "miss_rate": miss_rate,
+            "seconds": round(seconds, 6),
+            **fields,
+        }
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+        self._entries[key] = entry

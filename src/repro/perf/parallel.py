@@ -1,4 +1,4 @@
-"""Process-parallel sweep execution.
+"""Process-parallel sweep execution with fault tolerance.
 
 A figure sweep is a grid of independent (parameter, policy, benchmark)
 cells, so it parallelises trivially — except that shipping megabyte
@@ -6,6 +6,24 @@ trace arrays to worker processes would swamp the win.  Benchmark traces
 are deterministic functions of their ``(name, kind, max_refs)`` key, so
 :class:`TraceKey` sends the *key* instead and each worker regenerates
 (and memoises) the trace on first use.
+
+The execution layer is built around per-cell **result envelopes**
+(:class:`CellOutcome`) instead of bare ``future.result()`` calls: every
+cell carries its full :class:`CellIdentity` — factory label and
+fingerprint, parameter, trace recipe, engine — plus wall time and any
+captured exception, so a failure names exactly which cell died instead
+of aborting the whole grid anonymously.  On top of that sit
+
+* bounded retry with pool re-creation when a worker dies
+  (``BrokenProcessPool`` — an OOM-killed worker on a scaled trace is
+  the motivating case), falling back to one-cell-in-flight execution to
+  attribute a deterministic crasher precisely;
+* an optional per-cell ``timeout`` (pooled runs only) that terminates
+  the stuck worker and fails just that cell;
+* an opt-in on-disk journal (:class:`~repro.perf.journal.SweepJournal`)
+  so an interrupted sweep resumes from its completed cells;
+* structured run telemetry (:class:`SweepTelemetry`) collected for the
+  experiments CLI's ``--progress``/``--resume-dir`` reporting.
 
 Worker count resolution, in priority order:
 
@@ -18,13 +36,20 @@ Worker count resolution, in priority order:
 
 from __future__ import annotations
 
+import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import sys
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..trace.trace import Trace
 from . import engine as engine_mod
+from .journal import SweepJournal, canonical_parameter, content_key, is_stable_parameter
 
 
 @dataclass(frozen=True)
@@ -46,6 +71,11 @@ class TraceKey:
         if trace is None:
             from ..workloads.registry import trace_by_kind
 
+            if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+                # Drop the oldest memoised trace (insertion order): the
+                # cache otherwise grows without bound when sweeps mix
+                # many (name, kind, max_refs) combinations.
+                _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
             trace = trace_by_kind(self.name, self.kind, max_refs=self.max_refs)
             _TRACE_CACHE[self] = trace
         return trace
@@ -54,6 +84,10 @@ class TraceKey:
 TraceLike = Union[Trace, TraceKey]
 
 _TRACE_CACHE: Dict[TraceKey, Trace] = {}
+
+#: Ten benchmarks x three kinds fit comfortably; anything past this is
+#: a scale change or a synthetic flood, and old entries are evicted FIFO.
+_TRACE_CACHE_LIMIT = 64
 
 
 def clear_trace_cache() -> None:
@@ -109,6 +143,234 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return 1
 
 
+# -- resilience defaults (the CLI's --resume-dir / --progress flags) ----------
+
+#: Pool re-creations attempted after a worker crash before switching to
+#: one-cell-in-flight execution to attribute the crasher precisely.
+DEFAULT_POOL_RETRIES = 2
+
+_DEFAULT_JOURNAL_DIR: Optional[Path] = None
+_DEFAULT_PROGRESS = False
+_DEFAULT_CELL_TIMEOUT: Optional[float] = None
+
+
+def set_default_journal_dir(directory: "str | Path | None") -> None:
+    """Journal every sweep in this process under ``directory`` (CLI ``--resume-dir``)."""
+    global _DEFAULT_JOURNAL_DIR
+    _DEFAULT_JOURNAL_DIR = Path(directory) if directory is not None else None
+
+
+def default_journal_dir() -> Optional[Path]:
+    """The process-wide resume directory (None = journaling off)."""
+    return _DEFAULT_JOURNAL_DIR
+
+
+def set_default_progress(enabled: bool) -> None:
+    """Print per-cell progress lines to stderr (CLI ``--progress``)."""
+    global _DEFAULT_PROGRESS
+    _DEFAULT_PROGRESS = bool(enabled)
+
+
+def set_default_cell_timeout(seconds: Optional[float]) -> None:
+    """Per-cell timeout for pooled runs (None disables)."""
+    if seconds is not None and seconds <= 0:
+        raise ValueError("cell timeout must be positive")
+    global _DEFAULT_CELL_TIMEOUT
+    _DEFAULT_CELL_TIMEOUT = seconds
+
+
+# -- cell identity ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellIdentity:
+    """Everything needed to name one sweep cell in an error, journal
+    entry, or progress line: which curve (factory label + fingerprint),
+    which parameter, which trace (with its reference budget, i.e. the
+    ``max_refs``/``REPRO_TRACE_SCALE`` the run used), which engine."""
+
+    label: str
+    factory: str
+    parameter: object
+    trace_name: str
+    trace_kind: str
+    trace_refs: int
+    engine: str
+    trace_digest: str = ""
+    journalable: bool = True
+
+    def describe(self) -> str:
+        return (
+            f"{self.label} | {self.parameter!r} | "
+            f"{self.trace_name}({self.trace_kind}, {self.trace_refs} refs) | "
+            f"engine={self.engine}"
+        )
+
+    def payload(self) -> dict:
+        """The content-hashed identity dict (journal key material)."""
+        return {
+            "label": self.label,
+            "factory": self.factory,
+            "parameter": canonical_parameter(self.parameter)
+            if self.journalable
+            else repr(self.parameter),
+            "trace_name": self.trace_name,
+            "trace_kind": self.trace_kind,
+            "trace_refs": self.trace_refs,
+            "trace_digest": self.trace_digest,
+            "engine": self.engine,
+        }
+
+    def key(self) -> str:
+        return content_key(self.payload())
+
+
+def _factory_fingerprint(factory: object) -> Optional[str]:
+    """A repr stable across processes, or None when there isn't one.
+
+    Frozen-dataclass factories (``StandardFactory`` etc.) repr their
+    configuration deterministically.  Lambdas and local closures repr a
+    memory address, which a resumed run cannot be matched against — and
+    a *reused* address must never cause a false journal hit — so such
+    cells are executed but never journaled.
+    """
+    text = repr(factory)
+    if " at 0x" in text or "<locals>" in text or "object at" in text:
+        return None
+    return text
+
+
+def _trace_digest(trace: Trace) -> str:
+    """Stable content digest of a raw (non-TraceKey) trace."""
+    digest = hashlib.sha256()
+    digest.update(trace.addrs.tobytes())
+    digest.update(trace.kinds.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def identity_for(
+    label: str,
+    factory: Callable[[object], object],
+    parameter: object,
+    trace: TraceLike,
+    engine: str,
+    digest: bool = False,
+) -> CellIdentity:
+    """Build the full identity envelope for one cell.
+
+    ``digest`` asks for a content hash of raw Trace objects (needed only
+    when journaling, where a name collision must not replay the wrong
+    trace's result; TraceKeys are already deterministic recipes).
+    """
+    fingerprint = _factory_fingerprint(factory)
+    if isinstance(trace, TraceKey):
+        name, kind, refs, trace_dig = trace.name, trace.kind, trace.max_refs, ""
+    else:
+        name = trace.name or "<anonymous>"
+        kind = "<trace>"
+        refs = len(trace)
+        trace_dig = _trace_digest(trace) if digest else ""
+    return CellIdentity(
+        label=label,
+        factory=fingerprint if fingerprint is not None else repr(factory),
+        parameter=parameter,
+        trace_name=name,
+        trace_kind=kind,
+        trace_refs=refs,
+        engine=engine,
+        trace_digest=trace_dig,
+        journalable=fingerprint is not None and is_stable_parameter(parameter),
+    )
+
+
+# -- result envelopes, telemetry, errors --------------------------------------
+
+
+@dataclass
+class CellOutcome:
+    """One cell's result envelope: identity + value or captured error."""
+
+    identity: CellIdentity
+    miss_rate: Optional[float] = None
+    seconds: float = 0.0
+    attempts: int = 0
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.miss_rate is not None
+
+
+@dataclass
+class SweepTelemetry:
+    """Structured counters for one ``run_labeled_cells`` invocation."""
+
+    engine: str
+    workers: int
+    total: int = 0
+    completed: int = 0
+    failed: int = 0
+    cached: int = 0
+    pool_restarts: int = 0
+    elapsed: float = 0.0
+    cell_seconds: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        timings = self.cell_seconds
+        return {
+            "kind": "sweep-telemetry",
+            "version": 1,
+            "engine": self.engine,
+            "workers": self.workers,
+            "cells_total": self.total,
+            "cells_completed": self.completed,
+            "cells_failed": self.failed,
+            "cells_cached": self.cached,
+            "pool_restarts": self.pool_restarts,
+            "elapsed_seconds": round(self.elapsed, 6),
+            "cell_seconds": [round(s, 6) for s in timings],
+            "cell_seconds_mean": round(sum(timings) / len(timings), 6) if timings else 0.0,
+            "cell_seconds_max": round(max(timings), 6) if timings else 0.0,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} cells: {self.completed} done "
+            f"({self.cached} from journal), {self.failed} failed, "
+            f"{self.pool_restarts} pool restarts, "
+            f"{self.workers} worker(s), engine={self.engine}, "
+            f"{self.elapsed:.2f}s"
+        )
+
+
+class SweepCellError(RuntimeError):
+    """One or more sweep cells failed; carries every failed envelope.
+
+    The message names each failed cell's full identity so a 500-cell
+    overnight sweep reports "dynamic-exclusion @ 32768 on gcc under the
+    fast engine died", not a bare traceback from an anonymous future.
+    """
+
+    def __init__(self, failures: Sequence[CellOutcome], total: int) -> None:
+        self.failures = list(failures)
+        self.total = total
+        lines = [f"{len(self.failures)} of {total} sweep cell(s) failed:"]
+        for outcome in self.failures:
+            lines.append(f"  [{outcome.identity.describe()}] {outcome.error}")
+        super().__init__("\n".join(lines))
+
+
+_TELEMETRY_LOG: List[SweepTelemetry] = []
+
+
+def drain_telemetry() -> List[SweepTelemetry]:
+    """Return and clear the telemetry records accumulated so far."""
+    drained = list(_TELEMETRY_LOG)
+    _TELEMETRY_LOG.clear()
+    return drained
+
+
 # -- cell execution -----------------------------------------------------------
 
 #: One sweep cell: (factory, parameter, trace).  The factory and the
@@ -116,6 +378,9 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 #: -level callables / dataclass instances and TraceKeys, not lambdas
 #: and raw Traces.
 Cell = Tuple[Callable[[object], object], object, TraceLike]
+
+#: A labelled sweep cell: (label, factory, parameter, trace).
+LabeledCell = Tuple[str, Callable[[object], object], object, TraceLike]
 
 
 def simulate_cell(
@@ -129,10 +394,335 @@ def simulate_cell(
     return stats.miss_rate
 
 
+def _cell_task(
+    factory: Callable[[object], object],
+    parameter: object,
+    trace: TraceLike,
+    engine: str,
+) -> "tuple[float, float]":
+    """Worker-side cell execution: (miss rate, compute seconds)."""
+    started = time.perf_counter()
+    rate = simulate_cell(factory, parameter, trace, engine)
+    return rate, time.perf_counter() - started
+
+
+def _resolve_journal(journal: "SweepJournal | str | Path | None") -> Optional[SweepJournal]:
+    if journal is None:
+        if _DEFAULT_JOURNAL_DIR is None:
+            return None
+        return SweepJournal(_DEFAULT_JOURNAL_DIR)
+    if isinstance(journal, SweepJournal):
+        return journal
+    return SweepJournal(journal)
+
+
+def _record_success(
+    outcome: CellOutcome,
+    rate: float,
+    seconds: float,
+    journal: Optional[SweepJournal],
+    telemetry: SweepTelemetry,
+) -> None:
+    outcome.miss_rate = rate
+    outcome.seconds = seconds
+    telemetry.completed += 1
+    telemetry.cell_seconds.append(seconds)
+    if journal is not None and outcome.identity.journalable:
+        identity = outcome.identity
+        journal.record(identity.key(), identity.payload(), rate, seconds)
+
+
+def _report_progress(enabled: bool, telemetry: SweepTelemetry, outcome: CellOutcome) -> None:
+    if not enabled:
+        return
+    resolved = telemetry.completed + telemetry.failed
+    if outcome.cached:
+        status = "journal"
+    elif outcome.error is not None:
+        status = f"FAILED ({outcome.error})"
+    else:
+        status = f"{outcome.seconds:.2f}s"
+    print(
+        f"[sweep {resolved}/{telemetry.total}] {outcome.identity.describe()} -> {status}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill the pool's workers; used to enforce per-cell timeouts."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_labeled_cells(
+    cells: Sequence[LabeledCell],
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    pool_retries: Optional[int] = None,
+    journal: "SweepJournal | str | Path | None" = None,
+    progress: Optional[bool] = None,
+) -> List[CellOutcome]:
+    """Execute labelled cells, returning one envelope per cell (in order).
+
+    Never raises for an individual cell failure: every exception is
+    captured into its envelope's ``error`` field with full identity, and
+    callers decide whether to raise (:func:`run_cells` and
+    :func:`repro.analysis.sweep.run_sweep` raise :class:`SweepCellError`
+    listing exactly the failed cells).
+
+    ``journal`` (a :class:`~repro.perf.journal.SweepJournal` or a
+    directory path; default: the process-wide ``--resume-dir``) replays
+    already-completed cells and records each new success immediately, so
+    a crashed or interrupted sweep re-runs only the remainder.
+
+    ``timeout`` (seconds; pooled runs only — a sequential run cannot
+    interrupt itself) terminates the worker of a cell that exceeds it
+    and fails just that cell.  A worker death (``BrokenProcessPool``)
+    triggers up to ``pool_retries`` full-concurrency pool re-creations;
+    if the crash persists, execution drops to one-cell-in-flight so the
+    crashing cell is identified exactly and everything else completes.
+    """
+    engine = engine_mod.resolve_engine(engine)
+    workers = resolve_workers(workers)
+    journal = _resolve_journal(journal)
+    progress = _DEFAULT_PROGRESS if progress is None else progress
+    timeout = _DEFAULT_CELL_TIMEOUT if timeout is None else timeout
+    pool_retries = DEFAULT_POOL_RETRIES if pool_retries is None else pool_retries
+
+    started = time.perf_counter()
+    telemetry = SweepTelemetry(engine=engine, workers=workers, total=len(cells))
+    outcomes = [
+        CellOutcome(identity=identity_for(label, factory, parameter, trace, engine,
+                                          digest=journal is not None))
+        for label, factory, parameter, trace in cells
+    ]
+
+    pending: List[int] = []
+    for index, outcome in enumerate(outcomes):
+        entry = None
+        if journal is not None and outcome.identity.journalable:
+            entry = journal.get(outcome.identity.key())
+        if entry is not None:
+            outcome.miss_rate = float(entry["miss_rate"])
+            outcome.cached = True
+            telemetry.cached += 1
+            telemetry.completed += 1
+            _report_progress(progress, telemetry, outcome)
+        else:
+            pending.append(index)
+
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            outcome = outcomes[index]
+            _, factory, parameter, trace = cells[index]
+            outcome.attempts += 1
+            cell_started = time.perf_counter()
+            try:
+                rate = simulate_cell(factory, parameter, trace, engine)
+            except Exception as exc:
+                outcome.seconds = time.perf_counter() - cell_started
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                telemetry.failed += 1
+            else:
+                _record_success(
+                    outcome, rate, time.perf_counter() - cell_started, journal, telemetry
+                )
+            _report_progress(progress, telemetry, outcome)
+    else:
+        _run_pooled(
+            cells, outcomes, pending, engine, workers, timeout, pool_retries,
+            journal, progress, telemetry,
+        )
+
+    telemetry.elapsed = time.perf_counter() - started
+    _TELEMETRY_LOG.append(telemetry)
+    return outcomes
+
+
+def _run_pooled(
+    cells: Sequence[LabeledCell],
+    outcomes: List[CellOutcome],
+    pending: List[int],
+    engine: str,
+    workers: int,
+    timeout: Optional[float],
+    pool_retries: int,
+    journal: Optional[SweepJournal],
+    progress: bool,
+    telemetry: SweepTelemetry,
+) -> None:
+    """Pool execution with crash retry, timeout enforcement, and solo
+    fallback for exact attribution of a persistent crasher."""
+    crash_retries_left = pool_retries
+    solo = False
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        broke = False
+        crashed = False
+        try:
+            if solo:
+                pending, broke = _solo_round(
+                    pool, cells, outcomes, pending, engine, timeout,
+                    journal, progress, telemetry,
+                )
+                crashed = False  # solo rounds attribute and consume the crasher
+            else:
+                pending, crashed, broke = _concurrent_round(
+                    pool, cells, outcomes, pending, engine, timeout,
+                    journal, progress, telemetry,
+                )
+        finally:
+            pool.shutdown(wait=not broke, cancel_futures=True)
+        if broke:
+            telemetry.pool_restarts += 1
+        if crashed:
+            crash_retries_left -= 1
+            if crash_retries_left < 0:
+                solo = True
+
+
+def _concurrent_round(
+    pool: ProcessPoolExecutor,
+    cells: Sequence[LabeledCell],
+    outcomes: List[CellOutcome],
+    pending: List[int],
+    engine: str,
+    timeout: Optional[float],
+    journal: Optional[SweepJournal],
+    progress: bool,
+    telemetry: SweepTelemetry,
+) -> "tuple[List[int], bool, bool]":
+    """Submit every pending cell at once.
+
+    Returns ``(still_pending, crashed, broke)``: ``crashed`` means a
+    worker died (retry budget applies); ``broke`` means the pool is
+    unusable (crash or timeout termination) and must be re-created.
+    """
+    submitted = [
+        (index, pool.submit(_cell_task, cells[index][1], cells[index][2],
+                            cells[index][3], engine))
+        for index in pending
+    ]
+    still_pending: List[int] = []
+    crashed = False
+    broke = False
+    timed_out = False
+    for index, future in submitted:
+        outcome = outcomes[index]
+        try:
+            rate, seconds = future.result(timeout=timeout)
+        except CancelledError:
+            still_pending.append(index)  # no attempt consumed
+            continue
+        except FuturesTimeoutError as exc:
+            outcome.attempts += 1
+            if timeout is None:
+                # No wait timeout configured: the *cell* raised a
+                # TimeoutError of its own — a deterministic failure.
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                telemetry.failed += 1
+            else:
+                outcome.error = (
+                    f"TimeoutError: cell exceeded the {timeout}s per-cell "
+                    f"timeout (worker terminated)"
+                )
+                telemetry.failed += 1
+                _terminate_pool(pool)
+                broke = True
+                timed_out = True
+        except BrokenProcessPool:
+            outcome.attempts += 1
+            broke = True
+            if not timed_out:
+                crashed = True  # self-inflicted breaks don't burn retries
+            still_pending.append(index)  # retried; culprit unknown in this mode
+        except Exception as exc:
+            # Deterministic cell error (bad geometry, kernel exception,
+            # factory raise): retrying cannot help — fail this cell only.
+            outcome.attempts += 1
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            telemetry.failed += 1
+        else:
+            outcome.attempts += 1
+            _record_success(outcome, rate, seconds, journal, telemetry)
+        _report_progress(progress, telemetry, outcome)
+    return still_pending, crashed, broke
+
+
+def _solo_round(
+    pool: ProcessPoolExecutor,
+    cells: Sequence[LabeledCell],
+    outcomes: List[CellOutcome],
+    pending: List[int],
+    engine: str,
+    timeout: Optional[float],
+    journal: Optional[SweepJournal],
+    progress: bool,
+    telemetry: SweepTelemetry,
+) -> "tuple[List[int], bool]":
+    """One cell in flight at a time: a pool break names its cell exactly.
+
+    Returns ``(still_pending, broke)``.  Guaranteed progress — every
+    iteration either completes or definitively fails its cell — so the
+    outer loop terminates even against a factory that kills its worker
+    on every attempt.
+    """
+    remaining = list(pending)
+    while remaining:
+        index = remaining[0]
+        outcome = outcomes[index]
+        _, factory, parameter, trace = cells[index]
+        future = pool.submit(_cell_task, factory, parameter, trace, engine)
+        outcome.attempts += 1
+        try:
+            rate, seconds = future.result(timeout=timeout)
+        except FuturesTimeoutError as exc:
+            if timeout is None:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                telemetry.failed += 1
+                _report_progress(progress, telemetry, outcome)
+                remaining = remaining[1:]
+                continue
+            outcome.error = (
+                f"TimeoutError: cell exceeded the {timeout}s per-cell timeout "
+                f"(worker terminated)"
+            )
+            telemetry.failed += 1
+            _terminate_pool(pool)
+            _report_progress(progress, telemetry, outcome)
+            return remaining[1:], True
+        except BrokenProcessPool as exc:
+            outcome.error = (
+                f"{type(exc).__name__}: worker process died while executing "
+                f"this cell ({exc})"
+            )
+            telemetry.failed += 1
+            _report_progress(progress, telemetry, outcome)
+            return remaining[1:], True
+        except Exception as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            telemetry.failed += 1
+        else:
+            _record_success(outcome, rate, seconds, journal, telemetry)
+        _report_progress(progress, telemetry, outcome)
+        remaining = remaining[1:]
+    return remaining, False
+
+
 def run_cells(
     cells: Sequence[Cell],
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    journal: "SweepJournal | str | Path | None" = None,
+    progress: Optional[bool] = None,
 ) -> List[float]:
     """Miss rates for every cell, preserving order.
 
@@ -141,17 +731,21 @@ def run_cells(
     the engine name is resolved *before* submission so the CLI's
     ``--engine`` default reaches the workers even though module globals
     are not shared across processes.
+
+    Cells are executed through the resilient envelope layer
+    (:func:`run_labeled_cells`); any cell failure raises
+    :class:`SweepCellError` naming the failed cells rather than losing
+    the grid to an anonymous worker exception.
     """
-    engine = engine_mod.resolve_engine(engine)
-    workers = resolve_workers(workers)
-    if workers <= 1 or len(cells) <= 1:
-        return [
-            simulate_cell(factory, parameter, trace, engine)
-            for factory, parameter, trace in cells
-        ]
-    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-        futures = [
-            pool.submit(simulate_cell, factory, parameter, trace, engine)
-            for factory, parameter, trace in cells
-        ]
-        return [future.result() for future in futures]
+    labeled: List[LabeledCell] = [
+        (getattr(factory, "__name__", type(factory).__name__), factory, parameter, trace)
+        for factory, parameter, trace in cells
+    ]
+    outcomes = run_labeled_cells(
+        labeled, engine=engine, workers=workers, timeout=timeout,
+        journal=journal, progress=progress,
+    )
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        raise SweepCellError(failures, len(outcomes))
+    return [outcome.miss_rate for outcome in outcomes]  # type: ignore[misc]

@@ -112,3 +112,59 @@ class TestValidation:
         )
         stats = loads(document)
         assert stats.bypasses == 0
+
+
+class TestParameterStability:
+    def test_tuple_parameters_round_trip_as_tuples(self):
+        result = SweepResult("config", [(1024, 4), (2048, 8)])
+        result.add("dm", (1024, 4), 0.1)
+        result.add("dm", (2048, 8), 0.05)
+        restored = loads(dumps(result))
+        assert restored.parameters == [(1024, 4), (2048, 8)]
+        # Series.points lookups by the original tuple still hit.
+        assert restored.curve("dm") == [0.1, 0.05]
+        assert restored.series["dm"].points[(1024, 4)] == 0.1
+
+    def test_nested_tuple_parameters_round_trip(self):
+        parameter = ("l1", (1024, 4))
+        result = SweepResult("config", [parameter])
+        result.add("dm", parameter, 0.2)
+        restored = loads(dumps(result))
+        assert restored.parameters == [parameter]
+        assert restored.series["dm"].points[parameter] == 0.2
+
+    def test_list_parameter_rejected(self):
+        result = SweepResult("config", [[1024, 4]])
+        result.add("dm", (1024, 4), 0.1)
+        with pytest.raises(TypeError, match="JSON round trip"):
+            dumps(result)
+
+    def test_object_parameter_rejected(self):
+        geometry = object()
+        result = SweepResult("config", [geometry])
+        result.add("dm", geometry, 0.1)
+        with pytest.raises(TypeError, match="JSON round trip"):
+            dumps(result)
+
+    def test_non_finite_float_parameter_rejected(self):
+        result = SweepResult("size", [float("nan")])
+        result.add("dm", float("nan"), 0.1)
+        with pytest.raises(TypeError, match="non-finite"):
+            dumps(result)
+
+
+class TestPartialSweep:
+    def test_missing_point_names_series_and_parameter(self):
+        result = sample_sweep()
+        del result.series["de"].points[2048]
+        with pytest.raises(ValueError, match=r"partial sweep.*'de'.*2048"):
+            dumps(result)
+
+    def test_message_counts_points(self):
+        result = sample_sweep()
+        del result.series["de"].points[2048]
+        with pytest.raises(ValueError, match="1 of 2 points present"):
+            dumps(result)
+
+    def test_complete_sweep_still_serialises(self):
+        assert loads(dumps(sample_sweep())).curve("de") == [0.08, 0.04]

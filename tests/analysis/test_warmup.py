@@ -105,3 +105,48 @@ class TestSteadyStateReduction:
         trace = itrace([0] * 10)
         cold, warm = steady_state_reduction(dm_factory, dm_factory, trace)
         assert cold == 0.0 and warm == 0.0
+
+
+class TestZeroBaselineGuards:
+    """steady_state_reduction must not mask a regression behind a
+    zero-miss baseline half (the percent_reduction zero-baseline bug)."""
+
+    def test_zero_baseline_warm_regression_raises(self):
+        # Baseline: 128B cache, 0 and 64 map to different lines -> zero
+        # warm misses.  "Improved": 64B cache, the same pair conflicts
+        # and thrashes -> a regression that 0.0 must not hide.
+        trace = itrace([0, 64] * 20)
+
+        def big_factory():
+            return DirectMappedCache(CacheGeometry(128, 4))
+
+        def small_factory():
+            return DirectMappedCache(CacheGeometry(64, 4))
+
+        with pytest.raises(ValueError, match="0.0 baseline.*regression"):
+            steady_state_reduction(big_factory, small_factory, trace)
+
+    def test_zero_to_zero_half_reports_zero(self):
+        trace = itrace([0, 64] * 20)
+
+        def big_factory():
+            return DirectMappedCache(CacheGeometry(128, 4))
+
+        cold, warm = steady_state_reduction(big_factory, big_factory, trace)
+        assert cold == 0.0 and warm == 0.0
+
+
+class TestWarmupWindowsZeroSteady:
+    def test_float_dust_tail_counts_as_warmed(self):
+        # Steady rate 0.0: the old purely-relative threshold reported
+        # "never warmed" for a tail within float dust of zero.
+        curve = WarmupCurve(window=1, miss_rates=(1.0, 5e-13, 0.0, 0.0))
+        assert curve.warmup_windows == 1
+
+    def test_exact_zero_tail(self):
+        curve = WarmupCurve(window=1, miss_rates=(1.0, 0.5, 0.0, 0.0))
+        assert curve.warmup_windows == 2
+
+    def test_empty_curve_reports_zero(self):
+        curve = WarmupCurve(window=1, miss_rates=())
+        assert curve.warmup_windows == 0

@@ -77,3 +77,39 @@ class TestFactories:
         factories = common.standard_factories(4)
         cache = factories["direct-mapped"](2048)
         assert cache.geometry == CacheGeometry(2048, 4)
+
+
+class TestTraceCacheBounding:
+    def test_stale_scales_are_evicted(self, monkeypatch):
+        """Flipping REPRO_TRACE_SCALE must not accumulate one trace suite
+        per scale ever used."""
+        common.clear_trace_cache()
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        common.cached_trace("gcc")
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.02")
+        common.cached_trace("gcc")
+        budget = common.max_refs()
+        assert all(key[2] == budget for key in common._TRACE_CACHE)
+        assert len(common._TRACE_CACHE) == 1
+        common.clear_trace_cache()
+
+    def test_same_scale_entries_survive(self, monkeypatch):
+        common.clear_trace_cache()
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        common.cached_trace("gcc")
+        common.cached_trace("li")
+        gcc = common.cached_trace("gcc")  # hit: no eviction pass
+        assert common.cached_trace("gcc") is gcc
+        assert len(common._TRACE_CACHE) == 2
+        common.clear_trace_cache()
+
+    def test_flipping_back_regenerates(self, monkeypatch):
+        common.clear_trace_cache()
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        first = common.cached_trace("gcc")
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.02")
+        common.cached_trace("gcc")
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        again = common.cached_trace("gcc")
+        assert again is not first and len(again) == len(first)
+        common.clear_trace_cache()

@@ -141,3 +141,77 @@ def test_cli_svg_skips_non_sweep_experiments(tmp_path, capsys):
 
     assert main(["--only", "sec3", "--svg", str(tmp_path)]) == 0
     assert not (tmp_path / "sec3.svg").exists()
+
+
+def test_cli_resume_dir_journals_and_replays(tmp_path, capsys):
+    from repro.experiments import fig04_cache_size
+    from repro.experiments.__main__ import main
+    from repro.perf.journal import JOURNAL_FILENAME, SweepJournal
+
+    resume = tmp_path / "resume"
+    fig04_cache_size._CACHE.clear()  # the per-process memo would skip the sweep
+    assert main(["--only", "fig04", "--resume-dir", str(resume)]) == 0
+    first = capsys.readouterr().out
+    assert (resume / JOURNAL_FILENAME).exists()
+    journaled = len(SweepJournal(resume))
+    assert journaled > 0
+
+    # Second run replays the journal and reports identically.
+    fig04_cache_size._CACHE.clear()
+    assert main(["--only", "fig04", "--resume-dir", str(resume)]) == 0
+    second = capsys.readouterr().out
+    assert len(SweepJournal(resume)) == journaled
+
+    def table(text):
+        return [line for line in text.splitlines() if "KB" in line or "%" in line]
+
+    assert table(first) == table(second)
+
+
+def test_cli_resume_dir_records_telemetry(tmp_path, capsys):
+    import json
+
+    from repro.experiments import fig04_cache_size
+    from repro.experiments.__main__ import main
+
+    resume = tmp_path / "resume"
+    fig04_cache_size._CACHE.clear()
+    assert main(["--only", "fig04", "--resume-dir", str(resume)]) == 0
+    telemetry_path = resume / "fig04.telemetry.json"
+    assert telemetry_path.exists()
+    data = json.loads(telemetry_path.read_text())
+    assert data["kind"] == "experiment-telemetry"
+    assert data["experiment"] == "fig04"
+    assert data["sweeps"]
+    assert all(s["kind"] == "sweep-telemetry" for s in data["sweeps"])
+    capsys.readouterr()
+
+
+def test_cli_progress_reports_cells(capsys):
+    from repro.experiments import fig04_cache_size
+    from repro.experiments.__main__ import main
+
+    fig04_cache_size._CACHE.clear()
+    assert main(["--only", "fig04", "--progress"]) == 0
+    err = capsys.readouterr().err
+    assert "[sweep " in err
+    assert "[fig04]" in err
+    assert "cells:" in err
+
+
+def test_cli_rejects_bad_repro_workers_eagerly(monkeypatch, capsys):
+    from repro.experiments.__main__ import main
+
+    monkeypatch.setenv("REPRO_WORKERS", "banana")
+    with pytest.raises(SystemExit):
+        main(["--only", "sec3"])
+    assert "REPRO_WORKERS" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_trace_scale_eagerly(monkeypatch, capsys):
+    from repro.experiments.__main__ import main
+
+    monkeypatch.setenv("REPRO_TRACE_SCALE", "zero")
+    with pytest.raises(SystemExit):
+        main(["--only", "sec3"])
+    assert "REPRO_TRACE_SCALE" in capsys.readouterr().err

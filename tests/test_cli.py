@@ -113,3 +113,46 @@ class TestConflictsCommand:
         assert main(["conflicts", "tomcatv", "--refs", "2000",
                      "--size", "1024", "--top", "3"]) == 0
         assert "conflicting sets" in capsys.readouterr().out
+
+
+class TestSimulateEngineFlags:
+    def test_engine_fast_runs(self, capsys):
+        assert main(["simulate", "gcc", "--refs", "2000", "--engine", "fast"]) == 0
+        assert "misses" in capsys.readouterr().out
+
+    def test_fast_matches_reference(self, capsys):
+        assert main(["simulate", "gcc", "--refs", "2000", "--engine", "fast"]) == 0
+        fast = capsys.readouterr().out
+        assert main(["simulate", "gcc", "--refs", "2000", "--engine", "reference"]) == 0
+        reference = capsys.readouterr().out
+        assert fast == reference
+
+    def test_unknown_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gcc", "--refs", "2000", "--engine", "warp"])
+
+    def test_workers_flag_sets_default(self):
+        from repro.perf import parallel
+
+        try:
+            assert main(["simulate", "gcc", "--refs", "2000", "--workers", "2"]) == 0
+            assert parallel.resolve_workers() == 2
+        finally:
+            parallel.set_default_workers(None)
+
+    def test_zero_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gcc", "--refs", "2000", "--workers", "0"])
+        assert "at least 1" in capsys.readouterr().err
+
+
+class TestEagerEnvironmentValidation:
+    def test_bad_repro_workers_fails_at_startup(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKERS", "banana")
+        with pytest.raises(SystemExit):
+            main(["simulate", "gcc", "--refs", "2000"])
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
+    def test_valid_repro_workers_accepted(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert main(["simulate", "gcc", "--refs", "2000"]) == 0
