@@ -1,12 +1,14 @@
 """General-purpose command line tools.
 
-Three subcommands make the library usable without writing Python:
+Five subcommands make the library usable without writing Python:
 
 * ``trace``    — generate a benchmark trace and write it as din text;
 * ``simulate`` — run a cache configuration over a din trace (or a named
   benchmark) and print the statistics;
 * ``classify`` — 3C miss classification of a trace against a geometry;
-* ``conflicts`` — find the thrashing sets and ping-pong address pairs.
+* ``conflicts`` — find the thrashing sets and ping-pong address pairs;
+* ``experiments`` — the paper-figure registry (same flags as
+  ``python -m repro.experiments``).
 
 Examples::
 
@@ -14,6 +16,7 @@ Examples::
     python -m repro.cli simulate gcc.din --size 32768 --line 4 --policy exclusion
     python -m repro.cli simulate gcc --policy optimal --size 8192
     python -m repro.cli classify gcc.din --size 32768 --line 4
+    python -m repro.cli experiments --only fig04 --engine fast --workers 4
 """
 
 from __future__ import annotations
@@ -35,8 +38,9 @@ from .caches.victim import VictimCache
 from .core.exclusion_cache import DynamicExclusionCache
 from .core.hitlast import HashedHitLastStore, IdealHitLastStore
 from .core.long_lines import make_long_line_exclusion_cache
+from .env import validate as validate_env
 from .perf.engine import ENGINES, simulate as engine_simulate
-from .perf.parallel import env_workers, set_default_workers
+from .perf.parallel import set_default_workers
 from .trace.io import load_din, save_din
 from .trace.trace import Trace
 from .workloads.registry import benchmark_names, trace_by_kind
@@ -217,6 +221,17 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="how many sets to show")
     conflicts_parser.set_defaults(func=_cmd_conflicts)
 
+    experiments_parser = sub.add_parser(
+        "experiments",
+        help="run the paper-figure registry (python -m repro.experiments)",
+    )
+    from .experiments import frontend as experiments_frontend
+
+    experiments_frontend.add_arguments(experiments_parser)
+    experiments_parser.set_defaults(
+        func=lambda args: experiments_frontend.run(args, experiments_parser)
+    )
+
     return parser
 
 
@@ -226,7 +241,7 @@ def main(argv: "List[str] | None" = None) -> int:
     # Validate the environment before any trace work: a malformed
     # REPRO_WORKERS should fail at startup, not when a pool spins up.
     try:
-        env_workers()
+        validate_env()
     except ValueError as exc:
         parser.error(str(exc))
     workers = getattr(args, "workers", None)

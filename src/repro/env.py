@@ -1,0 +1,69 @@
+"""One home for the environment knobs every entry point parses.
+
+Both CLIs, the experiments trace cache, and the parallel sweep runner
+read the same two environment variables; before this module each of
+them carried its own copy of the parsing and error wording.  The rules:
+
+* ``REPRO_TRACE_SCALE`` — positive float multiplier on every
+  experiment's per-trace reference budget (default 1.0; the base budget
+  is :data:`BASE_MAX_REFS` references, see DESIGN.md §2);
+* ``REPRO_WORKERS`` — default process-pool size for sweeps (integer
+  >= 1; unset means sequential unless ``--workers`` says otherwise).
+
+:func:`validate` is the eager startup check both CLIs run so a typo'd
+variable fails before any trace is generated, with one shared error
+message per variable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Base number of references per benchmark trace.  The paper uses the
+#: first 10 M references; 200 k keeps the full suite laptop-fast while
+#: preserving the miss-rate shapes (see DESIGN.md §2).
+BASE_MAX_REFS = 200_000
+
+
+def trace_scale() -> float:
+    """The REPRO_TRACE_SCALE multiplier (default 1.0)."""
+    raw = os.environ.get("REPRO_TRACE_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_TRACE_SCALE must be a number, got {raw!r}") from None
+    if scale <= 0:
+        raise ValueError("REPRO_TRACE_SCALE must be positive")
+    return scale
+
+
+def max_refs() -> int:
+    """The per-trace reference budget after scaling."""
+    return int(BASE_MAX_REFS * trace_scale())
+
+
+def env_workers() -> Optional[int]:
+    """The validated REPRO_WORKERS setting (None when unset)."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
+    if workers < 1:
+        raise ValueError("REPRO_WORKERS must be at least 1")
+    return workers
+
+
+def validate() -> None:
+    """Parse every repro environment variable, raising on the first bad one.
+
+    Run this at CLI startup: a malformed ``REPRO_WORKERS`` used to
+    surface only when the first sweep spun up its pool, minutes into a
+    run, and a malformed ``REPRO_TRACE_SCALE`` when the first trace was
+    generated.
+    """
+    env_workers()
+    trace_scale()

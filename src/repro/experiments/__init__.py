@@ -1,11 +1,26 @@
-"""The experiment harness: one module per paper figure/table.
+"""The experiment harness: one declarative spec per paper figure/table.
 
-Run everything with ``python -m repro.experiments`` or a single figure
-with ``python -m repro.experiments --only fig05``.
+Every module defines an :class:`~repro.experiments.spec.ExperimentSpec`
+and registers it on import; this package imports them all, so::
+
+    from repro.experiments import all_specs, run_spec
+
+gives the full registry.  Run everything with
+``python -m repro.experiments``, list the registry with
+``python -m repro.experiments --list``, or run a single figure with
+``python -m repro.experiments --only fig05``.
 """
 
 from typing import Dict
 
+from .spec import (
+    ExperimentSpec,
+    all_specs,
+    get_spec,
+    register,
+    render_spec,
+    run_spec,
+)
 from . import (
     ext_associativity,
     ext_context_switch,
@@ -25,10 +40,13 @@ from . import (
     fig13_efficiency,
     fig14_data_cache,
     fig15_mixed_cache,
+    hierarchy_sweep,
     sec3_patterns,
 )
 
-#: Experiment id -> module with TITLE / run() / report().
+#: Experiment id -> module with TITLE / run() / report().  Kept for
+#: callers that want the module namespace; the spec registry
+#: (:func:`all_specs`) is the canonical enumeration.
 EXPERIMENTS: Dict[str, object] = {
     "sec3": sec3_patterns,
     "fig02": fig02_benchmarks,
@@ -51,4 +69,12 @@ EXPERIMENTS: Dict[str, object] = {
     "ext-warmup": ext_warmup,
 }
 
-__all__ = ["EXPERIMENTS"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "all_specs",
+    "get_spec",
+    "register",
+    "render_spec",
+    "run_spec",
+]

@@ -5,178 +5,22 @@ Usage::
     python -m repro.experiments                 # run every figure
     python -m repro.experiments --only fig05    # one figure
     python -m repro.experiments --list          # what exists
+    python -m repro.experiments --filter l2     # every L2 experiment
     python -m repro.experiments --svg figures/  # also save SVG charts
     REPRO_TRACE_SCALE=5 python -m repro.experiments --only fig04
     python -m repro.experiments --only fig04 --engine fast --workers 4
     python -m repro.experiments --only fig04 --workers 4 \\
         --resume-dir runs/fig04 --progress
+
+All the work happens in :mod:`repro.experiments.frontend`, which
+``python -m repro.cli experiments`` shares.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
-from pathlib import Path
-from typing import List
 
-from .. import perf
-from . import EXPERIMENTS
-from .common import trace_scale
-
-
-def main(argv: "List[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the figures of 'Cache Replacement with Dynamic Exclusion'",
-    )
-    parser.add_argument(
-        "--only",
-        action="append",
-        metavar="ID",
-        help="experiment id (repeatable); see --list",
-    )
-    parser.add_argument("--list", action="store_true", help="list experiment ids")
-    parser.add_argument(
-        "--svg",
-        metavar="DIR",
-        help="also render each sweep-style experiment as DIR/<id>.svg",
-    )
-    parser.add_argument(
-        "--engine",
-        choices=list(perf.ENGINES),
-        default=None,
-        help="simulation engine: 'fast' uses the set-partitioned numpy "
-        "kernels where available (identical results), 'reference' the "
-        "per-reference simulators (default)",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="process-pool size for sweep cells (default: REPRO_WORKERS "
-        "or 1 = sequential)",
-    )
-    parser.add_argument(
-        "--resume-dir",
-        metavar="DIR",
-        default=None,
-        help="journal completed sweep cells under DIR and reuse them on "
-        "the next run, so a crashed or interrupted sweep resumes instead "
-        "of recomputing; telemetry is recorded there too",
-    )
-    parser.add_argument(
-        "--progress",
-        action="store_true",
-        help="report each sweep cell and a per-experiment telemetry "
-        "summary on stderr",
-    )
-    args = parser.parse_args(argv)
-
-    # Fail on malformed environment before any trace is generated: a bad
-    # REPRO_WORKERS used to surface only when the first sweep spun up its
-    # pool, minutes into a run.
-    try:
-        perf.env_workers()
-        trace_scale()
-    except ValueError as exc:
-        parser.error(str(exc))
-
-    if args.workers is not None and args.workers < 1:
-        parser.error("--workers must be at least 1")
-    if args.engine is not None:
-        perf.set_default_engine(args.engine)
-    if args.workers is not None:
-        perf.set_default_workers(args.workers)
-
-    resume_dir = None
-    if args.resume_dir:
-        resume_dir = Path(args.resume_dir)
-        resume_dir.mkdir(parents=True, exist_ok=True)
-        perf.set_default_journal_dir(resume_dir)
-    if args.progress:
-        perf.set_default_progress(True)
-
-    if args.list:
-        for key, module in EXPERIMENTS.items():
-            print(f"{key:8s} {module.TITLE}")
-        return 0
-
-    selected = args.only or list(EXPERIMENTS)
-    unknown = [key for key in selected if key not in EXPERIMENTS]
-    if unknown:
-        parser.error(f"unknown experiment ids {unknown}; try --list")
-
-    svg_dir = None
-    if args.svg:
-        svg_dir = Path(args.svg)
-        svg_dir.mkdir(parents=True, exist_ok=True)
-
-    telemetry_dir = resume_dir if resume_dir is not None else svg_dir
-
-    try:
-        for key in selected:
-            module = EXPERIMENTS[key]
-            started = time.time()
-            perf.drain_telemetry()  # discard any runs from a prior experiment
-            print(f"\n{'#' * 72}\n# {key}: {module.TITLE}\n{'#' * 72}")
-            print(module.report())
-            if svg_dir is not None:
-                path = _maybe_save_svg(module, key, svg_dir)
-                if path is not None:
-                    print(f"[svg written to {path}]")
-            elapsed = time.time() - started
-            sweeps = perf.drain_telemetry()
-            if telemetry_dir is not None and sweeps:
-                path = _save_telemetry(key, sweeps, elapsed, telemetry_dir)
-                print(f"[telemetry written to {path}]")
-            if args.progress:
-                for record in sweeps:
-                    print(f"[{key}] {record.summary()}", file=sys.stderr)
-            print(f"\n[{key} done in {elapsed:.1f}s]")
-    finally:
-        # The resume/progress defaults are process-wide; restore them so
-        # an embedding caller (or the test suite) is not left journaling.
-        if resume_dir is not None:
-            perf.set_default_journal_dir(None)
-        if args.progress:
-            perf.set_default_progress(False)
-    return 0
-
-
-def _save_telemetry(key: str, sweeps, elapsed: float, directory: Path) -> Path:
-    """Record the experiment's sweep telemetry next to its outputs."""
-    payload = {
-        "kind": "experiment-telemetry",
-        "version": 1,
-        "experiment": key,
-        "elapsed_seconds": round(elapsed, 3),
-        "sweeps": [record.to_dict() for record in sweeps],
-    }
-    path = directory / f"{key}.telemetry.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
-
-
-def _maybe_save_svg(module, key: str, directory):
-    """Render the experiment as SVG when its run() yields a sweep."""
-    from ..analysis.svg import sweep_svg
-    from ..analysis.sweep import SweepResult
-
-    result = module.run()
-    if not isinstance(result, SweepResult):
-        return None
-    path = directory / f"{key}.svg"
-    percent = all(
-        0.0 <= value <= 1.0
-        for series in result.series.values()
-        for value in series.points.values()
-    )
-    path.write_text(sweep_svg(result, title=module.TITLE, percent=percent))
-    return path
-
+from .frontend import main
 
 if __name__ == "__main__":
     sys.exit(main())

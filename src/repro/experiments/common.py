@@ -9,7 +9,6 @@
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
@@ -19,15 +18,10 @@ from ..caches.optimal import OptimalDirectMappedCache, OptimalLastLineCache
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import IdealHitLastStore
 from ..core.long_lines import make_long_line_exclusion_cache
+from ..env import BASE_MAX_REFS, max_refs, trace_scale  # noqa: F401 (re-exported)
 from ..perf.parallel import TraceKey, clear_trace_cache as _clear_key_cache
 from ..trace.trace import Trace
 from ..workloads.registry import benchmark_names, trace_by_kind
-
-#: Base number of references per benchmark trace.  The paper uses the
-#: first 10 M references; 200 k keeps the full suite laptop-fast while
-#: preserving the miss-rate shapes (see DESIGN.md §2).  Scale with the
-#: REPRO_TRACE_SCALE environment variable (e.g. 5.0 for 1 M references).
-BASE_MAX_REFS = 200_000
 
 #: Cache sizes swept by the size figures (Figures 4, 5, 12, 14, 15).
 SIZE_SWEEP_KB = [1, 2, 4, 8, 16, 32, 64, 128, 256]
@@ -41,23 +35,6 @@ L2_RATIO_SWEEP = [1, 2, 4, 8, 16, 32, 64]
 #: The reference cache size of most figures (32 KB, 4 B lines).
 REFERENCE_SIZE = 32 * 1024
 REFERENCE_LINE = 4
-
-
-def trace_scale() -> float:
-    """The REPRO_TRACE_SCALE multiplier (default 1.0)."""
-    raw = os.environ.get("REPRO_TRACE_SCALE", "1.0")
-    try:
-        scale = float(raw)
-    except ValueError:
-        raise ValueError(f"REPRO_TRACE_SCALE must be a number, got {raw!r}") from None
-    if scale <= 0:
-        raise ValueError("REPRO_TRACE_SCALE must be positive")
-    return scale
-
-
-def max_refs() -> int:
-    """The per-trace reference budget after scaling."""
-    return int(BASE_MAX_REFS * trace_scale())
 
 
 _TRACE_CACHE: Dict[Tuple[str, str, int], Trace] = {}
@@ -107,9 +84,13 @@ def all_trace_keys(kind: str = "instruction") -> List[TraceKey]:
 
 
 def clear_trace_cache() -> None:
-    """Drop all memoised traces (tests use this to control memory)."""
+    """Drop all memoised traces and spec results (tests use this to
+    control memory and to force regeneration after a scale change)."""
     _TRACE_CACHE.clear()
     _clear_key_cache()
+    from .spec import clear_result_cache  # local import: spec imports common
+
+    clear_result_cache()
 
 
 # -- standard simulator factories ---------------------------------------------

@@ -11,11 +11,12 @@ AMAT model from :mod:`repro.analysis.timing` at the reference size.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict
 
 from ..analysis.plot import sweep_chart
 from ..analysis.report import format_sweep, format_table
-from ..analysis.sweep import SweepResult, run_sweep
+from ..analysis.sweep import SweepResult
 from ..analysis.timing import TimingModel, amat_comparison
 from ..caches.direct_mapped import DirectMappedCache
 from ..caches.geometry import CacheGeometry
@@ -24,7 +25,8 @@ from ..caches.victim import VictimCache
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import IdealHitLastStore
 from ..core.set_assoc_exclusion import SetAssociativeExclusionCache
-from .common import REFERENCE_SIZE, SIZE_SWEEP_KB, all_trace_keys, max_refs
+from .common import REFERENCE_SIZE, SIZE_SWEEP_KB
+from .spec import BenchmarkSuite, ExperimentSpec, register, run_spec
 
 TITLE = "Extension: dynamic exclusion vs associativity (b=4B)"
 
@@ -38,15 +40,26 @@ TIMING_MODELS: Dict[str, TimingModel] = {
     "4-way": TimingModel(1.5, 20.0),
 }
 
-_CACHE: "dict[int, SweepResult]" = {}
+_LABELS = [
+    "direct-mapped",
+    "dynamic-exclusion",
+    "victim-4",
+    "2-way",
+    "2-way+DE",
+    "4-way",
+]
 
 
-class _Factory:
-    """Picklable size-sweep factory for one comparison curve (sweep
-    cells cross process boundaries under ``--workers``)."""
+@dataclass(frozen=True)
+class AssocFactory:
+    """Picklable size-sweep factory for one comparison curve.
 
-    def __init__(self, label: str) -> None:
-        self.label = label
+    A frozen dataclass (unlike the plain class it replaced) so its
+    repr is address-free: the cells now journal under ``--resume-dir``
+    like every other sweep.
+    """
+
+    label: str
 
     def __call__(self, size: object):
         geometry = CacheGeometry(int(size), 4)  # type: ignore[call-overload]
@@ -72,42 +85,7 @@ class _Factory:
         raise ValueError(f"unknown curve {self.label!r}")
 
 
-def _factories():
-    labels = [
-        "direct-mapped",
-        "dynamic-exclusion",
-        "victim-4",
-        "2-way",
-        "2-way+DE",
-        "4-way",
-    ]
-    return {label: _Factory(label) for label in labels}
-
-
-def run() -> SweepResult:
-    key = max_refs()
-    if key not in _CACHE:
-        _CACHE[key] = run_sweep(
-            parameter_name="cache size",
-            parameters=[kb * 1024 for kb in SIZE_SWEEP_KB],
-            factories=_factories(),
-            traces=all_trace_keys("instruction"),
-        )
-    return _CACHE[key]
-
-
-def amat_at_reference() -> Dict[str, float]:
-    """AMAT of every configuration at the 32KB reference point."""
-    result = run()
-    miss_rates = {
-        label: result.series[label].points[REFERENCE_SIZE]
-        for label in result.series
-    }
-    return amat_comparison(miss_rates, TIMING_MODELS)
-
-
-def report() -> str:
-    result = run()
+def _render(result: SweepResult) -> str:
     table = format_sweep(result, title=TITLE, value_format="{:.3%}")
     chart = sweep_chart(result, title="miss rate (%)")
     amats = amat_at_reference()
@@ -121,3 +99,34 @@ def report() -> str:
         title="AMAT at 32KB (miss penalty 20 cycles; best first)",
     )
     return f"{table}\n\n{chart}\n\n{amat_table}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="ext-assoc",
+        title=TITLE,
+        parameter_name="cache size",
+        parameters=tuple(kb * 1024 for kb in SIZE_SWEEP_KB),
+        factories=tuple((label, AssocFactory(label)) for label in _LABELS),
+        traces=BenchmarkSuite("instruction"),
+        render=_render,
+    )
+)
+
+
+def run() -> SweepResult:
+    return run_spec(SPEC)
+
+
+def amat_at_reference() -> Dict[str, float]:
+    """AMAT of every configuration at the 32KB reference point."""
+    result = run()
+    miss_rates = {
+        label: result.series[label].points[REFERENCE_SIZE]
+        for label in result.series
+    }
+    return amat_comparison(miss_rates, TIMING_MODELS)
+
+
+def report() -> str:
+    return _render(run())

@@ -12,78 +12,119 @@ Expected shape: very short quanta destroy locality for every policy and
 shrink exclusion's edge (the FSM retrains each quantum); at realistic
 quanta (tens of thousands of references) the single-program improvement
 survives almost intact.
+
+As a grid spec the quantum is the parameter and the trace axis is a set
+of :class:`TimeshareKey` recipes — deterministic, picklable, and
+quantum-dependent, demonstrating that any recipe with
+``name``/``kind``/``max_refs``/``load`` plugs into the sweep runner.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import List
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.plot import ascii_chart
 from ..analysis.report import format_table
 from ..caches.geometry import CacheGeometry
 from ..caches.stats import percent_reduction
+from ..trace.trace import Trace
 from ..trace.transforms import timeshare
-from .common import (
-    REFERENCE_LINE,
-    REFERENCE_SIZE,
-    cached_trace,
-    direct_mapped,
-    dynamic_exclusion,
-    max_refs,
-    optimal,
-)
+from .common import REFERENCE_LINE, REFERENCE_SIZE, direct_mapped, dynamic_exclusion, optimal
+from .spec import ExperimentSpec, GridResult, register, run_spec
 
 TITLE = "Extension: dynamic exclusion under timesharing (S=32KB, b=4B)"
 
 #: Benchmark pairs that share the cache (big code + big code, and big
 #: code + small kernel).
-PAIRS = [("gcc", "spice"), ("li", "doduc"), ("gcc", "tomcatv")]
+PAIRS: "Tuple[Tuple[str, str], ...]" = (("gcc", "spice"), ("li", "doduc"), ("gcc", "tomcatv"))
 
-QUANTA = [100, 1_000, 10_000, 100_000]
+QUANTA = (100, 1_000, 10_000, 100_000)
 
-_CACHE: "dict[int, dict]" = {}
-
-
-def run() -> dict:
-    key = max_refs()
-    if key not in _CACHE:
-        geometry = CacheGeometry(REFERENCE_SIZE, REFERENCE_LINE)
-        rows: dict = {}
-        for quantum in QUANTA:
-            dm_rates: List[float] = []
-            de_rates: List[float] = []
-            opt_rates: List[float] = []
-            for left, right in PAIRS:
-                shared = timeshare(
-                    [cached_trace(left), cached_trace(right)],
-                    quantum=quantum,
-                    name=f"{left}+{right}",
-                )
-                dm_rates.append(direct_mapped(geometry).simulate(shared).miss_rate)
-                de_rates.append(dynamic_exclusion(geometry).simulate(shared).miss_rate)
-                opt_rates.append(optimal(geometry).simulate(shared).miss_rate)
-            rows[quantum] = {
-                "direct-mapped": statistics.mean(dm_rates),
-                "dynamic-exclusion": statistics.mean(de_rates),
-                "optimal": statistics.mean(opt_rates),
-            }
-        _CACHE[key] = rows
-    return _CACHE[key]
+_POLICIES = ["direct-mapped", "dynamic-exclusion", "optimal"]
 
 
-def reductions() -> "dict[int, float]":
-    """Quantum -> mean percent reduction from dynamic exclusion."""
-    return {
-        quantum: percent_reduction(
-            rates["direct-mapped"], rates["dynamic-exclusion"]
+@dataclass(frozen=True)
+class TimeshareKey:
+    """Recipe for a timeshared trace: two benchmarks, one quantum.
+
+    Pickles as four scalars; workers rebuild (and memoise) the
+    interleaved stream locally, like :class:`~repro.perf.parallel.TraceKey`.
+    """
+
+    left: str
+    right: str
+    quantum: int
+    max_refs: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.left}+{self.right}@q{self.quantum}"
+
+    @property
+    def kind(self) -> str:
+        return "timeshare"
+
+    def load(self) -> Trace:
+        from ..perf.parallel import as_trace
+
+        return as_trace(self)
+
+    def _build(self) -> Trace:
+        from .common import cached_trace
+
+        return timeshare(
+            [cached_trace(self.left), cached_trace(self.right)],
+            quantum=self.quantum,
+            name=f"{self.left}+{self.right}",
         )
-        for quantum, rates in run().items()
-    }
 
 
-def report() -> str:
-    rows = run()
+@dataclass(frozen=True)
+class TimesharePairs:
+    """The trace axis: one timeshared recipe per pair, at the cell's quantum."""
+
+    pairs: "Tuple[Tuple[str, str], ...]" = PAIRS
+
+    def for_parameter(self, quantum: object) -> Sequence[TimeshareKey]:
+        from ..env import max_refs
+
+        budget = max_refs()
+        return [
+            TimeshareKey(left, right, int(quantum), budget)  # type: ignore[call-overload]
+            for left, right in self.pairs
+        ]
+
+
+@dataclass(frozen=True)
+class SharedCacheFactory:
+    """One policy at the fixed reference geometry (quantum is trace-side)."""
+
+    curve: str
+    size: int = REFERENCE_SIZE
+    line_size: int = REFERENCE_LINE
+
+    def __call__(self, quantum: object):
+        geometry = CacheGeometry(self.size, self.line_size)
+        if self.curve == "direct-mapped":
+            return direct_mapped(geometry)
+        if self.curve == "dynamic-exclusion":
+            return dynamic_exclusion(geometry)
+        if self.curve == "optimal":
+            return optimal(geometry)
+        raise ValueError(f"unknown curve {self.curve!r}")
+
+
+def _collect(grid: GridResult) -> dict:
+    rows: dict = {}
+    for quantum in grid.parameters:
+        rows[int(quantum)] = {
+            label: grid.mean(label, quantum) for label in grid.labels
+        }
+    return rows
+
+
+def _render(rows: dict) -> str:
     table_rows = []
     for quantum, rates in rows.items():
         table_rows.append(
@@ -104,9 +145,41 @@ def report() -> str:
     chart = ascii_chart(
         {
             label: [100 * rows[q][label] for q in QUANTA]
-            for label in ["direct-mapped", "dynamic-exclusion", "optimal"]
+            for label in _POLICIES
         },
         x_labels=[f"{q:,}" for q in QUANTA],
         title="shared-cache miss rate (%) vs quantum",
     )
     return f"{table}\n\n{chart}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="ext-context",
+        title=TITLE,
+        parameter_name="quantum",
+        parameters=QUANTA,
+        factories=tuple((curve, SharedCacheFactory(curve)) for curve in _POLICIES),
+        traces=TimesharePairs(),
+        collect=_collect,
+        render=_render,
+    )
+)
+
+
+def run() -> dict:
+    return run_spec(SPEC)
+
+
+def reductions() -> "dict[int, float]":
+    """Quantum -> mean percent reduction from dynamic exclusion."""
+    return {
+        quantum: percent_reduction(
+            rates["direct-mapped"], rates["dynamic-exclusion"]
+        )
+        for quantum, rates in run().items()
+    }
+
+
+def report() -> str:
+    return _render(run())

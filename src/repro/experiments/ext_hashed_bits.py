@@ -13,75 +13,61 @@ same exclusion decision, so even half a bit per line matches the ideal
 store.  Collisions only cost misses when an unrelated cold word clears
 a hot word's bit at exactly the moment the hot word needs it, which is
 rare at every table size swept here.
+
+The sweep parameter here is the *configuration itself* — the string
+``"direct-mapped"``, a bits-per-line number, or ``"ideal"`` — showing
+that grid parameters need not be numeric.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..analysis.plot import ascii_chart
 from ..analysis.report import format_table
 from ..caches.geometry import CacheGeometry
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import HashedHitLastStore, IdealHitLastStore
-from .common import (
-    REFERENCE_LINE,
-    REFERENCE_SIZE,
-    all_traces,
-    direct_mapped,
-    max_refs,
-)
+from .common import REFERENCE_LINE, REFERENCE_SIZE, direct_mapped
+from .spec import BenchmarkSuite, ExperimentSpec, GridResult, register, run_spec
 
 TITLE = "Extension: hashed hit-last table size (S=32KB, b=4B)"
 
 #: Bits per L1 line (0.5 means one bit per two lines).
 BITS_PER_LINE = [0.5, 1, 2, 4, 8, 16]
 
-_CACHE: "dict[int, Dict[object, float]]" = {}
+_PARAMETERS = tuple(["direct-mapped"] + BITS_PER_LINE + ["ideal"])
 
 
-def run() -> "Dict[object, float]":
-    key = max_refs()
-    if key not in _CACHE:
-        geometry = CacheGeometry(REFERENCE_SIZE, REFERENCE_LINE)
-        traces = all_traces("instruction")
-        rates: "Dict[object, float]" = {
-            "direct-mapped": statistics.mean(
-                direct_mapped(geometry).simulate(t).miss_rate for t in traces
-            )
-        }
-        for bits in BITS_PER_LINE:
-            num_bits = int(geometry.num_lines * bits)
-            rates[bits] = statistics.mean(
-                DynamicExclusionCache(
-                    geometry, store=HashedHitLastStore(num_bits)
-                ).simulate(t).miss_rate
-                for t in traces
-            )
-        rates["ideal"] = statistics.mean(
-            DynamicExclusionCache(
+@dataclass(frozen=True)
+class HashedBitsFactory:
+    """Build the configuration named by the sweep parameter."""
+
+    size: int = REFERENCE_SIZE
+    line_size: int = REFERENCE_LINE
+
+    def __call__(self, config: object):
+        geometry = CacheGeometry(self.size, self.line_size)
+        if config == "direct-mapped":
+            return direct_mapped(geometry)
+        if config == "ideal":
+            return DynamicExclusionCache(
                 geometry, store=IdealHitLastStore(default=True)
-            ).simulate(t).miss_rate
-            for t in traces
-        )
-        _CACHE[key] = rates
-    return _CACHE[key]
+            )
+        num_bits = int(geometry.num_lines * float(config))  # type: ignore[arg-type]
+        return DynamicExclusionCache(geometry, store=HashedHitLastStore(num_bits))
 
 
-def four_bits_close_to_ideal(tolerance: float = 0.02) -> bool:
-    """The paper's claim: 4 bits/line within ``tolerance`` (relative)
-    of the ideal store."""
-    rates = run()
-    ideal = rates["ideal"]
-    if ideal == 0:
-        return True
-    return abs(rates[4] - ideal) / ideal <= tolerance
+def _collect(grid: GridResult) -> "Dict[object, float]":
+    return {
+        parameter: grid.mean("hashed-bits", parameter)
+        for parameter in grid.parameters
+    }
 
 
-def report() -> str:
-    rates = run()
-    rows = []
+def _render(rates: "Dict[object, float]") -> str:
+    rows: List[List[object]] = []
     for key in ["direct-mapped"] + BITS_PER_LINE + ["ideal"]:
         label = key if isinstance(key, str) else f"hashed {key} bits/line"
         rows.append([label, f"{100 * rates[key]:.3f}%"])
@@ -98,3 +84,35 @@ def report() -> str:
         f"{four_bits_close_to_ideal()}"
     )
     return f"{table}\n\n{chart}{verdict}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="ext-hashed",
+        title=TITLE,
+        parameter_name="configuration",
+        parameters=_PARAMETERS,
+        factories=(("hashed-bits", HashedBitsFactory()),),
+        traces=BenchmarkSuite("instruction"),
+        collect=_collect,
+        render=_render,
+    )
+)
+
+
+def run() -> "Dict[object, float]":
+    return run_spec(SPEC)
+
+
+def four_bits_close_to_ideal(tolerance: float = 0.02) -> bool:
+    """The paper's claim: 4 bits/line within ``tolerance`` (relative)
+    of the ideal store."""
+    rates = run()
+    ideal = rates["ideal"]
+    if ideal == 0:
+        return True
+    return abs(rates[4] - ideal) / ideal <= tolerance
+
+
+def report() -> str:
+    return _render(run())

@@ -13,12 +13,16 @@ capacity:
 * split (half I / half D) direct-mapped;
 * split with exclusion on the instruction half only (where Section 7
   says it pays).
+
+The split configurations need a custom cell evaluator — the "model" is
+a *pair* of caches and the references are routed by kind — which is
+exactly what the spec layer's ``evaluator`` hook exists for.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Optional
 
 from ..analysis.plot import sweep_chart
 from ..analysis.report import format_sweep
@@ -30,24 +34,34 @@ from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import IdealHitLastStore
 from ..trace.reference import RefKind
 from ..trace.trace import Trace
-from .common import all_traces, max_refs
+from .spec import BenchmarkSuite, ExperimentSpec, register, run_spec
 
 TITLE = "Extension: split I/D caches vs unified (b=4B)"
 
 SIZES_KB = [2, 4, 8, 16, 32, 64, 128]
 
+_LABELS = ["unified DM", "unified DE", "split DM", "split DM+DE(I)"]
 
-def _split_miss_rate(icache: Cache, dcache: Cache, trace: Trace) -> float:
-    """Route references by kind and pool the misses."""
-    ifetch = int(RefKind.IFETCH)
-    for addr, kind in trace.pairs():
-        if kind == ifetch:
-            icache.access(addr, kind)  # type: ignore[arg-type]
-        else:
-            dcache.access(addr, kind)  # type: ignore[arg-type]
-    total_misses = icache.stats.misses + dcache.stats.misses
-    total_accesses = icache.stats.accesses + dcache.stats.accesses
-    return total_misses / total_accesses if total_accesses else 0.0
+
+class SplitPair:
+    """An I-cache and a D-cache posing as one model."""
+
+    def __init__(self, icache: Cache, dcache: Cache) -> None:
+        self.icache = icache
+        self.dcache = dcache
+
+    def miss_rate(self, trace: Trace) -> float:
+        """Route references by kind and pool the misses."""
+        ifetch = int(RefKind.IFETCH)
+        icache, dcache = self.icache, self.dcache
+        for addr, kind in trace.pairs():
+            if kind == ifetch:
+                icache.access(addr, kind)  # type: ignore[arg-type]
+            else:
+                dcache.access(addr, kind)  # type: ignore[arg-type]
+        total_misses = icache.stats.misses + dcache.stats.misses
+        total_accesses = icache.stats.accesses + dcache.stats.accesses
+        return total_misses / total_accesses if total_accesses else 0.0
 
 
 def _unified(size: int, exclusion: bool) -> Cache:
@@ -57,53 +71,60 @@ def _unified(size: int, exclusion: bool) -> Cache:
     return DirectMappedCache(geometry)
 
 
-def _configs() -> "Dict[str, Callable[[int, Trace], float]]":
-    def unified_dm(size: int, trace: Trace) -> float:
-        return _unified(size, exclusion=False).simulate(trace).miss_rate
+@dataclass(frozen=True)
+class SplitFactory:
+    """Build one of the four budget-matched configurations."""
 
-    def unified_de(size: int, trace: Trace) -> float:
-        return _unified(size, exclusion=True).simulate(trace).miss_rate
+    label: str
 
-    def split_dm(size: int, trace: Trace) -> float:
-        half = CacheGeometry(size // 2, 4)
-        return _split_miss_rate(
-            DirectMappedCache(half), DirectMappedCache(half), trace
-        )
-
-    def split_de_icache(size: int, trace: Trace) -> float:
-        half = CacheGeometry(size // 2, 4)
-        icache = DynamicExclusionCache(half, store=IdealHitLastStore(default=True))
-        return _split_miss_rate(icache, DirectMappedCache(half), trace)
-
-    return {
-        "unified DM": unified_dm,
-        "unified DE": unified_de,
-        "split DM": split_dm,
-        "split DM+DE(I)": split_de_icache,
-    }
+    def __call__(self, size: object):
+        total = int(size)  # type: ignore[call-overload]
+        if self.label == "unified DM":
+            return _unified(total, exclusion=False)
+        if self.label == "unified DE":
+            return _unified(total, exclusion=True)
+        half = CacheGeometry(total // 2, 4)
+        if self.label == "split DM":
+            return SplitPair(DirectMappedCache(half), DirectMappedCache(half))
+        if self.label == "split DM+DE(I)":
+            icache = DynamicExclusionCache(half, store=IdealHitLastStore(default=True))
+            return SplitPair(icache, DirectMappedCache(half))
+        raise ValueError(f"unknown configuration {self.label!r}")
 
 
-_CACHE: "dict[int, SweepResult]" = {}
+@dataclass(frozen=True)
+class SplitEvaluator:
+    """Simulate either a plain cache or a routed I/D pair."""
+
+    def __call__(self, model: object, trace: Trace, engine: Optional[str]) -> dict:
+        if isinstance(model, SplitPair):
+            return {"miss_rate": model.miss_rate(trace)}
+        return {"miss_rate": model.simulate(trace).miss_rate}  # type: ignore[attr-defined]
 
 
-def run() -> SweepResult:
-    key = max_refs()
-    if key not in _CACHE:
-        traces = all_traces("mixed")
-        result = SweepResult(
-            parameter_name="total size",
-            parameters=[kb * 1024 for kb in SIZES_KB],
-        )
-        for size in result.parameters:
-            for label, runner in _configs().items():
-                rates = [runner(int(size), trace) for trace in traces]
-                result.add(label, size, statistics.mean(rates))
-        _CACHE[key] = result
-    return _CACHE[key]
-
-
-def report() -> str:
-    result = run()
+def _render(result: SweepResult) -> str:
     table = format_sweep(result, title=TITLE, value_format="{:.3%}")
     chart = sweep_chart(result, title="miss rate (%)")
     return f"{table}\n\n{chart}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="ext-split",
+        title=TITLE,
+        parameter_name="total size",
+        parameters=tuple(kb * 1024 for kb in SIZES_KB),
+        factories=tuple((label, SplitFactory(label)) for label in _LABELS),
+        traces=BenchmarkSuite("mixed"),
+        evaluator=SplitEvaluator(),
+        render=_render,
+    )
+)
+
+
+def run() -> SweepResult:
+    return run_spec(SPEC)
+
+
+def report() -> str:
+    return _render(run())

@@ -10,12 +10,16 @@ and a 2-way set-associative cache.
 Expected shape: exclusion's fetch traffic tracks its (lower) miss
 count, since a bypassed load still transfers its line once; its
 write-back traffic is essentially the baseline's.
+
+A multi-metric cell: the evaluator returns miss rate *and* the two
+traffic figures, all three journaled together, and the collect step
+means each metric across traces.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from ..analysis.report import format_table
 from ..caches.direct_mapped import DirectMappedCache
@@ -24,60 +28,72 @@ from ..caches.set_associative import SetAssociativeCache
 from ..caches.write_policy import WritePolicyCache
 from ..core.hitlast import IdealHitLastStore
 from ..core.long_lines import make_long_line_exclusion_cache
-from .common import REFERENCE_SIZE, all_traces, max_refs
+from ..trace.trace import Trace
+from .common import REFERENCE_SIZE
+from .spec import BenchmarkSuite, ExperimentSpec, GridResult, register, run_spec
 
 TITLE = "Extension: memory traffic per 1000 references (S=32KB, b=16B, write-back)"
 
 LINE_SIZE = 16
 
+_LABELS = ["direct-mapped", "dynamic-exclusion", "2-way"]
 
-def _configs() -> Dict[str, object]:
-    geometry = CacheGeometry(REFERENCE_SIZE, LINE_SIZE)
-    two_way = CacheGeometry(REFERENCE_SIZE, LINE_SIZE, associativity=2)
-    return {
-        "direct-mapped": lambda: WritePolicyCache(DirectMappedCache(geometry)),
-        "dynamic-exclusion": lambda: WritePolicyCache(
-            make_long_line_exclusion_cache(
-                geometry, store=IdealHitLastStore(default=True)
+_METRICS = ["miss_rate", "fetch_bytes_per_kiloref", "write_bytes_per_kiloref"]
+
+
+@dataclass(frozen=True)
+class TrafficFactory:
+    """A write-back cache for one of the compared designs."""
+
+    label: str
+    line_size: int = LINE_SIZE
+
+    def __call__(self, size: object):
+        geometry = CacheGeometry(int(size), self.line_size)  # type: ignore[call-overload]
+        if self.label == "direct-mapped":
+            return WritePolicyCache(DirectMappedCache(geometry))
+        if self.label == "dynamic-exclusion":
+            return WritePolicyCache(
+                make_long_line_exclusion_cache(
+                    geometry, store=IdealHitLastStore(default=True)
+                )
             )
-        ),
-        "2-way": lambda: WritePolicyCache(SetAssociativeCache(two_way)),
+        if self.label == "2-way":
+            two_way = CacheGeometry(int(size), self.line_size, associativity=2)  # type: ignore[call-overload]
+            return WritePolicyCache(SetAssociativeCache(two_way))
+        raise ValueError(f"unknown design {self.label!r}")
+
+
+@dataclass(frozen=True)
+class TrafficEvaluator:
+    """Simulate, flush the dirty lines, and account bytes moved."""
+
+    line_size: int = LINE_SIZE
+
+    def __call__(
+        self, model: WritePolicyCache, trace: Trace, engine: Optional[str]
+    ) -> Dict[str, float]:
+        stats = model.simulate(trace)
+        model.flush()
+        per_kilo = 1000.0 / max(1, len(trace))
+        return {
+            "miss_rate": stats.miss_rate,
+            "fetch_bytes_per_kiloref": model.traffic.bytes_fetched(self.line_size)
+            * per_kilo,
+            "write_bytes_per_kiloref": model.traffic.bytes_written(self.line_size)
+            * per_kilo,
+        }
+
+
+def _collect(grid: GridResult) -> "Dict[str, Dict[str, float]]":
+    size = grid.parameters[0]
+    return {
+        label: {metric: grid.mean(label, size, metric) for metric in _METRICS}
+        for label in grid.labels
     }
 
 
-_CACHE: "dict[int, Dict[str, Dict[str, float]]]" = {}
-
-
-def run() -> "Dict[str, Dict[str, float]]":
-    key = max_refs()
-    if key not in _CACHE:
-        traces = all_traces("mixed")
-        results: "Dict[str, Dict[str, float]]" = {}
-        for label, factory in _configs().items():
-            miss_rates = []
-            fetch_bytes = []
-            write_bytes = []
-            for trace in traces:
-                cache = factory()
-                stats = cache.simulate(trace)
-                cache.flush()
-                per_kilo = 1000.0 / max(1, len(trace))
-                miss_rates.append(stats.miss_rate)
-                fetch_bytes.append(cache.traffic.bytes_fetched(LINE_SIZE) * per_kilo)
-                write_bytes.append(
-                    cache.traffic.bytes_written(LINE_SIZE) * per_kilo
-                )
-            results[label] = {
-                "miss_rate": statistics.mean(miss_rates),
-                "fetch_bytes_per_kiloref": statistics.mean(fetch_bytes),
-                "write_bytes_per_kiloref": statistics.mean(write_bytes),
-            }
-        _CACHE[key] = results
-    return _CACHE[key]
-
-
-def report() -> str:
-    results = run()
+def _render(results: "Dict[str, Dict[str, float]]") -> str:
     rows = []
     for label, values in results.items():
         total = (
@@ -98,3 +114,26 @@ def report() -> str:
         rows,
         title=TITLE,
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="ext-traffic",
+        title=TITLE,
+        parameter_name="cache size",
+        parameters=(REFERENCE_SIZE,),
+        factories=tuple((label, TrafficFactory(label)) for label in _LABELS),
+        traces=BenchmarkSuite("mixed"),
+        evaluator=TrafficEvaluator(),
+        collect=_collect,
+        render=_render,
+    )
+)
+
+
+def run() -> "Dict[str, Dict[str, float]]":
+    return run_spec(SPEC)
+
+
+def report() -> str:
+    return _render(run())

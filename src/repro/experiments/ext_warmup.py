@@ -13,57 +13,68 @@ For every benchmark this experiment reports the miss-rate reduction of
 dynamic exclusion separately over the first and second halves of the
 trace; the warm-half column is the better estimate of the paper's
 10M-reference numbers.
+
+Spec-wise each cell yields two metrics ("cold" and "warm" percent
+reductions) and the factory returns a plain geometry — the evaluator
+builds the baseline/improved pair itself, twice, for the half-trace
+comparison.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..analysis.report import format_table
 from ..analysis.warmup import steady_state_reduction
 from ..caches.geometry import CacheGeometry
-from ..workloads.registry import benchmark_names
+from ..trace.trace import Trace
 from .common import (
     REFERENCE_LINE,
     REFERENCE_SIZE,
-    cached_trace,
     direct_mapped,
     dynamic_exclusion,
-    max_refs,
 )
+from .spec import BenchmarkSuite, ExperimentSpec, GridResult, register, run_spec
 
 TITLE = "Extension: cold vs warm dynamic-exclusion improvement (S=32KB, b=4B)"
 
-_CACHE: "dict[int, Dict[str, Tuple[float, float]]]" = {}
+
+@dataclass(frozen=True)
+class WarmupProbe:
+    """The "model" is just the geometry; the evaluator does the rest."""
+
+    line_size: int = REFERENCE_LINE
+
+    def __call__(self, size: object) -> CacheGeometry:
+        return CacheGeometry(int(size), self.line_size)  # type: ignore[call-overload]
 
 
-def run() -> "Dict[str, Tuple[float, float]]":
-    """Benchmark -> (cold-half %, warm-half %) DE reduction."""
-    key = max_refs()
-    if key not in _CACHE:
-        geometry = CacheGeometry(REFERENCE_SIZE, REFERENCE_LINE)
-        results: "Dict[str, Tuple[float, float]]" = {}
-        for name in benchmark_names():
-            trace = cached_trace(name, "instruction")
-            results[name] = steady_state_reduction(
-                lambda: direct_mapped(geometry),
-                lambda: dynamic_exclusion(geometry),
-                trace,
-            )
-        _CACHE[key] = results
-    return _CACHE[key]
+@dataclass(frozen=True)
+class WarmupEvaluator:
+    """Cold- and warm-half DE reductions for one benchmark."""
+
+    def __call__(
+        self, geometry: CacheGeometry, trace: Trace, engine: Optional[str]
+    ) -> Dict[str, float]:
+        cold, warm = steady_state_reduction(
+            lambda: direct_mapped(geometry),
+            lambda: dynamic_exclusion(geometry),
+            trace,
+        )
+        return {"cold": float(cold), "warm": float(warm)}
 
 
-def mean_reductions() -> Tuple[float, float]:
-    results = run()
-    cold = statistics.mean(v[0] for v in results.values())
-    warm = statistics.mean(v[1] for v in results.values())
-    return cold, warm
+def _collect(grid: GridResult) -> "Dict[str, Tuple[float, float]]":
+    size = grid.parameters[0]
+    names = grid.trace_names(size)
+    metrics = grid.cell_metrics("warmup", size)
+    return {
+        name: (cell["cold"], cell["warm"]) for name, cell in zip(names, metrics)
+    }
 
 
-def report() -> str:
-    results = run()
+def _render(results: "Dict[str, Tuple[float, float]]") -> str:
     rows = []
     for name, (cold, warm) in results.items():
         rows.append([name, f"{cold:.1f}%", f"{warm:.1f}%"])
@@ -80,3 +91,34 @@ def report() -> str:
         "\nconflict-heavy benchmarks (EXPERIMENTS.md, deviation D2)."
     )
     return table + note
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="ext-warmup",
+        title=TITLE,
+        parameter_name="cache size",
+        parameters=(REFERENCE_SIZE,),
+        factories=(("warmup", WarmupProbe()),),
+        traces=BenchmarkSuite("instruction"),
+        evaluator=WarmupEvaluator(),
+        collect=_collect,
+        render=_render,
+    )
+)
+
+
+def run() -> "Dict[str, Tuple[float, float]]":
+    """Benchmark -> (cold-half %, warm-half %) DE reduction."""
+    return run_spec(SPEC)
+
+
+def mean_reductions() -> Tuple[float, float]:
+    results = run()
+    cold = sum(v[0] for v in results.values()) / len(results)
+    warm = sum(v[1] for v in results.values()) / len(results)
+    return cold, warm
+
+
+def report() -> str:
+    return _render(run())

@@ -1,7 +1,10 @@
 """Figure 3: per-benchmark instruction-cache miss rates at 32 KB / 4 B.
 
 Three bars per benchmark: conventional direct-mapped, direct-mapped
-with dynamic exclusion, and optimal direct-mapped.
+with dynamic exclusion, and optimal direct-mapped.  The grid runs the
+same :class:`~repro.experiments.common.StandardFactory` curves as the
+size sweeps, at the single reference size, and collects per-trace
+rates instead of the mean.
 """
 
 from __future__ import annotations
@@ -9,44 +12,26 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..analysis.report import format_table
-from ..caches.geometry import CacheGeometry
 from ..caches.stats import percent_reduction
-from ..perf.engine import simulate as engine_simulate
-from ..workloads.registry import benchmark_names
-from .common import (
-    REFERENCE_LINE,
-    REFERENCE_SIZE,
-    cached_trace,
-    direct_mapped,
-    dynamic_exclusion,
-    optimal,
-)
+from .common import REFERENCE_LINE, REFERENCE_SIZE, standard_factories
+from .spec import BenchmarkSuite, ExperimentSpec, GridResult, register, run_spec
 
 TITLE = "Figure 3: instruction cache performance per benchmark (S=32KB, b=4B)"
 
+_POLICIES = ["direct-mapped", "dynamic-exclusion", "optimal"]
 
-def run(
-    size: int = REFERENCE_SIZE, line_size: int = REFERENCE_LINE
-) -> "Dict[str, Dict[str, float]]":
-    """Miss rate per benchmark per policy."""
-    geometry = CacheGeometry(size, line_size)
-    results: "Dict[str, Dict[str, float]]" = {}
-    for name in benchmark_names():
-        trace = cached_trace(name, "instruction")
-        # Through the engine dispatch: all three policies have fast
-        # kernels, so --engine fast accelerates the whole figure.
-        results[name] = {
-            "direct-mapped": engine_simulate(direct_mapped(geometry), trace).miss_rate,
-            "dynamic-exclusion": engine_simulate(
-                dynamic_exclusion(geometry), trace
-            ).miss_rate,
-            "optimal": engine_simulate(optimal(geometry), trace).miss_rate,
-        }
+
+def _collect(grid: GridResult) -> "Dict[str, Dict[str, float]]":
+    size = grid.parameters[0]
+    names = grid.trace_names(size)
+    results: "Dict[str, Dict[str, float]]" = {name: {} for name in names}
+    for label in grid.labels:
+        for name, rate in zip(names, grid.values(label, size)):
+            results[name][label] = rate
     return results
 
 
-def report() -> str:
-    results = run()
+def _render(results: "Dict[str, Dict[str, float]]") -> str:
     rows: List[List[object]] = []
     for name, rates in results.items():
         rows.append(
@@ -60,7 +45,7 @@ def report() -> str:
         )
     mean = {
         policy: sum(r[policy] for r in results.values()) / len(results)
-        for policy in ["direct-mapped", "dynamic-exclusion", "optimal"]
+        for policy in _POLICIES
     }
     rows.append(
         [
@@ -76,3 +61,33 @@ def report() -> str:
         rows,
         title=TITLE,
     )
+
+
+def _spec(spec_id: str, size: int, line_size: int, render=None, hidden: bool = False):
+    return ExperimentSpec(
+        id=spec_id,
+        title=TITLE,
+        parameter_name="cache size",
+        parameters=(size,),
+        factories=tuple(standard_factories(line_size).items()),
+        traces=BenchmarkSuite("instruction"),
+        collect=_collect,
+        render=render,
+        hidden=hidden,
+    )
+
+
+SPEC = register(_spec("fig03", REFERENCE_SIZE, REFERENCE_LINE, render=_render))
+
+
+def run(
+    size: int = REFERENCE_SIZE, line_size: int = REFERENCE_LINE
+) -> "Dict[str, Dict[str, float]]":
+    """Miss rate per benchmark per policy."""
+    if size == REFERENCE_SIZE and line_size == REFERENCE_LINE:
+        return run_spec(SPEC)
+    return run_spec(_spec(f"fig03[{size},{line_size}]", size, line_size, hidden=True))
+
+
+def report() -> str:
+    return _render(run())

@@ -13,21 +13,54 @@ from ..analysis.plot import sweep_chart
 from ..analysis.report import format_sweep
 from ..analysis.sweep import SweepResult
 from ..caches.stats import percent_reduction
-from . import fig04_cache_size
+from .spec import ExperimentSpec, register, run_spec
 
 TITLE = "Figure 5: miss-rate reduction over direct-mapped vs cache size (b=4B)"
 
 
-def run() -> SweepResult:
-    """Percent reduction curves for dynamic exclusion and optimal."""
-    base = fig04_cache_size.run()
-    result = SweepResult(parameter_name="cache size", parameters=list(base.parameters))
+def percent_reduction_curves(base: SweepResult) -> SweepResult:
+    """DE and optimal improvement over direct-mapped, per parameter.
+
+    The derive transform behind Figures 5 and 12: shared so both
+    reductions are computed the same way from their base sweeps.
+    """
+    result = SweepResult(
+        parameter_name=base.parameter_name, parameters=list(base.parameters)
+    )
     for size in base.parameters:
         dm = base.series["direct-mapped"].points[size]
         for label in ["dynamic-exclusion", "optimal"]:
             improved = base.series[label].points[size]
             result.add(label, size, percent_reduction(dm, improved))
     return result
+
+
+def _render(result: SweepResult) -> str:
+    table = format_sweep(result, title=TITLE, value_format="{:.1f}%")
+    chart = sweep_chart(result, title="reduction over direct-mapped (%)", percent=False)
+    size, value = peak()
+    summary = (
+        f"\ndynamic exclusion peaks at {value:.1f}% reduction "
+        f"({size // 1024}KB cache); the paper reports a 37% peak at 32KB "
+        f"on 10M-reference traces."
+    )
+    return f"{table}\n\n{chart}{summary}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig05",
+        title=TITLE,
+        base=("fig04",),
+        derive=percent_reduction_curves,
+        render=_render,
+    )
+)
+
+
+def run() -> SweepResult:
+    """Percent reduction curves for dynamic exclusion and optimal."""
+    return run_spec(SPEC)
 
 
 def peak() -> "tuple[int, float]":
@@ -39,13 +72,4 @@ def peak() -> "tuple[int, float]":
 
 
 def report() -> str:
-    result = run()
-    table = format_sweep(result, title=TITLE, value_format="{:.1f}%")
-    chart = sweep_chart(result, title="reduction over direct-mapped (%)", percent=False)
-    size, value = peak()
-    summary = (
-        f"\ndynamic exclusion peaks at {value:.1f}% reduction "
-        f"({size // 1024}KB cache); the paper reports a 37% peak at 32KB "
-        f"on 10M-reference traces."
-    )
-    return f"{table}\n\n{chart}{summary}"
+    return _render(run())

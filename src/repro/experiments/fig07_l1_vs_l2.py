@@ -16,16 +16,12 @@ from ..analysis.report import format_table
 from ..hierarchy.two_level import Strategy
 from . import hierarchy_sweep
 from .hierarchy_sweep import HierarchySweep
+from .spec import ExperimentSpec, register, run_spec
 
 TITLE = "Figure 7: dynamic exclusion L1 performance vs L2 size (L1=32KB, b=4B)"
 
 
-def run() -> HierarchySweep:
-    return hierarchy_sweep.run()
-
-
-def report() -> str:
-    sweep = run()
+def _render(sweep: HierarchySweep) -> str:
     headers = ["L2/L1"] + [s.value for s in hierarchy_sweep.STRATEGIES]
     rows: List[List[object]] = []
     for ratio in sweep.ratios:
@@ -43,6 +39,25 @@ def report() -> str:
         title="L1 miss rate (%)",
     )
     return f"{table}\n\n{chart}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig07",
+        title=TITLE,
+        base=("hierarchy",),
+        derive=hierarchy_sweep.same_sweep,
+        render=_render,
+    )
+)
+
+
+def run() -> HierarchySweep:
+    return run_spec(SPEC)
+
+
+def report() -> str:
+    return _render(run())
 
 
 def assume_hit_degenerates() -> bool:

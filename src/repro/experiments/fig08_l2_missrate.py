@@ -16,6 +16,7 @@ from ..analysis.report import format_table
 from ..hierarchy.two_level import Strategy
 from . import hierarchy_sweep
 from .hierarchy_sweep import HierarchySweep
+from .spec import ExperimentSpec, register, run_spec
 
 TITLE = "Figure 8: dynamic exclusion L2 performance vs L2 size (L1=32KB, b=4B)"
 
@@ -29,12 +30,7 @@ CURVES = [
 ]
 
 
-def run() -> HierarchySweep:
-    return hierarchy_sweep.run()
-
-
-def report() -> str:
-    sweep = run()
+def _render(sweep: HierarchySweep) -> str:
     headers = ["L2 size"] + [s.value for s in CURVES]
     rows: List[List[object]] = []
     for ratio in sweep.ratios:
@@ -50,6 +46,25 @@ def report() -> str:
         title="global L2 miss rate (%)",
     )
     return f"{table}\n\n{chart}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig08",
+        title=TITLE,
+        base=("hierarchy",),
+        derive=hierarchy_sweep.same_sweep,
+        render=_render,
+    )
+)
+
+
+def run() -> HierarchySweep:
+    return run_spec(SPEC)
+
+
+def report() -> str:
+    return _render(run())
 
 
 def exclusive_strategies_win() -> bool:

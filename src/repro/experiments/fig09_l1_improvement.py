@@ -13,15 +13,16 @@ from ..analysis.report import format_table
 from ..caches.stats import percent_reduction
 from ..hierarchy.two_level import Strategy
 from . import hierarchy_sweep
+from .hierarchy_sweep import HierarchySweep
+from .spec import ExperimentSpec, register, run_spec
 
 TITLE = "Figure 9: dynamic exclusion L1 improvement vs L2 size (L1=32KB, b=4B)"
 
 CURVES = [Strategy.IDEAL, Strategy.ASSUME_HIT, Strategy.ASSUME_MISS, Strategy.HASHED]
 
 
-def run() -> "Dict[Strategy, List[float]]":
+def improvement_curves(sweep: HierarchySweep) -> "Dict[Strategy, List[float]]":
     """Percent L1 improvement per strategy, over the ratio grid."""
-    sweep = hierarchy_sweep.run()
     curves: "Dict[Strategy, List[float]]" = {}
     for strategy in CURVES:
         improvements = []
@@ -33,9 +34,8 @@ def run() -> "Dict[Strategy, List[float]]":
     return curves
 
 
-def report() -> str:
+def _render(curves: "Dict[Strategy, List[float]]") -> str:
     sweep = hierarchy_sweep.run()
-    curves = run()
     headers = ["L2 size"] + [s.value for s in CURVES]
     rows: List[List[object]] = []
     for i, ratio in enumerate(sweep.ratios):
@@ -50,3 +50,22 @@ def report() -> str:
         title="L1 miss-rate improvement (%)",
     )
     return f"{table}\n\n{chart}"
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig09",
+        title=TITLE,
+        base=("hierarchy",),
+        derive=improvement_curves,
+        render=_render,
+    )
+)
+
+
+def run() -> "Dict[Strategy, List[float]]":
+    return run_spec(SPEC)
+
+
+def report() -> str:
+    return _render(run())

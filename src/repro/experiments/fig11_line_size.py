@@ -11,31 +11,44 @@ from __future__ import annotations
 
 from ..analysis.plot import sweep_chart
 from ..analysis.report import format_sweep
-from ..analysis.sweep import SweepResult, run_sweep
+from ..analysis.sweep import SweepResult
 from ..caches.stats import percent_reduction
-from .common import (
-    LINE_SIZE_SWEEP,
-    REFERENCE_SIZE,
-    all_trace_keys,
-    line_size_factories,
-    max_refs,
-)
+from .common import LINE_SIZE_SWEEP, REFERENCE_SIZE, line_size_factories
+from .spec import BenchmarkSuite, ExperimentSpec, register, run_spec
 
 TITLE = "Figure 11: instruction cache miss rate vs line size (S=32KB)"
 
-_CACHE: "dict[tuple, SweepResult]" = {}
+
+def _spec(spec_id: str, size: int, render=None, hidden: bool = False) -> ExperimentSpec:
+    return ExperimentSpec(
+        id=spec_id,
+        title=TITLE,
+        parameter_name="line size",
+        parameters=tuple(LINE_SIZE_SWEEP),
+        factories=tuple(line_size_factories(size).items()),
+        traces=BenchmarkSuite("instruction"),
+        render=render,
+        hidden=hidden,
+    )
+
+
+def _render(result: SweepResult) -> str:
+    table = format_sweep(
+        result, title=TITLE, value_format="{:.3%}", param_format="{}B"
+    )
+    chart = sweep_chart(result, title="miss rate (%)")
+    reductions = improvements()
+    trail = ", ".join(f"{b}B: {r:.1f}%" for b, r in reductions.items())
+    return f"{table}\n\n{chart}\n\nDE reduction by line size: {trail}"
+
+
+SPEC = register(_spec("fig11", REFERENCE_SIZE, render=_render))
 
 
 def run(size: int = REFERENCE_SIZE) -> SweepResult:
-    key = (size, max_refs())
-    if key not in _CACHE:
-        _CACHE[key] = run_sweep(
-            parameter_name="line size",
-            parameters=list(LINE_SIZE_SWEEP),
-            factories=line_size_factories(size),
-            traces=all_trace_keys("instruction"),
-        )
-    return _CACHE[key]
+    if size == REFERENCE_SIZE:
+        return run_spec(SPEC)
+    return run_spec(_spec(f"fig11[{size}]", size, hidden=True))
 
 
 def improvements() -> "dict[int, float]":
@@ -50,11 +63,4 @@ def improvements() -> "dict[int, float]":
 
 
 def report() -> str:
-    result = run()
-    table = format_sweep(
-        result, title=TITLE, value_format="{:.3%}", param_format="{}B"
-    )
-    chart = sweep_chart(result, title="miss rate (%)")
-    reductions = improvements()
-    trail = ", ".join(f"{b}B: {r:.1f}%" for b, r in reductions.items())
-    return f"{table}\n\n{chart}\n\nDE reduction by line size: {trail}"
+    return _render(run())

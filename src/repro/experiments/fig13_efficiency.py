@@ -9,18 +9,17 @@ the SRAM growth; the paper finds DE roughly 15x more efficient.
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass
 from typing import List
 
 from ..analysis.report import format_table
+from ..caches.direct_mapped import DirectMappedCache
 from ..caches.geometry import CacheGeometry
 from ..core.cost import EfficiencyRow, doubling_efficiency, exclusion_efficiency
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..core.hitlast import HashedHitLastStore
 from ..core.long_lines import LastLineBufferCache
-from ..perf.engine import simulate as engine_simulate
-from .common import all_traces, direct_mapped
+from .spec import BenchmarkSuite, ExperimentSpec, GridResult, register, run_spec
 
 TITLE = "Figure 13: dynamic exclusion efficiency (b=16B)"
 
@@ -45,45 +44,69 @@ class EfficiencyResult:
         return self.exclusion.efficiency / self.doubling.efficiency
 
 
-def _hashed_exclusion_cache(geometry: CacheGeometry) -> LastLineBufferCache:
-    store = HashedHitLastStore(geometry.num_lines * HASHED_BITS_PER_LINE)
-    inner = DynamicExclusionCache(geometry, store=store)
-    return LastLineBufferCache(inner)
+@dataclass(frozen=True)
+class Fig13Factory:
+    """Picklable factory for the table's three columns, by base size."""
+
+    column: str  # "baseline" | "exclusion" | "doubled"
+    line_size: int
+
+    def __call__(self, base_size: object):
+        geometry = CacheGeometry(int(base_size), self.line_size)  # type: ignore[call-overload]
+        if self.column == "baseline":
+            return DirectMappedCache(geometry)
+        if self.column == "doubled":
+            return DirectMappedCache(geometry.scaled(2))
+        if self.column == "exclusion":
+            store = HashedHitLastStore(geometry.num_lines * HASHED_BITS_PER_LINE)
+            return LastLineBufferCache(DynamicExclusionCache(geometry, store=store))
+        raise ValueError(f"unknown Figure 13 column {self.column!r}")
 
 
-def run(base_size: int = BASE_SIZE, line_size: int = LINE_SIZE) -> EfficiencyResult:
-    geometry = CacheGeometry(base_size, line_size)
-    doubled = geometry.scaled(2)
-    traces = all_traces("instruction")
+@dataclass(frozen=True)
+class CollectEfficiency:
+    """Mean the three columns and price them with the SRAM cost model."""
 
-    # Through the engine dispatch so --engine fast reaches the two
-    # direct-mapped passes (the hashed-store DE model has no kernel and
-    # falls back transparently).
-    baseline = statistics.mean(
-        engine_simulate(direct_mapped(geometry), t).miss_rate for t in traces
-    )
-    exclusion = statistics.mean(
-        engine_simulate(_hashed_exclusion_cache(geometry), t).miss_rate for t in traces
-    )
-    doubled_rate = statistics.mean(
-        engine_simulate(direct_mapped(doubled), t).miss_rate for t in traces
-    )
-    return EfficiencyResult(
-        baseline_miss_rate=baseline,
-        exclusion_miss_rate=exclusion,
-        doubled_miss_rate=doubled_rate,
-        exclusion=exclusion_efficiency(
-            geometry,
-            baseline,
-            exclusion,
-            hashed_hitlast_bits_per_line=HASHED_BITS_PER_LINE,
+    line_size: int
+
+    def __call__(self, grid: GridResult) -> EfficiencyResult:
+        base_size = int(grid.parameters[0])
+        geometry = CacheGeometry(base_size, self.line_size)
+        baseline = grid.mean("baseline", grid.parameters[0])
+        exclusion = grid.mean("exclusion", grid.parameters[0])
+        doubled_rate = grid.mean("doubled", grid.parameters[0])
+        return EfficiencyResult(
+            baseline_miss_rate=baseline,
+            exclusion_miss_rate=exclusion,
+            doubled_miss_rate=doubled_rate,
+            exclusion=exclusion_efficiency(
+                geometry,
+                baseline,
+                exclusion,
+                hashed_hitlast_bits_per_line=HASHED_BITS_PER_LINE,
+            ),
+            doubling=doubling_efficiency(geometry, baseline, doubled_rate),
+        )
+
+
+def _spec(spec_id: str, base_size: int, line_size: int, render=None, hidden=False):
+    return ExperimentSpec(
+        id=spec_id,
+        title=TITLE,
+        parameter_name="base size",
+        parameters=(base_size,),
+        factories=tuple(
+            (column, Fig13Factory(column, line_size))
+            for column in ["baseline", "exclusion", "doubled"]
         ),
-        doubling=doubling_efficiency(geometry, baseline, doubled_rate),
+        traces=BenchmarkSuite("instruction"),
+        collect=CollectEfficiency(line_size),
+        render=render,
+        hidden=hidden,
     )
 
 
-def report() -> str:
-    result = run()
+def _render(result: EfficiencyResult) -> str:
     base_kb = BASE_SIZE // 1024
     rows: List[List[object]] = [
         [
@@ -109,3 +132,18 @@ def report() -> str:
         f"than doubling capacity (paper: ~15x)."
     )
     return table + summary
+
+
+SPEC = register(_spec("fig13", BASE_SIZE, LINE_SIZE, render=_render))
+
+
+def run(base_size: int = BASE_SIZE, line_size: int = LINE_SIZE) -> EfficiencyResult:
+    if base_size == BASE_SIZE and line_size == LINE_SIZE:
+        return run_spec(SPEC)
+    return run_spec(
+        _spec(f"fig13[{base_size},{line_size}]", base_size, line_size, hidden=True)
+    )
+
+
+def report() -> str:
+    return _render(run())

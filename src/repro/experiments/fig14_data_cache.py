@@ -11,17 +11,24 @@ from __future__ import annotations
 from ..analysis.plot import sweep_chart
 from ..analysis.report import format_sweep
 from ..analysis.sweep import SweepResult
-from . import fig04_cache_size
+from .fig04_cache_size import size_sweep_spec
+from .spec import register, run_spec
 
 TITLE = "Figure 14: data cache dynamic exclusion performance (b=4B)"
 
 
-def run() -> SweepResult:
-    return fig04_cache_size.run(kind="data")
-
-
-def report() -> str:
-    result = run()
+def _render(result: SweepResult) -> str:
     table = format_sweep(result, title=TITLE, value_format="{:.3%}")
     chart = sweep_chart(result, title="data cache miss rate (%)")
     return f"{table}\n\n{chart}"
+
+
+SPEC = register(size_sweep_spec("fig14", TITLE, kind="data", render=_render))
+
+
+def run() -> SweepResult:
+    return run_spec(SPEC)
+
+
+def report() -> str:
+    return _render(run())

@@ -12,13 +12,25 @@ from ..analysis.plot import sweep_chart
 from ..analysis.report import format_sweep
 from ..analysis.sweep import SweepResult
 from ..caches.stats import percent_reduction
-from . import fig04_cache_size
+from .fig04_cache_size import size_sweep_spec
+from .spec import register, run_spec
 
 TITLE = "Figure 15: combined I+D cache dynamic exclusion performance (b=4B)"
 
 
+def _render(result: SweepResult) -> str:
+    table = format_sweep(result, title=TITLE, value_format="{:.3%}")
+    chart = sweep_chart(result, title="combined cache miss rate (%)")
+    red = reductions()
+    trail = ", ".join(f"{s // 1024}KB: {r:.1f}%" for s, r in red.items())
+    return f"{table}\n\n{chart}\n\nDE reduction by size: {trail}"
+
+
+SPEC = register(size_sweep_spec("fig15", TITLE, kind="mixed", render=_render))
+
+
 def run() -> SweepResult:
-    return fig04_cache_size.run(kind="mixed")
+    return run_spec(SPEC)
 
 
 def reductions() -> "dict[int, float]":
@@ -33,9 +45,4 @@ def reductions() -> "dict[int, float]":
 
 
 def report() -> str:
-    result = run()
-    table = format_sweep(result, title=TITLE, value_format="{:.3%}")
-    chart = sweep_chart(result, title="combined cache miss rate (%)")
-    red = reductions()
-    trail = ", ".join(f"{s // 1024}KB: {r:.1f}%" for s, r in red.items())
-    return f"{table}\n\n{chart}\n\nDE reduction by size: {trail}"
+    return _render(run())

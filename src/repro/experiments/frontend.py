@@ -1,0 +1,205 @@
+"""The shared spec-driven front-end for the experiment registry.
+
+Both entry points — ``python -m repro.experiments`` and
+``python -m repro.cli experiments`` — are thin wrappers around this
+module: one argument set (``--only/--filter/--list/--svg/--engine/
+--workers/--resume-dir/--progress``), one selection rule, and one
+execution path through :func:`repro.experiments.spec.run_spec`, so
+journaling, parallelism, and engine choice behave identically no
+matter which door an experiment is launched through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .. import perf
+from ..env import validate as validate_env
+from .spec import ExperimentSpec, get_spec, render_spec, run_spec
+
+
+def ordered_specs() -> "List[ExperimentSpec]":
+    """Visible specs in presentation order (paper order, then extensions)."""
+    from . import EXPERIMENTS
+
+    return [get_spec(key) for key in EXPERIMENTS]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the uniform experiment flags on ``parser``."""
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="ID",
+        help="experiment id (repeatable); see --list",
+    )
+    parser.add_argument(
+        "--filter",
+        metavar="SUBSTR",
+        default=None,
+        help="run only experiments whose id or title contains SUBSTR "
+        "(case-insensitive)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        help="also render each sweep-style experiment as DIR/<id>.svg",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=list(perf.ENGINES),
+        default=None,
+        help="simulation engine: 'fast' uses the set-partitioned numpy "
+        "kernels where available (identical results), 'reference' the "
+        "per-reference simulators (default)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for sweep cells (default: REPRO_WORKERS "
+        "or 1 = sequential)",
+    )
+    parser.add_argument(
+        "--resume-dir",
+        metavar="DIR",
+        default=None,
+        help="journal completed sweep cells under DIR and reuse them on "
+        "the next run, so a crashed or interrupted sweep resumes instead "
+        "of recomputing; telemetry is recorded there too",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report each sweep cell and a per-experiment telemetry "
+        "summary on stderr",
+    )
+
+
+def select_specs(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> "List[ExperimentSpec]":
+    specs = ordered_specs()
+    if args.only:
+        known = {spec.id for spec in specs}
+        unknown = [key for key in args.only if key not in known]
+        if unknown:
+            parser.error(f"unknown experiment ids {unknown}; try --list")
+        return [get_spec(key) for key in args.only]
+    if args.filter:
+        needle = args.filter.lower()
+        selected = [
+            spec
+            for spec in specs
+            if needle in spec.id.lower() or needle in spec.title.lower()
+        ]
+        if not selected:
+            parser.error(f"--filter {args.filter!r} matches no experiments; try --list")
+        return selected
+    return specs
+
+
+def run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Execute the parsed experiment arguments (shared by both CLIs)."""
+    # Fail on malformed environment before any trace is generated: a bad
+    # REPRO_WORKERS used to surface only when the first sweep spun up its
+    # pool, minutes into a run.
+    try:
+        validate_env()
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    if args.list:
+        for spec in ordered_specs():
+            print(f"{spec.id:12s} {spec.title}")
+        return 0
+
+    selected = select_specs(args, parser)
+
+    resume_dir: Optional[Path] = None
+    if args.resume_dir:
+        resume_dir = Path(args.resume_dir)
+        resume_dir.mkdir(parents=True, exist_ok=True)
+
+    svg_dir: Optional[Path] = None
+    if args.svg:
+        svg_dir = Path(args.svg)
+        svg_dir.mkdir(parents=True, exist_ok=True)
+
+    telemetry_dir = resume_dir if resume_dir is not None else svg_dir
+
+    for spec in selected:
+        started = time.time()
+        perf.drain_telemetry()  # discard any runs from a prior experiment
+        print(f"\n{'#' * 72}\n# {spec.id}: {spec.title}\n{'#' * 72}")
+        result = run_spec(
+            spec,
+            engine=args.engine,
+            workers=args.workers,
+            journal=str(resume_dir) if resume_dir is not None else None,
+            progress=True if args.progress else None,
+        )
+        print(render_spec(spec, result))
+        if svg_dir is not None:
+            path = _maybe_save_svg(spec, result, svg_dir)
+            if path is not None:
+                print(f"[svg written to {path}]")
+        elapsed = time.time() - started
+        sweeps = perf.drain_telemetry()
+        if telemetry_dir is not None and sweeps:
+            path = _save_telemetry(spec.id, sweeps, elapsed, telemetry_dir)
+            print(f"[telemetry written to {path}]")
+        if args.progress:
+            for record in sweeps:
+                print(f"[{spec.id}] {record.summary()}", file=sys.stderr)
+        print(f"\n[{spec.id} done in {elapsed:.1f}s]")
+    return 0
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of 'Cache Replacement with Dynamic Exclusion'",
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv), parser)
+
+
+def _save_telemetry(key: str, sweeps, elapsed: float, directory: Path) -> Path:
+    """Record the experiment's sweep telemetry next to its outputs."""
+    payload = {
+        "kind": "experiment-telemetry",
+        "version": 1,
+        "experiment": key,
+        "elapsed_seconds": round(elapsed, 3),
+        "sweeps": [record.to_dict() for record in sweeps],
+    }
+    path = directory / f"{key}.telemetry.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _maybe_save_svg(spec: ExperimentSpec, result: object, directory: Path):
+    """Render the experiment as SVG when its result is a sweep."""
+    from ..analysis.svg import sweep_svg
+    from ..analysis.sweep import SweepResult
+
+    if not isinstance(result, SweepResult):
+        return None
+    path = directory / f"{spec.id}.svg"
+    percent = all(
+        0.0 <= value <= 1.0
+        for series in result.series.values()
+        for value in series.points.values()
+    )
+    path.write_text(sweep_svg(result, title=spec.title, percent=percent))
+    return path

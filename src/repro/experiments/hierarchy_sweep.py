@@ -1,19 +1,22 @@
 """Shared two-level sweep behind Figures 7, 8, and 9.
 
-One simulation pass produces both the L1 and the L2 curves for every
-hit-last storage strategy and every L2/L1 size ratio; the three figure
-modules slice this result.
+One grid spec produces both the L1 and the L2 curves for every hit-last
+storage strategy and every L2/L1 size ratio; the three figure modules
+derive from this hidden ``hierarchy`` base spec, so the grid is
+simulated once per process (and, unlike the pre-spec version, fans out
+to workers and journals under ``--resume-dir``).
 """
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..caches.geometry import CacheGeometry
 from ..hierarchy.two_level import Strategy, TwoLevelCache
-from .common import L2_RATIO_SWEEP, REFERENCE_LINE, REFERENCE_SIZE, all_traces, max_refs
+from ..trace.trace import Trace
+from .common import L2_RATIO_SWEEP, REFERENCE_LINE, REFERENCE_SIZE
+from .spec import BenchmarkSuite, ExperimentSpec, GridResult, register, run_spec
 
 #: The strategies compared by the Section 5 figures.
 STRATEGIES: List[Strategy] = [
@@ -50,7 +53,87 @@ class HierarchySweep:
         return [self.points[(strategy, r)].l2_global_miss_rate for r in self.ratios]
 
 
-_CACHE: "Dict[Tuple[int, int, Tuple[int, ...], int], HierarchySweep]" = {}
+@dataclass(frozen=True)
+class HierarchyFactory:
+    """Picklable (strategy, L1 geometry) factory over the ratio axis."""
+
+    strategy: str
+    l1_size: int
+    line_size: int
+
+    def __call__(self, ratio: object) -> TwoLevelCache:
+        l1 = CacheGeometry(self.l1_size, self.line_size)
+        l2 = CacheGeometry(self.l1_size * int(ratio), self.line_size)  # type: ignore[call-overload]
+        return TwoLevelCache(l1, l2, strategy=Strategy(self.strategy))
+
+
+@dataclass(frozen=True)
+class HierarchyEvaluator:
+    """Per-cell metrics: all three rates from one hierarchy pass."""
+
+    def __call__(self, model: TwoLevelCache, trace: Trace, engine: str) -> Dict[str, float]:
+        result = model.simulate(trace)
+        return {
+            "l1_miss_rate": result.l1_miss_rate,
+            "l2_global_miss_rate": result.l2_global_miss_rate,
+            "l2_local_miss_rate": result.l2_local_miss_rate,
+        }
+
+
+@dataclass(frozen=True)
+class CollectHierarchy:
+    """Fold the grid back into the :class:`HierarchySweep` the figures slice."""
+
+    l1_size: int
+    line_size: int
+
+    def __call__(self, grid: GridResult) -> HierarchySweep:
+        sweep = HierarchySweep(
+            l1_size=self.l1_size,
+            line_size=self.line_size,
+            ratios=[int(r) for r in grid.parameters],
+        )
+        for ratio in grid.parameters:
+            for label in grid.labels:
+                sweep.points[(Strategy(label), int(ratio))] = HierarchyPoint(
+                    l1_miss_rate=grid.mean(label, ratio, "l1_miss_rate"),
+                    l2_global_miss_rate=grid.mean(label, ratio, "l2_global_miss_rate"),
+                    l2_local_miss_rate=grid.mean(label, ratio, "l2_local_miss_rate"),
+                )
+        return sweep
+
+
+def hierarchy_spec(
+    spec_id: str,
+    l1_size: int = REFERENCE_SIZE,
+    line_size: int = REFERENCE_LINE,
+    ratios: "Tuple[int, ...] | None" = None,
+    hidden: bool = True,
+) -> ExperimentSpec:
+    ratios = tuple(ratios) if ratios is not None else tuple(L2_RATIO_SWEEP)
+    return ExperimentSpec(
+        id=spec_id,
+        title="Two-level hierarchy grid (base for Figures 7-9)",
+        parameter_name="L2/L1 ratio",
+        parameters=ratios,
+        factories=tuple(
+            (strategy.value, HierarchyFactory(strategy.value, l1_size, line_size))
+            for strategy in STRATEGIES
+        ),
+        traces=BenchmarkSuite("instruction"),
+        evaluator=HierarchyEvaluator(),
+        collect=CollectHierarchy(l1_size, line_size),
+        hidden=hidden,
+    )
+
+
+SPEC = register(hierarchy_spec("hierarchy"))
+
+
+def same_sweep(sweep: HierarchySweep) -> HierarchySweep:
+    """Identity derive: Figures 7 and 8 present the base sweep directly
+    (and share the exact cached object — tests rely on ``is``)."""
+    return sweep
 
 
 def run(
@@ -58,31 +141,16 @@ def run(
     line_size: int = REFERENCE_LINE,
     ratios: "List[int] | None" = None,
 ) -> HierarchySweep:
-    """Simulate the full strategy x ratio grid (memoised per process)."""
-    ratios = list(ratios) if ratios is not None else list(L2_RATIO_SWEEP)
-    key = (l1_size, line_size, tuple(ratios), max_refs())
-    if key in _CACHE:
-        return _CACHE[key]
-
-    l1_geometry = CacheGeometry(l1_size, line_size)
-    traces = all_traces("instruction")
-    sweep = HierarchySweep(l1_size=l1_size, line_size=line_size, ratios=ratios)
-    for ratio in ratios:
-        l2_geometry = CacheGeometry(l1_size * ratio, line_size)
-        for strategy in STRATEGIES:
-            l1_rates: List[float] = []
-            l2_global: List[float] = []
-            l2_local: List[float] = []
-            for trace in traces:
-                hierarchy = TwoLevelCache(l1_geometry, l2_geometry, strategy=strategy)
-                result = hierarchy.simulate(trace)
-                l1_rates.append(result.l1_miss_rate)
-                l2_global.append(result.l2_global_miss_rate)
-                l2_local.append(result.l2_local_miss_rate)
-            sweep.points[(strategy, ratio)] = HierarchyPoint(
-                l1_miss_rate=statistics.mean(l1_rates),
-                l2_global_miss_rate=statistics.mean(l2_global),
-                l2_local_miss_rate=statistics.mean(l2_local),
-            )
-    _CACHE[key] = sweep
-    return sweep
+    """The full strategy x ratio grid (memoised by the spec cache)."""
+    if l1_size == REFERENCE_SIZE and line_size == REFERENCE_LINE and (
+        ratios is None or list(ratios) == list(L2_RATIO_SWEEP)
+    ):
+        return run_spec(SPEC)
+    return run_spec(
+        hierarchy_spec(
+            f"hierarchy[{l1_size},{line_size},{ratios}]",
+            l1_size=l1_size,
+            line_size=line_size,
+            ratios=tuple(ratios) if ratios is not None else None,
+        )
+    )

@@ -3,7 +3,9 @@
 Regenerates the paper's worked miss-rate numbers for the three common
 reference patterns (plus the three-way pathological case), comparing the
 simulators against the closed-form counts in
-:mod:`repro.workloads.patterns`.
+:mod:`repro.workloads.patterns`.  Registered as a *custom* spec: the
+traces are tiny analytic sequences and the results are exact integer
+counts, so there is no grid to fan out.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from ..caches.optimal import OptimalDirectMappedCache
 from ..core.exclusion_cache import DynamicExclusionCache
 from ..workloads import patterns
 from .common import REFERENCE_LINE, REFERENCE_SIZE
+from .spec import ExperimentSpec, register, run_spec
 
 TITLE = "Section 3: miss rates on the common reference patterns"
 
@@ -33,7 +36,7 @@ class PatternRow:
     opt_expected: int
 
 
-def run() -> List[PatternRow]:
+def _compute() -> List[PatternRow]:
     geometry = CacheGeometry(REFERENCE_SIZE, REFERENCE_LINE)
     cases = [
         ("between loops (a^10 b^10)^10", patterns.between_loops(geometry),
@@ -64,8 +67,7 @@ def run() -> List[PatternRow]:
     return rows
 
 
-def report() -> str:
-    rows = run()
+def _render(rows: List[PatternRow]) -> str:
     table_rows: List[List[object]] = []
     for row in rows:
         table_rows.append(
@@ -86,3 +88,16 @@ def report() -> str:
         table_rows,
         title=TITLE,
     )
+
+
+SPEC = register(
+    ExperimentSpec(id="sec3", title=TITLE, compute=_compute, render=_render)
+)
+
+
+def run() -> List[PatternRow]:
+    return run_spec(SPEC)
+
+
+def report() -> str:
+    return _render(run())

@@ -40,9 +40,13 @@ from .parallel import (
     SweepCellError,
     SweepTelemetry,
     TraceKey,
+    as_trace,
+    clear_trace_cache,
     default_journal_dir,
     drain_telemetry,
     env_workers,
+    evaluate_cell,
+    is_trace_recipe,
     resolve_workers,
     run_cells,
     run_labeled_cells,
@@ -62,12 +66,16 @@ __all__ = [
     "SweepJournal",
     "SweepTelemetry",
     "TraceKey",
+    "as_trace",
     "canonical_parameter",
+    "clear_trace_cache",
     "default_engine",
     "default_journal_dir",
     "drain_telemetry",
     "env_workers",
+    "evaluate_cell",
     "has_kernel",
+    "is_trace_recipe",
     "kernel_for",
     "parameter_from_json",
     "registered_kernel_types",

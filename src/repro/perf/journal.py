@@ -117,7 +117,7 @@ class SweepJournal:
             if entry.get("version", 0) > JOURNAL_VERSION:
                 continue
             key = entry.get("key")
-            if isinstance(key, str) and isinstance(entry.get("miss_rate"), (int, float)):
+            if isinstance(key, str) and self.entry_metrics(entry) is not None:
                 self._entries[key] = entry
 
     def __len__(self) -> int:
@@ -127,16 +127,57 @@ class SweepJournal:
         """The recorded entry for ``key``, or ``None``."""
         return self._entries.get(key)
 
-    def record(self, key: str, fields: dict, miss_rate: float, seconds: float) -> None:
-        """Append one completed cell (flushed immediately)."""
+    @staticmethod
+    def entry_metrics(entry: dict) -> "Optional[Dict[str, float]]":
+        """The metric dict a journal entry replays, or ``None`` if unusable.
+
+        Single-metric entries (the original format — one ``miss_rate``
+        number) come back as ``{"miss_rate": value}``; multi-metric
+        entries written by custom cell evaluators carry an explicit
+        ``metrics`` dict.
+        """
+        metrics = entry.get("metrics")
+        if isinstance(metrics, dict):
+            if metrics and all(
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+                for value in metrics.values()
+            ):
+                return {str(k): float(v) for k, v in metrics.items()}
+            return None
+        rate = entry.get("miss_rate")
+        if isinstance(rate, (int, float)) and not isinstance(rate, bool):
+            return {"miss_rate": float(rate)}
+        return None
+
+    def record(
+        self,
+        key: str,
+        fields: dict,
+        metrics: "Union[Dict[str, float], float]",
+        seconds: float,
+    ) -> None:
+        """Append one completed cell (flushed immediately).
+
+        ``metrics`` is the cell's metric dict; a bare number is accepted
+        as shorthand for ``{"miss_rate": value}``.  A plain miss-rate
+        metric set is written in the original single-number format, so
+        journals produced by the spec pipeline stay readable by (and
+        byte-compatible with) the pre-spec tooling; any other metric set
+        adds a ``metrics`` dict.
+        """
+        if not isinstance(metrics, dict):
+            metrics = {"miss_rate": float(metrics)}
         entry = {
             "kind": "sweep-cell",
             "version": JOURNAL_VERSION,
             "key": key,
-            "miss_rate": miss_rate,
             "seconds": round(seconds, 6),
             **fields,
         }
+        if "miss_rate" in metrics:
+            entry["miss_rate"] = metrics["miss_rate"]
+        if set(metrics) != {"miss_rate"}:
+            entry["metrics"] = dict(metrics)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
             handle.flush()

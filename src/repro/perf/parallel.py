@@ -37,7 +37,6 @@ Worker count resolution, in priority order:
 from __future__ import annotations
 
 import hashlib
-import os
 import sys
 import time
 from concurrent.futures import CancelledError, ProcessPoolExecutor
@@ -47,6 +46,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..env import env_workers  # noqa: F401 (re-exported; the one parser)
 from ..trace.trace import Trace
 from . import engine as engine_mod
 from .journal import SweepJournal, canonical_parameter, content_key, is_stable_parameter
@@ -67,58 +67,71 @@ class TraceKey:
     max_refs: int = 200_000
 
     def load(self) -> Trace:
-        trace = _TRACE_CACHE.get(self)
-        if trace is None:
-            from ..workloads.registry import trace_by_kind
+        return as_trace(self)  # memoised per process
 
-            if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
-                # Drop the oldest memoised trace (insertion order): the
-                # cache otherwise grows without bound when sweeps mix
-                # many (name, kind, max_refs) combinations.
-                _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-            trace = trace_by_kind(self.name, self.kind, max_refs=self.max_refs)
-            _TRACE_CACHE[self] = trace
-        return trace
+    def _build(self) -> Trace:
+        from ..workloads.registry import trace_by_kind
+
+        return trace_by_kind(self.name, self.kind, max_refs=self.max_refs)
 
 
-TraceLike = Union[Trace, TraceKey]
+#: Any hashable, picklable recipe exposing ``name``/``kind``/``max_refs``
+#: attributes plus a ``load() -> Trace`` method works wherever a
+#: :class:`TraceKey` does (the experiment-spec layer defines e.g.
+#: timeshared and analytic-pattern recipes); :func:`as_trace` memoises
+#: every recipe through the same per-process cache.
+TraceLike = Union[Trace, TraceKey, object]
 
-_TRACE_CACHE: Dict[TraceKey, Trace] = {}
+_TRACE_CACHE: Dict[object, Trace] = {}
 
 #: Ten benchmarks x three kinds fit comfortably; anything past this is
 #: a scale change or a synthetic flood, and old entries are evicted FIFO.
 _TRACE_CACHE_LIMIT = 64
 
 
+def is_trace_recipe(trace: object) -> bool:
+    """Whether ``trace`` is a deterministic recipe rather than raw data."""
+    return (
+        not isinstance(trace, Trace)
+        and hasattr(trace, "load")
+        and hasattr(trace, "name")
+        and hasattr(trace, "kind")
+        and hasattr(trace, "max_refs")
+    )
+
+
 def clear_trace_cache() -> None:
-    """Drop this process's memoised TraceKey traces."""
+    """Drop this process's memoised recipe traces."""
     _TRACE_CACHE.clear()
 
 
 def as_trace(trace: TraceLike) -> Trace:
-    """Materialise a TraceKey; pass a Trace through unchanged."""
-    if isinstance(trace, TraceKey):
-        return trace.load()
-    return trace
+    """Materialise a trace recipe (memoised); pass a Trace through unchanged."""
+    if isinstance(trace, Trace):
+        return trace
+    if not is_trace_recipe(trace):
+        raise TypeError(
+            f"expected a Trace or a trace recipe with name/kind/max_refs/load, "
+            f"got {type(trace).__name__}"
+        )
+    cached = _TRACE_CACHE.get(trace)
+    if cached is None:
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+            # Drop the oldest memoised trace (insertion order): the
+            # cache otherwise grows without bound when sweeps mix
+            # many distinct recipes.
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        # Recipes with a raw ``_build`` (TraceKey) route their public
+        # ``load`` back through this memo; plain recipes just load.
+        build = getattr(trace, "_build", None) or trace.load
+        cached = build()
+        _TRACE_CACHE[trace] = cached
+    return cached
 
 
 # -- worker-count resolution --------------------------------------------------
 
 _DEFAULT_WORKERS: Optional[int] = None
-
-
-def env_workers() -> Optional[int]:
-    """The validated REPRO_WORKERS setting (None when unset)."""
-    raw = os.environ.get("REPRO_WORKERS")
-    if raw is None:
-        return None
-    try:
-        workers = int(raw)
-    except ValueError:
-        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
-    if workers < 1:
-        raise ValueError("REPRO_WORKERS must be at least 1")
-    return workers
 
 
 def set_default_workers(workers: Optional[int]) -> None:
@@ -198,6 +211,7 @@ class CellIdentity:
     engine: str
     trace_digest: str = ""
     journalable: bool = True
+    evaluator: str = ""
 
     def describe(self) -> str:
         return (
@@ -207,8 +221,14 @@ class CellIdentity:
         )
 
     def payload(self) -> dict:
-        """The content-hashed identity dict (journal key material)."""
-        return {
+        """The content-hashed identity dict (journal key material).
+
+        The ``evaluator`` field is included only when a custom metric
+        evaluator is in play, so default miss-rate cells hash to exactly
+        the keys the pre-spec sweep runner wrote — an old journal
+        resumes under the new pipeline unchanged.
+        """
+        payload = {
             "label": self.label,
             "factory": self.factory,
             "parameter": canonical_parameter(self.parameter)
@@ -220,6 +240,9 @@ class CellIdentity:
             "trace_digest": self.trace_digest,
             "engine": self.engine,
         }
+        if self.evaluator:
+            payload["evaluator"] = self.evaluator
+        return payload
 
     def key(self) -> str:
         return content_key(self.payload())
@@ -255,21 +278,27 @@ def identity_for(
     trace: TraceLike,
     engine: str,
     digest: bool = False,
+    evaluator: Optional[Callable] = None,
 ) -> CellIdentity:
     """Build the full identity envelope for one cell.
 
     ``digest`` asks for a content hash of raw Trace objects (needed only
     when journaling, where a name collision must not replay the wrong
-    trace's result; TraceKeys are already deterministic recipes).
+    trace's result; trace recipes are already deterministic).
     """
     fingerprint = _factory_fingerprint(factory)
-    if isinstance(trace, TraceKey):
-        name, kind, refs, trace_dig = trace.name, trace.kind, trace.max_refs, ""
+    if is_trace_recipe(trace):
+        name, kind, refs, trace_dig = (
+            str(trace.name), str(trace.kind), int(trace.max_refs), ""
+        )
     else:
         name = trace.name or "<anonymous>"
         kind = "<trace>"
         refs = len(trace)
         trace_dig = _trace_digest(trace) if digest else ""
+    evaluator_print = None
+    if evaluator is not None:
+        evaluator_print = _factory_fingerprint(evaluator)
     return CellIdentity(
         label=label,
         factory=fingerprint if fingerprint is not None else repr(factory),
@@ -279,7 +308,12 @@ def identity_for(
         trace_refs=refs,
         engine=engine,
         trace_digest=trace_dig,
-        journalable=fingerprint is not None and is_stable_parameter(parameter),
+        journalable=(
+            fingerprint is not None
+            and is_stable_parameter(parameter)
+            and (evaluator is None or evaluator_print is not None)
+        ),
+        evaluator=evaluator_print or "",
     )
 
 
@@ -288,10 +322,16 @@ def identity_for(
 
 @dataclass
 class CellOutcome:
-    """One cell's result envelope: identity + value or captured error."""
+    """One cell's result envelope: identity + value or captured error.
+
+    ``metrics`` carries every number the cell's evaluator produced; the
+    default evaluator yields ``{"miss_rate": ...}`` and ``miss_rate``
+    mirrors that entry for the existing single-metric callers.
+    """
 
     identity: CellIdentity
     miss_rate: Optional[float] = None
+    metrics: Optional[Dict[str, float]] = None
     seconds: float = 0.0
     attempts: int = 0
     cached: bool = False
@@ -299,7 +339,7 @@ class CellOutcome:
 
     @property
     def ok(self) -> bool:
-        return self.error is None and self.miss_rate is not None
+        return self.error is None and self.metrics is not None
 
 
 @dataclass
@@ -394,16 +434,48 @@ def simulate_cell(
     return stats.miss_rate
 
 
+#: A custom per-cell measurement: ``(model, trace, engine) -> metrics``.
+#: Must be picklable (module-level callable or frozen dataclass) when the
+#: sweep fans out to workers; an address-free repr makes its cells
+#: journalable.  The default (``None``) measures ``{"miss_rate": ...}``
+#: through the engine dispatch.
+CellEvaluator = Callable[[object, Trace, str], Dict[str, float]]
+
+
+def evaluate_cell(
+    factory: Callable[[object], object],
+    parameter: object,
+    trace: TraceLike,
+    engine: Optional[str] = None,
+    evaluator: Optional[CellEvaluator] = None,
+) -> Dict[str, float]:
+    """Build one model, run one trace, return the cell's metric dict."""
+    engine = engine_mod.resolve_engine(engine)
+    model = factory(parameter)
+    materialised = as_trace(trace)
+    if evaluator is None:
+        stats = engine_mod.simulate(model, materialised, engine=engine)
+        return {"miss_rate": stats.miss_rate}
+    metrics = evaluator(model, materialised, engine)
+    if not isinstance(metrics, dict) or not metrics:
+        raise TypeError(
+            f"cell evaluator {evaluator!r} must return a non-empty dict of "
+            f"floats, got {metrics!r}"
+        )
+    return {str(key): float(value) for key, value in metrics.items()}
+
+
 def _cell_task(
     factory: Callable[[object], object],
     parameter: object,
     trace: TraceLike,
     engine: str,
-) -> "tuple[float, float]":
-    """Worker-side cell execution: (miss rate, compute seconds)."""
+    evaluator: Optional[CellEvaluator] = None,
+) -> "tuple[Dict[str, float], float]":
+    """Worker-side cell execution: (metrics, compute seconds)."""
     started = time.perf_counter()
-    rate = simulate_cell(factory, parameter, trace, engine)
-    return rate, time.perf_counter() - started
+    metrics = evaluate_cell(factory, parameter, trace, engine, evaluator)
+    return metrics, time.perf_counter() - started
 
 
 def _resolve_journal(journal: "SweepJournal | str | Path | None") -> Optional[SweepJournal]:
@@ -418,18 +490,19 @@ def _resolve_journal(journal: "SweepJournal | str | Path | None") -> Optional[Sw
 
 def _record_success(
     outcome: CellOutcome,
-    rate: float,
+    metrics: Dict[str, float],
     seconds: float,
     journal: Optional[SweepJournal],
     telemetry: SweepTelemetry,
 ) -> None:
-    outcome.miss_rate = rate
+    outcome.metrics = dict(metrics)
+    outcome.miss_rate = metrics.get("miss_rate")
     outcome.seconds = seconds
     telemetry.completed += 1
     telemetry.cell_seconds.append(seconds)
     if journal is not None and outcome.identity.journalable:
         identity = outcome.identity
-        journal.record(identity.key(), identity.payload(), rate, seconds)
+        journal.record(identity.key(), identity.payload(), metrics, seconds)
 
 
 def _report_progress(enabled: bool, telemetry: SweepTelemetry, outcome: CellOutcome) -> None:
@@ -468,6 +541,7 @@ def run_labeled_cells(
     pool_retries: Optional[int] = None,
     journal: "SweepJournal | str | Path | None" = None,
     progress: Optional[bool] = None,
+    evaluator: Optional[CellEvaluator] = None,
 ) -> List[CellOutcome]:
     """Execute labelled cells, returning one envelope per cell (in order).
 
@@ -500,7 +574,8 @@ def run_labeled_cells(
     telemetry = SweepTelemetry(engine=engine, workers=workers, total=len(cells))
     outcomes = [
         CellOutcome(identity=identity_for(label, factory, parameter, trace, engine,
-                                          digest=journal is not None))
+                                          digest=journal is not None,
+                                          evaluator=evaluator))
         for label, factory, parameter, trace in cells
     ]
 
@@ -510,7 +585,8 @@ def run_labeled_cells(
         if journal is not None and outcome.identity.journalable:
             entry = journal.get(outcome.identity.key())
         if entry is not None:
-            outcome.miss_rate = float(entry["miss_rate"])
+            outcome.metrics = SweepJournal.entry_metrics(entry)
+            outcome.miss_rate = outcome.metrics.get("miss_rate")
             outcome.cached = True
             telemetry.cached += 1
             telemetry.completed += 1
@@ -525,20 +601,21 @@ def run_labeled_cells(
             outcome.attempts += 1
             cell_started = time.perf_counter()
             try:
-                rate = simulate_cell(factory, parameter, trace, engine)
+                metrics = evaluate_cell(factory, parameter, trace, engine, evaluator)
             except Exception as exc:
                 outcome.seconds = time.perf_counter() - cell_started
                 outcome.error = f"{type(exc).__name__}: {exc}"
                 telemetry.failed += 1
             else:
                 _record_success(
-                    outcome, rate, time.perf_counter() - cell_started, journal, telemetry
+                    outcome, metrics, time.perf_counter() - cell_started,
+                    journal, telemetry,
                 )
             _report_progress(progress, telemetry, outcome)
     else:
         _run_pooled(
             cells, outcomes, pending, engine, workers, timeout, pool_retries,
-            journal, progress, telemetry,
+            journal, progress, telemetry, evaluator,
         )
 
     telemetry.elapsed = time.perf_counter() - started
@@ -557,6 +634,7 @@ def _run_pooled(
     journal: Optional[SweepJournal],
     progress: bool,
     telemetry: SweepTelemetry,
+    evaluator: Optional[CellEvaluator] = None,
 ) -> None:
     """Pool execution with crash retry, timeout enforcement, and solo
     fallback for exact attribution of a persistent crasher."""
@@ -570,13 +648,13 @@ def _run_pooled(
             if solo:
                 pending, broke = _solo_round(
                     pool, cells, outcomes, pending, engine, timeout,
-                    journal, progress, telemetry,
+                    journal, progress, telemetry, evaluator,
                 )
                 crashed = False  # solo rounds attribute and consume the crasher
             else:
                 pending, crashed, broke = _concurrent_round(
                     pool, cells, outcomes, pending, engine, timeout,
-                    journal, progress, telemetry,
+                    journal, progress, telemetry, evaluator,
                 )
         finally:
             pool.shutdown(wait=not broke, cancel_futures=True)
@@ -598,6 +676,7 @@ def _concurrent_round(
     journal: Optional[SweepJournal],
     progress: bool,
     telemetry: SweepTelemetry,
+    evaluator: Optional[CellEvaluator] = None,
 ) -> "tuple[List[int], bool, bool]":
     """Submit every pending cell at once.
 
@@ -607,7 +686,7 @@ def _concurrent_round(
     """
     submitted = [
         (index, pool.submit(_cell_task, cells[index][1], cells[index][2],
-                            cells[index][3], engine))
+                            cells[index][3], engine, evaluator))
         for index in pending
     ]
     still_pending: List[int] = []
@@ -617,7 +696,7 @@ def _concurrent_round(
     for index, future in submitted:
         outcome = outcomes[index]
         try:
-            rate, seconds = future.result(timeout=timeout)
+            metrics, seconds = future.result(timeout=timeout)
         except CancelledError:
             still_pending.append(index)  # no attempt consumed
             continue
@@ -651,7 +730,7 @@ def _concurrent_round(
             telemetry.failed += 1
         else:
             outcome.attempts += 1
-            _record_success(outcome, rate, seconds, journal, telemetry)
+            _record_success(outcome, metrics, seconds, journal, telemetry)
         _report_progress(progress, telemetry, outcome)
     return still_pending, crashed, broke
 
@@ -666,6 +745,7 @@ def _solo_round(
     journal: Optional[SweepJournal],
     progress: bool,
     telemetry: SweepTelemetry,
+    evaluator: Optional[CellEvaluator] = None,
 ) -> "tuple[List[int], bool]":
     """One cell in flight at a time: a pool break names its cell exactly.
 
@@ -679,10 +759,10 @@ def _solo_round(
         index = remaining[0]
         outcome = outcomes[index]
         _, factory, parameter, trace = cells[index]
-        future = pool.submit(_cell_task, factory, parameter, trace, engine)
+        future = pool.submit(_cell_task, factory, parameter, trace, engine, evaluator)
         outcome.attempts += 1
         try:
-            rate, seconds = future.result(timeout=timeout)
+            metrics, seconds = future.result(timeout=timeout)
         except FuturesTimeoutError as exc:
             if timeout is None:
                 outcome.error = f"{type(exc).__name__}: {exc}"
@@ -710,7 +790,7 @@ def _solo_round(
             outcome.error = f"{type(exc).__name__}: {exc}"
             telemetry.failed += 1
         else:
-            _record_success(outcome, rate, seconds, journal, telemetry)
+            _record_success(outcome, metrics, seconds, journal, telemetry)
         _report_progress(progress, telemetry, outcome)
         remaining = remaining[1:]
     return remaining, False

@@ -1,0 +1,77 @@
+"""Shape-generic serialization for the spec-refactor parity gate.
+
+The golden files under ``tests/experiments/golden/`` were captured from
+the pre-refactor ``run()`` implementations at ``REPRO_TRACE_SCALE=0.05``;
+``to_jsonable`` turns any experiment result — ``SweepResult``,
+``HierarchySweep``, dataclasses, dicts keyed by non-string objects —
+into a stable JSON form, and ``assert_parity`` compares a regenerated
+result against a golden field-for-field (floats to 1e-9 relative, so a
+``statistics.mean`` vs ``sum/len`` aggregation change cannot trip it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+def to_jsonable(obj):
+    """A JSON-stable, type-tagged form of any experiment result."""
+    if isinstance(obj, enum.Enum) and isinstance(obj, (int, float, str)):
+        # json.dumps collapses mixin enums (class Strategy(str, Enum))
+        # to their plain value; match it so regenerated results compare
+        # equal to a golden that round-tripped through JSON.
+        return to_jsonable(obj.value)
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": to_jsonable(obj.value)}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        # Keys may be ints, floats, tuples, enums: serialize as ordered
+        # [key, value] pairs instead of coercing keys to strings.
+        return {"__dict__": [[to_jsonable(k), to_jsonable(v)] for k, v in obj.items()]}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: to_jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    raise TypeError(f"no JSON form for {type(obj).__name__}: {obj!r}")
+
+
+def assert_parity(golden, actual, where="result", rel=1e-9):
+    """Recursively compare a golden JSON tree against ``to_jsonable(actual)``."""
+    _compare(golden, to_jsonable(actual), where, rel)
+
+
+def _compare(golden, actual, where, rel):
+    if isinstance(golden, float) or isinstance(actual, float):
+        assert isinstance(actual, (int, float)) and isinstance(golden, (int, float)), (
+            f"{where}: expected number, got {actual!r} vs golden {golden!r}"
+        )
+        tolerance = rel * max(abs(golden), abs(actual), 1e-300)
+        assert abs(golden - actual) <= tolerance, (
+            f"{where}: {actual!r} != golden {golden!r} (rel tol {rel})"
+        )
+        return
+    assert type(golden) is type(actual), (
+        f"{where}: type {type(actual).__name__} != golden {type(golden).__name__}"
+    )
+    if isinstance(golden, dict):
+        assert set(golden) == set(actual), (
+            f"{where}: keys {sorted(actual)} != golden {sorted(golden)}"
+        )
+        for key in golden:
+            _compare(golden[key], actual[key], f"{where}.{key}", rel)
+    elif isinstance(golden, list):
+        assert len(golden) == len(actual), (
+            f"{where}: length {len(actual)} != golden {len(golden)}"
+        )
+        for index, (g, a) in enumerate(zip(golden, actual)):
+            _compare(g, a, f"{where}[{index}]", rel)
+    else:
+        assert golden == actual, f"{where}: {actual!r} != golden {golden!r}"

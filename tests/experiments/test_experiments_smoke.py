@@ -127,6 +127,32 @@ def test_cli_rejects_unknown_id(capsys):
         main(["--only", "fig99"])
 
 
+def test_cli_filter_selects_by_substring(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--filter", "section 3"]) == 0
+    out = capsys.readouterr().out
+    assert "# sec3:" in out
+    assert "# fig04:" not in out
+
+
+def test_cli_filter_rejects_no_match(capsys):
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--filter", "zzz-no-such-experiment"])
+
+
+def test_repro_cli_experiments_subcommand(capsys):
+    from repro.cli import main
+
+    assert main(["experiments", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out
+    assert main(["experiments", "--only", "sec3"]) == 0
+    assert "Section 3" in capsys.readouterr().out
+
+
 def test_cli_svg_output(tmp_path, capsys):
     from repro.experiments.__main__ import main
 
@@ -144,12 +170,12 @@ def test_cli_svg_skips_non_sweep_experiments(tmp_path, capsys):
 
 
 def test_cli_resume_dir_journals_and_replays(tmp_path, capsys):
-    from repro.experiments import fig04_cache_size
     from repro.experiments.__main__ import main
+    from repro.experiments.spec import clear_result_cache
     from repro.perf.journal import JOURNAL_FILENAME, SweepJournal
 
     resume = tmp_path / "resume"
-    fig04_cache_size._CACHE.clear()  # the per-process memo would skip the sweep
+    clear_result_cache()  # the per-process memo would skip the sweep
     assert main(["--only", "fig04", "--resume-dir", str(resume)]) == 0
     first = capsys.readouterr().out
     assert (resume / JOURNAL_FILENAME).exists()
@@ -157,7 +183,7 @@ def test_cli_resume_dir_journals_and_replays(tmp_path, capsys):
     assert journaled > 0
 
     # Second run replays the journal and reports identically.
-    fig04_cache_size._CACHE.clear()
+    clear_result_cache()
     assert main(["--only", "fig04", "--resume-dir", str(resume)]) == 0
     second = capsys.readouterr().out
     assert len(SweepJournal(resume)) == journaled
@@ -171,11 +197,11 @@ def test_cli_resume_dir_journals_and_replays(tmp_path, capsys):
 def test_cli_resume_dir_records_telemetry(tmp_path, capsys):
     import json
 
-    from repro.experiments import fig04_cache_size
     from repro.experiments.__main__ import main
+    from repro.experiments.spec import clear_result_cache
 
     resume = tmp_path / "resume"
-    fig04_cache_size._CACHE.clear()
+    clear_result_cache()
     assert main(["--only", "fig04", "--resume-dir", str(resume)]) == 0
     telemetry_path = resume / "fig04.telemetry.json"
     assert telemetry_path.exists()
@@ -188,10 +214,10 @@ def test_cli_resume_dir_records_telemetry(tmp_path, capsys):
 
 
 def test_cli_progress_reports_cells(capsys):
-    from repro.experiments import fig04_cache_size
     from repro.experiments.__main__ import main
+    from repro.experiments.spec import clear_result_cache
 
-    fig04_cache_size._CACHE.clear()
+    clear_result_cache()
     assert main(["--only", "fig04", "--progress"]) == 0
     err = capsys.readouterr().err
     assert "[sweep " in err

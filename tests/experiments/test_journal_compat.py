@@ -1,0 +1,79 @@
+"""Resume-format compatibility: PR-3 journals must replay under run_spec.
+
+``golden/pr3_journal_fig04.jsonl`` is a real sweep journal written by
+the pre-spec pipeline (fig04, REPRO_TRACE_SCALE=0.05).  The spec layer
+must produce byte-identical cell identities — same content-hash keys,
+same payload fields — or every interrupted sweep on disk would silently
+recompute from scratch after an upgrade.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro import perf
+from repro.experiments.common import clear_trace_cache
+from repro.experiments.spec import run_spec
+from repro.perf.journal import JOURNAL_FILENAME, SweepJournal
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FIXTURE = GOLDEN_DIR / "pr3_journal_fig04.jsonl"
+
+PARITY_SCALE = "0.05"
+
+
+@pytest.fixture(autouse=True)
+def tiny_traces():
+    """Override the conftest fixture: the journal fixture was captured
+    at the parity scale, and cell identities embed the trace budget."""
+    yield
+
+
+@pytest.fixture(autouse=True)
+def parity_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SCALE", PARITY_SCALE)
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+def test_pr3_journal_replays_every_fig04_cell(tmp_path):
+    resume = tmp_path / "resume"
+    resume.mkdir()
+    shutil.copy(FIXTURE, resume / JOURNAL_FILENAME)
+    fixture_entries = len(SweepJournal(resume))
+    assert fixture_entries > 0
+
+    before = (resume / JOURNAL_FILENAME).read_text()
+    perf.drain_telemetry()
+    run_spec("fig04", journal=str(resume))
+    records = perf.drain_telemetry()
+
+    cells = sum(r.total for r in records)
+    cached = sum(r.cached for r in records)
+    assert cells == fixture_entries, "fig04 grid size drifted from the PR-3 journal"
+    assert cached == cells, (
+        f"only {cached}/{cells} cells replayed from the PR-3 journal; "
+        "cell identities (keys or payloads) have drifted"
+    )
+    # Nothing recomputed means nothing appended: the file is untouched.
+    assert (resume / JOURNAL_FILENAME).read_text() == before
+
+
+def test_spec_journal_round_trips_its_own_format(tmp_path):
+    resume = tmp_path / "resume"
+    perf.drain_telemetry()
+    run_spec("fig13", journal=str(resume))
+    first = perf.drain_telemetry()
+    assert sum(r.cached for r in first) == 0
+
+    from repro.experiments.spec import clear_result_cache
+
+    clear_result_cache()
+    run_spec("fig13", journal=str(resume))
+    second = perf.drain_telemetry()
+    assert sum(r.cached for r in second) == sum(r.total for r in second)

@@ -1,0 +1,76 @@
+"""Tests for repro.env — the one home for environment parsing."""
+
+import pytest
+
+from repro import env
+
+
+class TestTraceScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SCALE", raising=False)
+        assert env.trace_scale() == 1.0
+        assert env.max_refs() == env.BASE_MAX_REFS
+
+    def test_scaled_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.25")
+        assert env.max_refs() == env.BASE_MAX_REFS // 4
+
+    def test_bad_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "banana")
+        with pytest.raises(ValueError, match="REPRO_TRACE_SCALE"):
+            env.trace_scale()
+
+    def test_non_positive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "-1")
+        with pytest.raises(ValueError, match="positive"):
+            env.trace_scale()
+
+
+class TestWorkers:
+    def test_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert env.env_workers() is None
+
+    def test_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert env.env_workers() == 4
+
+    def test_bad_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            env.env_workers()
+
+    def test_zero_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="at least 1"):
+            env.env_workers()
+
+
+class TestValidate:
+    def test_ok(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        env.validate()  # no exception
+
+    def test_catches_either_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "banana")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            env.validate()
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "zero")
+        with pytest.raises(ValueError, match="REPRO_TRACE_SCALE"):
+            env.validate()
+
+
+class TestSingleSourceOfTruth:
+    def test_common_reexports_env(self):
+        from repro.experiments import common
+
+        assert common.trace_scale is env.trace_scale
+        assert common.max_refs is env.max_refs
+        assert common.BASE_MAX_REFS is env.BASE_MAX_REFS
+
+    def test_parallel_uses_env(self):
+        from repro.perf import parallel
+
+        assert parallel.env_workers is env.env_workers
