@@ -64,6 +64,50 @@ class CacheStats:
             raise AssertionError("cold misses cannot exceed misses")
 
 
+@dataclass
+class ExclusionEvents:
+    """Paper-mechanism event counts for one dynamic-exclusion run.
+
+    These sit *beside* :class:`CacheStats` (never inside it — the stats
+    shape is part of the serialisation/golden contract) and name the
+    Figure 1 FSM activity the paper's argument rests on:
+
+    * ``sticky_saves`` — bypasses where the sticky resident won the
+      conflict (FSM row 5): each is one eviction the mechanism avoided;
+    * ``hit_last_loads`` — evictions of a *sticky* resident forced
+      because the incoming word's hit-last bit was set (row 4);
+    * ``exclusion_flips`` — hit-last write-backs that changed the
+      store's answer for that word (including the first write over the
+      cold default): the store actually learning, as opposed to
+      re-confirming.
+
+    Both engines publish the same counts per (benchmark, engine) to the
+    obs metrics registry via :meth:`publish`, which is how the fast
+    kernels are checked against the reference cache mechanism-for-
+    mechanism, not just miss-rate-for-miss-rate.
+    """
+
+    sticky_saves: int = 0
+    hit_last_loads: int = 0
+    exclusion_flips: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "sticky_saves": self.sticky_saves,
+            "hit_last_loads": self.hit_last_loads,
+            "exclusion_flips": self.exclusion_flips,
+        }
+
+    def publish(self, benchmark: "str | None", engine: str) -> None:
+        """Fold these counts into the obs metrics registry."""
+        from ..obs import metrics as obs_metrics
+
+        labels = {"benchmark": benchmark or "<unnamed>", "engine": engine}
+        obs_metrics.counter("fsm.sticky_saves", self.sticky_saves, **labels)
+        obs_metrics.counter("fsm.hit_last_loads", self.hit_last_loads, **labels)
+        obs_metrics.counter("fsm.exclusion_flips", self.exclusion_flips, **labels)
+
+
 @dataclass(frozen=True)
 class SimulationResult:
     """A finished simulation: the configuration label plus its stats."""

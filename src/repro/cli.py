@@ -1,6 +1,6 @@
 """General-purpose command line tools.
 
-Five subcommands make the library usable without writing Python:
+Six subcommands make the library usable without writing Python:
 
 * ``trace``    — generate a benchmark trace and write it as din text;
 * ``simulate`` — run a cache configuration over a din trace (or a named
@@ -8,7 +8,9 @@ Five subcommands make the library usable without writing Python:
 * ``classify`` — 3C miss classification of a trace against a geometry;
 * ``conflicts`` — find the thrashing sets and ping-pong address pairs;
 * ``experiments`` — the paper-figure registry (same flags as
-  ``python -m repro.experiments``).
+  ``python -m repro.experiments``);
+* ``obs``      — observability tools; ``obs summarize DIR`` renders the
+  span tree, manifest, and slowest cells of a ``--trace-dir`` run.
 
 Examples::
 
@@ -17,6 +19,8 @@ Examples::
     python -m repro.cli simulate gcc --policy optimal --size 8192
     python -m repro.cli classify gcc.din --size 32768 --line 4
     python -m repro.cli experiments --only fig04 --engine fast --workers 4
+    python -m repro.cli experiments --only fig05 --engine fast --trace-dir /tmp/obs
+    python -m repro.cli obs summarize /tmp/obs
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from .core.exclusion_cache import DynamicExclusionCache
 from .core.hitlast import HashedHitLastStore, IdealHitLastStore
 from .core.long_lines import make_long_line_exclusion_cache
 from .env import validate as validate_env
+from .obs import configure_logging, summarize_directory
 from .perf.engine import ENGINES, simulate as engine_simulate
 from .perf.parallel import set_default_workers
 from .trace.io import load_din, save_din
@@ -157,6 +162,14 @@ def _cmd_conflicts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    try:
+        print(summarize_directory(args.directory, top=args.top), end="")
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
 def _add_trace_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("trace", help="din file path or benchmark name")
     parser.add_argument("--kind", default="instruction",
@@ -232,6 +245,24 @@ def build_parser() -> argparse.ArgumentParser:
         func=lambda args: experiments_frontend.run(args, experiments_parser)
     )
 
+    obs_parser = sub.add_parser(
+        "obs", help="observability tools for --trace-dir run artefacts"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    summarize_parser = obs_sub.add_parser(
+        "summarize",
+        help="render the span tree, manifest, and slowest cells of a run "
+        "directory (or every run one level below it)",
+    )
+    summarize_parser.add_argument(
+        "directory", help="a --trace-dir path or one run directory under it"
+    )
+    summarize_parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many slowest cells to show (default 10)",
+    )
+    summarize_parser.set_defaults(func=_cmd_obs_summarize)
+
     return parser
 
 
@@ -244,6 +275,7 @@ def main(argv: "List[str] | None" = None) -> int:
         validate_env()
     except ValueError as exc:
         parser.error(str(exc))
+    configure_logging()
     workers = getattr(args, "workers", None)
     if workers is not None:
         if workers < 1:

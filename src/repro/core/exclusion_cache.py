@@ -18,7 +18,7 @@ from typing import FrozenSet, List, Optional
 
 from ..caches.base import AccessResult, Cache
 from ..caches.geometry import CacheGeometry
-from ..caches.stats import CacheStats
+from ..caches.stats import CacheStats, ExclusionEvents
 from ..trace.reference import RefKind
 from ..trace.trace import Trace
 from .fsm import LineState
@@ -58,6 +58,9 @@ class DynamicExclusionCache(Cache):
         super().__init__(geometry, name=name or "dynamic-exclusion")
         self.store = store if store is not None else IdealHitLastStore()
         self.sticky_levels = sticky_levels
+        #: Paper-mechanism event counts (FSM rows 4/5 and store flips);
+        #: accumulated alongside ``stats``, cleared by :meth:`reset`.
+        self.events = ExclusionEvents()
         self._offset_bits = geometry.offset_bits
         self._index_mask = geometry.num_sets - 1
         sets = geometry.num_sets
@@ -71,6 +74,7 @@ class DynamicExclusionCache(Cache):
         self._sticky = [0] * sets
         self._hl = [False] * sets
         self.store.reset()
+        self.events = ExclusionEvents()
 
     def access(self, addr: int, kind: RefKind = RefKind.IFETCH) -> AccessResult:
         line = addr >> self._offset_bits
@@ -92,9 +96,14 @@ class DynamicExclusionCache(Cache):
             self._hl[index] = True
             return _COLD_MISS
         store = self.store
+        events = self.events
         if self._sticky[index] == 0:
             # Unsticky resident: replace, and optimistically mark the
             # incoming word hit-last (paper's A,!s -> B,s transition).
+            # (``lookup`` is a pure read on every store, so the flip
+            # check cannot perturb the simulation.)
+            if store.lookup(resident) != self._hl[index]:
+                events.exclusion_flips += 1
             store.update(resident, self._hl[index])
             tags[index] = line
             self._sticky[index] = self.sticky_levels
@@ -105,6 +114,9 @@ class DynamicExclusionCache(Cache):
             # Sticky resident, but the incoming word hit last time it
             # was cached: load it anyway.  Its fresh hl copy starts at 0
             # so that if it leaves without hitting, its bit is reset.
+            events.hit_last_loads += 1
+            if store.lookup(resident) != self._hl[index]:
+                events.exclusion_flips += 1
             store.update(resident, self._hl[index])
             tags[index] = line
             self._sticky[index] = self.sticky_levels
@@ -114,6 +126,7 @@ class DynamicExclusionCache(Cache):
         # Sticky resident wins: bypass the incoming word.
         self._sticky[index] -= 1
         stats.bypasses += 1
+        events.sticky_saves += 1
         return _BYPASS
 
     def simulate(self, trace: Trace) -> CacheStats:
@@ -136,6 +149,7 @@ class DynamicExclusionCache(Cache):
         shift = self._offset_bits
         sticky_max = self.sticky_levels
         hits = cold = evictions = bypasses = 0
+        hit_last_loads = flips = 0
         for addr in trace.addrs.tolist():
             line = addr >> shift
             index = line & mask
@@ -150,12 +164,17 @@ class DynamicExclusionCache(Cache):
                 sticky[index] = sticky_max
                 hl[index] = True
             elif sticky[index] == 0:
+                if lookup(resident) != hl[index]:
+                    flips += 1
                 update(resident, hl[index])
                 tags[index] = line
                 sticky[index] = sticky_max
                 hl[index] = True
                 evictions += 1
             elif lookup(line):
+                hit_last_loads += 1
+                if lookup(resident) != hl[index]:
+                    flips += 1
                 update(resident, hl[index])
                 tags[index] = line
                 sticky[index] = sticky_max
@@ -172,6 +191,15 @@ class DynamicExclusionCache(Cache):
         stats.cold_misses += cold
         stats.evictions += evictions
         stats.bypasses += bypasses
+        events = self.events
+        events.sticky_saves += bypasses
+        events.hit_last_loads += hit_last_loads
+        events.exclusion_flips += flips
+        ExclusionEvents(
+            sticky_saves=bypasses,
+            hit_last_loads=hit_last_loads,
+            exclusion_flips=flips,
+        ).publish(trace.name, engine="reference")
         return stats
 
     def contains(self, addr: int) -> bool:

@@ -8,7 +8,13 @@ them carried its own copy of the parsing and error wording.  The rules:
   experiment's per-trace reference budget (default 1.0; the base budget
   is :data:`BASE_MAX_REFS` references, see DESIGN.md §2);
 * ``REPRO_WORKERS`` — default process-pool size for sweeps (integer
-  >= 1; unset means sequential unless ``--workers`` says otherwise).
+  >= 1; unset means sequential unless ``--workers`` says otherwise);
+* ``REPRO_LOG_LEVEL`` — stderr chatter verbosity for both CLIs
+  (``debug``/``info``/``warning``/``error``/``quiet``, default
+  ``info``; see :mod:`repro.obs.logs`);
+* ``REPRO_PROFILE`` — when truthy (``1``/``true``/``yes``/``on``),
+  experiment runs wrap kernel dispatch in profiling sections and write
+  a per-phase breakdown (see :mod:`repro.obs.profiling`).
 
 :func:`validate` is the eager startup check both CLIs run so a typo'd
 variable fails before any trace is generated, with one shared error
@@ -57,6 +63,38 @@ def env_workers() -> Optional[int]:
     return workers
 
 
+#: Accepted ``REPRO_LOG_LEVEL`` values (mirrors repro.obs.logs.LOG_LEVELS;
+#: duplicated here so env stays import-leaf).
+LOG_LEVELS = ("debug", "info", "warning", "error", "quiet")
+
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("0", "false", "no", "off", "")
+
+
+def log_level() -> str:
+    """The validated REPRO_LOG_LEVEL setting (default ``info``)."""
+    raw = os.environ.get("REPRO_LOG_LEVEL", "info").strip().lower()
+    if raw not in LOG_LEVELS:
+        options = ", ".join(LOG_LEVELS)
+        raise ValueError(
+            f"REPRO_LOG_LEVEL must be one of {options}, got {raw!r}"
+        )
+    return raw
+
+
+def profile_enabled() -> bool:
+    """Whether REPRO_PROFILE asks for the opt-in profiling path."""
+    raw = os.environ.get("REPRO_PROFILE", "").strip().lower()
+    if raw in _TRUTHY:
+        return True
+    if raw in _FALSY:
+        return False
+    raise ValueError(
+        f"REPRO_PROFILE must be a boolean (1/true/yes/on or 0/false/no/off), "
+        f"got {raw!r}"
+    )
+
+
 def validate() -> None:
     """Parse every repro environment variable, raising on the first bad one.
 
@@ -67,3 +105,5 @@ def validate() -> None:
     """
     env_workers()
     trace_scale()
+    log_level()
+    profile_enabled()

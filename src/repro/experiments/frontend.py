@@ -3,24 +3,42 @@
 Both entry points — ``python -m repro.experiments`` and
 ``python -m repro.cli experiments`` — are thin wrappers around this
 module: one argument set (``--only/--filter/--list/--svg/--engine/
---workers/--resume-dir/--progress``), one selection rule, and one
-execution path through :func:`repro.experiments.spec.run_spec`, so
-journaling, parallelism, and engine choice behave identically no
-matter which door an experiment is launched through.
+--workers/--resume-dir/--progress/--trace-dir``), one selection rule,
+and one execution path through
+:func:`repro.experiments.spec.run_spec`, so journaling, parallelism,
+engine choice, and observability behave identically no matter which
+door an experiment is launched through.
+
+Output discipline: **stdout carries only the artefact** — the banner
+and the rendered report (what you'd pipe into a file) — while run
+chatter (svg/telemetry paths, timing footers, progress) goes to stderr
+through the ``REPRO_LOG_LEVEL``-gated logger, so
+``repro-experiments --only fig05 > fig05.txt`` captures a clean
+report.
+
+With ``--trace-dir DIR``, each experiment run writes ``DIR/<id>/``:
+``trace.jsonl`` (the span tree), ``run_manifest.json`` (spec
+fingerprint, engine, workers, env, git SHA, wall/CPU time), and — when
+``REPRO_PROFILE=1`` — ``profile.txt`` (per-phase breakdown + hot
+functions).  ``repro.cli obs summarize DIR`` renders them.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 import time
 from pathlib import Path
 from typing import List, Optional
 
-from .. import perf
+from .. import obs, perf
+from ..env import profile_enabled
 from ..env import validate as validate_env
 from .spec import ExperimentSpec, get_spec, render_spec, run_spec
+
+_log = obs.get_logger("experiments")
 
 
 def ordered_specs() -> "List[ExperimentSpec]":
@@ -81,6 +99,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="report each sweep cell and a per-experiment telemetry "
         "summary on stderr",
     )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="write per-experiment observability artefacts under "
+        "DIR/<id>/: trace.jsonl (span tree), run_manifest.json, and "
+        "profile.txt when REPRO_PROFILE=1; render them with "
+        "'repro.cli obs summarize DIR'",
+    )
 
 
 def select_specs(
@@ -117,6 +144,7 @@ def run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(str(exc))
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
+    obs.configure_logging()
 
     if args.list:
         for spec in ordered_specs():
@@ -135,34 +163,107 @@ def run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         svg_dir = Path(args.svg)
         svg_dir.mkdir(parents=True, exist_ok=True)
 
+    trace_dir: Optional[Path] = None
+    if getattr(args, "trace_dir", None):
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+
     telemetry_dir = resume_dir if resume_dir is not None else svg_dir
+    profiling = profile_enabled()
 
     for spec in selected:
         started = time.time()
         perf.drain_telemetry()  # discard any runs from a prior experiment
         print(f"\n{'#' * 72}\n# {spec.id}: {spec.title}\n{'#' * 72}")
-        result = run_spec(
-            spec,
-            engine=args.engine,
-            workers=args.workers,
-            journal=str(resume_dir) if resume_dir is not None else None,
-            progress=True if args.progress else None,
-        )
+        result = _run_observed(spec, args, resume_dir, trace_dir, profiling)
         print(render_spec(spec, result))
         if svg_dir is not None:
             path = _maybe_save_svg(spec, result, svg_dir)
             if path is not None:
-                print(f"[svg written to {path}]")
+                _log.info("[svg written to %s]", path)
         elapsed = time.time() - started
         sweeps = perf.drain_telemetry()
         if telemetry_dir is not None and sweeps:
             path = _save_telemetry(spec.id, sweeps, elapsed, telemetry_dir)
-            print(f"[telemetry written to {path}]")
+            _log.info("[telemetry written to %s]", path)
         if args.progress:
             for record in sweeps:
                 print(f"[{spec.id}] {record.summary()}", file=sys.stderr)
-        print(f"\n[{spec.id} done in {elapsed:.1f}s]")
+        _log.info("[%s done in %.1fs]", spec.id, elapsed)
     return 0
+
+
+def _run_observed(
+    spec: ExperimentSpec,
+    args: argparse.Namespace,
+    resume_dir: Optional[Path],
+    trace_dir: Optional[Path],
+    profiling: bool,
+) -> object:
+    """Run one spec under the requested observability instrumentation.
+
+    With ``--trace-dir`` the spec gets its own run directory, a
+    process-wide tracer whose root ``experiment`` span brackets the
+    whole run (so the span tree accounts for the manifest's wall time),
+    and a ``run_manifest.json``; with ``REPRO_PROFILE=1`` a profiler is
+    installed for the duration and its breakdown written (or logged,
+    without a trace dir).  Without either, this is exactly the plain
+    ``run_spec`` call — no tracer, no profiler, zero overhead.
+    """
+    run_dir = trace_dir / spec.id if trace_dir is not None else None
+    tracer = obs.install_tracer(obs.Tracer(run_dir)) if run_dir is not None else None
+    profiler = obs.install_profiler(obs.Profiler()) if profiling else None
+    wall_started = time.perf_counter()
+    cpu_started = time.process_time()
+    started_at = time.time()
+    try:
+        if tracer is not None:
+            with tracer.span("experiment", spec=spec.id):
+                result = _run_spec_args(spec, args, resume_dir)
+        else:
+            result = _run_spec_args(spec, args, resume_dir)
+    finally:
+        wall = time.perf_counter() - wall_started
+        cpu = time.process_time() - cpu_started
+        if profiler is not None:
+            obs.uninstall_profiler()
+            if run_dir is not None:
+                path = profiler.write(run_dir)
+                _log.info("[profile written to %s]", path)
+            else:
+                _log.info("profile breakdown:\n%s", profiler.report())
+        if tracer is not None:
+            obs.uninstall_tracer()
+            tracer.close()
+            manifest = obs.build_manifest(
+                spec_id=spec.id,
+                spec_fingerprint=_fingerprint_digest(spec),
+                engine=args.engine or perf.default_engine(),
+                workers=perf.resolve_workers(args.workers),
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+                started_at=started_at,
+            )
+            path = obs.write_manifest(run_dir, manifest)
+            _log.info("[manifest written to %s]", path)
+    return result
+
+
+def _run_spec_args(
+    spec: ExperimentSpec, args: argparse.Namespace, resume_dir: Optional[Path]
+) -> object:
+    return run_spec(
+        spec,
+        engine=args.engine,
+        workers=args.workers,
+        journal=str(resume_dir) if resume_dir is not None else None,
+        progress=True if args.progress else None,
+    )
+
+
+def _fingerprint_digest(spec: ExperimentSpec) -> str:
+    """Short stable digest of the spec's content fingerprint."""
+    return hashlib.sha256(spec.fingerprint().encode("utf-8")).hexdigest()[:16]
 
 
 def main(argv: "List[str] | None" = None) -> int:

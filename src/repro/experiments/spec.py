@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.sweep import SweepResult
 from ..env import max_refs
+from ..obs import tracing as obs_tracing
 from ..perf import parallel
 from ..perf.parallel import CellEvaluator, CellOutcome, SweepCellError, TraceLike
 
@@ -307,22 +308,26 @@ def run_spec(
     key = (spec.fingerprint(), budget)
     cached = _RESULT_CACHE.get(key)
     if cached is not None:
+        # A zero-length synthetic span keeps cache hits visible in the
+        # trace without pretending any work happened.
+        obs_tracing.record("run_spec", 0.0, spec=spec.id, cached=True)
         return cached
     _evict_other_budgets(budget)
 
-    if spec.compute is not None:
-        result = spec.compute()
-    elif spec.derive is not None:
-        bases = [
-            run_spec(base, engine=engine, workers=workers, journal=journal,
-                     progress=progress, timeout=timeout)
-            for base in spec.base
-        ]
-        result = spec.derive(*bases)
-    else:
-        grid = _run_grid(spec, engine, workers, journal, progress, timeout)
-        collect = spec.collect if spec.collect is not None else collect_sweep
-        result = collect(grid)
+    with obs_tracing.span("run_spec", spec=spec.id, kind=spec.kind):
+        if spec.compute is not None:
+            result = spec.compute()
+        elif spec.derive is not None:
+            bases = [
+                run_spec(base, engine=engine, workers=workers, journal=journal,
+                         progress=progress, timeout=timeout)
+                for base in spec.base
+            ]
+            result = spec.derive(*bases)
+        else:
+            grid = _run_grid(spec, engine, workers, journal, progress, timeout)
+            collect = spec.collect if spec.collect is not None else collect_sweep
+            result = collect(grid)
 
     _RESULT_CACHE[key] = result
     return result

@@ -1,0 +1,92 @@
+"""repro.obs — dependency-free tracing, metrics, profiling, and logging.
+
+The observability layer for the reproduction: nested monotonic-clock
+spans persisted as torn-tail-tolerant JSONL (:mod:`.tracing`), a typed
+counter/gauge/histogram registry (:mod:`.metrics`), opt-in
+``REPRO_PROFILE=1`` phase/cProfile breakdowns (:mod:`.profiling`),
+``run_manifest.json`` writers/readers (:mod:`.manifest`), the
+``obs summarize`` renderer (:mod:`.summarize`), and stderr logging
+gated by ``REPRO_LOG_LEVEL`` (:mod:`.logs`).
+
+Import direction: ``repro.obs`` imports nothing from ``repro.perf`` or
+``repro.experiments`` — every other layer may import obs, never the
+reverse.  All hooks (:func:`span`, :func:`record`, :func:`counter`,
+:func:`section`, :func:`get_logger`) are cheap no-ops or level-gated
+when no tracer/profiler is installed, so library code stays
+instrumented unconditionally.
+"""
+
+from repro.obs.logs import LOG_LEVELS, configure_logging, get_logger
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    build_manifest,
+    git_sha,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter,
+    current_registry,
+    gauge,
+    histogram,
+    install_registry,
+    uninstall_registry,
+)
+from repro.obs.profiling import (
+    PROFILE_FILENAME,
+    Profiler,
+    current_profiler,
+    install_profiler,
+    section,
+    uninstall_profiler,
+)
+from repro.obs.summarize import summarize_directory, summarize_run
+from repro.obs.tracing import (
+    TRACE_FILENAME,
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    iter_jsonl,
+    read_spans,
+    record,
+    span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "LOG_LEVELS",
+    "MANIFEST_FILENAME",
+    "MetricsRegistry",
+    "PROFILE_FILENAME",
+    "Profiler",
+    "Span",
+    "TRACE_FILENAME",
+    "Tracer",
+    "build_manifest",
+    "configure_logging",
+    "counter",
+    "current_profiler",
+    "current_registry",
+    "current_tracer",
+    "gauge",
+    "get_logger",
+    "git_sha",
+    "histogram",
+    "install_profiler",
+    "install_registry",
+    "install_tracer",
+    "iter_jsonl",
+    "read_manifest",
+    "read_spans",
+    "record",
+    "section",
+    "span",
+    "summarize_directory",
+    "summarize_run",
+    "uninstall_profiler",
+    "uninstall_registry",
+    "uninstall_tracer",
+    "write_manifest",
+]

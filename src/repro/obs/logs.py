@@ -1,0 +1,90 @@
+"""Stderr logging for run chatter, gated by ``REPRO_LOG_LEVEL``.
+
+Reports, SVG text, and JSON summaries belong on stdout; everything
+about the *run itself* — progress lines, "svg written to", timing
+footers — belongs on stderr, or piping a figure's report into a file
+captures the chatter too.  This module gives every layer one logger
+family (``repro.*``) with:
+
+* a handler that resolves ``sys.stderr`` **at emit time**, so output
+  lands in whatever stderr is current (pytest's capsys replacement,
+  a shell redirect) rather than the stream captured at import;
+* :func:`configure_logging`, called once per CLI entry, mapping the
+  ``REPRO_LOG_LEVEL`` knob (``debug``/``info``/``warning``/``error``/
+  ``quiet``) onto the ``repro`` logger — ``quiet`` silences even
+  errors, for callers that only want the stdout artefact.
+
+Library code calls :func:`get_logger` and logs unconditionally; the
+level decides what the user sees.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Accepted ``REPRO_LOG_LEVEL`` values, least to most silent.
+LOG_LEVELS = ("debug", "info", "warning", "error", "quiet")
+
+_LEVEL_MAP = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    # Nothing logs above CRITICAL, so this disables output entirely.
+    "quiet": logging.CRITICAL + 1,
+}
+
+ROOT_LOGGER = "repro"
+
+
+class _CurrentStderrHandler(logging.StreamHandler):
+    """StreamHandler bound to *current* ``sys.stderr``, not import-time's."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:
+        # StreamHandler.__init__ assigns this; the live property wins.
+        pass
+
+
+def configure_logging(level: Optional[str] = None) -> logging.Logger:
+    """Configure the ``repro`` logger family for CLI use.
+
+    ``level`` defaults to the ``REPRO_LOG_LEVEL`` environment knob
+    (:func:`repro.env.log_level`).  Idempotent: repeated calls update
+    the level without stacking handlers.
+    """
+    if level is None:
+        from repro import env
+
+        level = env.log_level()
+    if level not in _LEVEL_MAP:
+        options = ", ".join(LOG_LEVELS)
+        raise ValueError(f"unknown log level {level!r} (expected one of: {options})")
+
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(_LEVEL_MAP[level])
+    logger.propagate = False
+    if not any(isinstance(h, _CurrentStderrHandler) for h in logger.handlers):
+        handler = _CurrentStderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` family (``repro.<name>``).
+
+    Safe to call before :func:`configure_logging`; until then only
+    warnings and above appear (stdlib last-resort handler).
+    """
+    full = f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER
+    return logging.getLogger(full)

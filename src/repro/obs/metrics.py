@@ -1,0 +1,265 @@
+"""Typed in-process metrics: counters, gauges, and histograms.
+
+The sweep runner used to accumulate run summaries in a module-global
+list (``_TELEMETRY_LOG``); this registry replaces that pattern with
+named, typed series that any layer can write to:
+
+* **counter** — monotone event count (``sweep.cells.failed``,
+  ``fsm.sticky_saves``);
+* **gauge** — last-written value (``sweep.workers``);
+* **histogram** — streaming distribution of observations kept as
+  count/sum/min/max plus fixed log-spaced buckets (``cell.seconds``),
+  so per-cell timing distributions survive without storing every
+  sample.
+
+Series are keyed by ``(name, sorted label items)``.  Labels carry
+identity the way span attrs do — benchmark name, engine — and must be
+JSON-safe scalars.  The registry is bounded: past ``max_series``
+distinct keys, new keys fold into a single ``obs.metrics.overflow``
+counter rather than growing without limit (the same discipline as the
+tracer's span keep-limit).
+
+A module-level default registry backs the convenience functions
+(:func:`counter`, :func:`gauge`, :func:`histogram`); scoped use (tests,
+per-run export) creates its own :class:`MetricsRegistry` and swaps it
+in via :func:`install_registry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: Distinct (name, labels) series per registry before overflow folding.
+DEFAULT_MAX_SERIES = 4096
+
+#: Histogram bucket upper bounds (seconds-oriented, log-spaced); the
+#: implicit final bucket is +inf.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+    300.0,
+)
+
+OVERFLOW_SERIES = "obs.metrics.overflow"
+
+_LabelItems = Tuple[Tuple[str, object], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotone event counter."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counter increments must be non-negative")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max + fixed buckets.
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; one extra
+    bucket catches everything larger.  Mean is derived, percentiles are
+    bucket-resolution — good enough to answer "are cells bimodal?"
+    without retaining samples.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "min": round(self.min, 6) if self.min is not None else None,
+            "max": round(self.max, 6) if self.max is not None else None,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, bounded collection of named metric series."""
+
+    def __init__(self, max_series: int = DEFAULT_MAX_SERIES) -> None:
+        self._lock = threading.Lock()
+        self._series: "Dict[Tuple[str, _LabelItems], object]" = {}
+        self._max_series = max_series
+        self.overflowed = 0
+
+    def _get(self, name: str, labels: Dict[str, object], factory):
+        key = (name, _label_key(labels))
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                if len(self._series) >= self._max_series:
+                    # Fold the event into one overflow counter so the
+                    # loss is visible in exports instead of silent.
+                    self.overflowed += 1
+                    key = (OVERFLOW_SERIES, ())
+                    series = self._series.get(key)
+                    if series is None:
+                        series = self._series[key] = Counter()
+                    return series, True
+                series = self._series[key] = factory()
+            if not isinstance(series, factory):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(series).__name__}, not {factory.__name__}"
+                )
+            return series, False
+
+    def counter(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        series, overflow = self._get(name, labels, Counter)
+        with self._lock:
+            series.inc(1.0 if overflow else amount)
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        series, overflow = self._get(name, labels, Gauge)
+        with self._lock:
+            if overflow:
+                series.inc()
+            else:
+                series.set(value)
+
+    def histogram(self, name: str, value: float, **labels: object) -> None:
+        series, overflow = self._get(name, labels, Histogram)
+        with self._lock:
+            if overflow:
+                series.inc()
+            else:
+                series.observe(value)
+
+    # -- reads --------------------------------------------------------------
+
+    def value(self, name: str, **labels: object) -> Optional[float]:
+        """Current value of a counter/gauge series, or None if absent."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return None
+            if isinstance(series, (Counter, Gauge)):
+                return series.value
+            raise TypeError(f"metric {name!r} is a {series.kind}; use get()")
+
+    def get(self, name: str, **labels: object):
+        """The raw series object (Counter/Gauge/Histogram), or None."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            return self._series.get(key)
+
+    def export(self) -> List[dict]:
+        """JSON-safe snapshot of every series, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(
+                self._series.items(),
+                key=lambda item: (item[0][0], [str(p) for p in item[0][1]]),
+            )
+            return [
+                {"name": name, "labels": dict(label_items), **series.to_dict()}
+                for (name, label_items), series in items
+            ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+            self.overflowed = 0
+
+
+# -- the process-wide registry -------------------------------------------------
+
+_DEFAULT = MetricsRegistry()
+_REGISTRY = _DEFAULT
+
+
+def install_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap in ``registry`` as the target of the module-level helpers."""
+    global _REGISTRY
+    _REGISTRY = registry
+    return registry
+
+
+def uninstall_registry() -> MetricsRegistry:
+    """Restore the default process-wide registry; returns the old one."""
+    global _REGISTRY
+    registry = _REGISTRY
+    _REGISTRY = _DEFAULT
+    return registry
+
+
+def current_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str, amount: float = 1.0, **labels: object) -> None:
+    _REGISTRY.counter(name, amount, **labels)
+
+
+def gauge(name: str, value: float, **labels: object) -> None:
+    _REGISTRY.gauge(name, value, **labels)
+
+
+def histogram(name: str, value: float, **labels: object) -> None:
+    _REGISTRY.histogram(name, value, **labels)

@@ -1,0 +1,163 @@
+"""Render a trace directory for humans: span tree + slowest cells.
+
+``repro.cli obs summarize <dir>`` lands here.  Given a run directory
+(one ``trace.jsonl`` + optional ``run_manifest.json``), the summary
+shows:
+
+* the manifest header — spec, engine, workers, wall/CPU time, commit;
+* the span tree, merged by name at each nesting level (five thousand
+  ``cell`` spans render as one line: count, total seconds, share of the
+  root span's time);
+* the top-N slowest individual ``cell`` spans with their identifying
+  attributes, which is where "why was fig13 slow?" usually terminates.
+
+A directory with no ``trace.jsonl`` of its own but run subdirectories
+(the ``--trace-dir`` layout: one subdirectory per spec) is summarised
+recursively, one section per run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.manifest import read_manifest
+from repro.obs.tracing import TRACE_FILENAME, Span, read_spans
+
+#: Span name used for per-cell work units (see DESIGN.md §10 taxonomy).
+CELL_SPAN = "cell"
+
+
+class _Node:
+    """Merged span-tree node: all same-named spans under one parent path."""
+
+    __slots__ = ("name", "count", "seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self.children: "Dict[str, _Node]" = {}
+
+
+def _merge_tree(spans: List[Span]) -> _Node:
+    """Fold the span forest into a tree merged by name at each level."""
+    root = _Node("")
+    by_id = {span.span_id: span for span in spans}
+
+    def path_of(span: Span) -> Tuple[str, ...]:
+        names: List[str] = []
+        current: Optional[Span] = span
+        # Guard against cycles from a corrupt trace line.
+        for _ in range(64):
+            if current is None:
+                break
+            names.append(current.name)
+            current = by_id.get(current.parent_id) if current.parent_id else None
+        return tuple(reversed(names))
+
+    for span in spans:
+        node = root
+        for name in path_of(span):
+            node = node.children.setdefault(name, _Node(name))
+        node.count += 1
+        node.seconds += span.duration
+    return root
+
+
+def _render_tree(root: _Node, total: float) -> List[str]:
+    lines: List[str] = []
+
+    def walk(node: _Node, depth: int) -> None:
+        if node.name:
+            share = 100.0 * node.seconds / total if total > 0 else 0.0
+            lines.append(
+                f"  {'  ' * depth}{node.name:<{max(4, 28 - 2 * depth)}}"
+                f"  {node.seconds:>9.3f}s  x{node.count:<6d} {share:5.1f}%"
+            )
+        ranked = sorted(
+            node.children.values(), key=lambda child: child.seconds, reverse=True
+        )
+        for child in ranked:
+            walk(child, depth + (1 if node.name else 0))
+
+    walk(root, 0)
+    return lines
+
+
+def _span_label(span: Span) -> str:
+    attrs = ", ".join(
+        f"{key}={value}" for key, value in sorted(span.attrs.items())
+    )
+    return f"{span.name}({attrs})" if attrs else span.name
+
+
+def summarize_run(directory: Union[str, Path], top: int = 10) -> str:
+    """Summarise one run directory (manifest + trace) as text."""
+    directory = Path(directory)
+    lines: List[str] = [f"run: {directory}"]
+
+    manifest = read_manifest(directory)
+    if manifest is not None:
+        workers = manifest.get("workers")
+        lines.append(
+            f"  spec={manifest.get('spec')}"
+            f" fingerprint={manifest.get('spec_fingerprint')}"
+            f" engine={manifest.get('engine')}"
+            f" workers={'auto' if workers is None else workers}"
+        )
+        lines.append(
+            f"  wall={manifest.get('wall_seconds')}s"
+            f" cpu={manifest.get('cpu_seconds')}s"
+            f" git={manifest.get('git_sha') or 'unknown'}"
+        )
+    else:
+        lines.append("  (no run_manifest.json)")
+
+    spans = read_spans(directory / TRACE_FILENAME)
+    if not spans:
+        lines.append("  (no spans in trace.jsonl)")
+        return "\n".join(lines) + "\n"
+
+    roots = [span for span in spans if span.parent_id is None]
+    total = sum(span.duration for span in roots)
+    lines.append("")
+    lines.append(f"  span tree ({len(spans)} spans, {total:.3f}s at root)")
+    lines += _render_tree(_merge_tree(spans), total)
+
+    cells = sorted(
+        (span for span in spans if span.name == CELL_SPAN),
+        key=lambda span: span.duration,
+        reverse=True,
+    )
+    if cells:
+        lines.append("")
+        lines.append(f"  top {min(top, len(cells))} slowest cells")
+        for span in cells[:top]:
+            lines.append(f"    {span.duration:>9.3f}s  {_span_label(span)}")
+    return "\n".join(lines) + "\n"
+
+
+def find_runs(directory: Union[str, Path]) -> List[Path]:
+    """Run directories under ``directory`` (itself, or its children)."""
+    directory = Path(directory)
+    if (directory / TRACE_FILENAME).exists():
+        return [directory]
+    return sorted(
+        child
+        for child in directory.iterdir()
+        if child.is_dir() and (child / TRACE_FILENAME).exists()
+    )
+
+
+def summarize_directory(directory: Union[str, Path], top: int = 10) -> str:
+    """Summarise a run directory, or every run nested one level below."""
+    directory = Path(directory)
+    if not directory.exists():
+        raise FileNotFoundError(f"no such trace directory: {directory}")
+    runs = find_runs(directory)
+    if not runs:
+        raise FileNotFoundError(
+            f"no {TRACE_FILENAME} found in {directory} or its subdirectories"
+        )
+    return "\n".join(summarize_run(run, top=top) for run in runs)

@@ -23,6 +23,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Union
 
 from ..caches.base import Cache, OfflineCache
+from ..obs import profiling as obs_profiling
+from ..obs import tracing as obs_tracing
 from ..caches.direct_mapped import DirectMappedCache
 from ..caches.optimal import (
     OptimalCache,
@@ -196,15 +198,26 @@ def simulate(
     experiments CLI was invoked with ``--engine fast``).
     """
     engine = resolve_engine(engine)
-    if engine == "fast":
-        runner = kernel_for(simulator)
+    model = type(simulator).__name__
+    runner = kernel_for(simulator) if engine == "fast" else None
+    path = "kernel" if runner is not None else "reference"
+    with obs_tracing.span(
+        "simulate",
+        model=model,
+        trace=trace.name or "<unnamed>",
+        refs=len(trace),
+        engine=engine,
+        path=path,
+    ):
         if runner is not None:
-            try:
-                return runner(trace)
-            except Exception as exc:
-                raise KernelExecutionError(
-                    f"fast kernel for {type(simulator).__name__} failed on "
-                    f"trace {trace.name or '<unnamed>'!r} ({len(trace)} refs): "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
-    return simulator.simulate(trace)
+            with obs_profiling.section(f"kernel:{model}"):
+                try:
+                    return runner(trace)
+                except Exception as exc:
+                    raise KernelExecutionError(
+                        f"fast kernel for {model} failed on "
+                        f"trace {trace.name or '<unnamed>'!r} ({len(trace)} refs): "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+        with obs_profiling.section(f"reference:{model}"):
+            return simulator.simulate(trace)

@@ -26,6 +26,8 @@ import math
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..obs.tracing import iter_jsonl
+
 JOURNAL_VERSION = 1
 
 #: File name used inside a resume directory.
@@ -100,18 +102,9 @@ class SweepJournal:
         self._load()
 
     def _load(self) -> None:
-        if not self.path.exists():
-            return
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write from a crash; recompute that cell
-            if not isinstance(entry, dict):
-                continue
+        # iter_jsonl (shared with the span trace) already skips blank,
+        # torn, and non-object lines; such cells are recomputed.
+        for entry in iter_jsonl(self.path):
             if entry.get("kind") != "sweep-cell":
                 continue
             if entry.get("version", 0) > JOURNAL_VERSION:

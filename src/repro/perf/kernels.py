@@ -50,7 +50,7 @@ import numpy as np
 
 from ..caches.geometry import CacheGeometry
 from ..caches.optimal import NEVER, next_use_array
-from ..caches.stats import CacheStats
+from ..caches.stats import CacheStats, ExclusionEvents
 from ..trace.trace import Trace
 
 
@@ -149,6 +149,11 @@ def simulate_dynamic_exclusion(
     bits: "dict[int, bool]" = {}
     bits_get = bits.get
     hits = cold = evictions = bypasses = 0
+    # Paper-mechanism event counters, matching the reference cache's
+    # ExclusionEvents definitions (see caches/stats.py): a write-back
+    # "flips" when it changes the store's answer for that word,
+    # including the first write over the cold default.
+    hit_last_loads = flips = 0
     # Per-set FSM registers (sticky_levels == 1 throughout).  The store
     # is touched only on replacement decisions, so the dict costs scale
     # with conflict traffic, not trace length.
@@ -175,6 +180,8 @@ def simulate_dynamic_exclusion(
         elif sticky == 0:
             # Unsticky resident: replace (write back its hl copy) with
             # the optimistic hl=1 start, then k-1 hits.
+            if bits_get(resident, default_hit_last) != hit_last:
+                flips += 1
             bits[resident] = hit_last
             evictions += 1
             hits += length - 1
@@ -184,6 +191,9 @@ def simulate_dynamic_exclusion(
         elif bits_get(word, default_hit_last):
             # Sticky resident loses to a hit-last word: replace with the
             # pessimistic hl=0 start; any repeat is a hit (hl back to 1).
+            hit_last_loads += 1
+            if bits_get(resident, default_hit_last) != hit_last:
+                flips += 1
             bits[resident] = hit_last
             evictions += 1
             resident = word
@@ -199,6 +209,8 @@ def simulate_dynamic_exclusion(
             bypasses += 1
             sticky = 0
             if length > 1:
+                if bits_get(resident, default_hit_last) != hit_last:
+                    flips += 1
                 bits[resident] = hit_last
                 evictions += 1
                 hits += length - 2
@@ -210,6 +222,11 @@ def simulate_dynamic_exclusion(
     stats.cold_misses = cold
     stats.evictions = evictions
     stats.bypasses = bypasses
+    ExclusionEvents(
+        sticky_saves=bypasses,
+        hit_last_loads=hit_last_loads,
+        exclusion_flips=flips,
+    ).publish(trace.name, engine="fast")
     stats.check()
     return stats
 

@@ -38,15 +38,20 @@ from __future__ import annotations
 
 import hashlib
 import sys
+import threading
 import time
+from collections import deque
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..env import env_workers  # noqa: F401 (re-exported; the one parser)
+from ..obs import metrics as obs_metrics
+from ..obs import profiling as obs_profiling
+from ..obs import tracing as obs_tracing
 from ..trace.trace import Trace
 from . import engine as engine_mod
 from .journal import SweepJournal, canonical_parameter, content_key, is_stable_parameter
@@ -124,8 +129,18 @@ def as_trace(trace: TraceLike) -> Trace:
         # Recipes with a raw ``_build`` (TraceKey) route their public
         # ``load`` back through this memo; plain recipes just load.
         build = getattr(trace, "_build", None) or trace.load
-        cached = build()
+        with obs_tracing.span(
+            "trace_gen",
+            trace=str(trace.name),
+            trace_kind=str(trace.kind),
+            refs=int(trace.max_refs),
+        ):
+            with obs_profiling.section("trace_gen"):
+                cached = build()
+        obs_metrics.counter("trace.cache.miss")
         _TRACE_CACHE[trace] = cached
+    else:
+        obs_metrics.counter("trace.cache.hit")
     return cached
 
 
@@ -344,7 +359,13 @@ class CellOutcome:
 
 @dataclass
 class SweepTelemetry:
-    """Structured counters for one ``run_labeled_cells`` invocation."""
+    """Structured counters for one ``run_labeled_cells`` invocation.
+
+    Since the ``repro.obs`` metrics registry became the primary sink
+    (see :func:`_publish_metrics`), this dataclass is the per-run
+    compatibility view the experiments CLI serialises to
+    ``<id>.telemetry.json`` — same fields, same JSON shape as always.
+    """
 
     engine: str
     workers: int
@@ -374,6 +395,29 @@ class SweepTelemetry:
             "cell_seconds_max": round(max(timings), 6) if timings else 0.0,
         }
 
+    # The serialisation API is ``as_dict``/``from_dict``; ``to_dict``
+    # remains as the original spelling callers already use.
+    def as_dict(self) -> dict:
+        return self.to_dict()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepTelemetry":
+        """Rebuild a record from :meth:`as_dict` output (round-trip safe
+        modulo the 1e-6 rounding applied on the way out)."""
+        if data.get("kind") != "sweep-telemetry":
+            raise ValueError(f"not a sweep-telemetry record: {data.get('kind')!r}")
+        return cls(
+            engine=str(data["engine"]),
+            workers=int(data["workers"]),
+            total=int(data["cells_total"]),
+            completed=int(data["cells_completed"]),
+            failed=int(data["cells_failed"]),
+            cached=int(data["cells_cached"]),
+            pool_restarts=int(data["pool_restarts"]),
+            elapsed=float(data["elapsed_seconds"]),
+            cell_seconds=[float(s) for s in data.get("cell_seconds", [])],
+        )
+
     def summary(self) -> str:
         return (
             f"{self.total} cells: {self.completed} done "
@@ -401,14 +445,41 @@ class SweepCellError(RuntimeError):
         super().__init__("\n".join(lines))
 
 
-_TELEMETRY_LOG: List[SweepTelemetry] = []
+#: Retained run records for callers that never drain (a library user
+#: driving run_labeled_cells in a loop): the deque discards the oldest
+#: past this bound instead of growing for the life of the process.  The
+#: obs metrics registry keeps the running totals regardless.
+TELEMETRY_LOG_LIMIT = 256
+
+_TELEMETRY_LOCK = threading.Lock()
+_TELEMETRY_LOG: Deque[SweepTelemetry] = deque(maxlen=TELEMETRY_LOG_LIMIT)
 
 
 def drain_telemetry() -> List[SweepTelemetry]:
     """Return and clear the telemetry records accumulated so far."""
-    drained = list(_TELEMETRY_LOG)
-    _TELEMETRY_LOG.clear()
+    with _TELEMETRY_LOCK:
+        drained = list(_TELEMETRY_LOG)
+        _TELEMETRY_LOG.clear()
     return drained
+
+
+def _log_telemetry(telemetry: SweepTelemetry) -> None:
+    with _TELEMETRY_LOCK:
+        _TELEMETRY_LOG.append(telemetry)
+
+
+def _publish_metrics(telemetry: SweepTelemetry) -> None:
+    """Fold one run's telemetry into the obs metrics registry."""
+    engine = telemetry.engine
+    obs_metrics.counter("sweep.runs", engine=engine)
+    obs_metrics.counter("sweep.cells.total", telemetry.total, engine=engine)
+    obs_metrics.counter("sweep.cells.completed", telemetry.completed, engine=engine)
+    obs_metrics.counter("sweep.cells.failed", telemetry.failed, engine=engine)
+    obs_metrics.counter("sweep.cells.cached", telemetry.cached, engine=engine)
+    obs_metrics.counter("sweep.pool_restarts", telemetry.pool_restarts, engine=engine)
+    obs_metrics.gauge("sweep.workers", telemetry.workers, engine=engine)
+    for seconds in telemetry.cell_seconds:
+        obs_metrics.histogram("cell.seconds", seconds, engine=engine)
 
 
 # -- cell execution -----------------------------------------------------------
@@ -486,6 +557,31 @@ def _resolve_journal(journal: "SweepJournal | str | Path | None") -> Optional[Sw
     if isinstance(journal, SweepJournal):
         return journal
     return SweepJournal(journal)
+
+
+def _cell_attrs(outcome: CellOutcome) -> Dict[str, object]:
+    """JSON-safe span attributes naming one cell."""
+    identity = outcome.identity
+    return {
+        "label": identity.label,
+        "parameter": repr(identity.parameter),
+        "trace": identity.trace_name,
+        "engine": identity.engine,
+    }
+
+
+def _record_pooled_span(outcome: CellOutcome) -> None:
+    """Synthetic ``cell`` span for a pool-executed cell.
+
+    Worker processes cannot reach the parent's tracer, so the parent
+    back-dates a span from the envelope's worker-measured seconds once
+    the cell resolves (success or terminal failure).
+    """
+    attrs = _cell_attrs(outcome)
+    attrs["pooled"] = True
+    if outcome.error is not None:
+        attrs["error"] = outcome.error
+    obs_tracing.record("cell", outcome.seconds, **attrs)
 
 
 def _record_success(
@@ -579,47 +675,60 @@ def run_labeled_cells(
         for label, factory, parameter, trace in cells
     ]
 
-    pending: List[int] = []
-    for index, outcome in enumerate(outcomes):
-        entry = None
-        if journal is not None and outcome.identity.journalable:
-            entry = journal.get(outcome.identity.key())
-        if entry is not None:
-            outcome.metrics = SweepJournal.entry_metrics(entry)
-            outcome.miss_rate = outcome.metrics.get("miss_rate")
-            outcome.cached = True
-            telemetry.cached += 1
-            telemetry.completed += 1
-            _report_progress(progress, telemetry, outcome)
-        else:
-            pending.append(index)
-
-    if workers <= 1 or len(pending) <= 1:
-        for index in pending:
-            outcome = outcomes[index]
-            _, factory, parameter, trace = cells[index]
-            outcome.attempts += 1
-            cell_started = time.perf_counter()
-            try:
-                metrics = evaluate_cell(factory, parameter, trace, engine, evaluator)
-            except Exception as exc:
-                outcome.seconds = time.perf_counter() - cell_started
-                outcome.error = f"{type(exc).__name__}: {exc}"
-                telemetry.failed += 1
+    with obs_tracing.span(
+        "sweep", engine=engine, workers=workers, cells=len(cells)
+    ) as sweep_span:
+        pending: List[int] = []
+        for index, outcome in enumerate(outcomes):
+            entry = None
+            if journal is not None and outcome.identity.journalable:
+                entry = journal.get(outcome.identity.key())
+            if entry is not None:
+                outcome.metrics = SweepJournal.entry_metrics(entry)
+                outcome.miss_rate = outcome.metrics.get("miss_rate")
+                outcome.cached = True
+                telemetry.cached += 1
+                telemetry.completed += 1
+                _report_progress(progress, telemetry, outcome)
             else:
-                _record_success(
-                    outcome, metrics, time.perf_counter() - cell_started,
-                    journal, telemetry,
-                )
-            _report_progress(progress, telemetry, outcome)
-    else:
-        _run_pooled(
-            cells, outcomes, pending, engine, workers, timeout, pool_retries,
-            journal, progress, telemetry, evaluator,
-        )
+                pending.append(index)
 
-    telemetry.elapsed = time.perf_counter() - started
-    _TELEMETRY_LOG.append(telemetry)
+        if workers <= 1 or len(pending) <= 1:
+            for index in pending:
+                outcome = outcomes[index]
+                _, factory, parameter, trace = cells[index]
+                outcome.attempts += 1
+                cell_started = time.perf_counter()
+                with obs_tracing.span("cell", **_cell_attrs(outcome)) as cell_span:
+                    try:
+                        metrics = evaluate_cell(
+                            factory, parameter, trace, engine, evaluator
+                        )
+                    except Exception as exc:
+                        outcome.seconds = time.perf_counter() - cell_started
+                        outcome.error = f"{type(exc).__name__}: {exc}"
+                        telemetry.failed += 1
+                        if cell_span is not None:
+                            cell_span.attrs["error"] = outcome.error
+                    else:
+                        _record_success(
+                            outcome, metrics, time.perf_counter() - cell_started,
+                            journal, telemetry,
+                        )
+                _report_progress(progress, telemetry, outcome)
+        else:
+            _run_pooled(
+                cells, outcomes, pending, engine, workers, timeout, pool_retries,
+                journal, progress, telemetry, evaluator,
+            )
+
+        telemetry.elapsed = time.perf_counter() - started
+        if sweep_span is not None:
+            sweep_span.attrs["completed"] = telemetry.completed
+            sweep_span.attrs["failed"] = telemetry.failed
+            sweep_span.attrs["cached"] = telemetry.cached
+    _log_telemetry(telemetry)
+    _publish_metrics(telemetry)
     return outcomes
 
 
@@ -641,23 +750,31 @@ def _run_pooled(
     crash_retries_left = pool_retries
     solo = False
     while pending:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-        broke = False
-        crashed = False
-        try:
-            if solo:
-                pending, broke = _solo_round(
-                    pool, cells, outcomes, pending, engine, timeout,
-                    journal, progress, telemetry, evaluator,
-                )
-                crashed = False  # solo rounds attribute and consume the crasher
-            else:
-                pending, crashed, broke = _concurrent_round(
-                    pool, cells, outcomes, pending, engine, timeout,
-                    journal, progress, telemetry, evaluator,
-                )
-        finally:
-            pool.shutdown(wait=not broke, cancel_futures=True)
+        with obs_tracing.span(
+            "pool_attempt",
+            workers=min(workers, len(pending)),
+            pending=len(pending),
+            solo=solo,
+        ) as attempt_span:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+            broke = False
+            crashed = False
+            try:
+                if solo:
+                    pending, broke = _solo_round(
+                        pool, cells, outcomes, pending, engine, timeout,
+                        journal, progress, telemetry, evaluator,
+                    )
+                    crashed = False  # solo rounds attribute and consume the crasher
+                else:
+                    pending, crashed, broke = _concurrent_round(
+                        pool, cells, outcomes, pending, engine, timeout,
+                        journal, progress, telemetry, evaluator,
+                    )
+            finally:
+                pool.shutdown(wait=not broke, cancel_futures=True)
+            if attempt_span is not None and broke:
+                attempt_span.attrs["broke"] = True
         if broke:
             telemetry.pool_restarts += 1
         if crashed:
@@ -716,6 +833,7 @@ def _concurrent_round(
                 _terminate_pool(pool)
                 broke = True
                 timed_out = True
+            _record_pooled_span(outcome)
         except BrokenProcessPool:
             outcome.attempts += 1
             broke = True
@@ -728,9 +846,11 @@ def _concurrent_round(
             outcome.attempts += 1
             outcome.error = f"{type(exc).__name__}: {exc}"
             telemetry.failed += 1
+            _record_pooled_span(outcome)
         else:
             outcome.attempts += 1
             _record_success(outcome, metrics, seconds, journal, telemetry)
+            _record_pooled_span(outcome)
         _report_progress(progress, telemetry, outcome)
     return still_pending, crashed, broke
 
@@ -767,6 +887,7 @@ def _solo_round(
             if timeout is None:
                 outcome.error = f"{type(exc).__name__}: {exc}"
                 telemetry.failed += 1
+                _record_pooled_span(outcome)
                 _report_progress(progress, telemetry, outcome)
                 remaining = remaining[1:]
                 continue
@@ -776,6 +897,7 @@ def _solo_round(
             )
             telemetry.failed += 1
             _terminate_pool(pool)
+            _record_pooled_span(outcome)
             _report_progress(progress, telemetry, outcome)
             return remaining[1:], True
         except BrokenProcessPool as exc:
@@ -784,6 +906,7 @@ def _solo_round(
                 f"this cell ({exc})"
             )
             telemetry.failed += 1
+            _record_pooled_span(outcome)
             _report_progress(progress, telemetry, outcome)
             return remaining[1:], True
         except Exception as exc:
@@ -791,6 +914,7 @@ def _solo_round(
             telemetry.failed += 1
         else:
             _record_success(outcome, metrics, seconds, journal, telemetry)
+        _record_pooled_span(outcome)
         _report_progress(progress, telemetry, outcome)
         remaining = remaining[1:]
     return remaining, False

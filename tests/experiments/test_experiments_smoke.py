@@ -241,3 +241,51 @@ def test_cli_rejects_bad_trace_scale_eagerly(monkeypatch, capsys):
     with pytest.raises(SystemExit):
         main(["--only", "sec3"])
     assert "REPRO_TRACE_SCALE" in capsys.readouterr().err
+
+
+def test_cli_trace_dir_writes_observability_artifacts(tmp_path, capsys, monkeypatch):
+    from repro import obs
+    from repro.experiments.__main__ import main
+    from repro.experiments.spec import clear_result_cache
+
+    clear_result_cache()  # force a real run so the span tree is populated
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    assert main(["--only", "fig04", "--engine", "fast",
+                 "--trace-dir", str(tmp_path)]) == 0
+
+    run_dir = tmp_path / "fig04"
+    manifest = obs.read_manifest(run_dir)
+    assert manifest is not None
+    assert manifest["spec"] == "fig04"
+    assert manifest["engine"] == "fast"
+    assert manifest["wall_seconds"] > 0
+    assert manifest["env"]["repro"]["REPRO_PROFILE"] == "1"
+
+    spans = obs.read_spans(run_dir / obs.TRACE_FILENAME)
+    names = {span.name for span in spans}
+    assert {"experiment", "run_spec", "sweep", "cell", "simulate"} <= names
+    roots = [span for span in spans if span.parent_id is None]
+    assert [span.name for span in roots] == ["experiment"]
+    # The span tree accounts for (at least) 95% of the manifest's wall time.
+    coverage = sum(span.duration for span in roots) / manifest["wall_seconds"]
+    assert coverage >= 0.95
+
+    assert (run_dir / obs.PROFILE_FILENAME).exists()
+    # The report is on stdout; the artefact paths are stderr chatter.
+    captured = capsys.readouterr()
+    assert "trace.jsonl" not in captured.out
+    assert "manifest written to" in captured.err
+    assert "profile written to" in captured.err
+
+
+def test_trace_dir_instrumentation_leaves_results_unchanged(tmp_path):
+    from repro.experiments import fig04_cache_size
+    from repro.experiments.__main__ import main
+    from repro.experiments.spec import clear_result_cache
+
+    clear_result_cache()
+    plain = fig04_cache_size.run()
+    clear_result_cache()
+    assert main(["--only", "fig04", "--trace-dir", str(tmp_path)]) == 0
+    traced = fig04_cache_size.run()
+    assert traced == plain

@@ -1,0 +1,63 @@
+"""Tests for repro.obs.logs — the REPRO_LOG_LEVEL-gated stderr logger."""
+
+import logging
+
+import pytest
+
+from repro.obs import logs
+from repro.obs.logs import _CurrentStderrHandler, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def restore_logger_state():
+    """Leave the shared ``repro`` logger as we found it."""
+    logger = logging.getLogger(logs.ROOT_LOGGER)
+    state = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers, logger.level, logger.propagate = state[0], state[1], state[2]
+
+
+class TestConfigureLogging:
+    def test_idempotent_handler_installation(self):
+        logger = configure_logging("info")
+        configure_logging("info")
+        handlers = [
+            h for h in logger.handlers if isinstance(h, _CurrentStderrHandler)
+        ]
+        assert len(handlers) == 1
+
+    def test_level_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        assert configure_logging().level == logging.ERROR
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("loud")
+
+    def test_chatter_goes_to_current_stderr(self, capsys):
+        configure_logging("info")
+        get_logger("experiments").info("[fig04 done in 1.0s]")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "[fig04 done in 1.0s]" in captured.err
+
+    def test_level_filters(self, capsys):
+        configure_logging("warning")
+        get_logger("experiments").info("hidden chatter")
+        assert "hidden chatter" not in capsys.readouterr().err
+
+    def test_quiet_silences_even_errors(self, capsys):
+        configure_logging("quiet")
+        get_logger("experiments").error("still hidden")
+        assert capsys.readouterr().err == ""
+
+
+class TestGetLogger:
+    def test_nests_under_the_repro_family(self):
+        assert get_logger("experiments").name == "repro.experiments"
+        assert get_logger().name == "repro"
+
+    def test_level_names_match_env_module(self):
+        from repro import env
+
+        assert logs.LOG_LEVELS == env.LOG_LEVELS

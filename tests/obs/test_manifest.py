@@ -1,0 +1,90 @@
+"""Tests for repro.obs.manifest — the per-run provenance record."""
+
+import json
+
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_VERSION,
+    build_manifest,
+    environment_snapshot,
+    git_sha,
+    read_manifest,
+    write_manifest,
+)
+
+
+def _manifest(**overrides):
+    fields = dict(
+        spec_id="fig05",
+        spec_fingerprint="abc123",
+        engine="fast",
+        workers=4,
+        wall_seconds=1.23456789,
+        cpu_seconds=2.5,
+        started_at=1700000000.123,
+    )
+    fields.update(overrides)
+    return build_manifest(**fields)
+
+
+class TestBuildManifest:
+    def test_core_fields(self):
+        manifest = _manifest()
+        assert manifest["kind"] == "run-manifest"
+        assert manifest["version"] == MANIFEST_VERSION
+        assert manifest["spec"] == "fig05"
+        assert manifest["spec_fingerprint"] == "abc123"
+        assert manifest["engine"] == "fast"
+        assert manifest["workers"] == 4
+        assert manifest["wall_seconds"] == 1.234568  # rounded to 6dp
+        assert manifest["cpu_seconds"] == 2.5
+
+    def test_extra_fields_merge(self):
+        manifest = _manifest(extra={"cells": 270})
+        assert manifest["cells"] == 270
+
+    def test_is_json_safe(self):
+        json.dumps(_manifest())  # must not raise
+
+    def test_environment_snapshot_captures_repro_vars(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.05")
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        snapshot = environment_snapshot()
+        assert snapshot["repro"]["REPRO_TRACE_SCALE"] == "0.05"
+        assert snapshot["repro"]["REPRO_PROFILE"] == "1"
+        assert snapshot["python"]
+        assert snapshot["platform"]
+
+
+class TestGitSha:
+    def test_inside_a_checkout(self):
+        sha = git_sha()
+        assert sha is not None
+        assert len(sha) == 40
+        int(sha, 16)  # hex
+
+    def test_outside_a_checkout(self, tmp_path):
+        assert git_sha(cwd=tmp_path) is None
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        manifest = _manifest()
+        path = write_manifest(tmp_path / "run", manifest)
+        assert path == tmp_path / "run" / MANIFEST_FILENAME
+        assert read_manifest(tmp_path / "run") == manifest
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        write_manifest(tmp_path, _manifest())
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_FILENAME]
+
+    def test_absent_reads_none(self, tmp_path):
+        assert read_manifest(tmp_path) is None
+
+    def test_corrupt_reads_none(self, tmp_path):
+        (tmp_path / MANIFEST_FILENAME).write_text('{"torn": ')
+        assert read_manifest(tmp_path) is None
+
+    def test_non_object_reads_none(self, tmp_path):
+        (tmp_path / MANIFEST_FILENAME).write_text("[1, 2, 3]\n")
+        assert read_manifest(tmp_path) is None

@@ -1,0 +1,74 @@
+"""Tests for repro.obs.profiling — opt-in sections and cProfile reports."""
+
+import pytest
+
+from repro.obs import profiling
+from repro.obs.profiling import PROFILE_FILENAME, Profiler
+
+
+@pytest.fixture
+def installed():
+    profiler = profiling.install_profiler(Profiler(cprofile=False))
+    yield profiler
+    profiling.uninstall_profiler()
+
+
+class TestProfiler:
+    def test_sections_accumulate_count_and_seconds(self):
+        profiler = Profiler(cprofile=False)
+        for _ in range(3):
+            with profiler.section("trace_gen"):
+                pass
+        totals = profiler.sections()["trace_gen"]
+        assert totals["count"] == 3
+        assert totals["seconds"] >= 0.0
+
+    def test_nested_sections_do_not_double_enable_cprofile(self):
+        profiler = Profiler()  # cProfile on: enabling twice would raise
+        with profiler.section("outer"):
+            with profiler.section("inner"):
+                sum(range(100))
+        assert set(profiler.sections()) == {"outer", "inner"}
+
+    def test_report_lists_sections_and_hot_functions(self):
+        profiler = Profiler()
+        with profiler.section("kernel:DynamicExclusionCache"):
+            sum(range(1000))
+        report = profiler.report(top=5)
+        assert "kernel:DynamicExclusionCache" in report
+        assert "x1" in report
+        assert "cumulative" in report
+
+    def test_report_without_sections(self):
+        assert "(no sections recorded)" in Profiler(cprofile=False).report()
+
+    def test_report_without_cprofile_has_no_function_table(self):
+        profiler = Profiler(cprofile=False)
+        with profiler.section("x"):
+            pass
+        assert "cumulative" not in profiler.report()
+
+    def test_write_drops_profile_txt(self, tmp_path):
+        profiler = Profiler(cprofile=False)
+        with profiler.section("x"):
+            pass
+        path = profiler.write(tmp_path / "run")
+        assert path == tmp_path / "run" / PROFILE_FILENAME
+        assert "x" in path.read_text()
+
+
+class TestModuleLevelSection:
+    def test_noop_without_installed_profiler(self):
+        assert profiling.current_profiler() is None
+        with profiling.section("kernel:X"):
+            pass  # must not raise or record anywhere
+
+    def test_records_on_installed_profiler(self, installed):
+        with profiling.section("kernel:X"):
+            pass
+        assert installed.sections()["kernel:X"]["count"] == 1
+
+    def test_uninstall_returns_the_profiler(self):
+        profiler = profiling.install_profiler(Profiler(cprofile=False))
+        assert profiling.uninstall_profiler() is profiler
+        assert profiling.current_profiler() is None

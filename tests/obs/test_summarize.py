@@ -1,0 +1,88 @@
+"""Tests for repro.obs.summarize — rendering trace directories."""
+
+import pytest
+
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.summarize import find_runs, summarize_directory, summarize_run
+from repro.obs.tracing import Tracer
+
+
+def _make_run(directory, spec="fig04", with_manifest=True):
+    """A small but realistic run: experiment -> sweep -> cells."""
+    with Tracer(directory) as tracer:
+        with tracer.span("experiment", spec=spec):
+            with tracer.span("sweep", engine="fast"):
+                for label in ("dm@1024", "dm@2048"):
+                    with tracer.span("cell", label=label, engine="fast"):
+                        pass
+    if with_manifest:
+        manifest = build_manifest(
+            spec_id=spec,
+            spec_fingerprint="abc123",
+            engine="fast",
+            workers=None,
+            wall_seconds=1.0,
+            cpu_seconds=0.9,
+            started_at=1700000000.0,
+        )
+        write_manifest(directory, manifest)
+    return directory
+
+
+class TestSummarizeRun:
+    def test_renders_manifest_tree_and_cells(self, tmp_path):
+        _make_run(tmp_path)
+        text = summarize_run(tmp_path)
+        assert "spec=fig04" in text
+        assert "engine=fast" in text
+        assert "workers=auto" in text
+        assert "span tree (4 spans" in text
+        assert "experiment" in text
+        assert "sweep" in text
+        assert "x2" in text  # the two cells merge into one tree line
+        assert "top 2 slowest cells" in text
+        assert "cell(engine=fast, label=dm@1024)" in text
+
+    def test_without_manifest(self, tmp_path):
+        _make_run(tmp_path, with_manifest=False)
+        text = summarize_run(tmp_path)
+        assert "(no run_manifest.json)" in text
+        assert "span tree" in text
+
+    def test_without_spans(self, tmp_path):
+        (tmp_path / "trace.jsonl").write_text("")
+        assert "(no spans in trace.jsonl)" in summarize_run(tmp_path)
+
+    def test_top_limits_the_cell_list(self, tmp_path):
+        _make_run(tmp_path)
+        text = summarize_run(tmp_path, top=1)
+        assert "top 1 slowest cells" in text
+
+
+class TestFindRuns:
+    def test_directory_itself(self, tmp_path):
+        _make_run(tmp_path)
+        assert find_runs(tmp_path) == [tmp_path]
+
+    def test_one_level_of_children(self, tmp_path):
+        _make_run(tmp_path / "fig04", spec="fig04")
+        _make_run(tmp_path / "fig05", spec="fig05")
+        (tmp_path / "not-a-run").mkdir()
+        assert find_runs(tmp_path) == [tmp_path / "fig04", tmp_path / "fig05"]
+
+
+class TestSummarizeDirectory:
+    def test_summarises_every_run(self, tmp_path):
+        _make_run(tmp_path / "fig04", spec="fig04")
+        _make_run(tmp_path / "fig05", spec="fig05")
+        text = summarize_directory(tmp_path)
+        assert "spec=fig04" in text
+        assert "spec=fig05" in text
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such trace directory"):
+            summarize_directory(tmp_path / "absent")
+
+    def test_directory_without_runs_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="trace.jsonl"):
+            summarize_directory(tmp_path)

@@ -104,3 +104,125 @@ class TestParallelSweep:
         assert isinstance(
             pickle.loads(pickle.dumps(StandardFactory("optimal", 4))), StandardFactory
         )
+
+
+class TestSweepTelemetry:
+    def _record(self):
+        return parallel.SweepTelemetry(
+            engine="fast",
+            workers=2,
+            total=7,
+            completed=5,
+            failed=1,
+            cached=1,
+            pool_restarts=1,
+            elapsed=1.25,
+            cell_seconds=[0.5, 0.25],
+        )
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        record = self._record()
+        data = json.loads(json.dumps(record.as_dict()))
+        assert parallel.SweepTelemetry.from_dict(data) == record
+
+    def test_as_dict_matches_the_original_to_dict_shape(self):
+        record = self._record()
+        data = record.as_dict()
+        assert data == record.to_dict()
+        assert data["kind"] == "sweep-telemetry"
+        assert data["version"] == 1
+        assert data["cell_seconds_mean"] == 0.375
+        assert data["cell_seconds_max"] == 0.5
+
+    def test_from_dict_rejects_other_kinds(self):
+        with pytest.raises(ValueError, match="sweep-telemetry"):
+            parallel.SweepTelemetry.from_dict({"kind": "span"})
+
+    def test_missing_cell_seconds_tolerated(self):
+        data = self._record().as_dict()
+        del data["cell_seconds"]
+        assert parallel.SweepTelemetry.from_dict(data).cell_seconds == []
+
+
+class TestTelemetryLog:
+    def test_drain_returns_and_clears(self):
+        parallel.drain_telemetry()
+        parallel._log_telemetry(parallel.SweepTelemetry(engine="reference", workers=1))
+        drained = parallel.drain_telemetry()
+        assert len(drained) == 1
+        assert parallel.drain_telemetry() == []
+
+    def test_log_is_bounded(self):
+        parallel.drain_telemetry()
+        limit = parallel.TELEMETRY_LOG_LIMIT
+        for index in range(limit + 10):
+            parallel._log_telemetry(
+                parallel.SweepTelemetry(engine="reference", workers=1, total=index)
+            )
+        drained = parallel.drain_telemetry()
+        assert len(drained) == limit
+        # The oldest records were discarded, not the newest.
+        assert drained[0].total == 10
+        assert drained[-1].total == limit + 9
+
+    def test_concurrent_log_and_drain(self):
+        import threading
+
+        parallel.drain_telemetry()
+        collected = []
+        lock = threading.Lock()
+
+        def writer():
+            for _ in range(50):
+                parallel._log_telemetry(
+                    parallel.SweepTelemetry(engine="reference", workers=1)
+                )
+
+        def drainer():
+            for _ in range(20):
+                got = parallel.drain_telemetry()
+                with lock:
+                    collected.extend(got)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=drainer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with lock:
+            collected.extend(parallel.drain_telemetry())
+        # 200 records logged (under the bound): none lost, none duplicated.
+        assert len(collected) == 200
+
+
+class TestSweepObservability:
+    def test_sweep_publishes_metrics_and_spans(self, tmp_path):
+        from repro import obs
+        from repro.obs.metrics import MetricsRegistry
+
+        tracer = obs.install_tracer(obs.Tracer(tmp_path))
+        registry = obs.install_registry(MetricsRegistry())
+        try:
+            run_sweep(
+                "cache size",
+                [1024, 2048],
+                {"direct-mapped": StandardFactory("direct-mapped", 4)},
+                [TraceKey("tomcatv", "instruction", 500)],
+                engine="reference",
+                workers=1,
+            )
+        finally:
+            obs.uninstall_registry()
+            obs.uninstall_tracer()
+            tracer.close()
+        assert registry.value("sweep.runs", engine="reference") == 1
+        assert registry.value("sweep.cells.total", engine="reference") == 2
+        assert registry.value("sweep.cells.completed", engine="reference") == 2
+        assert registry.value("sweep.cells.failed", engine="reference") == 0
+        assert registry.get("cell.seconds", engine="reference").count == 2
+        totals = tracer.aggregate()
+        assert totals["sweep"]["count"] == 1
+        assert totals["cell"]["count"] == 2

@@ -156,3 +156,52 @@ class TestEagerEnvironmentValidation:
     def test_valid_repro_workers_accepted(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_WORKERS", "1")
         assert main(["simulate", "gcc", "--refs", "2000"]) == 0
+
+
+class TestObsSummarizeCommand:
+    def _make_run(self, directory):
+        from repro import obs
+
+        with obs.Tracer(directory) as tracer:
+            with tracer.span("experiment", spec="fig04"):
+                with tracer.span("cell", label="dm@1024", engine="fast"):
+                    pass
+
+    def test_summarize_renders_a_run(self, tmp_path, capsys):
+        self._make_run(tmp_path / "fig04")
+        assert main(["obs", "summarize", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out
+        assert "cell" in out
+        assert "slowest cells" in out
+
+    def test_top_flag_limits_cells(self, tmp_path, capsys):
+        self._make_run(tmp_path)
+        assert main(["obs", "summarize", str(tmp_path), "--top", "1"]) == 0
+        assert "top 1 slowest cells" in capsys.readouterr().out
+
+    def test_missing_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace directory"):
+            main(["obs", "summarize", str(tmp_path / "absent")])
+
+    def test_directory_without_runs_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace.jsonl"):
+            main(["obs", "summarize", str(tmp_path)])
+
+    def test_requires_a_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["obs"])
+
+
+class TestObservabilityEnvValidation:
+    def test_bad_repro_log_level_fails_at_startup(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "loud")
+        with pytest.raises(SystemExit):
+            main(["trace", "tomcatv", "--refs", "10"])
+        assert "REPRO_LOG_LEVEL" in capsys.readouterr().err
+
+    def test_bad_repro_profile_fails_at_startup(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_PROFILE", "maybe")
+        with pytest.raises(SystemExit):
+            main(["trace", "tomcatv", "--refs", "10"])
+        assert "REPRO_PROFILE" in capsys.readouterr().err

@@ -46,10 +46,53 @@ class TestWorkers:
             env.env_workers()
 
 
+class TestLogLevel:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        assert env.log_level() == "info"
+
+    @pytest.mark.parametrize("raw", ["debug", "info", "warning", "error", "quiet"])
+    def test_every_level_accepted(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", raw)
+        assert env.log_level() == raw
+
+    def test_normalised(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "  DEBUG ")
+        assert env.log_level() == "debug"
+
+    def test_bad_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "loud")
+        with pytest.raises(ValueError, match="REPRO_LOG_LEVEL"):
+            env.log_level()
+
+
+class TestProfileEnabled:
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert env.profile_enabled() is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "YES", " on "])
+    def test_truthy(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_PROFILE", raw)
+        assert env.profile_enabled() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "No", "off", ""])
+    def test_falsy(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_PROFILE", raw)
+        assert env.profile_enabled() is False
+
+    def test_bad_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "maybe")
+        with pytest.raises(ValueError, match="REPRO_PROFILE"):
+            env.profile_enabled()
+
+
 class TestValidate:
     def test_ok(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_SCALE", "0.5")
         monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        monkeypatch.setenv("REPRO_PROFILE", "1")
         env.validate()  # no exception
 
     def test_catches_either_variable(self, monkeypatch):
@@ -59,6 +102,15 @@ class TestValidate:
         monkeypatch.setenv("REPRO_WORKERS", "2")
         monkeypatch.setenv("REPRO_TRACE_SCALE", "zero")
         with pytest.raises(ValueError, match="REPRO_TRACE_SCALE"):
+            env.validate()
+
+    def test_catches_observability_variables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "loud")
+        with pytest.raises(ValueError, match="REPRO_LOG_LEVEL"):
+            env.validate()
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "info")
+        monkeypatch.setenv("REPRO_PROFILE", "maybe")
+        with pytest.raises(ValueError, match="REPRO_PROFILE"):
             env.validate()
 
 

@@ -1,0 +1,103 @@
+"""CI gate for ``--trace-dir`` run artefacts.
+
+Usage::
+
+    python tools/check_obs_run.py <trace-dir>/<spec-id> [--profile]
+
+Asserts the run directory holds a parseable ``run_manifest.json`` and a
+``trace.jsonl`` whose span tree has the expected shape: a single
+``experiment`` root whose duration covers at least 95% of the
+manifest's wall time, plus the ``run_spec``/``sweep``/``cell``/
+``simulate`` phases the taxonomy promises (see DESIGN.md §10).  With
+``--profile`` it also requires ``profile.txt``.  Exits non-zero with a
+named complaint on the first violation, so a CI failure reads as "no
+sweep span in fig05", not as a stack trace.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import (  # noqa: E402  (path bootstrap above)
+    PROFILE_FILENAME,
+    TRACE_FILENAME,
+    read_manifest,
+    read_spans,
+)
+
+#: Span names every traced figure run must contain.
+REQUIRED_SPANS = ("experiment", "run_spec", "sweep", "cell", "simulate")
+
+#: The root span must account for at least this share of manifest wall time.
+MIN_WALL_COVERAGE = 0.95
+
+
+def check(run_dir: Path, profile: bool) -> int:
+    failures = []
+
+    manifest = read_manifest(run_dir)
+    if manifest is None:
+        failures.append(f"no parseable {run_dir / 'run_manifest.json'}")
+    else:
+        for key in ("spec", "spec_fingerprint", "engine", "wall_seconds",
+                    "cpu_seconds", "env"):
+            if key not in manifest:
+                failures.append(f"manifest is missing {key!r}")
+
+    spans = read_spans(run_dir / TRACE_FILENAME)
+    if not spans:
+        failures.append(f"no spans in {run_dir / TRACE_FILENAME}")
+    else:
+        names = {span.name for span in spans}
+        for required in REQUIRED_SPANS:
+            if required not in names:
+                failures.append(f"no {required!r} span in the trace")
+        roots = [span for span in spans if span.parent_id is None]
+        if len(roots) != 1 or roots[0].name != "experiment":
+            failures.append(
+                f"expected one 'experiment' root span, got "
+                f"{[span.name for span in roots]}"
+            )
+        elif manifest is not None and manifest.get("wall_seconds"):
+            coverage = roots[0].duration / float(manifest["wall_seconds"])
+            if coverage < MIN_WALL_COVERAGE:
+                failures.append(
+                    f"span tree covers {coverage:.1%} of wall time "
+                    f"(need >= {MIN_WALL_COVERAGE:.0%})"
+                )
+
+    if profile and not (run_dir / PROFILE_FILENAME).exists():
+        failures.append(f"no {run_dir / PROFILE_FILENAME}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL [{run_dir}]: {failure}", file=sys.stderr)
+        return 1
+
+    root = next(span for span in spans if span.parent_id is None)
+    print(
+        f"OK [{run_dir}]: spec={manifest['spec']} engine={manifest['engine']} "
+        f"{len(spans)} spans, root covers "
+        f"{root.duration / float(manifest['wall_seconds']):.1%} of "
+        f"{manifest['wall_seconds']}s wall"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run_dir", type=Path,
+                        help="one run directory: <trace-dir>/<spec-id>")
+    parser.add_argument("--profile", action="store_true",
+                        help="also require profile.txt (REPRO_PROFILE=1 runs)")
+    args = parser.parse_args(argv)
+    if not args.run_dir.is_dir():
+        print(f"FAIL: {args.run_dir} is not a directory", file=sys.stderr)
+        return 1
+    return check(args.run_dir, args.profile)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
