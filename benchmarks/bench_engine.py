@@ -13,6 +13,8 @@ regressions visible.
 
 import time
 
+from conftest import write_json_result
+
 from repro.caches.direct_mapped import DirectMappedCache
 from repro.caches.geometry import CacheGeometry
 from repro.caches.optimal import OptimalCache, OptimalDirectMappedCache, OptimalLastLineCache
@@ -84,6 +86,20 @@ def test_engine_speedup(results_dir):
         )
     report = "\n".join(lines)
     (results_dir / "bench_engine.txt").write_text(report + "\n")
+    write_json_result(
+        results_dir,
+        "bench_engine",
+        config={"trace": "gcc", "refs": TRACE_REFS, "rounds": ROUNDS},
+        metrics={
+            key: row[field]
+            for row in rows
+            for key, field in [
+                (f"{row['label']}.reference_rps", "ref_rps"),
+                (f"{row['label']}.fast_rps", "fast_rps"),
+                (f"{row['label']}.speedup", "speedup"),
+            ]
+        },
+    )
     print(f"\n{report}\n")
 
     by_label = {row["label"]: row["speedup"] for row in rows}
@@ -147,6 +163,18 @@ def test_sweep_runner_overhead(results_dir, tmp_path):
         ]
     )
     (results_dir / "bench_sweep_runner.txt").write_text(report + "\n")
+    write_json_result(
+        results_dir,
+        "bench_sweep_runner",
+        config={"trace": "gcc", "refs": TRACE_REFS, "sizes": sizes},
+        metrics={
+            "inline_seconds": inline_s,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "envelope_overhead_pct": overhead,
+        },
+        gate=[],
+    )
     print(f"\n{report}\n")
 
     # The warm run does no simulation at all; anything close to the

@@ -12,6 +12,7 @@ per benchmark trace).
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -23,6 +24,33 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+def write_json_result(
+    results_dir: pathlib.Path,
+    name: str,
+    config: dict,
+    metrics: dict,
+    gate: "list[str] | None" = None,
+) -> pathlib.Path:
+    """Persist a machine-readable twin of a bench's ``.txt`` report.
+
+    ``metrics`` holds the numbers (throughputs in refs/sec under
+    ``*_rps`` keys, ratios under ``*speedup*`` keys); ``gate`` names the
+    metrics that ``tools/check_bench_regression.py`` compares against
+    the committed baseline (ratio metrics by default — absolute refs/sec
+    depend on the host and would make the CI gate flaky).
+    """
+    path = results_dir / f"{name}.json"
+    payload = {
+        "benchmark": name,
+        "config": config,
+        "metrics": metrics,
+        "gate": sorted(gate) if gate is not None
+        else sorted(k for k in metrics if "speedup" in k),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture

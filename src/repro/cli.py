@@ -212,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--engine", choices=list(ENGINES), default=None,
                             help="'fast' uses the set-partitioned numpy "
                             "kernels where available (identical results); "
+                            "'batch' additionally vectorizes multi-cell "
+                            "sweeps sharing one trace (single-cell runs "
+                            "behave like 'fast'); "
                             "default: the process default ('reference')")
     sim_parser.add_argument("--workers", type=int, default=None, metavar="N",
                             help="default process-pool size for any sweep "

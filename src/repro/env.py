@@ -14,7 +14,10 @@ them carried its own copy of the parsing and error wording.  The rules:
   ``info``; see :mod:`repro.obs.logs`);
 * ``REPRO_PROFILE`` — when truthy (``1``/``true``/``yes``/``on``),
   experiment runs wrap kernel dispatch in profiling sections and write
-  a per-phase breakdown (see :mod:`repro.obs.profiling`).
+  a per-phase breakdown (see :mod:`repro.obs.profiling`);
+* ``REPRO_BATCH_CELLS`` — maximum cells the batched engine groups into
+  one vectorized kernel invocation (integer >= 1; unset uses the
+  scheduler default, see :mod:`repro.perf.parallel`).
 
 :func:`validate` is the eager startup check both CLIs run so a typo'd
 variable fails before any trace is generated, with one shared error
@@ -63,6 +66,20 @@ def env_workers() -> Optional[int]:
     return workers
 
 
+def env_batch_cells() -> Optional[int]:
+    """The validated REPRO_BATCH_CELLS setting (None when unset)."""
+    raw = os.environ.get("REPRO_BATCH_CELLS")
+    if raw is None:
+        return None
+    try:
+        cells = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_BATCH_CELLS must be an integer, got {raw!r}") from None
+    if cells < 1:
+        raise ValueError("REPRO_BATCH_CELLS must be at least 1")
+    return cells
+
+
 #: Accepted ``REPRO_LOG_LEVEL`` values (mirrors repro.obs.logs.LOG_LEVELS;
 #: duplicated here so env stays import-leaf).
 LOG_LEVELS = ("debug", "info", "warning", "error", "quiet")
@@ -104,6 +121,7 @@ def validate() -> None:
     generated.
     """
     env_workers()
+    env_batch_cells()
     trace_scale()
     log_level()
     profile_enabled()

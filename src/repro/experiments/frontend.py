@@ -74,8 +74,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         choices=list(perf.ENGINES),
         default=None,
         help="simulation engine: 'fast' uses the set-partitioned numpy "
-        "kernels where available (identical results), 'reference' the "
-        "per-reference simulators (default)",
+        "kernels where available (identical results), 'batch' adds "
+        "vectorized multi-cell kernels so a whole geometry sweep sharing "
+        "one trace runs in a single invocation (still identical results), "
+        "'reference' the per-reference simulators (default)",
     )
     parser.add_argument(
         "--workers",

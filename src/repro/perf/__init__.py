@@ -4,7 +4,13 @@
   direct-mapped, dynamic-exclusion, Belady-optimal (any associativity,
   plus the last-line variant), and LRU set-associative caches;
 * :mod:`repro.perf.engine` — ``simulate(model, trace, engine=...)``
-  dispatch with a kernel registry and automatic reference fallback;
+  dispatch with a kernel registry and automatic reference fallback,
+  plus ``simulate_batch`` for many cells sharing one trace;
+* :mod:`repro.perf.batch` — the batched dynamic-exclusion kernel: one
+  vectorized invocation simulates a whole geometry sweep against a
+  single trace factorization;
+* :mod:`repro.perf.shared` — zero-copy trace distribution to pool
+  workers over ``multiprocessing.shared_memory``;
 * :mod:`repro.perf.parallel` — a fault-tolerant process-pool sweep
   runner: per-cell result envelopes with full identity, bounded retry
   with pool re-creation on worker crashes, per-cell timeouts, and
@@ -15,18 +21,25 @@
   lets a crashed or interrupted sweep resume from its completed cells.
 """
 
+from .batch import DEBatchSpec, simulate_dynamic_exclusion_batch
 from .engine import (
     ENGINES,
     KernelExecutionError,
+    batch_spec_for,
+    is_batch_spec,
     default_engine,
+    has_batch_kernel,
     has_kernel,
     kernel_for,
     registered_kernel_types,
     resolve_engine,
     set_default_engine,
     simulate,
+    simulate_batch,
+    simulate_batch_specs,
 )
 from .journal import SweepJournal, canonical_parameter, parameter_from_json
+from .shared import SharedTrace, SharedTraceHandle
 from .kernels import (
     simulate_belady,
     simulate_direct_mapped,
@@ -35,6 +48,7 @@ from .kernels import (
     simulate_optimal_last_line,
 )
 from .parallel import (
+    DEFAULT_BATCH_CELLS,
     CellIdentity,
     CellOutcome,
     SweepCellError,
@@ -47,6 +61,7 @@ from .parallel import (
     env_workers,
     evaluate_cell,
     is_trace_recipe,
+    resolve_batch_cells,
     resolve_workers,
     run_cells,
     run_labeled_cells,
@@ -67,32 +82,43 @@ __all__ = [
     "SweepTelemetry",
     "TraceKey",
     "as_trace",
+    "batch_spec_for",
+    "is_batch_spec",
     "canonical_parameter",
     "clear_trace_cache",
+    "DEBatchSpec",
+    "DEFAULT_BATCH_CELLS",
     "default_engine",
     "default_journal_dir",
     "drain_telemetry",
     "env_workers",
     "evaluate_cell",
+    "has_batch_kernel",
     "has_kernel",
     "is_trace_recipe",
     "kernel_for",
     "parameter_from_json",
     "registered_kernel_types",
+    "resolve_batch_cells",
     "resolve_engine",
     "resolve_workers",
     "run_cells",
     "run_labeled_cells",
+    "SharedTrace",
+    "SharedTraceHandle",
     "set_default_cell_timeout",
     "set_default_engine",
     "set_default_journal_dir",
     "set_default_progress",
     "set_default_workers",
     "simulate",
+    "simulate_batch",
+    "simulate_batch_specs",
     "simulate_belady",
     "simulate_cell",
     "simulate_direct_mapped",
     "simulate_dynamic_exclusion",
+    "simulate_dynamic_exclusion_batch",
     "simulate_lru",
     "simulate_optimal_last_line",
 ]

@@ -1,0 +1,627 @@
+"""Batched multi-cell simulation kernels (the ``batch`` engine tier).
+
+The fast kernels in :mod:`repro.perf.kernels` are per-cell: a geometry
+sweep over N cache sizes runs the run-compressed FSM loop N times over
+the same trace.  This module batches those cells: every (cell, set)
+pair becomes one *slot* in flat state arrays, and the dynamic-exclusion
+FSM advances every slot of every cell simultaneously with vectorized
+numpy updates — one wavefront pass over the shared trace's run
+structure instead of N scalar loops.
+
+The batched layout, in four steps:
+
+1. **Shared word factorisation.**  All cells' line addresses derive
+   from one base array (``addrs >> min(offset_bits)``, memoised on the
+   trace).  One ``np.unique`` over it yields dense word ids; cells with
+   coarser lines derive their own ids with O(unique) prefix reductions
+   over the sorted unique array — never another sort of raw addresses.
+
+2. **Run refinement chains.**  Each cell partitions its references by
+   set and collapses consecutive same-word references into runs (the
+   per-cell kernels' representation).  Only the *coarsest* cell of each
+   line size pays the full reference sort: doubling the set count only
+   ever splits set groups and merges newly-adjacent equal-word runs, so
+   every finer cell's runs are derived from the previous cell's run
+   arrays — monotonically shrinking, typically 20x smaller than the
+   trace — with one narrow stable sort plus a merge pass.
+
+3. **Wavefront rounds over a slot prefix.**  A run's *rank* is its
+   position within its (cell, set) slot.  Slots never interact — a word
+   maps to exactly one set of exactly one cell and the hit-last store
+   is keyed by word — so rank-``r`` runs of all slots execute together
+   in any order.  Slots are sorted by descending run count, making
+   round ``r``'s active slots a contiguous *prefix* of the state
+   arrays: the per-round FSM step is pure slice arithmetic (no state
+   gather/scatter), driven by 128-entry transition tables indexed by
+   packed condition bits, with the six event counters folded into two
+   packed int64 accumulators (31-bit hits|cold and four 16-bit event
+   fields).
+
+4. **Scalar tail.**  Once the wavefront narrows below
+   :data:`TAIL_THRESHOLD` (the skewed tail of a few hot sets), the
+   surviving runs finish in the per-cell kernel's scalar FSM loop over
+   plain Python lists, which beats numpy dispatch on tiny rounds.
+
+Results are field-for-field identical to the per-cell fast kernels and
+the reference caches (``tests/perf/test_batch_kernels.py`` proves it
+differentially, including the ``fsm.*`` mechanism counters, which are
+published per cell under ``engine="batch"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..caches.geometry import CacheGeometry
+from ..caches.stats import CacheStats, ExclusionEvents
+from ..trace.trace import Trace
+
+#: Minimum vectorized-round width.  Rounds narrower than this cost more
+#: in numpy dispatch than the scalar FSM loop; they finish scalar.
+#: Tuned on the bench_batch workload (see DESIGN.md §11); correctness
+#: does not depend on it.
+TAIL_THRESHOLD = 240
+
+
+@dataclass(frozen=True)
+class DEBatchSpec:
+    """One dynamic-exclusion cell of a batched invocation.
+
+    Mirrors the per-cell fast kernel's eligibility surface: a
+    direct-mapped geometry plus the ideal store's cold-bit polarity.
+    """
+
+    geometry: CacheGeometry
+    default_hit_last: bool = True
+    #: Label attached to the published ``fsm.*`` counters (defaults to
+    #: the trace's own name at run time).
+    benchmark: str = ""
+
+    def __post_init__(self) -> None:
+        if self.geometry.associativity != 1:
+            raise ValueError("dynamic-exclusion batch cells must be direct-mapped")
+
+
+# -- FSM transition tables ----------------------------------------------------
+#
+# Condition index (7 bits): hit | cold<<1 | in_bit<<2 | res_bit<<3 |
+# long<<4 | state<<5, where state = sticky<<1 | hit_last.  Each entry
+# replays one branch of kernels.simulate_dynamic_exclusion for a run of
+# length L, expressed as table values:
+#
+#   hits       += L + (the -sub part of _T_ACC_A[idx])
+#   cold/evict/bypass/hll/flip: packed 0/1 deltas (high<<31 | low)
+#   write-back  (_T_WB): store[resident] = hit_last before replacing
+#   install     (_T_INSTALL): resident becomes the run's word
+#   next state  (_T_STATE): packed sticky/hit_last after the run
+#
+# Every branch's hit count is ``L - sub`` with ``sub`` depending only on
+# the condition bits: a hit scores L, cold / unsticky-replace / hit-last
+# loads score L-1 (for the single-reference variants L-1 is exactly 0),
+# and a long bypass scores L-2 — so no per-run multiplier is needed.
+#
+# ``acc_a`` packs two 31-bit counters (per-slot hits/cold are bounded
+# by the trace length < 2^31); ``acc_bc`` packs four 16-bit counters
+# (evictions, bypasses, hit-last loads, and flips are each at most one
+# per run, and per-slot run counts are < 2^16 whenever the vectorized
+# path runs — see the ``max_m`` guard in the kernel).
+
+_PACK_SHIFT = 31
+_PACK_MASK = (1 << _PACK_SHIFT) - 1
+_BC_SHIFT = 16
+_BC_MASK = (1 << _BC_SHIFT) - 1
+
+
+def _build_tables():
+    acc_a = np.zeros(128, dtype=np.int64)  # -hits_sub | cold<<31
+    acc_bc = np.zeros(128, dtype=np.int64)  # evict|bypass<<16|hll<<32|flip<<48
+    write_back = np.zeros(128, dtype=bool)
+    install = np.zeros(128, dtype=bool)
+    state_next = np.zeros(128, dtype=np.uint8)
+    for idx in range(128):
+        hit = idx & 1
+        cold = (idx >> 1) & 1
+        in_bit = (idx >> 2) & 1
+        res_bit = (idx >> 3) & 1
+        long_run = (idx >> 4) & 1
+        hl = (idx >> 5) & 1
+        sticky = (idx >> 6) & 1
+        sub = cold_d = evict = bypass = hll = flip = 0
+        wb = inst = False
+        if hit:
+            new_sticky, new_hl = 1, 1
+        elif cold:
+            sub, cold_d = 1, 1
+            inst, new_sticky, new_hl = True, 1, 1
+        elif not sticky:
+            sub, evict = 1, 1
+            flip = int(res_bit != hl)
+            wb = inst = True
+            new_sticky, new_hl = 1, 1
+        elif in_bit:
+            sub, hll, evict = 1, 1, 1
+            flip = int(res_bit != hl)
+            wb = inst = True
+            new_sticky = 1
+            new_hl = 1 if long_run else 0
+        else:
+            bypass = 1
+            if long_run:
+                sub, evict = 2, 1
+                flip = int(res_bit != hl)
+                wb = inst = True
+                new_sticky, new_hl = 1, 1
+            else:
+                sub = 1  # L == 1, so L - 1 scores the required 0 hits
+                new_sticky, new_hl = 0, hl
+        acc_a[idx] = -sub + (cold_d << _PACK_SHIFT)
+        acc_bc[idx] = (
+            evict
+            + (bypass << _BC_SHIFT)
+            + (hll << (2 * _BC_SHIFT))
+            + (flip << (3 * _BC_SHIFT))
+        )
+        write_back[idx] = wb
+        install[idx] = inst
+        # States are kept pre-shifted into condition-index position
+        # (hit_last at bit 5, sticky at bit 6) so each round ORs them
+        # into the index without a shift.
+        state_next[idx] = ((new_sticky << 1) | new_hl) << 5
+    return acc_a, acc_bc, write_back, install, state_next
+
+
+(
+    _T_ACC_A,
+    _T_ACC_BC,
+    _T_WB,
+    _T_INSTALL,
+    _T_STATE,
+) = _build_tables()
+
+
+# -- run construction ---------------------------------------------------------
+
+
+def _narrow(keys: np.ndarray, limit: int) -> np.ndarray:
+    """Narrow sort keys so numpy's radix argsort touches fewer bytes."""
+    if limit <= 1 << 16:
+        return keys.astype(np.uint16)
+    return keys
+
+
+class _CellRuns:
+    """One cell's run-compressed trace: slot-major (set, then rank).
+
+    Only *nonempty* sets become slots: ``slot_sizes`` holds the run
+    count of each set that appears, in run order.  Sets the cell never
+    touches cost nothing downstream — without this, a 1 MB cell drags a
+    quarter-million empty sets through the global slot sort.
+    """
+
+    __slots__ = ("words", "lengths", "slot_sizes", "num_sets")
+
+    def __init__(self, words, lengths, sets, num_sets):
+        self.words = words  # chain-local dense word ids (int32)
+        self.lengths = lengths  # run lengths (int32)
+        self.num_sets = num_sets
+        # Runs arrive grouped by set, so nonempty-slot sizes are the
+        # segment lengths of the ``sets`` array.
+        count = len(sets)
+        if count == 0:
+            self.slot_sizes = np.empty(0, dtype=np.int32)
+            return
+        change = np.empty(count, dtype=bool)
+        change[0] = True
+        np.not_equal(sets[1:], sets[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        self.slot_sizes = np.diff(starts, append=count).astype(np.int32)
+
+
+def _chain_root(
+    ref_wid: np.ndarray, low_of_wid: np.ndarray, num_sets: int
+) -> _CellRuns:
+    """Full-reference run construction for a chain's coarsest cell.
+
+    A run boundary in set-grouped order is simply a word change: equal
+    adjacent words are one run, and *unequal* adjacent words can never
+    span a set boundary unnoticed, because a word determines its set.
+    """
+    n = len(ref_wid)
+    ref_set = low_of_wid[ref_wid] & np.uint32(num_sets - 1)
+    order = np.argsort(_narrow(ref_set, num_sets), kind="stable")
+    g_wid = ref_wid[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(g_wid[1:], g_wid[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    return _CellRuns(
+        g_wid[starts],
+        np.diff(starts, append=n).astype(np.int32),
+        ref_set[order[starts]],
+        num_sets,
+    )
+
+
+def _refine(prev: _CellRuns, low_of_wid: np.ndarray, num_sets: int) -> _CellRuns:
+    """Derive a finer cell's runs from a coarser cell's runs.
+
+    Splitting a set only regroups whole runs (a run is one word, and a
+    word maps to one set at every granularity), preserving program
+    order within each finer set; runs of the same word that become
+    adjacent — their old separators moved to sibling sets — merge into
+    one longer run.  As with the root, a boundary is just a word change.
+    """
+    key = low_of_wid[prev.words] & np.uint32(num_sets - 1)
+    order = np.argsort(_narrow(key, num_sets), kind="stable")
+    s_wid = prev.words[order]
+    s_len = prev.lengths[order]
+    count = len(order)
+    keep = np.empty(count, dtype=bool)
+    keep[0] = True
+    np.not_equal(s_wid[1:], s_wid[:-1], out=keep[1:])
+    starts = np.flatnonzero(keep)
+    return _CellRuns(
+        s_wid[starts],
+        np.add.reduceat(s_len, starts),
+        key[order[starts]],
+        num_sets,
+    )
+
+
+def _ragged_indices(offsets: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(off, off+len)`` for every (offset, length)."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    bounds = np.concatenate(([0], np.cumsum(lengths)))
+    out = np.arange(total, dtype=np.int64)
+    out += np.repeat(offsets - bounds[:-1], lengths)
+    return out
+
+
+def _build_cells(
+    trace: Trace, specs: "Sequence[DEBatchSpec]"
+) -> "Tuple[List[_CellRuns], List[int], int]":
+    """Run arrays for every cell plus per-cell store offsets.
+
+    Cells sharing a line size form one refinement chain (coarsest set
+    count first); each cell still gets a private store segment, offset
+    by ``word_bases`` in the global word-id space.
+    """
+    min_shift = min(spec.geometry.offset_bits for spec in specs)
+    uniq, inv = np.unique(trace.lines(min_shift), return_inverse=True)
+    inv32 = inv.astype(np.int32)
+
+    chains: "Dict[int, List[int]]" = {}
+    for index, spec in enumerate(specs):
+        chains.setdefault(spec.geometry.offset_bits, []).append(index)
+
+    cell_runs: "List[_CellRuns]" = [None] * len(specs)  # type: ignore[list-item]
+    chain_words: "Dict[int, int]" = {}
+    for shift, members in chains.items():
+        d = shift - min_shift
+        if d == 0:
+            ref_wid = inv32
+            low_of_wid = (uniq & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        else:
+            shifted = uniq >> np.uint64(d)
+            first = np.empty(len(uniq), dtype=bool)
+            first[0] = True
+            np.not_equal(shifted[1:], shifted[:-1], out=first[1:])
+            wid_of_uniq = (np.cumsum(first) - 1).astype(np.int32)
+            ref_wid = wid_of_uniq[inv]
+            low_of_wid = (shifted[first] & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        chain_words[shift] = len(low_of_wid)
+        members.sort(key=lambda i: specs[i].geometry.num_sets)
+        prev: "_CellRuns | None" = None
+        for index in members:
+            num_sets = specs[index].geometry.num_sets
+            if prev is not None and prev.num_sets == num_sets:
+                cell_runs[index] = prev
+            elif prev is None:
+                cell_runs[index] = _chain_root(ref_wid, low_of_wid, num_sets)
+            else:
+                cell_runs[index] = _refine(prev, low_of_wid, num_sets)
+            prev = cell_runs[index]
+
+    word_bases: "List[int]" = []
+    total_words = 0
+    for spec in specs:
+        word_bases.append(total_words)
+        total_words += chain_words[spec.geometry.offset_bits]
+    return cell_runs, word_bases, total_words
+
+
+# -- the batched kernel -------------------------------------------------------
+
+
+def simulate_dynamic_exclusion_batch(
+    trace: Trace, specs: "Sequence[DEBatchSpec]"
+) -> List[CacheStats]:
+    """Simulate every spec's cell over ``trace`` in one batched pass.
+
+    Each cell models
+    :class:`~repro.core.exclusion_cache.DynamicExclusionCache` with an
+    :class:`~repro.core.hitlast.IdealHitLastStore` (cold value
+    ``spec.default_hit_last``) and ``sticky_levels=1`` from a cold
+    start — exactly the configuration the per-cell
+    :func:`~repro.perf.kernels.simulate_dynamic_exclusion` covers — and
+    returns one :class:`~repro.caches.stats.CacheStats` per spec, in
+    order, each having passed ``check()``.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    n = len(trace)
+    if n == 0:
+        # Match the per-cell kernel: an empty trace publishes no events.
+        empty = []
+        for _ in specs:
+            stats = CacheStats(accesses=0)
+            stats.check()
+            empty.append(stats)
+        return empty
+
+    cell_runs, word_bases, total_words = _build_cells(trace, specs)
+
+    # Global slot-major run arrays: slot = (cell, set), runs in rank
+    # order within each slot.  Word ids are shifted by +1 so 0 can act
+    # as the "empty set" resident sentinel (and store[0] as scratch),
+    # which keeps the round loop free of clamping.
+    g_word = np.concatenate(
+        [runs.words + np.int32(base + 1) for runs, base in zip(cell_runs, word_bases)]
+    )
+    g_len = np.concatenate([runs.lengths for runs in cell_runs])
+    slot_m = np.concatenate([runs.slot_sizes for runs in cell_runs])
+    cell_of_slot = np.repeat(
+        np.arange(len(specs), dtype=np.int32),
+        [len(runs.slot_sizes) for runs in cell_runs],
+    )
+    g_offset = np.cumsum(slot_m, dtype=np.int64) - slot_m
+
+    # Descending run count makes round r's active slots the prefix
+    # [0, width_r) of every state array.
+    max_m = int(slot_m.max())
+    if max_m < 1 << 16:
+        sort_keys = (max_m - slot_m).astype(np.uint16)  # radix-sortable
+    else:
+        sort_keys = -slot_m
+    order = np.argsort(sort_keys, kind="stable")
+    m_sorted = slot_m[order]
+    off_sorted = g_offset[order].astype(np.int32)
+    cell_ids = cell_of_slot[order]
+    hist = np.bincount(m_sorted, minlength=max_m + 1)
+    ge = np.cumsum(hist[::-1])[::-1]  # ge[k] = #slots with m >= k
+    widths = ge[1:]  # widths[r] = #slots with a rank-r run
+    if max_m >= 1 << 16:
+        # Packed 16-bit accumulator fields could overflow; run the
+        # (always correct) scalar path for everything.  In practice a
+        # slot never sees 65k+ runs.
+        tail_rank = 0
+    else:
+        below = np.flatnonzero(widths < TAIL_THRESHOLD)
+        tail_rank = int(below[0]) if len(below) else max_m
+
+    # -- FSM state (prefix-addressed by sorted slot position) ------------
+    #
+    # Hit-last bits are kept in two parallel arrays pre-shifted into
+    # their condition-index positions: ``store4`` (values 0/4, read via
+    # the run's word for the in_bit) and ``store8`` (values 0/8, read
+    # via the resident word for the res_bit).  ``store8[0]`` — only ever
+    # read through the empty-set sentinel resident — holds the *cold*
+    # bit (2), so the round loop needs neither a cold comparison nor
+    # any shifts when assembling the index.
+    active0 = len(slot_m)  # every slot has at least one run
+    resident = np.zeros(active0, dtype=np.int32)  # 0 = empty set
+    state = np.zeros(active0, dtype=np.uint8)  # (sticky<<1 | hit_last) << 5
+    store4 = np.empty(total_words + 1, dtype=np.uint8)
+    store8 = np.empty(total_words + 1, dtype=np.uint8)
+    bounds = [base + 1 for base in word_bases] + [total_words + 1]
+    store4[0] = 0
+    store8[0] = 2  # the cold condition bit
+    for c, spec in enumerate(specs):
+        hl = 1 if spec.default_hit_last else 0
+        store4[bounds[c] : bounds[c + 1]] = hl << 2
+        store8[bounds[c] : bounds[c + 1]] = hl << 3
+    acc_a = np.zeros(active0, dtype=np.int64)  # hits | cold<<31
+    acc_bc = np.zeros(active0, dtype=np.int64)  # evict|byp<<16|hll<<32|flip<<48
+
+    # -- vectorized wavefront rounds -------------------------------------
+    if tail_rank:
+        round_widths = widths[:tail_rank].astype(np.int32)
+        rank_of = np.repeat(np.arange(tail_rank, dtype=np.int32), round_widths)
+        run_idx = off_sorted[_ragged_positions(round_widths)]
+        run_idx += rank_of
+        rw = g_word[run_idx]
+        rl = g_len[run_idx]
+        # The "long run" condition bit depends only on the run lengths,
+        # so it is computed for every round at once, pre-shifted.
+        rlong = np.left_shift(np.greater(rl, 1).view(np.uint8), 4)
+        del run_idx, rank_of
+
+        size = active0
+        idx = np.empty(size, dtype=np.uint8)
+        inb = np.empty(size, dtype=np.uint8)
+        resb = np.empty(size, dtype=np.uint8)
+        hit = np.empty(size, dtype=bool)
+        delta = np.empty(size, dtype=np.int64)
+        take = np.empty(size, dtype=np.int64)
+        wb = np.empty(size, dtype=bool)
+        install = np.empty(size, dtype=bool)
+
+        # Round 0 needs no tables: every slot is cold, so every slot
+        # installs its first word, scores L-1 hits and one cold miss,
+        # and leaves in the sticky/hit-last state.  This is also the
+        # widest round, so the special case pays.
+        m0 = int(round_widths[0])
+        np.copyto(resident[:m0], rw[:m0])
+        state[:m0] = 3 << 5  # sticky | hit_last
+        # The typed scalar forces the int64 loop: ``rl`` may be int32
+        # (single-geometry chains), and a weakly-typed python int would
+        # keep the addition in int32 and wrap the packed cold bit.
+        np.add(rl[:m0], np.int64((1 << _PACK_SHIFT) - 1), out=acc_a[:m0])
+
+        start = m0
+        for r in range(1, tail_rank):
+            m = int(round_widths[r])
+            w = rw[start : start + m]
+            length = rl[start : start + m]
+            lng = rlong[start : start + m]
+            start += m
+            res = resident[:m]
+            st = state[:m]
+
+            np.equal(w, res, out=hit[:m])
+            np.take(store4, w, out=inb[:m])
+            np.take(store8, res, out=resb[:m])
+
+            np.bitwise_or(st, hit[:m].view(np.uint8), out=idx[:m])
+            np.bitwise_or(idx[:m], inb[:m], out=idx[:m])
+            np.bitwise_or(idx[:m], resb[:m], out=idx[:m])
+            np.bitwise_or(idx[:m], lng, out=idx[:m])
+            i = idx[:m]
+
+            np.take(_T_ACC_A, i, out=take[:m])
+            np.add(take[:m], length, out=delta[:m])
+            np.add(acc_a[:m], delta[:m], out=acc_a[:m])
+            np.take(_T_ACC_BC, i, out=take[:m])
+            np.add(acc_bc[:m], take[:m], out=acc_bc[:m])
+
+            np.take(_T_WB, i, out=wb[:m])
+            writers = np.flatnonzero(wb[:m])
+            if len(writers):
+                # hit_last of the OLD state, written before replacing.
+                hl4 = (st[writers] >> np.uint8(3)) & np.uint8(4)
+                resw = res[writers]
+                store4[resw] = hl4
+                store8[resw] = hl4 + hl4
+            np.take(_T_INSTALL, i, out=install[:m])
+            np.copyto(res, w, where=install[:m])
+            np.take(_T_STATE, i, out=st)
+        del rw, rl, rlong
+
+    # -- scalar tail: the skewed hot sets --------------------------------
+    cells = len(specs)
+    tail_hits = [0] * cells
+    tail_counts = [[0] * cells for _ in range(5)]  # cold/evict/byp/hll/flip
+    if tail_rank < max_m:
+        tail_slots = int(widths[tail_rank])
+        t_counts = m_sorted[:tail_slots] - tail_rank
+        t_idx = _ragged_indices(off_sorted[:tail_slots] + tail_rank, t_counts)
+        t_word = g_word[t_idx].tolist()
+        t_len = g_len[t_idx].tolist()
+        t_bounds = np.concatenate(([0], np.cumsum(t_counts))).tolist()
+        t_cell = cell_ids[:tail_slots].tolist()
+        res_list = resident[:tail_slots].tolist()
+        st_list = state[:tail_slots].tolist()
+        # The scalar loop mirrors the vectorized layout: hit-last bits
+        # carry the store4 encoding (0 or 4) so no re-shifting happens
+        # per run.  Each word belongs to exactly one slot, so mutating
+        # this plain-list copy never races the arrays.
+        store_list = store4.tolist()
+        for s in range(tail_slots):
+            res_v = res_list[s]
+            packed = st_list[s]
+            st_v = packed >> 6
+            hl_v = (packed >> 3) & 4
+            hits_v = cold_v = evict_v = bypass_v = hll_v = flip_v = 0
+            lo = t_bounds[s]
+            hi = t_bounds[s + 1]
+            for word, length in zip(t_word[lo:hi], t_len[lo:hi]):
+                if word == res_v:
+                    hits_v += length
+                    st_v = 1
+                    hl_v = 4
+                elif res_v == 0:
+                    cold_v += 1
+                    hits_v += length - 1
+                    res_v = word
+                    st_v = 1
+                    hl_v = 4
+                elif st_v == 0:
+                    if store_list[res_v] != hl_v:
+                        flip_v += 1
+                    store_list[res_v] = hl_v
+                    evict_v += 1
+                    hits_v += length - 1
+                    res_v = word
+                    st_v = 1
+                    hl_v = 4
+                elif store_list[word]:
+                    hll_v += 1
+                    if store_list[res_v] != hl_v:
+                        flip_v += 1
+                    store_list[res_v] = hl_v
+                    evict_v += 1
+                    res_v = word
+                    st_v = 1
+                    if length > 1:
+                        hits_v += length - 1
+                        hl_v = 4
+                    else:
+                        hl_v = 0
+                else:
+                    bypass_v += 1
+                    st_v = 0
+                    if length > 1:
+                        if store_list[res_v] != hl_v:
+                            flip_v += 1
+                        store_list[res_v] = hl_v
+                        evict_v += 1
+                        hits_v += length - 2
+                        res_v = word
+                        st_v = 1
+                        hl_v = 4
+            cell = t_cell[s]
+            tail_hits[cell] += hits_v
+            tail_counts[0][cell] += cold_v
+            tail_counts[1][cell] += evict_v
+            tail_counts[2][cell] += bypass_v
+            tail_counts[3][cell] += hll_v
+            tail_counts[4][cell] += flip_v
+
+    # -- per-cell reduction -----------------------------------------------
+    def _reduce(values: np.ndarray) -> np.ndarray:
+        # Exact despite the float64 weights: every field total is < 2^53.
+        return np.bincount(
+            cell_ids, weights=values.astype(np.float64), minlength=cells
+        ).astype(np.int64)
+
+    hits_c = _reduce(acc_a & _PACK_MASK)
+    cold_c = _reduce(acc_a >> _PACK_SHIFT)
+    evict_c = _reduce(acc_bc & _BC_MASK)
+    bypass_c = _reduce((acc_bc >> _BC_SHIFT) & _BC_MASK)
+    hll_c = _reduce((acc_bc >> (2 * _BC_SHIFT)) & _BC_MASK)
+    flip_c = _reduce(acc_bc >> (3 * _BC_SHIFT))
+
+    results: List[CacheStats] = []
+    for c, spec in enumerate(specs):
+        hits = int(hits_c[c]) + tail_hits[c]
+        stats = CacheStats(
+            accesses=n,
+            hits=hits,
+            misses=n - hits,
+            cold_misses=int(cold_c[c]) + tail_counts[0][c],
+            evictions=int(evict_c[c]) + tail_counts[1][c],
+            bypasses=int(bypass_c[c]) + tail_counts[2][c],
+        )
+        ExclusionEvents(
+            sticky_saves=stats.bypasses,
+            hit_last_loads=int(hll_c[c]) + tail_counts[3][c],
+            exclusion_flips=int(flip_c[c]) + tail_counts[4][c],
+        ).publish(spec.benchmark or trace.name, engine="batch")
+        stats.check()
+        results.append(stats)
+    return results
+
+
+def _ragged_positions(lengths: np.ndarray) -> np.ndarray:
+    """Positions 0..len-1 within each segment, concatenated (int32)."""
+    total = int(lengths.sum(dtype=np.int64))
+    bounds = np.cumsum(lengths, dtype=np.int32) - lengths
+    out = np.arange(total, dtype=np.int32)
+    out -= np.repeat(bounds, lengths)
+    return out

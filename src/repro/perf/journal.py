@@ -24,7 +24,7 @@ import hashlib
 import json
 import math
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..obs.tracing import iter_jsonl
 
@@ -158,20 +158,41 @@ class SweepJournal:
         byte-compatible with) the pre-spec tooling; any other metric set
         adds a ``metrics`` dict.
         """
-        if not isinstance(metrics, dict):
-            metrics = {"miss_rate": float(metrics)}
-        entry = {
-            "kind": "sweep-cell",
-            "version": JOURNAL_VERSION,
-            "key": key,
-            "seconds": round(seconds, 6),
-            **fields,
-        }
-        if "miss_rate" in metrics:
-            entry["miss_rate"] = metrics["miss_rate"]
-        if set(metrics) != {"miss_rate"}:
-            entry["metrics"] = dict(metrics)
+        self.record_many([(key, fields, metrics, seconds)])
+
+    def record_many(
+        self,
+        entries: "Sequence[Tuple[str, dict, Union[Dict[str, float], float], float]]",
+    ) -> None:
+        """Append a batch of completed cells with one open/flush.
+
+        Each element is ``(key, fields, metrics, seconds)`` exactly as
+        :meth:`record` takes them, and each becomes its own journal line
+        — batching changes only the I/O granularity (the batched sweep
+        scheduler flushes once per cell *group*), never the entry format
+        or the resume granularity.
+        """
+        built = []
+        for key, fields, metrics, seconds in entries:
+            if not isinstance(metrics, dict):
+                metrics = {"miss_rate": float(metrics)}
+            entry = {
+                "kind": "sweep-cell",
+                "version": JOURNAL_VERSION,
+                "key": key,
+                "seconds": round(seconds, 6),
+                **fields,
+            }
+            if "miss_rate" in metrics:
+                entry["miss_rate"] = metrics["miss_rate"]
+            if set(metrics) != {"miss_rate"}:
+                entry["metrics"] = dict(metrics)
+            built.append((key, entry))
+        if not built:
+            return
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            for _, entry in built:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
             handle.flush()
-        self._entries[key] = entry
+        for key, entry in built:
+            self._entries[key] = entry

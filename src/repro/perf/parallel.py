@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..env import env_batch_cells
 from ..env import env_workers  # noqa: F401 (re-exported; the one parser)
 from ..obs import metrics as obs_metrics
 from ..obs import profiling as obs_profiling
@@ -55,6 +56,7 @@ from ..obs import tracing as obs_tracing
 from ..trace.trace import Trace
 from . import engine as engine_mod
 from .journal import SweepJournal, canonical_parameter, content_key, is_stable_parameter
+from .shared import SharedTrace
 
 
 @dataclass(frozen=True)
@@ -171,6 +173,56 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return 1
 
 
+# -- batch-group sizing -------------------------------------------------------
+
+#: Cells per vectorized batch-kernel invocation.  Wide enough that the
+#: shared trace factorization amortises; small enough that one group's
+#: failure or timeout forfeits little work to the per-cell fallback.
+DEFAULT_BATCH_CELLS = 16
+
+
+def resolve_batch_cells(batch_cells: Optional[int] = None) -> int:
+    """Explicit argument > REPRO_BATCH_CELLS > DEFAULT_BATCH_CELLS."""
+    if batch_cells is not None:
+        if batch_cells < 1:
+            raise ValueError("batch_cells must be at least 1")
+        return batch_cells
+    env = env_batch_cells()
+    if env is not None:
+        return env
+    return DEFAULT_BATCH_CELLS
+
+
+def _group_pending(
+    cells: Sequence["LabeledCell"], pending: Sequence[int], limit: int
+) -> List[List[int]]:
+    """Partition pending cell indices into batch groups.
+
+    Cells sharing one trace — the same recipe, or the very same Trace
+    object — land in one group (chunked at ``limit``) so the batch
+    kernel simulates them against a single materialisation.  Groups keep
+    first-appearance order and cells keep their original order within a
+    group; the concatenation of all groups is exactly ``pending``, each
+    index once.
+    """
+    by_trace: Dict[object, List[int]] = {}
+    order: List[object] = []
+    for index in pending:
+        trace = cells[index][3]
+        key: object = trace if is_trace_recipe(trace) else id(trace)
+        bucket = by_trace.get(key)
+        if bucket is None:
+            by_trace[key] = bucket = []
+            order.append(key)
+        bucket.append(index)
+    groups: List[List[int]] = []
+    for key in order:
+        bucket = by_trace[key]
+        for start in range(0, len(bucket), limit):
+            groups.append(bucket[start : start + limit])
+    return groups
+
+
 # -- resilience defaults (the CLI's --resume-dir / --progress flags) ----------
 
 #: Pool re-creations attempted after a worker crash before switching to
@@ -253,7 +305,11 @@ class CellIdentity:
             "trace_kind": self.trace_kind,
             "trace_refs": self.trace_refs,
             "trace_digest": self.trace_digest,
-            "engine": self.engine,
+            # The batched engine is a scheduling strategy, not a different
+            # simulation: its results are pinned equal to the fast tier's,
+            # so its journal entries hash to the same keys and the two
+            # engines resume each other's sweeps interchangeably.
+            "engine": "fast" if self.engine == "batch" else self.engine,
         }
         if self.evaluator:
             payload["evaluator"] = self.evaluator
@@ -629,6 +685,305 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _run_sequential(
+    cells: Sequence["LabeledCell"],
+    outcomes: List["CellOutcome"],
+    pending: Sequence[int],
+    engine: str,
+    journal: Optional[SweepJournal],
+    progress: bool,
+    telemetry: SweepTelemetry,
+    evaluator: Optional[CellEvaluator] = None,
+) -> None:
+    """Inline per-cell execution (no pool; also the batch-group fallback)."""
+    for index in pending:
+        outcome = outcomes[index]
+        _, factory, parameter, trace = cells[index]
+        outcome.attempts += 1
+        cell_started = time.perf_counter()
+        with obs_tracing.span("cell", **_cell_attrs(outcome)) as cell_span:
+            try:
+                metrics = evaluate_cell(factory, parameter, trace, engine, evaluator)
+            except Exception as exc:
+                outcome.seconds = time.perf_counter() - cell_started
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                telemetry.failed += 1
+                if cell_span is not None:
+                    cell_span.attrs["error"] = outcome.error
+            else:
+                _record_success(
+                    outcome, metrics, time.perf_counter() - cell_started,
+                    journal, telemetry,
+                )
+        _report_progress(progress, telemetry, outcome)
+
+
+# -- batched execution --------------------------------------------------------
+
+
+class _JournalBatch:
+    """Defers journal appends so a batch group flushes with one write.
+
+    Quacks like :class:`SweepJournal` for :func:`_record_success`; every
+    buffered entry is still one per-cell journal line, so resume
+    granularity is unchanged — only the open/flush count drops from one
+    per cell to one per group.
+    """
+
+    def __init__(self, journal: Optional[SweepJournal]) -> None:
+        self._journal = journal
+        self._entries: List[tuple] = []
+
+    def record(self, key: str, fields: dict, metrics: Dict[str, float], seconds: float) -> None:
+        self._entries.append((key, fields, metrics, seconds))
+
+    def flush(self) -> None:
+        if self._journal is not None and self._entries:
+            self._journal.record_many(self._entries)
+        self._entries.clear()
+
+
+def _record_batched_span(outcome: CellOutcome) -> None:
+    """Synthetic ``cell`` span for a batch-executed cell.
+
+    Batched cells execute jointly inside one kernel invocation, so the
+    scheduler back-dates each cell's span (and the ``cell.seconds``
+    histogram fed from it) with the cell's share of the group's
+    wall time once the group resolves.
+    """
+    attrs = _cell_attrs(outcome)
+    attrs["batched"] = True
+    if outcome.error is not None:
+        attrs["error"] = outcome.error
+    obs_tracing.record("cell", outcome.seconds, **attrs)
+
+
+def _cell_batch_spec(factory: Callable[[object], object], parameter: object):
+    """The cell's batch spec straight from its factory, if it offers one.
+
+    The ``batch_spec`` factory protocol: a factory may expose
+    ``batch_spec(parameter)`` returning a registered batch spec (or
+    ``None``) describing exactly the model ``factory(parameter)`` would
+    build.  It exists purely to skip model construction — building a
+    large cache allocates per-set arrays just so the engine can read
+    three fields off it — so a factory whose models are *not* freshly
+    cold must return ``None`` and let the model-based eligibility check
+    decide.
+    """
+    getter = getattr(factory, "batch_spec", None)
+    if getter is None:
+        return None
+    spec = getter(parameter)
+    if spec is None or not engine_mod.is_batch_spec(spec):
+        return None
+    return spec
+
+
+def _batch_task(
+    specs: "List[tuple]",
+    trace_ref: TraceLike,
+    engine: str,
+) -> "List[tuple]":
+    """Worker-side group execution: one marker tuple per cell, in order.
+
+    ``specs`` is ``[(factory, parameter), ...]``.  Cells whose factory
+    speaks the ``batch_spec`` protocol go straight to the spec-level
+    kernel entry point; the rest build their model and either join the
+    batch via the model-based eligibility check or fall back to per-cell
+    fast simulation.  A factory that raises fails only its own cell; the
+    group's compute time is split evenly across its cells (they execute
+    jointly, there is no per-cell clock).  Raises only for group-level
+    failures (trace load, kernel error), which the scheduler answers by
+    re-running the cells individually.
+    """
+    started = time.perf_counter()
+    trace = as_trace(trace_ref)
+    batch_specs: List[Optional[object]] = []
+    failures: Dict[int, str] = {}
+    models: Dict[int, object] = {}
+    for position, (factory, parameter) in enumerate(specs):
+        spec = _cell_batch_spec(factory, parameter)
+        if spec is None and position not in failures:
+            try:
+                model = factory(parameter)
+            except Exception as exc:
+                failures[position] = f"{type(exc).__name__}: {exc}"
+            else:
+                spec = engine_mod.batch_spec_for(model)
+                if spec is None:
+                    models[position] = model
+        batch_specs.append(spec)
+    vectorized = [i for i, spec in enumerate(batch_specs) if spec is not None]
+    obs_metrics.counter("batch.cells.vectorized", len(vectorized))
+    obs_metrics.counter("batch.cells.fallback", len(specs) - len(vectorized))
+    results: List[tuple] = [()] * len(specs)
+    if vectorized:
+        stats_list = engine_mod.simulate_batch_specs(
+            trace, [batch_specs[i] for i in vectorized]
+        )
+        for position, stats in zip(vectorized, stats_list):
+            results[position] = ("ok", {"miss_rate": stats.miss_rate}, 0.0)
+    for position, model in models.items():
+        stats = engine_mod.simulate(model, trace, engine="fast")
+        results[position] = ("ok", {"miss_rate": stats.miss_rate}, 0.0)
+    share = (time.perf_counter() - started) / max(1, len(specs))
+    for position, error in failures.items():
+        results[position] = ("error", error, share)
+    return [
+        (marker[0], marker[1], share) for marker in results
+    ]
+
+
+def _apply_group_results(
+    results: "List[tuple]",
+    group: Sequence[int],
+    outcomes: List[CellOutcome],
+    journal: Optional[SweepJournal],
+    progress: bool,
+    telemetry: SweepTelemetry,
+) -> None:
+    """Fold one group's worker markers into per-cell envelopes."""
+    batch_journal = _JournalBatch(journal)
+    for index, marker in zip(group, results):
+        outcome = outcomes[index]
+        outcome.attempts += 1
+        status, payload, seconds = marker
+        outcome.seconds = seconds
+        if status == "ok":
+            _record_success(outcome, payload, seconds, batch_journal, telemetry)
+        else:
+            outcome.error = str(payload)
+            telemetry.failed += 1
+        _record_batched_span(outcome)
+        _report_progress(progress, telemetry, outcome)
+    batch_journal.flush()
+
+
+def _run_batched_inline(
+    cells: Sequence["LabeledCell"],
+    outcomes: List[CellOutcome],
+    groups: List[List[int]],
+    engine: str,
+    journal: Optional[SweepJournal],
+    progress: bool,
+    telemetry: SweepTelemetry,
+) -> None:
+    """Batched execution without a pool: one kernel invocation per group.
+
+    A group-level failure (kernel exception, trace generation error)
+    demotes just that group to the per-cell sequential path, so a
+    poisoned cell costs its group's batching, not the sweep.
+    """
+    for group in groups:
+        trace_ref = cells[group[0]][3]
+        specs = [(cells[index][1], cells[index][2]) for index in group]
+        with obs_tracing.span("batch_group", cells=len(group)) as group_span:
+            try:
+                results = _batch_task(specs, trace_ref, engine)
+            except Exception as exc:
+                if group_span is not None:
+                    group_span.attrs["fallback"] = f"{type(exc).__name__}: {exc}"
+                obs_metrics.counter("batch.group_fallbacks", engine=engine)
+                _run_sequential(
+                    cells, outcomes, group, engine, journal, progress, telemetry,
+                )
+            else:
+                _apply_group_results(
+                    results, group, outcomes, journal, progress, telemetry,
+                )
+
+
+def _run_batched_pooled(
+    cells: Sequence["LabeledCell"],
+    outcomes: List[CellOutcome],
+    groups: List[List[int]],
+    engine: str,
+    workers: int,
+    timeout: Optional[float],
+    pool_retries: int,
+    journal: Optional[SweepJournal],
+    progress: bool,
+    telemetry: SweepTelemetry,
+) -> None:
+    """Pooled batched execution with zero-copy trace distribution.
+
+    The parent materialises each distinct trace once into a shared-
+    memory segment (:class:`~repro.perf.shared.SharedTrace`) and ships
+    workers a handle; group timeouts scale the per-cell budget by group
+    size.  Any group that times out, crashes its worker, or raises falls
+    back — cells intact — to the per-cell pooled machinery, which owns
+    retries, per-cell timeouts, and solo crash attribution.  Segments
+    are unlinked in a ``finally`` so no ``/dev/shm`` entry outlives the
+    sweep, whatever failed inside it.
+    """
+    shared_traces: Dict[object, SharedTrace] = {}
+    fallback: List[int] = []
+
+    def trace_handle(trace: TraceLike) -> object:
+        key: object = trace if is_trace_recipe(trace) else id(trace)
+        entry = shared_traces.get(key)
+        if entry is None:
+            recipe = trace if is_trace_recipe(trace) else None
+            entry = SharedTrace.create(as_trace(trace), recipe=recipe)
+            shared_traces[key] = entry
+        return entry.handle
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(groups)))
+        broke = False
+        try:
+            submitted = [
+                (
+                    group,
+                    pool.submit(
+                        _batch_task,
+                        [(cells[index][1], cells[index][2]) for index in group],
+                        trace_handle(cells[group[0]][3]),
+                        engine,
+                    ),
+                )
+                for group in groups
+            ]
+            for group, future in submitted:
+                group_timeout = timeout * len(group) if timeout is not None else None
+                try:
+                    results = future.result(timeout=group_timeout)
+                except CancelledError:
+                    fallback.extend(group)
+                except FuturesTimeoutError:
+                    if timeout is not None:
+                        _terminate_pool(pool)
+                        broke = True
+                    obs_metrics.counter("batch.group_fallbacks", engine=engine)
+                    fallback.extend(group)
+                except BrokenProcessPool:
+                    broke = True
+                    obs_metrics.counter("batch.group_fallbacks", engine=engine)
+                    fallback.extend(group)
+                except Exception:
+                    obs_metrics.counter("batch.group_fallbacks", engine=engine)
+                    fallback.extend(group)
+                else:
+                    _apply_group_results(
+                        results, group, outcomes, journal, progress, telemetry,
+                    )
+        finally:
+            pool.shutdown(wait=not broke, cancel_futures=True)
+        if broke:
+            telemetry.pool_restarts += 1
+    finally:
+        for entry in shared_traces.values():
+            entry.unlink()
+
+    if fallback:
+        # Per-cell machinery: full retry budget, per-cell timeout, solo
+        # attribution of a deterministic crasher.
+        _run_pooled(
+            cells, outcomes, fallback, engine, workers, timeout, pool_retries,
+            journal, progress, telemetry, None,
+        )
+
+
 def run_labeled_cells(
     cells: Sequence[LabeledCell],
     engine: Optional[str] = None,
@@ -638,6 +993,7 @@ def run_labeled_cells(
     journal: "SweepJournal | str | Path | None" = None,
     progress: Optional[bool] = None,
     evaluator: Optional[CellEvaluator] = None,
+    batch_cells: Optional[int] = None,
 ) -> List[CellOutcome]:
     """Execute labelled cells, returning one envelope per cell (in order).
 
@@ -658,6 +1014,18 @@ def run_labeled_cells(
     triggers up to ``pool_retries`` full-concurrency pool re-creations;
     if the crash persists, execution drops to one-cell-in-flight so the
     crashing cell is identified exactly and everything else completes.
+
+    ``engine="batch"`` keeps every per-cell contract above — identities,
+    journal entries (written under the fast engine's keys, since the
+    results are pinned equal), envelopes, per-cell ``cell.seconds`` —
+    but schedules pending cells in trace-sharing groups of
+    ``batch_cells`` (default ``REPRO_BATCH_CELLS``, then
+    :data:`DEFAULT_BATCH_CELLS`) through the vectorized batch kernels,
+    shipping each distinct trace to pooled workers once via shared
+    memory.  Cells without a batch kernel, and whole groups that fail or
+    time out as a unit, fall back to the per-cell machinery; custom
+    ``evaluator`` sweeps bypass grouping entirely (an evaluator is a
+    per-cell measurement by contract).
     """
     engine = engine_mod.resolve_engine(engine)
     workers = resolve_workers(workers)
@@ -693,29 +1061,23 @@ def run_labeled_cells(
             else:
                 pending.append(index)
 
-        if workers <= 1 or len(pending) <= 1:
-            for index in pending:
-                outcome = outcomes[index]
-                _, factory, parameter, trace = cells[index]
-                outcome.attempts += 1
-                cell_started = time.perf_counter()
-                with obs_tracing.span("cell", **_cell_attrs(outcome)) as cell_span:
-                    try:
-                        metrics = evaluate_cell(
-                            factory, parameter, trace, engine, evaluator
-                        )
-                    except Exception as exc:
-                        outcome.seconds = time.perf_counter() - cell_started
-                        outcome.error = f"{type(exc).__name__}: {exc}"
-                        telemetry.failed += 1
-                        if cell_span is not None:
-                            cell_span.attrs["error"] = outcome.error
-                    else:
-                        _record_success(
-                            outcome, metrics, time.perf_counter() - cell_started,
-                            journal, telemetry,
-                        )
-                _report_progress(progress, telemetry, outcome)
+        batched = engine == "batch" and evaluator is None and len(pending) > 1
+        if batched:
+            groups = _group_pending(cells, pending, resolve_batch_cells(batch_cells))
+            if workers <= 1:
+                _run_batched_inline(
+                    cells, outcomes, groups, engine, journal, progress, telemetry,
+                )
+            else:
+                _run_batched_pooled(
+                    cells, outcomes, groups, engine, workers, timeout, pool_retries,
+                    journal, progress, telemetry,
+                )
+        elif workers <= 1 or len(pending) <= 1:
+            _run_sequential(
+                cells, outcomes, pending, engine, journal, progress, telemetry,
+                evaluator,
+            )
         else:
             _run_pooled(
                 cells, outcomes, pending, engine, workers, timeout, pool_retries,

@@ -1,0 +1,212 @@
+"""Zero-copy trace distribution over POSIX shared memory.
+
+Pooled sweeps ship traces to workers either as :class:`TraceKey`-style
+recipes (each worker regenerates the trace) or, before this module, as
+pickled megabyte arrays.  Batched execution makes the regeneration cost
+visible — a batch group is one task, so the old per-process memoisation
+amortises over fewer cells — and pickling copies the arrays once per
+task.  Here the parent instead materialises the trace once into a
+``multiprocessing.shared_memory`` segment and sends workers a tiny
+:class:`SharedTraceHandle`; each worker maps the segment read-only and
+wraps the *same physical pages* in a :class:`~repro.trace.trace.Trace`
+(``Trace`` builds on ``np.asarray``, so no copy happens).
+
+Lifecycle contract:
+
+* The **parent** owns the segment: :meth:`SharedTrace.create` copies the
+  arrays in, and :meth:`SharedTrace.unlink` (idempotent) removes it.
+  Sweep code must unlink in a ``finally`` so failed sweeps
+  (:class:`~repro.perf.parallel.SweepCellError`, worker crashes,
+  timeouts) cannot leak ``/dev/shm`` entries.  If the parent itself is
+  SIGKILLed, the ``multiprocessing`` resource tracker — a separate
+  process that outlives it — unlinks every segment the parent created,
+  which is why the creator deliberately stays registered with it.
+* A **worker** only ever attaches.  Attaches are memoised per process
+  (one mapping no matter how many batch groups reuse the trace) and are
+  explicitly *unregistered* from the worker's resource tracker:
+  otherwise every attaching process records the segment as its own and
+  the first worker to exit destroys it for everyone (CPython < 3.13
+  tracks attached segments too; 3.13's ``track=False`` is not available
+  on this toolchain).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..trace.trace import Trace
+
+#: Prefix for every segment this module creates; tests match on it to
+#: assert nothing leaked into /dev/shm.
+SHM_PREFIX = "repro-trace"
+
+_NEXT_SEGMENT = 0
+
+
+def _segment_name() -> str:
+    """A per-process unique segment name (pid + counter)."""
+    global _NEXT_SEGMENT
+    _NEXT_SEGMENT += 1
+    return f"{SHM_PREFIX}-{os.getpid()}-{_NEXT_SEGMENT}"
+
+
+def _unregister_attachment(shm: shared_memory.SharedMemory) -> None:
+    """Undo the attach-time resource-tracker registration where it is
+    harmful.
+
+    CPython 3.11 registers a segment with the resource tracker on
+    *attach*, not just create.  A ``multiprocessing`` child shares the
+    parent's tracker process, so there the extra registration is
+    deduplicated and must be left alone — unregistering would erase the
+    creator's registration and lose the crash-cleanup guarantee.  A
+    standalone attaching process, however, runs its own tracker, which
+    would unlink the creator's segment when this process exits; that
+    registration must be dropped.
+    """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        return
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+
+
+@dataclass(frozen=True)
+class SharedTraceHandle:
+    """A picklable pointer to a trace living in shared memory.
+
+    Mirrors the recipe surface (``name``/``kind``/``max_refs`` plus
+    ``load()``) so the existing worker-side plumbing treats it exactly
+    like a :class:`~repro.perf.parallel.TraceKey`.  The sweep scheduler
+    never lets handles reach cell *identities* — journal keys are built
+    from the original recipe in the parent — so the handle only carries
+    what a worker needs to map and label the data.
+    """
+
+    shm_name: str
+    refs: int
+    name: str
+    kind: str
+    max_refs: int
+
+    def load(self) -> Trace:
+        return attach(self)
+
+
+#: Per-process attach memo: segment name -> (mapping, wrapped trace).
+#: The SharedMemory object must stay referenced for as long as the
+#: Trace's arrays do — both live here until detach_all().
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, Trace]] = {}
+
+
+def attach(handle: SharedTraceHandle) -> Trace:
+    """Map a shared segment and wrap it as a (zero-copy) Trace."""
+    cached = _ATTACHED.get(handle.shm_name)
+    if cached is not None:
+        return cached[1]
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    _unregister_attachment(shm)
+    try:
+        addrs = np.ndarray((handle.refs,), dtype=np.uint64, buffer=shm.buf)
+        kinds = np.ndarray(
+            (handle.refs,), dtype=np.uint8, buffer=shm.buf, offset=handle.refs * 8
+        )
+        trace = Trace(addrs, kinds, name=handle.name)
+    except Exception:
+        shm.close()
+        raise
+    _ATTACHED[handle.shm_name] = (shm, trace)
+    return trace
+
+
+def attached_count() -> int:
+    """How many segments this process currently has mapped (tests)."""
+    return len(_ATTACHED)
+
+
+def detach_all() -> None:
+    """Drop every memoised attachment (worker teardown / tests).
+
+    Closing invalidates the numpy views, so callers must not hold on to
+    traces returned by :func:`attach` across this call.
+    """
+    while _ATTACHED:
+        _, (shm, trace) = _ATTACHED.popitem()
+        del trace
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view alive
+            pass
+
+
+class SharedTrace:
+    """Parent-side owner of one shared-memory trace segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: SharedTraceHandle) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.handle = handle
+        self._unlinked = False
+
+    @classmethod
+    def create(cls, trace: Trace, recipe: object = None) -> "SharedTrace":
+        """Copy ``trace`` into a fresh segment and return its owner.
+
+        ``recipe`` (a TraceKey-like object) supplies the ``kind`` and
+        ``max_refs`` labels; a raw trace is labelled with its own length.
+        """
+        refs = len(trace)
+        size = max(1, refs * 8 + refs)  # uint64 addrs then uint8 kinds
+        shm = shared_memory.SharedMemory(create=True, name=_segment_name(), size=size)
+        if refs:
+            addrs_view = np.ndarray((refs,), dtype=np.uint64, buffer=shm.buf)
+            kinds_view = np.ndarray(
+                (refs,), dtype=np.uint8, buffer=shm.buf, offset=refs * 8
+            )
+            np.copyto(addrs_view, trace.addrs)
+            np.copyto(kinds_view, trace.kinds)
+            # Release the views before anyone tries to close the mapping:
+            # mmap refuses to close while exported buffers exist.
+            del addrs_view, kinds_view
+        handle = SharedTraceHandle(
+            shm_name=shm.name,
+            refs=refs,
+            name=trace.name or (str(getattr(recipe, "name", "")) or "<shared>"),
+            kind=str(getattr(recipe, "kind", "<trace>")),
+            max_refs=int(getattr(recipe, "max_refs", refs)),
+        )
+        return cls(shm, handle)
+
+    def unlink(self) -> None:
+        """Close and remove the segment (idempotent, crash-path safe)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - parent kept a view alive
+            pass
+        if not self._unlinked:
+            self._unlinked = True
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already removed
+                pass
+
+    def __enter__(self) -> "SharedTrace":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unlink()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop only
+        try:
+            self.unlink()
+        except Exception:
+            pass

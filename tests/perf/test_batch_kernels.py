@@ -1,0 +1,144 @@
+"""Differential tests for the batched dynamic-exclusion kernel.
+
+The batched tier promises *exact* agreement with the per-cell engines:
+every ``CacheStats`` field equal to the fast kernel and the reference
+simulator, and the ``fsm.*`` observability counters pinned equal too —
+the batch kernel replays the same FSM, so even its telemetry must be
+indistinguishable.  Geometries deliberately mix line sizes (word lines
+and the 16-byte refinement chain), cache sizes spanning the scalar-tail
+and wavefront regimes, and both cold hit-last polarities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.caches.geometry import CacheGeometry
+from repro.core.exclusion_cache import DynamicExclusionCache
+from repro.core.hitlast import IdealHitLastStore
+from repro.obs.metrics import MetricsRegistry, install_registry, uninstall_registry
+from repro.perf import engine
+from repro.perf.batch import DEBatchSpec, simulate_dynamic_exclusion_batch
+from repro.perf.kernels import simulate_dynamic_exclusion
+from repro.trace.trace import Trace
+from repro.workloads.registry import trace_by_kind
+
+TRACE_NAMES = ("gcc", "li", "espresso")
+GEOMETRIES = [
+    CacheGeometry(size, line_size)
+    for line_size in (4, 16)
+    for size in (1024, 8192, 65536)
+]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: trace_by_kind(name, "data", max_refs=6_000)
+            for name in TRACE_NAMES}
+
+
+def _specs():
+    return [
+        DEBatchSpec(geometry, default_hit_last=default)
+        for geometry in GEOMETRIES
+        for default in (True, False)
+    ]
+
+
+@pytest.mark.parametrize("name", TRACE_NAMES)
+def test_batch_matches_fast_kernel_exactly(traces, name):
+    trace = traces[name]
+    specs = _specs()
+    batched = simulate_dynamic_exclusion_batch(trace, specs)
+    for spec, stats in zip(specs, batched):
+        expected = simulate_dynamic_exclusion(
+            trace, spec.geometry, default_hit_last=spec.default_hit_last
+        )
+        assert stats == expected, (name, spec)
+
+
+def test_batch_matches_reference_engine(traces):
+    """One full-engine cross-check: batch == reference, field by field."""
+    trace = traces["gcc"]
+    for geometry in (CacheGeometry(2048, 4), CacheGeometry(16384, 4)):
+        spec = DEBatchSpec(geometry)
+        (batched,) = simulate_dynamic_exclusion_batch(trace, [spec])
+        reference = engine.simulate(
+            DynamicExclusionCache(geometry, store=IdealHitLastStore()),
+            trace, engine="reference",
+        )
+        assert batched == reference
+
+
+def _fsm_counters(fn):
+    registry = MetricsRegistry()
+    install_registry(registry)
+    try:
+        fn()
+    finally:
+        uninstall_registry()
+    totals = {}
+    for metric in registry.export():
+        if metric["name"].startswith("fsm."):
+            key = (metric["name"], metric["labels"].get("benchmark"))
+            totals[key] = totals.get(key, 0) + metric["value"]
+    return totals
+
+
+def test_fsm_counters_pinned_equal(traces):
+    trace = traces["li"]
+    specs = [
+        DEBatchSpec(CacheGeometry(size, 4)) for size in (1024, 8192, 65536)
+    ]
+    batched = _fsm_counters(
+        lambda: simulate_dynamic_exclusion_batch(trace, specs)
+    )
+    sequential = _fsm_counters(
+        lambda: [
+            simulate_dynamic_exclusion(trace, spec.geometry,
+                                       default_hit_last=True)
+            for spec in specs
+        ]
+    )
+    assert batched and batched == sequential
+
+
+def test_empty_trace():
+    empty = Trace(np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.uint8))
+    specs = [DEBatchSpec(CacheGeometry(1024, 4))]
+    (stats,) = simulate_dynamic_exclusion_batch(empty, specs)
+    assert stats.accesses == 0 and stats.misses == 0
+
+
+def test_empty_spec_list(traces):
+    assert simulate_dynamic_exclusion_batch(traces["gcc"], []) == []
+
+
+def test_single_cell_batch(traces):
+    trace = traces["espresso"]
+    spec = DEBatchSpec(CacheGeometry(4096, 4), default_hit_last=False)
+    (stats,) = simulate_dynamic_exclusion_batch(trace, [spec])
+    assert stats == simulate_dynamic_exclusion(
+        trace, spec.geometry, default_hit_last=False
+    )
+
+
+def test_rejects_associative_geometry():
+    with pytest.raises(ValueError):
+        DEBatchSpec(CacheGeometry(1024, 4, associativity=2))
+
+
+def test_engine_registry_round_trip():
+    """batch_spec_for must describe exactly the model the engine sees."""
+    geometry = CacheGeometry(8192, 4)
+    cache = DynamicExclusionCache(
+        geometry, store=IdealHitLastStore(default=False)
+    )
+    spec = engine.batch_spec_for(cache)
+    assert spec == DEBatchSpec(geometry, default_hit_last=False)
+    assert engine.is_batch_spec(spec)
+    assert engine.has_batch_kernel(cache)
+    # warmed-up models are not freshly cold: no batch eligibility
+    trace = trace_by_kind("gcc", "data", max_refs=500)
+    for address in trace.addrs[:16]:
+        cache.access(int(address))
+    assert engine.batch_spec_for(cache) is None

@@ -1,0 +1,170 @@
+"""Shared-memory trace distribution: lifecycle and leak tests.
+
+The contract under test (see ``repro.perf.shared``): the parent owns
+each segment and must unlink it on every exit path — clean completion,
+``SweepCellError`` sweeps, worker crashes — and workers only attach,
+through a per-process memo.  The leak assertions match on the module's
+``repro-trace`` name prefix in ``/dev/shm`` so an unrelated tenant of
+the host cannot flake them.
+"""
+
+import os
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import run_sweep
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.geometry import CacheGeometry
+from repro.perf import parallel
+from repro.perf.parallel import SweepCellError, TraceKey, run_labeled_cells
+from repro.perf.shared import (
+    SHM_PREFIX,
+    SharedTrace,
+    attach,
+    attached_count,
+    detach_all,
+)
+from repro.trace.trace import Trace
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _shm_entries():
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-tmpfs hosts
+        return set()
+    return {p.name for p in SHM_DIR.iterdir() if p.name.startswith(SHM_PREFIX)}
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    """Every test must end with the /dev/shm prefix set it started with."""
+    before = _shm_entries()
+    yield
+    detach_all()
+    assert _shm_entries() == before, "test leaked shared-memory segments"
+
+
+def _toy_trace(refs=64):
+    addrs = np.arange(refs, dtype=np.uint64) * 4
+    kinds = np.zeros(refs, dtype=np.uint8)
+    return Trace(addrs, kinds, name="toy")
+
+
+class TestRoundTrip:
+    def test_content_survives_the_segment(self):
+        trace = _toy_trace()
+        with SharedTrace.create(trace) as shared:
+            loaded = attach(shared.handle)
+            assert np.array_equal(loaded.addrs, trace.addrs)
+            assert np.array_equal(loaded.kinds, trace.kinds)
+            assert loaded.name == "toy"
+            detach_all()
+
+    def test_handle_mirrors_the_recipe_surface(self):
+        key = TraceKey("gcc", "instruction", 1_000)
+        trace = key.load()
+        with SharedTrace.create(trace, recipe=key) as shared:
+            handle = shared.handle
+            assert (handle.name, handle.kind, handle.max_refs) == (
+                "gcc", "instruction", 1_000,
+            )
+            assert parallel.is_trace_recipe(handle)
+            loaded = handle.load()
+            assert np.array_equal(loaded.addrs, trace.addrs)
+            detach_all()
+
+    def test_empty_trace_round_trips(self):
+        with SharedTrace.create(_toy_trace(refs=0)) as shared:
+            assert len(attach(shared.handle)) == 0
+            detach_all()
+
+    def test_attach_is_memoised_per_segment(self):
+        with SharedTrace.create(_toy_trace()) as shared:
+            first = attach(shared.handle)
+            assert attach(shared.handle) is first
+            assert attached_count() == 1
+            detach_all()
+            assert attached_count() == 0
+
+    def test_unlink_is_idempotent(self):
+        shared = SharedTrace.create(_toy_trace())
+        name = shared.handle.shm_name
+        assert name in _shm_entries()
+        shared.unlink()
+        assert name not in _shm_entries()
+        shared.unlink()  # second call must be a no-op, not an error
+
+
+@dataclass(frozen=True)
+class PoisonedFactory:
+    """Raises for every parameter — drives the SweepCellError path."""
+
+    def __call__(self, size: object) -> DirectMappedCache:
+        raise RuntimeError("poisoned factory")
+
+
+@dataclass(frozen=True)
+class KillOnceFactory:
+    """SIGKILLs its worker for one parameter while the sentinel exists."""
+
+    poison: int
+    sentinel: str
+
+    def __call__(self, size: object) -> DirectMappedCache:
+        if int(size) == self.poison and os.path.exists(self.sentinel):  # type: ignore[call-overload]
+            os.remove(self.sentinel)
+            os.kill(os.getpid(), signal.SIGKILL)
+        return DirectMappedCache(CacheGeometry(int(size), 4))  # type: ignore[call-overload]
+
+
+class TestSweepLifecycle:
+    TRACE = TraceKey("gcc", "instruction", 2_000)
+    SIZES = [1024, 2048, 4096]
+
+    def test_pooled_batch_sweep_cleans_up(self):
+        cells = [
+            ("dm", parallel_safe_factory(), size, self.TRACE)
+            for size in self.SIZES
+        ]
+        outcomes = run_labeled_cells(
+            cells, engine="batch", workers=2, journal=None, progress=False
+        )
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_failed_sweep_unlinks_segments(self):
+        with pytest.raises(SweepCellError):
+            run_sweep(
+                "size", self.SIZES, {"poisoned": PoisonedFactory()},
+                [self.TRACE], engine="batch", workers=2, journal=None,
+                progress=False,
+            )
+        # the autouse fixture asserts /dev/shm is clean afterwards
+
+    def test_sigkilled_worker_does_not_leak(self, tmp_path):
+        sentinel = tmp_path / "kill-once"
+        sentinel.write_text("armed")
+        factory = KillOnceFactory(poison=self.SIZES[1], sentinel=str(sentinel))
+        cells = [("dm", factory, size, self.TRACE) for size in self.SIZES]
+        outcomes = run_labeled_cells(
+            cells, engine="batch", workers=2, journal=None, progress=False
+        )
+        # the batch group dies with the worker, the scheduler retries on
+        # the per-cell path, and the second attempt (sentinel gone) works
+        assert all(outcome.ok for outcome in outcomes)
+        assert not sentinel.exists(), "the worker was never killed"
+
+
+@dataclass(frozen=True)
+class _DirectFactory:
+    line_size: int = 4
+
+    def __call__(self, size: object) -> DirectMappedCache:
+        return DirectMappedCache(CacheGeometry(int(size), self.line_size))  # type: ignore[call-overload]
+
+
+def parallel_safe_factory() -> _DirectFactory:
+    return _DirectFactory()
