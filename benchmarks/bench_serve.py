@@ -1,0 +1,74 @@
+"""Warm-vs-cold serving latency for the result-store daemon.
+
+Boots a :class:`~repro.serve.ResultServer` on an ephemeral port over a
+fresh store, then times the same ``POST /run`` twice end to end through
+the HTTP client:
+
+* **cold** — the store is empty, every cell is simulated;
+* **warm** — the identical request again: the plan resolves every cell
+  key against the store, zero simulations run, and the response is
+  assembled from the index.
+
+The ratio is the economic claim of ``repro serve`` — a repeat query
+costs index lookups, not simulation — so it is the gated metric in
+``bench_serve.json`` (warm latency is min-of-N to keep a loaded CI
+runner from flaking the gate; the cold run is the one-time cost and is
+reported but not gated on its absolute value).
+"""
+
+import time
+
+from conftest import write_json_result
+
+from repro.serve import ResultServer, ServeClient
+from repro.store import open_store
+
+SPEC = "fig04"
+WARM_ROUNDS = 5
+SPEEDUP_FLOOR = 5.0  # measured ~40x at scale 0.05; generous CI margin
+
+
+def test_serve_warm_vs_cold(results_dir, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SCALE", "0.05")
+    store = open_store(tmp_path / "store")
+    with ResultServer(store, port=0) as server:
+        client = ServeClient(server.url)
+
+        start = time.perf_counter()
+        cold = client.run(SPEC)
+        cold_seconds = time.perf_counter() - start
+        assert cold["manifest"]["cells_computed"] > 0
+
+        warm_seconds = float("inf")
+        for _ in range(WARM_ROUNDS):
+            start = time.perf_counter()
+            warm = client.run(SPEC)
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+            assert warm["manifest"]["cells_computed"] == 0
+
+    assert cold["result"] == warm["result"]
+    speedup = cold_seconds / warm_seconds
+    print(
+        f"\ncold: {cold_seconds:.3f}s  warm(best of {WARM_ROUNDS}): "
+        f"{warm_seconds:.3f}s  speedup: {speedup:.1f}x"
+    )
+    write_json_result(
+        results_dir,
+        "bench_serve",
+        config={
+            "spec": SPEC,
+            "cells": cold["manifest"]["cells_total"],
+            "trace_scale": 0.05,
+            "warm_rounds": WARM_ROUNDS,
+        },
+        metrics={
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_vs_cold_speedup": round(speedup, 2),
+        },
+        gate=["warm_vs_cold_speedup"],
+    )
+    assert speedup > SPEEDUP_FLOOR, (
+        f"warm serving only {speedup:.1f}x faster than cold "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )

@@ -1,6 +1,6 @@
 """General-purpose command line tools.
 
-Six subcommands make the library usable without writing Python:
+Eight subcommands make the library usable without writing Python:
 
 * ``trace``    — generate a benchmark trace and write it as din text;
 * ``simulate`` — run a cache configuration over a din trace (or a named
@@ -10,7 +10,11 @@ Six subcommands make the library usable without writing Python:
 * ``experiments`` — the paper-figure registry (same flags as
   ``python -m repro.experiments``);
 * ``obs``      — observability tools; ``obs summarize DIR`` renders the
-  span tree, manifest, and slowest cells of a ``--trace-dir`` run.
+  span tree, manifest, and slowest cells of a ``--trace-dir`` run;
+* ``serve``    — run the result-store daemon (:mod:`repro.serve`) over
+  a content-addressed journal store;
+* ``query``    — talk to a running daemon: list specs, look up a stored
+  cell by content key, or run an experiment server-side.
 
 Examples::
 
@@ -21,11 +25,14 @@ Examples::
     python -m repro.cli experiments --only fig04 --engine fast --workers 4
     python -m repro.cli experiments --only fig05 --engine fast --trace-dir /tmp/obs
     python -m repro.cli obs summarize /tmp/obs
+    python -m repro.cli serve --store /tmp/results --port 8377
+    python -m repro.cli query run fig04 --url http://127.0.0.1:8377
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Union
@@ -170,6 +177,80 @@ def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from . import env
+    from .serve import ResultServer
+    from .store import open_store
+
+    store_dir = args.store or env.serve_store()
+    if not store_dir:
+        raise SystemExit(
+            "serve needs a store directory: pass --store DIR or set REPRO_SERVE_STORE"
+        )
+    store = open_store(store_dir, extra_sources=args.journals or ())
+    ingested = store.refresh()
+    server = ResultServer(
+        store, host=args.host, port=args.port, default_engine=args.engine
+    )
+    print(
+        f"serving {store_dir} ({len(store)} cells, {ingested} ingested, "
+        f"{len(store.sources())} journals) at {server.url}",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        if args.query_command == "specs":
+            for spec in client.specs():
+                marker = " (hidden)" if spec.get("hidden") else ""
+                print(f"{spec['id']:12s} [{spec['kind']:7s}] {spec['title']}{marker}")
+            return 0
+        if args.query_command == "cell":
+            print(json.dumps(client.cell(args.key), indent=2, sort_keys=True))
+            return 0
+        # query run: stream progress to stderr, artefact to stdout
+        def on_event(event: dict) -> None:
+            kind = event.get("event")
+            if kind == "plan":
+                print(
+                    f"[plan] {event['cells']} cells, {event['cached']} cached, "
+                    f"{event['pending']} to compute [{event['engine']}]",
+                    file=sys.stderr,
+                )
+            elif kind == "cell" and args.progress:
+                status = "cached" if event["cached"] else f"{event['seconds']:.3f}s"
+                print(
+                    f"[cell] {event['label']} | {event['parameter']} | "
+                    f"{event['trace']} ({status})",
+                    file=sys.stderr,
+                )
+
+        done = client.run(
+            args.spec, engine=args.engine, workers=args.workers, on_event=on_event
+        )
+        manifest = done["manifest"]
+        print(
+            f"[done] run {done['run_id']}: {manifest['cells_computed']} computed, "
+            f"{manifest['cells_cached']} cached in {manifest['wall_seconds']:.3f}s",
+            file=sys.stderr,
+        )
+        print(done["report"])
+        return 0
+    except ServeError as exc:
+        raise SystemExit(str(exc))
+
+
 def _add_trace_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("trace", help="din file path or benchmark name")
     parser.add_argument("--kind", default="instruction",
@@ -265,6 +346,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many slowest cells to show (default 10)",
     )
     summarize_parser.set_defaults(func=_cmd_obs_summarize)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the result-store daemon over a content-addressed journal store",
+    )
+    serve_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store directory: the writable primary journal plus run "
+        "manifests live here (default: REPRO_SERVE_STORE)",
+    )
+    serve_parser.add_argument(
+        "--journals", action="append", default=None, metavar="DIR",
+        help="extra read-only journal directory to index (repeatable), "
+        "e.g. past --resume-dir runs",
+    )
+    serve_parser.add_argument(
+        "--host", default=None,
+        help="bind address (default: REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None,
+        help="bind port, 0 for ephemeral (default: REPRO_SERVE_PORT or 8377)",
+    )
+    serve_parser.add_argument(
+        "--engine", choices=list(ENGINES), default="fast",
+        help="engine for cells the store does not hold yet (default fast; "
+        "batch shares the fast tier's store keys)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="default process-pool size for server-side sweeps "
+        "(default: REPRO_WORKERS or 1)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    query_parser = sub.add_parser(
+        "query", help="query a running result-store daemon"
+    )
+    query_parser.add_argument(
+        "--url", default=None,
+        help="daemon base URL (default: REPRO_SERVE_URL or "
+        "http://REPRO_SERVE_HOST:REPRO_SERVE_PORT)",
+    )
+    query_sub = query_parser.add_subparsers(dest="query_command", required=True)
+    query_sub.add_parser("specs", help="list the daemon's experiment registry")
+    cell_parser = query_sub.add_parser(
+        "cell", help="look up one stored cell by its content key"
+    )
+    cell_parser.add_argument("key", help="sha256 content key of the cell")
+    run_parser = query_sub.add_parser(
+        "run", help="run an experiment server-side (cached cells are free)"
+    )
+    run_parser.add_argument("spec", help="experiment spec id; see 'query specs'")
+    run_parser.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="engine for newly computed cells (default: the daemon's)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="server-side process-pool size for this run",
+    )
+    run_parser.add_argument(
+        "--progress", action="store_true",
+        help="print each newly resolved cell on stderr as it streams in",
+    )
+    query_parser.set_defaults(func=_cmd_query)
 
     return parser
 

@@ -17,7 +17,15 @@ them carried its own copy of the parsing and error wording.  The rules:
   a per-phase breakdown (see :mod:`repro.obs.profiling`);
 * ``REPRO_BATCH_CELLS`` — maximum cells the batched engine groups into
   one vectorized kernel invocation (integer >= 1; unset uses the
-  scheduler default, see :mod:`repro.perf.parallel`).
+  scheduler default, see :mod:`repro.perf.parallel`);
+* ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT`` — bind address for the
+  ``repro serve`` result-store daemon (default ``127.0.0.1:8377``;
+  port 0 asks the OS for an ephemeral port);
+* ``REPRO_SERVE_STORE`` — default store directory for ``repro serve``
+  (unset means the CLI's ``--store`` flag is required);
+* ``REPRO_SERVE_URL`` — default base URL for ``repro query`` and the
+  serve client (default ``http://<host>:<port>`` from the two knobs
+  above).
 
 :func:`validate` is the eager startup check both CLIs run so a typo'd
 variable fails before any trace is generated, with one shared error
@@ -48,8 +56,14 @@ def trace_scale() -> float:
 
 
 def max_refs() -> int:
-    """The per-trace reference budget after scaling."""
-    return int(BASE_MAX_REFS * trace_scale())
+    """The per-trace reference budget after scaling (never below 1).
+
+    A tiny ``REPRO_TRACE_SCALE`` (anything below 1/BASE_MAX_REFS) used
+    to truncate the budget to 0, and every downstream sweep then failed
+    with a confusing empty-trace error; the floor keeps even absurd
+    scales runnable.
+    """
+    return max(1, int(BASE_MAX_REFS * trace_scale()))
 
 
 def env_workers() -> Optional[int]:
@@ -78,6 +92,60 @@ def env_batch_cells() -> Optional[int]:
     if cells < 1:
         raise ValueError("REPRO_BATCH_CELLS must be at least 1")
     return cells
+
+
+# -- result-store daemon (repro serve / repro query) ---------------------------
+
+#: Default bind address for the serve daemon.
+DEFAULT_SERVE_HOST = "127.0.0.1"
+#: Default TCP port for the serve daemon (0 = OS-assigned ephemeral).
+DEFAULT_SERVE_PORT = 8377
+
+
+def serve_host() -> str:
+    """The REPRO_SERVE_HOST bind address (default ``127.0.0.1``)."""
+    raw = os.environ.get("REPRO_SERVE_HOST", DEFAULT_SERVE_HOST).strip()
+    if not raw:
+        raise ValueError("REPRO_SERVE_HOST must be a non-empty host name")
+    return raw
+
+
+def serve_port() -> int:
+    """The validated REPRO_SERVE_PORT setting (default 8377; 0 = ephemeral)."""
+    raw = os.environ.get("REPRO_SERVE_PORT")
+    if raw is None:
+        return DEFAULT_SERVE_PORT
+    try:
+        port = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SERVE_PORT must be an integer, got {raw!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"REPRO_SERVE_PORT must be in 0..65535, got {port}")
+    return port
+
+
+def serve_store() -> Optional[str]:
+    """The REPRO_SERVE_STORE default store directory (None when unset)."""
+    raw = os.environ.get("REPRO_SERVE_STORE")
+    if raw is None:
+        return None
+    raw = raw.strip()
+    if not raw:
+        raise ValueError("REPRO_SERVE_STORE must be a non-empty directory path")
+    return raw
+
+
+def serve_url() -> str:
+    """The client-side base URL (REPRO_SERVE_URL, or built from host/port)."""
+    raw = os.environ.get("REPRO_SERVE_URL")
+    if raw is None:
+        return f"http://{serve_host()}:{serve_port()}"
+    raw = raw.strip().rstrip("/")
+    if not raw.startswith(("http://", "https://")):
+        raise ValueError(
+            f"REPRO_SERVE_URL must start with http:// or https://, got {raw!r}"
+        )
+    return raw
 
 
 #: Accepted ``REPRO_LOG_LEVEL`` values (mirrors repro.obs.logs.LOG_LEVELS;
@@ -125,3 +193,7 @@ def validate() -> None:
     trace_scale()
     log_level()
     profile_enabled()
+    serve_host()
+    serve_port()
+    serve_store()
+    serve_url()

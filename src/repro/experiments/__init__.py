@@ -16,7 +16,11 @@ from typing import Dict
 from .spec import (
     ExperimentSpec,
     all_specs,
+    collect_result,
+    fingerprint_digest,
     get_spec,
+    grid_cells,
+    grid_from_outcomes,
     register,
     render_spec,
     run_spec,
@@ -73,7 +77,11 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentSpec",
     "all_specs",
+    "collect_result",
+    "fingerprint_digest",
     "get_spec",
+    "grid_cells",
+    "grid_from_outcomes",
     "register",
     "render_spec",
     "run_spec",

@@ -26,7 +26,6 @@ functions).  ``repro.cli obs summarize DIR`` renders them.
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import sys
 import time
@@ -36,7 +35,7 @@ from typing import List, Optional
 from .. import obs, perf
 from ..env import profile_enabled
 from ..env import validate as validate_env
-from .spec import ExperimentSpec, get_spec, render_spec, run_spec
+from .spec import ExperimentSpec, fingerprint_digest, get_spec, render_spec, run_spec
 
 _log = obs.get_logger("experiments")
 
@@ -239,7 +238,7 @@ def _run_observed(
             tracer.close()
             manifest = obs.build_manifest(
                 spec_id=spec.id,
-                spec_fingerprint=_fingerprint_digest(spec),
+                spec_fingerprint=fingerprint_digest(spec),
                 engine=args.engine or perf.default_engine(),
                 workers=perf.resolve_workers(args.workers),
                 wall_seconds=wall,
@@ -261,11 +260,6 @@ def _run_spec_args(
         journal=str(resume_dir) if resume_dir is not None else None,
         progress=True if args.progress else None,
     )
-
-
-def _fingerprint_digest(spec: ExperimentSpec) -> str:
-    """Short stable digest of the spec's content fingerprint."""
-    return hashlib.sha256(spec.fingerprint().encode("utf-8")).hexdigest()[:16]
 
 
 def main(argv: "List[str] | None" = None) -> int:

@@ -30,6 +30,7 @@ under :func:`run_spec` unchanged.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import types
 from dataclasses import dataclass, field
@@ -157,6 +158,15 @@ class ExperimentSpec:
             "compute": _stable_print(self.compute, self.id),
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_digest(spec: "ExperimentSpec") -> str:
+    """Short stable sha256 digest of a spec's content fingerprint.
+
+    The form recorded in run manifests and served by ``repro.serve`` —
+    compact enough for logs, stable across processes and sessions.
+    """
+    return hashlib.sha256(spec.fingerprint().encode("utf-8")).hexdigest()[:16]
 
 
 def _stable_print(obj: object, spec_id: str) -> str:
@@ -326,22 +336,25 @@ def run_spec(
             result = spec.derive(*bases)
         else:
             grid = _run_grid(spec, engine, workers, journal, progress, timeout)
-            collect = spec.collect if spec.collect is not None else collect_sweep
-            result = collect(grid)
+            result = collect_result(spec, grid)
 
     _RESULT_CACHE[key] = result
     return result
 
 
-def _run_grid(
+def grid_cells(
     spec: ExperimentSpec,
-    engine: Optional[str],
-    workers: Optional[int],
-    journal: "parallel.SweepJournal | str | None",
-    progress: Optional[bool],
-    timeout: Optional[float],
-) -> GridResult:
-    labels = [label for label, _ in spec.factories]
+) -> "Tuple[List[parallel.LabeledCell], Dict[object, Sequence[TraceLike]]]":
+    """Enumerate a grid spec's labelled cells (and traces per parameter).
+
+    The cell order is the executor's contract — parameter-major, then
+    factory label, then trace — and the trace recipes carry the current
+    ``REPRO_TRACE_SCALE`` budget.  ``repro.serve`` uses this to compute
+    every cell's content key *without* running anything, so a fully
+    cached spec is answered straight from the result store.
+    """
+    if spec.kind != "grid":
+        raise ValueError(f"spec {spec.id!r} is {spec.kind}, not a grid spec")
     traces_by_parameter: Dict[object, Sequence[TraceLike]] = {}
     cells: List[parallel.LabeledCell] = []
     for parameter in spec.parameters:
@@ -355,20 +368,21 @@ def _run_grid(
         for label, factory in spec.factories:
             for trace in traces:
                 cells.append((label, factory, parameter, trace))
+    return cells, traces_by_parameter
 
-    outcomes = parallel.run_labeled_cells(
-        cells,
-        engine=engine if engine is not None else spec.engine,
-        workers=workers,
-        timeout=timeout,
-        journal=journal,
-        progress=progress,
-        evaluator=spec.evaluator,
-    )
+
+def grid_from_outcomes(
+    spec: ExperimentSpec,
+    outcomes: "List[CellOutcome]",
+    traces_by_parameter: "Dict[object, Sequence[TraceLike]]",
+) -> GridResult:
+    """Shape executed cell envelopes (in :func:`grid_cells` order) into a
+    :class:`GridResult`; any failed envelope raises
+    :class:`~repro.perf.parallel.SweepCellError` naming its cells."""
     failures = [outcome for outcome in outcomes if not outcome.ok]
     if failures:
         raise SweepCellError(failures, len(outcomes))
-
+    labels = [label for label, _ in spec.factories]
     grid = GridResult(
         parameter_name=spec.parameter_name,
         parameters=list(spec.parameters),
@@ -386,6 +400,33 @@ def _run_grid(
             position += len(traces)
             grid._cells[(label, parameter)] = [o.metrics or {} for o in per_trace]
     return grid
+
+
+def collect_result(spec: ExperimentSpec, grid: GridResult) -> object:
+    """Apply the spec's ``collect`` (default: mean-miss-rate sweep)."""
+    collect = spec.collect if spec.collect is not None else collect_sweep
+    return collect(grid)
+
+
+def _run_grid(
+    spec: ExperimentSpec,
+    engine: Optional[str],
+    workers: Optional[int],
+    journal: "parallel.SweepJournal | str | None",
+    progress: Optional[bool],
+    timeout: Optional[float],
+) -> GridResult:
+    cells, traces_by_parameter = grid_cells(spec)
+    outcomes = parallel.run_labeled_cells(
+        cells,
+        engine=engine if engine is not None else spec.engine,
+        workers=workers,
+        timeout=timeout,
+        journal=journal,
+        progress=progress,
+        evaluator=spec.evaluator,
+    )
+    return grid_from_outcomes(spec, outcomes, traces_by_parameter)
 
 
 def render_spec(spec: "ExperimentSpec | str", result: Optional[object] = None) -> str:

@@ -20,6 +20,7 @@ import os
 import platform
 import subprocess
 import sys
+import uuid
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -90,15 +91,32 @@ def build_manifest(
 
 
 def write_manifest(directory: Union[str, Path], manifest: Dict[str, object]) -> Path:
-    """Write ``run_manifest.json`` atomically (rename over temp file)."""
+    """Write ``run_manifest.json`` atomically (rename over temp file).
+
+    The temp name embeds the pid and a random suffix: two concurrent
+    runs sharing a directory each rename their *own* fully written file
+    (last writer wins), instead of tearing a shared ``.tmp``.  The data
+    is fsynced before the rename so the manifest that appears under the
+    final name is never a partially flushed file, even across a crash.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / MANIFEST_FILENAME
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    tmp.replace(path)
+    tmp = directory / f".{MANIFEST_FILENAME}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+    finally:
+        # On any failure after creation (ENOSPC mid-write, a raced
+        # unlink), don't leave the temp file behind.
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
     return path
 
 

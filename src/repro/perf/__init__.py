@@ -60,7 +60,9 @@ from .parallel import (
     drain_telemetry,
     env_workers,
     evaluate_cell,
+    identity_for,
     is_trace_recipe,
+    outcome_observer,
     resolve_batch_cells,
     resolve_workers,
     run_cells,
@@ -95,8 +97,10 @@ __all__ = [
     "evaluate_cell",
     "has_batch_kernel",
     "has_kernel",
+    "identity_for",
     "is_trace_recipe",
     "kernel_for",
+    "outcome_observer",
     "parameter_from_json",
     "registered_kernel_types",
     "resolve_batch_cells",

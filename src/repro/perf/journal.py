@@ -77,8 +77,20 @@ def is_stable_parameter(value: object) -> bool:
 
 
 def content_key(payload: dict) -> str:
-    """Deterministic hex digest of a cell-identity payload dict."""
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    """Deterministic hex digest of a cell-identity payload dict.
+
+    ``allow_nan=False`` rejects non-finite floats outright: Python would
+    otherwise serialise them as bare ``NaN``/``Infinity`` tokens, which
+    are not JSON — and ``NaN != NaN``, so such a payload could never be
+    a stable content address anyway.
+    """
+    try:
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    except ValueError:
+        raise ValueError(
+            f"cell-identity payload contains a non-finite float and has no "
+            f"stable content key: {payload!r}"
+        ) from None
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
@@ -176,6 +188,16 @@ class SweepJournal:
         for key, fields, metrics, seconds in entries:
             if not isinstance(metrics, dict):
                 metrics = {"miss_rate": float(metrics)}
+            for name, value in metrics.items():
+                if not math.isfinite(value):
+                    # json.dumps would emit a bare NaN/Infinity token —
+                    # not JSON, unreadable by other tools — and a
+                    # non-finite metric is a broken measurement, not a
+                    # result worth replaying.
+                    raise ValueError(
+                        f"journal entry {key!r} metric {name!r} is "
+                        f"non-finite ({value!r}); refusing to record it"
+                    )
             entry = {
                 "kind": "sweep-cell",
                 "version": JOURNAL_VERSION,
@@ -192,7 +214,7 @@ class SweepJournal:
             return
         with self.path.open("a", encoding="utf-8") as handle:
             for _, entry in built:
-                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                handle.write(json.dumps(entry, sort_keys=True, allow_nan=False) + "\n")
             handle.flush()
         for key, entry in built:
             self._entries[key] = entry

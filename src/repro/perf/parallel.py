@@ -41,6 +41,7 @@ import sys
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -612,6 +613,12 @@ def _resolve_journal(journal: "SweepJournal | str | Path | None") -> Optional[Sw
         return SweepJournal(_DEFAULT_JOURNAL_DIR)
     if isinstance(journal, SweepJournal):
         return journal
+    # Anything speaking the journal protocol — get/record/record_many —
+    # works as a cell cache; repro.store.ResultStore passes itself here
+    # so sweeps replay from (and record into) the content-addressed
+    # store instead of one bare journal file.
+    if hasattr(journal, "get") and hasattr(journal, "record_many"):
+        return journal  # type: ignore[return-value]
     return SweepJournal(journal)
 
 
@@ -657,7 +664,40 @@ def _record_success(
         journal.record(identity.key(), identity.payload(), metrics, seconds)
 
 
+# Per-thread hook observing every resolved cell (cached, computed, or
+# failed) as run_labeled_cells reports it.  Thread-local so concurrent
+# sweeps — e.g. two serve requests on different handler threads — each
+# stream only their own cells.
+_OUTCOME_OBSERVER = threading.local()
+
+
+@contextmanager
+def outcome_observer(callback: "Callable[[SweepTelemetry, CellOutcome], None]"):
+    """Observe each resolved cell of any sweep run on this thread.
+
+    The callback receives the run's live telemetry and the cell's
+    envelope at the same points ``--progress`` would print a line:
+    journal replays, pooled/batched completions, and failures alike.
+    ``repro.serve`` uses this to stream per-cell progress over HTTP.
+    Callback exceptions are swallowed (and counted under the
+    ``sweep.observer_errors`` metric): a broken observer must not
+    poison the sweep it is watching.
+    """
+    previous = getattr(_OUTCOME_OBSERVER, "callback", None)
+    _OUTCOME_OBSERVER.callback = callback
+    try:
+        yield
+    finally:
+        _OUTCOME_OBSERVER.callback = previous
+
+
 def _report_progress(enabled: bool, telemetry: SweepTelemetry, outcome: CellOutcome) -> None:
+    observer = getattr(_OUTCOME_OBSERVER, "callback", None)
+    if observer is not None:
+        try:
+            observer(telemetry, outcome)
+        except Exception:
+            obs_metrics.counter("sweep.observer_errors")
     if not enabled:
         return
     resolved = telemetry.completed + telemetry.failed

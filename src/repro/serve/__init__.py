@@ -1,0 +1,30 @@
+"""repro.serve — the result-store daemon and its client.
+
+The network face of the content-addressed result store
+(:mod:`repro.store`): a dependency-free HTTP/JSON API over the
+experiment-spec registry, answering repeat queries from the store in
+O(1) per cell and spending simulation time only on genuinely new
+cells.
+
+* :class:`ResultServer` (:mod:`.server`) — a ``ThreadingHTTPServer``
+  daemon exposing ``GET /specs``, ``GET /spec/<id>``,
+  ``GET /cell/<key>``, ``GET /healthz``, ``GET /metrics``, and a
+  streaming ``POST /run``;
+* :class:`ServeClient` (:mod:`.client`) — the ``urllib``-based client
+  behind ``repro query`` and the serve tests/benchmarks.
+
+Start a daemon with ``python -m repro.cli serve --store DIR`` and query
+it with ``python -m repro.cli query run fig04``.
+"""
+
+from .client import ServeClient, ServeError
+from .server import ResultServer, ServeUnsupportedError, expand_grid_specs, plan_grid
+
+__all__ = [
+    "ResultServer",
+    "ServeClient",
+    "ServeError",
+    "ServeUnsupportedError",
+    "expand_grid_specs",
+    "plan_grid",
+]

@@ -1,0 +1,135 @@
+"""The stdlib client for the result-store daemon.
+
+``urllib.request`` only — the serving stack stays dependency-free end
+to end.  :class:`ServeClient` mirrors the server's routes one method
+each; :meth:`ServeClient.run` consumes the NDJSON stream of a
+``POST /run``, invoking an optional callback per event (the CLI uses
+it for live progress) and returning the final ``done`` payload.
+
+Error contract: transport failures and non-2xx responses raise
+:class:`ServeError` with the server's own ``error`` text when the body
+carried one; a run that streams an ``error`` event (unsupported spec,
+failed cells) raises :class:`ServeError` too, so callers never have to
+inspect event dicts to learn a run failed.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Callable, Iterator, List, Optional
+
+from .. import env
+
+#: Per-request socket timeout (seconds).  Generous because a cold
+#: ``POST /run`` holds the connection for the whole sweep; the stream's
+#: per-cell events keep the socket active well inside this window.
+DEFAULT_TIMEOUT = 600.0
+
+
+class ServeError(RuntimeError):
+    """A serve request failed (transport, HTTP status, or run error)."""
+
+    def __init__(self, message: str, status: "Optional[int]" = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServeClient:
+    """A client bound to one daemon URL (default: ``REPRO_SERVE_URL``)."""
+
+    def __init__(
+        self, url: "Optional[str]" = None, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        self.url = (url or env.serve_url()).rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _open(self, path: str, body: "Optional[dict]" = None):
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=None if body is None else json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="GET" if body is None else "POST",
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServeError(
+                f"{path}: HTTP {exc.code}" + (f": {detail}" if detail else ""),
+                status=exc.code,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach {self.url}: {exc.reason}") from None
+
+    def _get_json(self, path: str) -> dict:
+        with self._open(path) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # -- one method per route --------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._get_json("/healthz")
+
+    def specs(self) -> "List[dict]":
+        return self._get_json("/specs")["specs"]
+
+    def spec(self, spec_id: str) -> dict:
+        return self._get_json(f"/spec/{spec_id}")
+
+    def cell(self, key: str) -> dict:
+        return self._get_json(f"/cell/{key}")
+
+    def metrics(self) -> "List[dict]":
+        return self._get_json("/metrics")["metrics"]
+
+    def run_events(
+        self,
+        spec_id: str,
+        engine: "Optional[str]" = None,
+        workers: "Optional[int]" = None,
+    ) -> "Iterator[dict]":
+        """Stream a run's NDJSON events as dicts (plan, cell*, done|error)."""
+        body: dict = {"spec": spec_id}
+        if engine is not None:
+            body["engine"] = engine
+        if workers is not None:
+            body["workers"] = workers
+        with self._open("/run", body) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def run(
+        self,
+        spec_id: str,
+        engine: "Optional[str]" = None,
+        workers: "Optional[int]" = None,
+        on_event: "Optional[Callable[[dict], None]]" = None,
+    ) -> dict:
+        """Run a spec on the daemon and return the final ``done`` payload.
+
+        ``on_event`` sees every streamed event (including the final
+        one).  Raises :class:`ServeError` if the stream reports an
+        error or ends without a ``done`` event.
+        """
+        done: "Optional[dict]" = None
+        for event in self.run_events(spec_id, engine=engine, workers=workers):
+            if on_event is not None:
+                on_event(event)
+            kind = event.get("event")
+            if kind == "error":
+                raise ServeError(f"run {spec_id!r} failed: {event.get('error')}")
+            if kind == "done":
+                done = event
+        if done is None:
+            raise ServeError(f"run {spec_id!r}: stream ended without a done event")
+        return done

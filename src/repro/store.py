@@ -1,0 +1,286 @@
+"""Content-addressed result store over the sweep-journal format.
+
+The journal (:mod:`repro.perf.journal`) already keys every completed
+sweep cell by a sha256 content hash of its full identity, but each
+:class:`~repro.perf.journal.SweepJournal` reads exactly one
+``journal.jsonl``.  A production result service wants the union: every
+journal this machine (or a fleet) has ever written, deduplicated by
+cell key, behind one lookup — so repeat queries are O(1) hits and only
+genuinely new cells cost simulation time.
+
+:class:`ResultStore` provides that union:
+
+* **many sources, one index** — the store owns a writable *primary*
+  journal and merges any number of read-only extra journal files or
+  directories at load time, in source order, last-wins per key (the
+  same rule ``SweepJournal`` applies within one file);
+* **integrity on load** — every candidate line must be a well-formed
+  ``sweep-cell`` entry of a known version whose metrics pass
+  :meth:`SweepJournal.entry_metrics`; anything else (torn tail, future
+  version, corrupted metrics) is counted in :class:`StoreStats` and
+  skipped, never served;
+* **incremental refresh** — :meth:`refresh` tails every source from its
+  last byte offset, picking up entries appended by concurrent writers
+  without re-reading gigabytes of history (only complete,
+  newline-terminated lines are consumed, so a torn tail is retried on
+  the next refresh rather than mis-parsed);
+* **journal protocol** — ``get``/``record``/``record_many`` match
+  :class:`SweepJournal`, so a store passes directly as the ``journal=``
+  argument of :func:`repro.perf.parallel.run_labeled_cells`: cached
+  cells replay from the whole store, new results append to the primary
+  and are immediately servable.
+
+The server in :mod:`repro.serve` is the network face of this class.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .perf.journal import JOURNAL_FILENAME, JOURNAL_VERSION, SweepJournal
+
+__all__ = ["ResultStore", "StoreStats", "open_store"]
+
+
+@dataclass
+class StoreStats:
+    """Load/refresh accounting: what the index accepted and why not.
+
+    ``entries`` is the live index size; ``duplicates`` counts keys that
+    were overwritten by a later source or line (last-wins); ``skipped``
+    counts lines rejected by the integrity checks (unknown kind, future
+    version, missing key, unusable metrics).  ``sources`` maps each
+    journal file to the byte offset consumed so far.
+    """
+
+    entries: int = 0
+    duplicates: int = 0
+    skipped: int = 0
+    sources: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "entries": self.entries,
+            "duplicates": self.duplicates,
+            "skipped": self.skipped,
+            "sources": dict(sorted(self.sources.items())),
+        }
+
+
+def _journal_path(source: Union[str, Path]) -> Path:
+    """A journal file: either the path itself or ``<dir>/journal.jsonl``.
+
+    A source that does not exist yet is classified by its name — only
+    an explicit ``*.jsonl`` path is a file; anything else is a journal
+    directory that will be tailed once it appears.
+    """
+    path = Path(source)
+    if path.is_file() or path.suffix == ".jsonl":
+        return path
+    return path / JOURNAL_FILENAME
+
+
+class ResultStore:
+    """A deduplicated, content-addressed index over many sweep journals.
+
+    ``primary`` is the writable journal directory — new results recorded
+    through the store append there (and only there).  ``extra_sources``
+    are read-only journal files or directories merged into the index;
+    they are tailed again on every :meth:`refresh`, so a store can watch
+    directories that other sweep runs are still appending to.
+
+    Thread safety: the index is guarded by one lock, so a serving
+    daemon's request threads can read while a run thread records.
+    """
+
+    def __init__(
+        self,
+        primary: Union[str, Path],
+        extra_sources: "Sequence[str | Path]" = (),
+    ) -> None:
+        self.primary_dir = Path(primary)
+        self.journal = SweepJournal(self.primary_dir)
+        self._lock = threading.RLock()
+        self._entries: Dict[str, dict] = {}
+        self._stats = StoreStats()
+        # Primary journal first, extras in caller order: a later source
+        # wins a key collision, and within one file the later line wins
+        # — exactly SweepJournal's own replay rule, extended across files.
+        self._sources: List[Path] = [self.journal.path]
+        for source in extra_sources:
+            self.add_source(source)
+        self.refresh()
+
+    # -- sources ---------------------------------------------------------------
+
+    def add_source(self, source: Union[str, Path]) -> Path:
+        """Merge another journal file or directory into the index.
+
+        Returns the resolved journal path.  The new source is read on
+        the next :meth:`refresh` (call it yourself for immediate
+        visibility); a missing file is fine — it is tailed from offset 0
+        whenever it appears.
+        """
+        path = _journal_path(source)
+        with self._lock:
+            if path not in self._sources:
+                self._sources.append(path)
+        return path
+
+    def sources(self) -> List[Path]:
+        """The journal files feeding the index, primary first."""
+        with self._lock:
+            return list(self._sources)
+
+    # -- loading ---------------------------------------------------------------
+
+    def _ingest_line(self, line: str) -> None:
+        """Index one raw journal line if it passes every integrity check."""
+        line = line.strip()
+        if not line:
+            return
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            self._stats.skipped += 1
+            return
+        if not isinstance(entry, dict) or entry.get("kind") != "sweep-cell":
+            self._stats.skipped += 1
+            return
+        if entry.get("version", 0) > JOURNAL_VERSION:
+            self._stats.skipped += 1
+            return
+        key = entry.get("key")
+        if not isinstance(key, str) or SweepJournal.entry_metrics(entry) is None:
+            self._stats.skipped += 1
+            return
+        if key in self._entries:
+            self._stats.duplicates += 1
+        self._entries[key] = entry
+
+    def refresh(self) -> int:
+        """Tail every source from its consumed offset; return new-entry count.
+
+        Only complete lines (terminated by ``\\n``) are consumed: a
+        writer caught mid-append leaves its torn tail for the next
+        refresh instead of poisoning the index, and the offset never
+        advances past unparsed bytes.
+        """
+        with self._lock:
+            before = len(self._entries)
+            for path in self._sources:
+                offset = self._stats.sources.get(str(path), 0)
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                if size <= offset:
+                    continue
+                try:
+                    handle = path.open("r", encoding="utf-8", errors="replace")
+                except OSError:
+                    continue
+                with handle:
+                    handle.seek(offset)
+                    while True:
+                        line = handle.readline()
+                        if not line or not line.endswith("\n"):
+                            break
+                        offset += len(line.encode("utf-8"))
+                        self._ingest_line(line)
+                self._stats.sources[str(path)] = offset
+            self._stats.entries = len(self._entries)
+            return len(self._entries) - before
+
+    # -- reads -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored journal entry for ``key``, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return dict(entry) if entry is not None else None
+
+    def metrics(self, key: str) -> "Optional[Dict[str, float]]":
+        """The replayable metric dict for ``key``, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return SweepJournal.entry_metrics(entry)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> StoreStats:
+        """A snapshot of the load/refresh accounting."""
+        with self._lock:
+            snapshot = StoreStats(
+                entries=self._stats.entries,
+                duplicates=self._stats.duplicates,
+                skipped=self._stats.skipped,
+                sources=dict(self._stats.sources),
+            )
+            return snapshot
+
+    # -- writes (the SweepJournal protocol) ------------------------------------
+
+    def record(
+        self,
+        key: str,
+        fields: dict,
+        metrics: "Union[Dict[str, float], float]",
+        seconds: float,
+    ) -> None:
+        """Append one completed cell to the primary journal and index it."""
+        self.record_many([(key, fields, metrics, seconds)])
+
+    def record_many(
+        self,
+        entries: "Sequence[Tuple[str, dict, Union[Dict[str, float], float], float]]",
+    ) -> None:
+        """Append a batch to the primary journal and index it (one flush)."""
+        if not entries:
+            return
+        with self._lock:
+            # Consume anything already appended to the sources first, so
+            # advancing the primary's offset below cannot step over
+            # unread lines.  (The primary journal is owned by this
+            # store's process; a journal other processes write belongs
+            # in ``extra_sources``, where it is only ever tailed.)
+            self.refresh()
+            self.journal.record_many(entries)
+            # The primary's in-memory index already has the parsed
+            # entries; mirror them instead of re-reading the file.  The
+            # file offset must still advance past the new bytes so the
+            # next refresh doesn't double-count them as duplicates.
+            for key, _fields, _metrics, _seconds in entries:
+                entry = self.journal.get(key)
+                if entry is not None:
+                    if key in self._entries:
+                        self._stats.duplicates += 1
+                    self._entries[key] = entry
+            self._stats.entries = len(self._entries)
+            self._stats.sources[str(self.journal.path)] = (
+                self.journal.path.stat().st_size
+            )
+
+
+def open_store(
+    primary: Union[str, Path],
+    extra_sources: "Iterable[str | Path]" = (),
+) -> ResultStore:
+    """Convenience constructor mirroring the CLI's flags."""
+    return ResultStore(primary, tuple(extra_sources))

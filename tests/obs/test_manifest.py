@@ -88,3 +88,30 @@ class TestWriteRead:
     def test_non_object_reads_none(self, tmp_path):
         (tmp_path / MANIFEST_FILENAME).write_text("[1, 2, 3]\n")
         assert read_manifest(tmp_path) is None
+
+
+class TestConcurrentWriters:
+    def test_parallel_writes_never_tear_the_manifest(self, tmp_path):
+        """Concurrent write_manifest calls into one directory each use a
+        unique temp name, so the surviving manifest is always one
+        writer's complete output — never a mix, never a torn file."""
+        import threading
+
+        manifests = [_manifest(extra={"writer": i}) for i in range(8)]
+        threads = [
+            threading.Thread(target=write_manifest, args=(tmp_path, manifest))
+            for manifest in manifests
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        final = read_manifest(tmp_path)
+        assert final is not None  # parseable, i.e. not torn
+        assert any(final == manifest for manifest in manifests)
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_FILENAME]
+
+    def test_repeated_writes_last_wins(self, tmp_path):
+        for i in range(3):
+            write_manifest(tmp_path, _manifest(extra={"round": i}))
+        assert read_manifest(tmp_path)["round"] == 2

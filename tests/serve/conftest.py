@@ -1,0 +1,9 @@
+"""Serve/store tests run at a small trace scale: the point is the
+store and protocol behaviour, not simulation throughput."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def small_traces(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SCALE", "0.02")

@@ -1,0 +1,196 @@
+"""End-to-end tests for the result-store daemon (repro.serve)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.manifest import read_manifest
+from repro.serve import (
+    ResultServer,
+    ServeClient,
+    ServeError,
+    ServeUnsupportedError,
+    expand_grid_specs,
+    plan_grid,
+)
+from repro.serve.server import resolve_serve_engine
+from repro.store import open_store
+
+from . import _specs
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = open_store(tmp_path / "store")
+    with ResultServer(store, port=0) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url)
+
+
+class TestPlanning:
+    def test_expand_grid_is_identity(self):
+        assert expand_grid_specs(_specs.GRID) == [_specs.GRID]
+
+    def test_expand_derived_reaches_bases(self):
+        assert expand_grid_specs(_specs.DERIVED) == [_specs.GRID]
+
+    def test_expand_custom_unsupported(self):
+        with pytest.raises(ServeUnsupportedError, match="custom"):
+            expand_grid_specs(_specs.CUSTOM)
+
+    def test_plan_keys_match_the_sweep_runner(self, tmp_path):
+        """The server's precomputed keys are exactly the keys the sweep
+        runner journals under — the warm path depends on this."""
+        from repro.perf.parallel import run_labeled_cells
+
+        plan = plan_grid(_specs.GRID, "fast")
+        store = open_store(tmp_path / "store")
+        run_labeled_cells(plan.cells, engine="fast", journal=store, progress=False)
+        assert all(key in store for key in plan.keys)
+
+    def test_batch_plans_share_fast_keys(self):
+        fast = plan_grid(_specs.GRID, "fast")
+        batch = plan_grid(_specs.GRID, "batch")
+        assert fast.keys == batch.keys
+
+    def test_engine_resolution(self):
+        assert resolve_serve_engine(_specs.GRID, None, "fast") == "fast"
+        assert resolve_serve_engine(_specs.GRID, "batch", "fast") == "batch"
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_serve_engine(_specs.GRID, "warp", "fast")
+
+
+class TestReadRoutes:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["ok"] is True
+        assert health["store"]["entries"] == 0
+
+    def test_specs_lists_the_registry(self, client):
+        by_id = {spec["id"]: spec for spec in client.specs()}
+        assert by_id["serve-test-grid"]["kind"] == "grid"
+        assert by_id["serve-test-grid"]["hidden"] is True
+        assert by_id["fig04"]["kind"] == "grid"
+
+    def test_spec_detail_counts_cells(self, client):
+        detail = client.spec("serve-test-grid")
+        assert detail["servable"] is True
+        assert detail["cells"] == 4  # 2 sizes x 1 factory x 2 traces
+        assert detail["cached"] == 0
+
+    def test_spec_detail_custom_unservable(self, client):
+        assert client.spec("serve-test-custom")["servable"] is False
+
+    def test_unknown_spec_404(self, client):
+        with pytest.raises(ServeError, match="unknown spec") as excinfo:
+            client.spec("nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_cell_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.cell("deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._get_json("/nope")
+        assert excinfo.value.status == 404
+
+    def test_metrics_export(self, client):
+        client.healthz()
+        names = {row["name"] for row in client.metrics()}
+        assert "serve.requests" in names
+
+
+class TestRun:
+    def test_cold_then_warm_is_byte_identical_with_zero_simulation(
+        self, server, client
+    ):
+        events_cold = []
+        done_cold = client.run("serve-test-grid", on_event=events_cold.append)
+        plan_cold = events_cold[0]
+        assert plan_cold["pending"] == 4
+        assert sum(1 for e in events_cold if e["event"] == "cell") == 4
+        assert done_cold["manifest"]["cells_computed"] == 4
+
+        events_warm = []
+        done_warm = client.run("serve-test-grid", on_event=events_warm.append)
+        plan_warm = events_warm[0]
+        assert plan_warm["pending"] == 0
+        assert plan_warm["cached"] == 4
+        # zero simulations: no cell events at all, straight to done
+        assert [e["event"] for e in events_warm] == ["plan", "done"]
+        assert done_warm["manifest"]["cells_computed"] == 0
+
+        canonical_cold = json.dumps(
+            [c["metrics"] for c in done_cold["cells"]], sort_keys=True
+        )
+        canonical_warm = json.dumps(
+            [c["metrics"] for c in done_warm["cells"]], sort_keys=True
+        )
+        assert canonical_cold == canonical_warm
+        assert done_cold["result"] == done_warm["result"]
+        assert done_cold["report"] == done_warm["report"]
+
+    def test_run_writes_a_manifest(self, server, client):
+        done = client.run("serve-test-grid")
+        run_dir = server.store.primary_dir / "runs" / done["run_id"]
+        manifest = read_manifest(run_dir)
+        assert manifest["spec"] == "serve-test-grid"
+        assert manifest["run_id"] == done["run_id"]
+        assert manifest["cells_total"] == 4
+        assert manifest["engine"] == "fast"
+
+    def test_cells_are_queryable_by_key_afterwards(self, client):
+        done = client.run("serve-test-grid")
+        for cell in done["cells"]:
+            assert cell["key"] is not None
+            fetched = client.cell(cell["key"])
+            assert fetched["metrics"] == cell["metrics"]
+
+    def test_derived_spec_served_from_base_cells(self, server, client):
+        client.run("serve-test-grid")
+        events = []
+        done = client.run("serve-test-derived", on_event=events.append)
+        assert events[0]["pending"] == 0
+        assert done["manifest"]["cells_computed"] == 0
+        base = client.run("serve-test-grid")
+        for label, values in done["result"]["series"].items():
+            for value, base_value in zip(values, base["result"]["series"][label]):
+                assert value == pytest.approx(2.0 * base_value)
+
+    def test_custom_spec_streams_an_error(self, client):
+        with pytest.raises(ServeError, match="custom"):
+            client.run("serve-test-custom")
+
+    def test_unknown_spec_400(self, client):
+        with pytest.raises(ServeError, match="unknown experiment spec") as excinfo:
+            client.run("nope")
+        assert excinfo.value.status == 400
+
+    def test_bad_engine_streams_an_error(self, client):
+        with pytest.raises(ServeError, match="unknown engine"):
+            client.run("serve-test-grid", engine="warp")
+
+    def test_concurrent_identical_runs_compute_once(self, server, client):
+        """Two simultaneous POST /run of one spec serialise on the
+        per-spec lock: together they compute the grid exactly once."""
+        results = []
+
+        def run():
+            results.append(client.run("serve-test-grid"))
+
+        threads = [threading.Thread(target=run) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 2
+        computed = sorted(r["manifest"]["cells_computed"] for r in results)
+        assert computed == [0, 4]
+        assert results[0]["result"] == results[1]["result"]

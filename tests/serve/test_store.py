@@ -1,0 +1,192 @@
+"""Tests for repro.store — the content-addressed result store."""
+
+import json
+import threading
+
+import pytest
+
+from repro.perf.journal import JOURNAL_FILENAME, JOURNAL_VERSION, SweepJournal
+from repro.perf.parallel import run_labeled_cells
+from repro.store import ResultStore, open_store
+
+from ._specs import TinyDirectFactory, TwoBenchmarks
+
+
+def _entry(key, miss_rate=0.25, version=JOURNAL_VERSION, kind="sweep-cell"):
+    return {
+        "kind": kind,
+        "version": version,
+        "key": key,
+        "label": "dm",
+        "miss_rate": miss_rate,
+        "seconds": 0.01,
+    }
+
+
+def _write_journal(directory, entries):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / JOURNAL_FILENAME
+    with path.open("a", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+class TestIndex:
+    def test_record_then_get(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record("k1", {"label": "dm"}, {"miss_rate": 0.5}, 0.01)
+        assert "k1" in store
+        assert len(store) == 1
+        assert store.metrics("k1") == {"miss_rate": 0.5}
+        assert store.get("k1")["kind"] == "sweep-cell"
+        # the entry is durable: a fresh store over the same dir sees it
+        assert open_store(tmp_path / "store").metrics("k1") == {"miss_rate": 0.5}
+
+    def test_get_returns_a_copy(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record("k1", {}, 0.5, 0.0)
+        store.get("k1")["miss_rate"] = 99.0
+        assert store.metrics("k1") == {"miss_rate": 0.5}
+
+    def test_missing_key(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        assert store.get("nope") is None
+        assert store.metrics("nope") is None
+        assert "nope" not in store
+
+
+class TestMerge:
+    def test_extra_sources_merge_and_later_source_wins(self, tmp_path):
+        _write_journal(tmp_path / "a", [_entry("k1", 0.1), _entry("k2", 0.2)])
+        _write_journal(tmp_path / "b", [_entry("k2", 0.9), _entry("k3", 0.3)])
+        store = open_store(
+            tmp_path / "store", [tmp_path / "a", tmp_path / "b"]
+        )
+        assert sorted(store.keys()) == ["k1", "k2", "k3"]
+        assert store.metrics("k2") == {"miss_rate": 0.9}
+        assert store.stats().duplicates == 1
+
+    def test_source_as_file_path(self, tmp_path):
+        path = _write_journal(tmp_path / "a", [_entry("k1")])
+        store = open_store(tmp_path / "store", [path])
+        assert "k1" in store
+
+    def test_duplicate_key_last_line_wins_within_one_file(self, tmp_path):
+        _write_journal(tmp_path / "a", [_entry("k1", 0.1), _entry("k1", 0.7)])
+        store = open_store(tmp_path / "store", [tmp_path / "a"])
+        assert store.metrics("k1") == {"miss_rate": 0.7}
+
+    def test_missing_source_is_tolerated_until_it_appears(self, tmp_path):
+        store = open_store(tmp_path / "store", [tmp_path / "later"])
+        assert len(store) == 0
+        _write_journal(tmp_path / "later", [_entry("k1")])
+        assert store.refresh() == 1
+        assert "k1" in store
+
+
+class TestIntegrity:
+    def test_rejects_garbage_and_future_versions(self, tmp_path):
+        path = _write_journal(
+            tmp_path / "a",
+            [
+                _entry("good"),
+                _entry("future", version=JOURNAL_VERSION + 1),
+                _entry("wrong-kind", kind="telemetry"),
+                {"kind": "sweep-cell", "version": 1, "key": 42, "miss_rate": 0.1},
+                {"kind": "sweep-cell", "version": 1, "key": "no-metrics"},
+            ],
+        )
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        store = open_store(tmp_path / "store", [path])
+        assert store.keys() == ["good"]
+        assert store.stats().skipped == 5
+
+    def test_torn_tail_is_not_consumed_until_complete(self, tmp_path):
+        path = _write_journal(tmp_path / "a", [_entry("k1")])
+        full_line = json.dumps(_entry("k2")) + "\n"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(full_line[:25])  # a writer caught mid-append
+        store = open_store(tmp_path / "store", [path])
+        assert store.keys() == ["k1"]
+        assert store.stats().skipped == 0  # retried, not rejected
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(full_line[25:])
+        assert store.refresh() == 1
+        assert "k2" in store
+
+
+class TestConcurrency:
+    def test_reader_tails_a_live_writer(self, tmp_path):
+        """One thread appends through SweepJournal while another
+        refreshes a store watching the same directory; every committed
+        entry must become visible and nothing may be skipped."""
+        writer_dir = tmp_path / "writer"
+        journal = SweepJournal(writer_dir)
+        store = open_store(tmp_path / "store", [writer_dir])
+        total = 200
+
+        def write():
+            for i in range(total):
+                journal.record(f"k{i}", {"label": "dm"}, 0.1, 0.0)
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        while len(store) < total:
+            store.refresh()
+        thread.join()
+        assert len(store) == total
+        assert store.stats().skipped == 0
+        assert store.stats().duplicates == 0
+
+    def test_concurrent_records_through_one_store(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        threads = [
+            threading.Thread(
+                target=lambda base=base: [
+                    store.record(f"k{base}-{i}", {}, 0.1, 0.0) for i in range(50)
+                ]
+            )
+            for base in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store) == 200
+        # and the journal file itself holds every line, all valid JSON
+        lines = (tmp_path / "store" / JOURNAL_FILENAME).read_text().splitlines()
+        assert len(lines) == 200
+        for line in lines:
+            json.loads(line)
+
+
+class TestJournalProtocol:
+    def test_store_as_sweep_journal(self, tmp_path):
+        """A store passed as ``journal=`` replays cached cells and
+        records new ones into the primary journal."""
+        cells = [
+            ("dm", TinyDirectFactory(), size, trace)
+            for size in (1024, 2048)
+            for trace in TwoBenchmarks().for_parameter(size)
+        ]
+        store = open_store(tmp_path / "store")
+        first = run_labeled_cells(cells, engine="fast", journal=store, progress=False)
+        assert all(o.ok and not o.cached for o in first)
+        assert len(store) == len(cells)
+
+        second = run_labeled_cells(cells, engine="fast", journal=store, progress=False)
+        assert all(o.ok and o.cached for o in second)
+        assert [o.metrics for o in second] == [o.metrics for o in first]
+
+        # a fresh store over the same directory replays the same cells
+        reopened = open_store(tmp_path / "store")
+        third = run_labeled_cells(cells, engine="fast", journal=reopened, progress=False)
+        assert all(o.cached for o in third)
+
+    def test_record_nan_refused(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        with pytest.raises(ValueError, match="non-finite"):
+            store.record("bad", {}, float("nan"), 0.0)
+        assert len(store) == 0

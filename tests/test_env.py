@@ -126,3 +126,76 @@ class TestSingleSourceOfTruth:
         from repro.perf import parallel
 
         assert parallel.env_workers is env.env_workers
+
+
+class TestMaxRefsFloor:
+    def test_tiny_scale_floors_at_one_reference(self, monkeypatch):
+        # 1e-9 * 200_000 truncates to 0; an empty trace budget breaks
+        # every downstream sweep, so the floor is 1.
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.000000001")
+        assert env.max_refs() == 1
+
+    def test_scale_just_below_one_ref_per_trace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", str(0.5 / env.BASE_MAX_REFS))
+        assert env.max_refs() == 1
+
+    def test_normal_scales_unaffected_by_the_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        assert env.max_refs() == env.BASE_MAX_REFS // 100
+
+
+class TestServeKnobs:
+    def test_defaults(self, monkeypatch):
+        for name in ("REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
+                     "REPRO_SERVE_STORE", "REPRO_SERVE_URL"):
+            monkeypatch.delenv(name, raising=False)
+        assert env.serve_host() == env.DEFAULT_SERVE_HOST
+        assert env.serve_port() == env.DEFAULT_SERVE_PORT
+        assert env.serve_store() is None
+        assert env.serve_url() == (
+            f"http://{env.DEFAULT_SERVE_HOST}:{env.DEFAULT_SERVE_PORT}"
+        )
+
+    def test_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_HOST", "0.0.0.0")
+        monkeypatch.setenv("REPRO_SERVE_PORT", "0")
+        monkeypatch.setenv("REPRO_SERVE_STORE", "/tmp/results")
+        assert env.serve_host() == "0.0.0.0"
+        assert env.serve_port() == 0
+        assert env.serve_store() == "/tmp/results"
+
+    def test_url_overrides_host_and_port(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_URL", "http://example.test:9999/")
+        assert env.serve_url() == "http://example.test:9999"
+
+    def test_bad_port_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "http")
+        with pytest.raises(ValueError, match="REPRO_SERVE_PORT"):
+            env.serve_port()
+        monkeypatch.setenv("REPRO_SERVE_PORT", "70000")
+        with pytest.raises(ValueError, match="0..65535"):
+            env.serve_port()
+
+    def test_empty_host_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_HOST", "  ")
+        with pytest.raises(ValueError, match="REPRO_SERVE_HOST"):
+            env.serve_host()
+
+    def test_empty_store_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_STORE", "")
+        with pytest.raises(ValueError, match="REPRO_SERVE_STORE"):
+            env.serve_store()
+
+    def test_non_http_url_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_URL", "ftp://example.test")
+        with pytest.raises(ValueError, match="REPRO_SERVE_URL"):
+            env.serve_url()
+
+    def test_validate_covers_the_serve_variables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "banana")
+        with pytest.raises(ValueError, match="REPRO_SERVE_PORT"):
+            env.validate()
+        monkeypatch.setenv("REPRO_SERVE_PORT", "8377")
+        monkeypatch.setenv("REPRO_SERVE_URL", "gopher://x")
+        with pytest.raises(ValueError, match="REPRO_SERVE_URL"):
+            env.validate()

@@ -27,6 +27,8 @@ class TestExports:
             "repro.perf",
             "repro.experiments",
             "repro.cli",
+            "repro.store",
+            "repro.serve",
         ],
     )
     def test_subpackage_all_resolves(self, module):

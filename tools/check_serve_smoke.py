@@ -1,0 +1,132 @@
+"""CI smoke gate for the result-store daemon (``repro serve``).
+
+Usage::
+
+    python tools/check_serve_smoke.py [--spec fig04] [--store DIR]
+
+Boots a :class:`~repro.serve.ResultServer` in-process on an ephemeral
+port over a fresh store and drives the full cold/warm economics through
+the HTTP client:
+
+1. **cold run** — the store is empty, so the plan must mark every cell
+   pending and the run must compute all of them;
+2. **warm run** — the identical request again: the plan must mark zero
+   cells pending, stream no cell events (structurally zero
+   simulations), and return byte-identical metrics, result, and report;
+3. **manifests** — both runs must leave a parseable run manifest under
+   ``<store>/runs/<run_id>/`` whose cached/computed counts match the
+   streams;
+4. **store lookups** — every cell key from the run must answer on
+   ``GET /cell/<key>`` with the same metrics the run reported.
+
+Exits non-zero with a named complaint on the first violation, so a CI
+failure reads as "warm run recomputed 3 cells", not as a stack trace.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.manifest import read_manifest  # noqa: E402  (path bootstrap)
+from repro.serve import ResultServer, ServeClient  # noqa: E402
+from repro.store import open_store  # noqa: E402
+
+
+def _canonical_cells(done: dict) -> str:
+    return json.dumps([c["metrics"] for c in done["cells"]], sort_keys=True)
+
+
+def check(spec: str, store_dir: Path) -> int:
+    failures = []
+
+    store = open_store(store_dir)
+    with ResultServer(store, port=0) as server:
+        client = ServeClient(server.url)
+
+        health = client.healthz()
+        if not health.get("ok"):
+            failures.append(f"healthz not ok: {health}")
+        if spec not in {s["id"] for s in client.specs()}:
+            failures.append(f"spec {spec!r} missing from GET /specs")
+
+        cold_events = []
+        cold = client.run(spec, on_event=cold_events.append)
+        cold_plan = cold_events[0]
+        if cold_plan["pending"] != cold_plan["cells"]:
+            failures.append(
+                f"cold plan expected every cell pending, got "
+                f"{cold_plan['pending']}/{cold_plan['cells']}"
+            )
+        if cold["manifest"]["cells_computed"] != cold_plan["cells"]:
+            failures.append(
+                f"cold run computed {cold['manifest']['cells_computed']} "
+                f"of {cold_plan['cells']} cells"
+            )
+
+        warm_events = []
+        warm = client.run(spec, on_event=warm_events.append)
+        warm_plan = warm_events[0]
+        if warm_plan["pending"] != 0:
+            failures.append(f"warm plan still pending {warm_plan['pending']} cells")
+        cell_events = [e for e in warm_events if e.get("event") == "cell"]
+        if cell_events:
+            failures.append(
+                f"warm run streamed {len(cell_events)} cell events "
+                f"(expected zero simulations)"
+            )
+        if warm["manifest"]["cells_computed"] != 0:
+            failures.append(
+                f"warm run recomputed {warm['manifest']['cells_computed']} cells"
+            )
+
+        if _canonical_cells(cold) != _canonical_cells(warm):
+            failures.append("warm cell metrics differ from cold")
+        if cold["result"] != warm["result"]:
+            failures.append("warm collected result differs from cold")
+        if cold["report"] != warm["report"]:
+            failures.append("warm rendered report differs from cold")
+
+        for done, label in ((cold, "cold"), (warm, "warm")):
+            manifest = read_manifest(store_dir / "runs" / done["run_id"])
+            if manifest is None:
+                failures.append(f"{label} run manifest missing/corrupt")
+            elif manifest.get("spec") != spec:
+                failures.append(
+                    f"{label} manifest names spec {manifest.get('spec')!r}"
+                )
+
+        for cell in cold["cells"][:10]:
+            fetched = client.cell(cell["key"])
+            if fetched["metrics"] != cell["metrics"]:
+                failures.append(f"GET /cell/{cell['key'][:12]}… metrics mismatch")
+                break
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL [{spec}]: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: served {spec} cold ({cold['manifest']['cells_computed']} computed) "
+        f"then warm (0 computed, byte-identical) at {server.url}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default="fig04", help="spec id to serve")
+    parser.add_argument(
+        "--store", type=Path, default=None,
+        help="store directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+    store_dir = args.store or Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    return check(args.spec, store_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
