@@ -13,6 +13,9 @@ Eight subcommands make the library usable without writing Python:
   span tree, manifest, and slowest cells of a ``--trace-dir`` run;
 * ``serve``    — run the result-store daemon (:mod:`repro.serve`) over
   a content-addressed journal store;
+* ``store``    — maintain a result store offline; ``store compact``
+  rewrites the append-only history into generation-stamped shards so
+  multi-gigabyte journals reload without replaying superseded lines;
 * ``query``    — talk to a running daemon: list specs, look up a stored
   cell by content key, or run an experiment server-side.
 
@@ -26,6 +29,7 @@ Examples::
     python -m repro.cli experiments --only fig05 --engine fast --trace-dir /tmp/obs
     python -m repro.cli obs summarize /tmp/obs
     python -m repro.cli serve --store /tmp/results --port 8377
+    python -m repro.cli store compact --store /tmp/results
     python -m repro.cli query run fig04 --url http://127.0.0.1:8377
 """
 
@@ -206,6 +210,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from . import env
+    from .store import DEFAULT_SHARDS, open_store
+
+    store_dir = args.store or env.serve_store()
+    if not store_dir:
+        raise SystemExit(
+            "store compact needs a store directory: pass --store DIR or "
+            "set REPRO_SERVE_STORE"
+        )
+    store = open_store(store_dir, extra_sources=args.journals or ())
+    shards = DEFAULT_SHARDS if args.shards is None else args.shards
+    try:
+        stats = store.compact(shards=shards)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    saved = stats.bytes_before - stats.bytes_after
+    print(
+        f"compacted {store_dir} to generation {stats.generation}: "
+        f"{stats.entries} cells + {stats.errors} cached errors in "
+        f"{stats.shard_files} shard(s), "
+        f"{stats.bytes_before:,} -> {stats.bytes_after:,} bytes "
+        f"({saved:+,} reclaimed)"
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from .serve import ServeClient, ServeError
 
@@ -380,6 +411,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_WORKERS or 1)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    store_parser = sub.add_parser(
+        "store", help="offline maintenance for a result store directory"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    compact_parser = store_sub.add_parser(
+        "compact",
+        help="rewrite the store's deduplicated index into generation-"
+        "stamped shard files (atomic manifest swap; the primary journal "
+        "is truncated and superseded lines are never replayed again)",
+    )
+    compact_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store directory to compact (default: REPRO_SERVE_STORE)",
+    )
+    compact_parser.add_argument(
+        "--journals", action="append", default=None, metavar="DIR",
+        help="extra read-only journal directory to fold into the "
+        "compacted index (repeatable)",
+    )
+    compact_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard-file count, keys spread by prefix (default 16)",
+    )
+    compact_parser.set_defaults(func=_cmd_store_compact)
 
     query_parser = sub.add_parser(
         "query", help="query a running result-store daemon"

@@ -189,6 +189,16 @@ class SweepJournal:
             if not isinstance(metrics, dict):
                 metrics = {"miss_rate": float(metrics)}
             for name, value in metrics.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    # A custom evaluator that returns a string/None/bool
+                    # metric used to crash math.isfinite with a bare
+                    # TypeError; name the cell and the metric instead,
+                    # exactly like the non-finite rejection below.
+                    raise ValueError(
+                        f"journal entry {key!r} metric {name!r} is not a "
+                        f"number ({value!r} of type {type(value).__name__}); "
+                        f"refusing to record it"
+                    )
                 if not math.isfinite(value):
                     # json.dumps would emit a bare NaN/Infinity token —
                     # not JSON, unreadable by other tools — and a

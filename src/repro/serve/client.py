@@ -11,6 +11,13 @@ Error contract: transport failures and non-2xx responses raise
 carried one; a run that streams an ``error`` event (unsupported spec,
 failed cells) raises :class:`ServeError` too, so callers never have to
 inspect event dicts to learn a run failed.
+
+HTTP caching: :meth:`ServeClient.spec` and :meth:`ServeClient.cell`
+remember the ``ETag`` the server sent per path and replay it as
+``If-None-Match`` on the next request; a ``304 Not Modified`` answer is
+served from the client's cached body without the server re-planning or
+re-serialising anything.  ``ServeClient.not_modified`` counts the 304s
+observed (the serve bench gates on the conditional path staying cheap).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .. import env
 
@@ -44,14 +51,26 @@ class ServeClient:
     ) -> None:
         self.url = (url or env.serve_url()).rstrip("/")
         self.timeout = timeout
+        #: path -> (etag, cached body text) for the conditional GETs.
+        self._etag_cache: "Dict[str, Tuple[str, str]]" = {}
+        #: How many requests were answered 304 from the local cache.
+        self.not_modified = 0
 
     # -- plumbing --------------------------------------------------------------
 
-    def _open(self, path: str, body: "Optional[dict]" = None):
+    def _open(
+        self,
+        path: str,
+        body: "Optional[dict]" = None,
+        headers: "Optional[Dict[str, str]]" = None,
+    ):
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
         request = urllib.request.Request(
             f"{self.url}{path}",
             data=None if body is None else json.dumps(body).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers=request_headers,
             method="GET" if body is None else "POST",
         )
         try:
@@ -73,6 +92,23 @@ class ServeClient:
         with self._open(path) as response:
             return json.loads(response.read().decode("utf-8"))
 
+    def _get_json_conditional(self, path: str) -> dict:
+        """GET with ``If-None-Match``; a 304 replays the cached body."""
+        cached = self._etag_cache.get(path)
+        headers = {"If-None-Match": cached[0]} if cached else None
+        try:
+            with self._open(path, headers=headers) as response:
+                text = response.read().decode("utf-8")
+                etag = response.headers.get("ETag")
+                if etag:
+                    self._etag_cache[path] = (etag, text)
+                return json.loads(text)
+        except ServeError as exc:
+            if exc.status == 304 and cached is not None:
+                self.not_modified += 1
+                return json.loads(cached[1])
+            raise
+
     # -- one method per route --------------------------------------------------
 
     def healthz(self) -> dict:
@@ -82,10 +118,10 @@ class ServeClient:
         return self._get_json("/specs")["specs"]
 
     def spec(self, spec_id: str) -> dict:
-        return self._get_json(f"/spec/{spec_id}")
+        return self._get_json_conditional(f"/spec/{spec_id}")
 
     def cell(self, key: str) -> dict:
-        return self._get_json(f"/cell/{key}")
+        return self._get_json_conditional(f"/cell/{key}")
 
     def metrics(self) -> "List[dict]":
         return self._get_json("/metrics")["metrics"]

@@ -16,8 +16,11 @@ Protocol (all JSON; ``POST /run`` streams newline-delimited events):
 * ``GET /specs`` — the experiment registry (id, title, kind,
   fingerprint digest, hidden flag);
 * ``GET /spec/<id>`` — one spec plus its current cell/cached counts
-  under the server's engine;
-* ``GET /cell/<key>`` — the stored journal entry for a content key;
+  under the server's engine; carries an ``ETag`` (spec fingerprint +
+  store generation.revision) and answers ``If-None-Match`` repeats
+  with ``304 Not Modified`` before any cell planning happens;
+* ``GET /cell/<key>`` — the stored journal entry for a content key,
+  ``ETag``-tagged by the entry's own content hash (``304`` on repeats);
 * ``GET /healthz`` — liveness + store statistics;
 * ``GET /metrics`` — the process obs metrics registry
   (``serve.*`` series included);
@@ -34,6 +37,15 @@ rest from the store); different specs run concurrently, and the store
 index is guarded for the daemon's handler threads.  Cell keys embed
 the trace budget, so a ``REPRO_TRACE_SCALE`` change is a different key
 space, never a stale answer.
+
+Failures are cached too: when a run dies on a cell, the failed cells
+are recorded as TTL-bounded ``sweep-cell-error`` entries in the store
+(the negative-result cache), and a repeat ``POST /run`` inside the
+``REPRO_SERVE_NEG_TTL`` window is answered with the cached error —
+zero simulations — instead of re-burning compute on a spec that is
+known to be broken.  After the TTL the simulation is retried, and any
+success evicts the cached failure immediately.  ``/metrics`` exposes
+the ``serve.negcache.{hits,misses,expired,stored}`` counters.
 """
 
 from __future__ import annotations
@@ -69,6 +81,7 @@ from ..perf.parallel import (
     outcome_observer,
     run_labeled_cells,
 )
+from ..perf.journal import content_key
 from ..store import ResultStore
 
 SERVE_VERSION = 1
@@ -244,6 +257,70 @@ def _cell_payload(
 Emit = Callable[[dict], None]
 
 
+def check_negative_cache(
+    store: ResultStore,
+    plans: "List[GridPlan]",
+    neg_ttl: float,
+    total: int,
+    now: "Optional[float]" = None,
+) -> None:
+    """Raise the cached failure for any pending cell inside the TTL.
+
+    Every pending (uncached, journalable) cell key is checked against
+    the store's ``sweep-cell-error`` index.  A fresh entry — recorded
+    less than ``neg_ttl`` seconds ago — is served back as a
+    :class:`~repro.perf.parallel.SweepCellError` built from cached
+    envelopes, before a single trace is generated; a stale entry counts
+    as expired and the cell is simulated again.  ``neg_ttl <= 0``
+    disables the check entirely.
+    """
+    if neg_ttl <= 0:
+        return
+    now = time.time() if now is None else now
+    cached: "List[CellOutcome]" = []
+    misses = 0
+    expired = 0
+    for plan in plans:
+        for identity, key in zip(plan.identities, plan.keys):
+            if key is None or key in store:
+                continue
+            entry = store.error_entry(key)
+            if entry is None:
+                misses += 1
+                continue
+            age = now - float(entry["recorded_at"])
+            if age > neg_ttl:
+                expired += 1
+                continue
+            outcome = CellOutcome(identity=identity, cached=True)
+            outcome.error = (
+                f"cached failure ({age:.1f}s ago, ttl {neg_ttl:g}s): "
+                f"{entry['error']}"
+            )
+            cached.append(outcome)
+    obs_metrics.counter("serve.negcache.hits", len(cached))
+    obs_metrics.counter("serve.negcache.misses", misses)
+    obs_metrics.counter("serve.negcache.expired", expired)
+    if cached:
+        raise SweepCellError(cached, total)
+
+
+def record_run_failures(
+    store: ResultStore, exc: SweepCellError, neg_ttl: float
+) -> int:
+    """Record a run's failed cells into the negative cache; return count."""
+    if neg_ttl <= 0:
+        return 0
+    failures = [
+        (outcome.identity.key(), outcome.error or "sweep cell failed")
+        for outcome in exc.failures
+        if outcome.identity.journalable and not outcome.cached
+    ]
+    store.record_errors(failures)
+    obs_metrics.counter("serve.negcache.stored", len(failures))
+    return len(failures)
+
+
 def execute_run(
     store: ResultStore,
     spec: ExperimentSpec,
@@ -251,14 +328,18 @@ def execute_run(
     engine: "Optional[str]" = None,
     workers: "Optional[int]" = None,
     default_engine: str = DEFAULT_SERVE_ENGINE,
+    neg_ttl: float = 0.0,
 ) -> dict:
     """Serve one run request: plan, answer from store, compute the rest.
 
     Emits a ``plan`` event, one ``cell`` event per newly resolved cell
     (none on the all-cached path), and returns the ``done`` event
     payload (the caller emits it).  Raises
-    :class:`~repro.perf.parallel.SweepCellError` if any cell fails and
-    :class:`ServeUnsupportedError` for custom specs.
+    :class:`~repro.perf.parallel.SweepCellError` if any cell fails —
+    with ``neg_ttl > 0`` fresh failures are recorded into the store's
+    negative cache and repeat requests inside the TTL raise the cached
+    error without simulating — and :class:`ServeUnsupportedError` for
+    custom specs.
     """
     started_at = time.time()
     wall_started = time.perf_counter()
@@ -288,6 +369,8 @@ def execute_run(
             "pending": pending,
         }
     )
+    if pending:
+        check_negative_cache(store, plans, neg_ttl, total)
 
     computed = 0
     grid_results: "Dict[str, object]" = {}
@@ -321,6 +404,14 @@ def execute_run(
                     progress=False,
                     evaluator=plan.spec.evaluator,
                 )
+            failures = [outcome for outcome in outcomes if not outcome.ok]
+            if failures:
+                # The failed cells become negative-cache entries so the
+                # next request for this spec fails from the index, not
+                # from another full simulation pass.
+                exc = SweepCellError(failures, len(outcomes))
+                record_run_failures(store, exc, neg_ttl)
+                raise exc
             fresh = sum(1 for outcome in outcomes if not outcome.cached)
             computed += fresh
             obs_metrics.counter("serve.cells.computed", fresh)
@@ -391,13 +482,41 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing --------------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, etag: "Optional[str]" = None
+    ) -> None:
         body = _json_bytes(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_not_modified(self, etag: str) -> None:
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _etag_matches(self, etag: str) -> bool:
+        """Whether the request's ``If-None-Match`` covers ``etag``.
+
+        Accepts a comma-separated candidate list and the ``*`` wildcard;
+        ``W/`` weak prefixes compare equal to their strong form (the
+        weak comparison is the correct one for a 304).
+        """
+        raw = self.headers.get("If-None-Match")
+        if not raw:
+            return False
+        candidates = {token.strip() for token in raw.split(",") if token.strip()}
+        if "*" in candidates:
+            return True
+        candidates |= {
+            token[2:] for token in candidates if token.startswith("W/")
+        }
+        return etag in candidates
 
     def _route(self) -> "Tuple[str, List[str]]":
         parts = [part for part in self.path.split("?")[0].split("/") if part]
@@ -470,6 +589,16 @@ class _Handler(BaseHTTPRequestHandler):
         except KeyError:
             self._send_json(404, {"error": f"unknown spec {spec_id!r}"})
             return 404
+        # The ETag commits to the spec's content fingerprint and the
+        # store's generation.revision token — it changes exactly when
+        # the answer could (a recorded cell, a compaction, a registry
+        # edit).  Matching it here skips the cell planning below, which
+        # is the expensive part of this route.
+        self.app.store.refresh()
+        etag = f'"{fingerprint_digest(spec)}-{self.app.store.state_token()}"'
+        if self._etag_matches(etag):
+            self._send_not_modified(etag)
+            return 304
         payload: dict = {
             "id": spec.id,
             "title": spec.title,
@@ -482,7 +611,6 @@ class _Handler(BaseHTTPRequestHandler):
         except ServeUnsupportedError:
             payload["servable"] = False
         else:
-            self.app.store.refresh()
             plans = [
                 plan_grid(
                     grid,
@@ -504,7 +632,7 @@ class _Handler(BaseHTTPRequestHandler):
                 cells=total,
                 cached=cached,
             )
-        self._send_json(200, payload)
+        self._send_json(200, payload, etag=etag)
         return 200
 
     def _get_cell(self, key: str) -> int:
@@ -513,9 +641,18 @@ class _Handler(BaseHTTPRequestHandler):
         if entry is None:
             self._send_json(404, {"error": f"no stored cell for key {key!r}"})
             return 404
+        # A cell answer is a pure function of the stored entry, so its
+        # content hash is the exact ETag: repeats stay 304 across
+        # unrelated store writes and change only if the entry itself is
+        # superseded (last-wins replay from a later source).
+        etag = f'"{content_key(entry)[:32]}"'
+        if self._etag_matches(etag):
+            self._send_not_modified(etag)
+            return 304
         self._send_json(
             200,
             {"key": key, "entry": entry, "metrics": self.app.store.metrics(key)},
+            etag=etag,
         )
         return 200
 
@@ -527,6 +664,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "version": SERVE_VERSION,
                 "engine": self.app.default_engine,
                 "specs": len(all_specs(include_hidden=True)),
+                "generation": self.app.store.generation,
+                "neg_ttl": self.app.neg_ttl,
                 "store": self.app.store.stats().to_dict(),
             },
         )
@@ -590,6 +729,7 @@ class _Handler(BaseHTTPRequestHandler):
                     engine=engine,
                     workers=workers,
                     default_engine=self.app.default_engine,
+                    neg_ttl=self.app.neg_ttl,
                 )
         except (ServeUnsupportedError, SweepCellError, ValueError) as exc:
             emit({"event": "error", "error": f"{type(exc).__name__}: {exc}"})
@@ -609,8 +749,10 @@ class ResultServer:
 
     ``host``/``port`` default to the ``REPRO_SERVE_HOST``/``PORT``
     knobs; pass ``port=0`` for an OS-assigned ephemeral port (tests).
-    Use as a context manager, or call :meth:`start` /
-    :meth:`serve_forever` and :meth:`close` explicitly.
+    ``neg_ttl`` (seconds) bounds the negative-result cache and defaults
+    to ``REPRO_SERVE_NEG_TTL``; ``0`` disables it.  Use as a context
+    manager, or call :meth:`start` / :meth:`serve_forever` and
+    :meth:`close` explicitly.
     """
 
     def __init__(
@@ -619,6 +761,7 @@ class ResultServer:
         host: "Optional[str]" = None,
         port: "Optional[int]" = None,
         default_engine: str = DEFAULT_SERVE_ENGINE,
+        neg_ttl: "Optional[float]" = None,
     ) -> None:
         if default_engine not in engine_mod.ENGINES:
             raise ValueError(
@@ -627,6 +770,9 @@ class ResultServer:
             )
         self.store = store
         self.default_engine = default_engine
+        self.neg_ttl = env.serve_neg_ttl() if neg_ttl is None else float(neg_ttl)
+        if self.neg_ttl < 0:
+            raise ValueError("neg_ttl must be >= 0 (0 disables the negative cache)")
         self._httpd = _Server(
             (host if host is not None else env.serve_host(),
              port if port is not None else env.serve_port()),

@@ -24,6 +24,16 @@ genuinely new cells cost simulation time.
   without re-reading gigabytes of history (only complete,
   newline-terminated lines are consumed, so a torn tail is retried on
   the next refresh rather than mis-parsed);
+* **compaction** — :meth:`compact` rewrites the deduplicated index into
+  generation-stamped shard files (``journal-<gen>-<shard>.jsonl``,
+  sharded by key prefix) behind an atomic ``store_manifest.json`` swap,
+  then truncates the primary journal; a store over a multi-gigabyte
+  append history reloads from the shards without replaying every
+  superseded line;
+* **negative-result cache** — failed cells can be recorded as
+  ``sweep-cell-error`` entries (:meth:`record_errors`); the serve layer
+  bounds them with a TTL so a hot failing spec stops burning simulation
+  time on every request (see ``REPRO_SERVE_NEG_TTL``);
 * **journal protocol** — ``get``/``record``/``record_many`` match
   :class:`SweepJournal`, so a store passes directly as the ``journal=``
   argument of :func:`repro.perf.parallel.run_labeled_cells`: cached
@@ -36,28 +46,57 @@ The server in :mod:`repro.serve` is the network face of this class.
 from __future__ import annotations
 
 import json
+import os
+import re
 import threading
+import time
+import uuid
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .perf.journal import JOURNAL_FILENAME, JOURNAL_VERSION, SweepJournal
 
-__all__ = ["ResultStore", "StoreStats", "open_store"]
+__all__ = [
+    "CompactionStats",
+    "DEFAULT_SHARDS",
+    "ERROR_KIND",
+    "ResultStore",
+    "STORE_MANIFEST_FILENAME",
+    "StoreStats",
+    "open_store",
+]
+
+#: Journal-line kind for a cached *failure* (the negative-result cache).
+ERROR_KIND = "sweep-cell-error"
+
+#: Atomically swapped manifest naming the live compaction shards.
+STORE_MANIFEST_FILENAME = "store_manifest.json"
+
+#: Default shard-file count for :meth:`ResultStore.compact`.
+DEFAULT_SHARDS = 16
+
+#: Shard files are ``journal-<generation>-<shard>.jsonl``; the pattern
+#: deliberately cannot match the primary ``journal.jsonl`` and rejects
+#: manifest entries that try to escape the store directory.
+_SHARD_NAME_RE = re.compile(r"journal-(\d+)-(\d+)\.jsonl\Z")
 
 
 @dataclass
 class StoreStats:
     """Load/refresh accounting: what the index accepted and why not.
 
-    ``entries`` is the live index size; ``duplicates`` counts keys that
-    were overwritten by a later source or line (last-wins); ``skipped``
+    ``entries`` is the live index size; ``errors`` the live
+    negative-cache size; ``duplicates`` counts keys that were
+    overwritten by a later source or line (last-wins); ``skipped``
     counts lines rejected by the integrity checks (unknown kind, future
     version, missing key, unusable metrics).  ``sources`` maps each
     journal file to the byte offset consumed so far.
     """
 
     entries: int = 0
+    errors: int = 0
     duplicates: int = 0
     skipped: int = 0
     sources: Dict[str, int] = field(default_factory=dict)
@@ -65,9 +104,38 @@ class StoreStats:
     def to_dict(self) -> dict:
         return {
             "entries": self.entries,
+            "errors": self.errors,
             "duplicates": self.duplicates,
             "skipped": self.skipped,
             "sources": dict(sorted(self.sources.items())),
+        }
+
+
+@dataclass
+class CompactionStats:
+    """What one :meth:`ResultStore.compact` rewrote.
+
+    ``bytes_before`` counts the primary journal plus the superseded
+    shard files; ``bytes_after`` the freshly written shards — the
+    difference is the dead weight (superseded lines, torn tails,
+    expired errors) the next full load no longer replays.
+    """
+
+    generation: int
+    entries: int
+    errors: int
+    shard_files: int
+    bytes_before: int
+    bytes_after: int
+
+    def to_dict(self) -> dict:
+        return {
+            "generation": self.generation,
+            "entries": self.entries,
+            "errors": self.errors,
+            "shard_files": self.shard_files,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
         }
 
 
@@ -82,6 +150,60 @@ def _journal_path(source: Union[str, Path]) -> Path:
     if path.is_file() or path.suffix == ".jsonl":
         return path
     return path / JOURNAL_FILENAME
+
+
+def _shard_index(key: str, shards: int) -> int:
+    """Stable shard slot from the key prefix (hex keys) or a CRC."""
+    try:
+        return int(key[:8], 16) % shards
+    except ValueError:
+        return zlib.crc32(key.encode("utf-8")) % shards
+
+
+def _shard_name(generation: int, shard: int) -> str:
+    return f"journal-{generation:06d}-{shard:03d}.jsonl"
+
+
+def _read_store_manifest(directory: Path) -> "Tuple[int, List[str]]":
+    """The (generation, shard names) of the live manifest, or (0, []).
+
+    A missing, torn, or foreign manifest degrades to "no shards": the
+    primary journal and extra sources still load, so a store predating
+    compaction (or whose manifest was lost) keeps serving.
+    """
+    path = directory / STORE_MANIFEST_FILENAME
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return 0, []
+    if not isinstance(data, dict) or data.get("kind") != "store-manifest":
+        return 0, []
+    generation = data.get("generation")
+    shards = data.get("shards")
+    if not isinstance(generation, int) or generation < 0 or not isinstance(shards, list):
+        return 0, []
+    names = [
+        str(name) for name in shards
+        if isinstance(name, str) and _SHARD_NAME_RE.match(name)
+    ]
+    return generation, names
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a unique fsynced temp + rename."""
+    tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
 
 
 class ResultStore:
@@ -106,11 +228,19 @@ class ResultStore:
         self.journal = SweepJournal(self.primary_dir)
         self._lock = threading.RLock()
         self._entries: Dict[str, dict] = {}
+        self._errors: Dict[str, dict] = {}
         self._stats = StoreStats()
-        # Primary journal first, extras in caller order: a later source
-        # wins a key collision, and within one file the later line wins
-        # — exactly SweepJournal's own replay rule, extended across files.
-        self._sources: List[Path] = [self.journal.path]
+        self._generation, shard_names = _read_store_manifest(self.primary_dir)
+        self._revision = 0
+        self._shards: List[Path] = [
+            self.primary_dir / name for name in shard_names
+        ]
+        # Compaction shards first (they hold the oldest, already
+        # deduplicated history), then the primary journal, then extras
+        # in caller order: a later source wins a key collision, and
+        # within one file the later line wins — exactly SweepJournal's
+        # own replay rule, extended across files.
+        self._sources: List[Path] = [*self._shards, self.journal.path]
         for source in extra_sources:
             self.add_source(source)
         self.refresh()
@@ -132,9 +262,33 @@ class ResultStore:
         return path
 
     def sources(self) -> List[Path]:
-        """The journal files feeding the index, primary first."""
+        """The journal files feeding the index, shards and primary first."""
         with self._lock:
             return list(self._sources)
+
+    # -- change tokens ---------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The live compaction generation (0 until the first compact)."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def revision(self) -> int:
+        """A counter that bumps on every index mutation (never persisted)."""
+        with self._lock:
+            return self._revision
+
+    def state_token(self) -> str:
+        """``<generation>.<revision>`` — changes iff the index changed.
+
+        The serve layer folds this into its ``ETag`` values: a repeat
+        conditional request is answered ``304 Not Modified`` without
+        re-planning exactly when no result has landed in between.
+        """
+        with self._lock:
+            return f"{self._generation}.{self._revision}"
 
     # -- loading ---------------------------------------------------------------
 
@@ -148,19 +302,38 @@ class ResultStore:
         except ValueError:
             self._stats.skipped += 1
             return
-        if not isinstance(entry, dict) or entry.get("kind") != "sweep-cell":
+        if not isinstance(entry, dict):
             self._stats.skipped += 1
             return
         if entry.get("version", 0) > JOURNAL_VERSION:
             self._stats.skipped += 1
             return
         key = entry.get("key")
+        if entry.get("kind") == ERROR_KIND:
+            recorded_at = entry.get("recorded_at")
+            if (
+                not isinstance(key, str)
+                or not isinstance(entry.get("error"), str)
+                or isinstance(recorded_at, bool)
+                or not isinstance(recorded_at, (int, float))
+            ):
+                self._stats.skipped += 1
+                return
+            self._errors[key] = entry
+            self._revision += 1
+            return
+        if entry.get("kind") != "sweep-cell":
+            self._stats.skipped += 1
+            return
         if not isinstance(key, str) or SweepJournal.entry_metrics(entry) is None:
             self._stats.skipped += 1
             return
         if key in self._entries:
             self._stats.duplicates += 1
         self._entries[key] = entry
+        # A success supersedes any cached failure for the same cell.
+        self._errors.pop(key, None)
+        self._revision += 1
 
     def refresh(self) -> int:
         """Tail every source from its consumed offset; return new-entry count.
@@ -169,6 +342,12 @@ class ResultStore:
         writer caught mid-append leaves its torn tail for the next
         refresh instead of poisoning the index, and the offset never
         advances past unparsed bytes.
+
+        Sources are tailed in *binary* mode and decoded per line.  The
+        offset is advanced by the raw byte length of each line — a
+        text-mode reader with ``errors="replace"`` used to expand every
+        invalid byte into a 3-byte U+FFFD, overshoot the true file
+        offset, and then silently skip the head of every later append.
         """
         with self._lock:
             before = len(self._entries)
@@ -181,19 +360,20 @@ class ResultStore:
                 if size <= offset:
                     continue
                 try:
-                    handle = path.open("r", encoding="utf-8", errors="replace")
+                    handle = path.open("rb")
                 except OSError:
                     continue
                 with handle:
                     handle.seek(offset)
                     while True:
-                        line = handle.readline()
-                        if not line or not line.endswith("\n"):
+                        raw = handle.readline()
+                        if not raw or not raw.endswith(b"\n"):
                             break
-                        offset += len(line.encode("utf-8"))
-                        self._ingest_line(line)
+                        offset += len(raw)
+                        self._ingest_line(raw.decode("utf-8", errors="replace"))
                 self._stats.sources[str(path)] = offset
             self._stats.entries = len(self._entries)
+            self._stats.errors = len(self._errors)
             return len(self._entries) - before
 
     # -- reads -----------------------------------------------------------------
@@ -229,11 +409,72 @@ class ResultStore:
         with self._lock:
             snapshot = StoreStats(
                 entries=self._stats.entries,
+                errors=self._stats.errors,
                 duplicates=self._stats.duplicates,
                 skipped=self._stats.skipped,
                 sources=dict(self._stats.sources),
             )
             return snapshot
+
+    # -- the negative-result cache ---------------------------------------------
+
+    def error_entry(self, key: str) -> Optional[dict]:
+        """The cached ``sweep-cell-error`` entry for ``key``, or ``None``.
+
+        The store keeps failures indefinitely; freshness is the
+        caller's policy (the serve layer applies ``REPRO_SERVE_NEG_TTL``
+        against the entry's ``recorded_at`` stamp).  A success recorded
+        for the same key evicts the failure.
+        """
+        with self._lock:
+            entry = self._errors.get(key)
+            return dict(entry) if entry is not None else None
+
+    def error_keys(self) -> List[str]:
+        with self._lock:
+            return list(self._errors)
+
+    def record_errors(
+        self,
+        failures: "Sequence[Tuple[str, str]]",
+        at: "Optional[float]" = None,
+    ) -> None:
+        """Append ``(key, error text)`` failures to the primary journal.
+
+        Each failure becomes one ``sweep-cell-error`` line stamped with
+        ``recorded_at`` (default: now), replacing any previous failure
+        under the same key — the TTL window restarts on every recorded
+        attempt.  Plain :class:`SweepJournal` readers ignore these lines
+        (unknown kind), so resume semantics are unchanged.
+        """
+        if not failures:
+            return
+        stamp = time.time() if at is None else float(at)
+        with self._lock:
+            self.refresh()
+            built = []
+            for key, error in failures:
+                entry = {
+                    "kind": ERROR_KIND,
+                    "version": JOURNAL_VERSION,
+                    "key": str(key),
+                    "error": str(error),
+                    "recorded_at": stamp,
+                }
+                built.append(entry)
+            with self.journal.path.open("a", encoding="utf-8") as handle:
+                for entry in built:
+                    handle.write(
+                        json.dumps(entry, sort_keys=True, allow_nan=False) + "\n"
+                    )
+                handle.flush()
+            for entry in built:
+                self._errors[entry["key"]] = entry
+            self._revision += 1
+            self._stats.errors = len(self._errors)
+            self._stats.sources[str(self.journal.path)] = (
+                self.journal.path.stat().st_size
+            )
 
     # -- writes (the SweepJournal protocol) ------------------------------------
 
@@ -272,9 +513,122 @@ class ResultStore:
                     if key in self._entries:
                         self._stats.duplicates += 1
                     self._entries[key] = entry
+                    self._errors.pop(key, None)
+            self._revision += 1
             self._stats.entries = len(self._entries)
+            self._stats.errors = len(self._errors)
             self._stats.sources[str(self.journal.path)] = (
                 self.journal.path.stat().st_size
+            )
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self, shards: int = DEFAULT_SHARDS) -> CompactionStats:
+        """Rewrite the deduplicated index into generation-stamped shards.
+
+        The append-only history (primary journal + previous shards)
+        accumulates one line per *recorded* cell; the live index needs
+        one line per *distinct* cell.  Compaction writes the index —
+        success entries and cached failures — into
+        ``journal-<gen>-<shard>.jsonl`` files sharded by key prefix,
+        atomically swaps ``store_manifest.json`` to name them, truncates
+        the primary journal, and deletes superseded shard files.  A
+        fresh :class:`ResultStore` then loads the shards in manifest
+        order and replays no superseded line.
+
+        Crash safety: the manifest swap is the commit point.  Dying
+        before it leaves the old manifest + untouched journal (orphan
+        new-generation shards are swept by the next compact); dying
+        between the swap and the truncation leaves journal lines that
+        duplicate shard content — reloaded last-wins, identical values.
+
+        Entries merged from ``extra_sources`` are included, so a
+        compacted store serves its full index even if the extras later
+        disappear; the extras' consumed offsets are kept, and any line
+        they append afterwards still wins its key on the next refresh.
+        """
+        if shards < 1:
+            raise ValueError("shard count must be at least 1")
+        with self._lock:
+            self.refresh()
+            generation = self._generation + 1
+            old_shards = list(self._shards)
+            bytes_before = 0
+            for path in [*old_shards, self.journal.path]:
+                try:
+                    bytes_before += path.stat().st_size
+                except OSError:
+                    pass
+
+            buckets: Dict[int, List[dict]] = {}
+            for index in (self._entries, self._errors):
+                for key, entry in index.items():
+                    buckets.setdefault(_shard_index(key, shards), []).append(entry)
+
+            new_names: List[str] = []
+            new_paths: List[Path] = []
+            bytes_after = 0
+            for slot in sorted(buckets):
+                entries = sorted(buckets[slot], key=lambda e: str(e.get("key")))
+                name = _shard_name(generation, slot)
+                path = self.primary_dir / name
+                text = "".join(
+                    json.dumps(entry, sort_keys=True, allow_nan=False) + "\n"
+                    for entry in entries
+                )
+                _write_atomic(path, text)
+                new_names.append(name)
+                new_paths.append(path)
+                bytes_after += path.stat().st_size
+
+            manifest = {
+                "kind": "store-manifest",
+                "version": 1,
+                "generation": generation,
+                "shards": new_names,
+                "shard_count": shards,
+                "entries": len(self._entries),
+                "errors": len(self._errors),
+                "compacted_at": time.time(),
+            }
+            _write_atomic(
+                self.primary_dir / STORE_MANIFEST_FILENAME,
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            )
+
+            # Post-commit cleanup: empty the journal (its lines live in
+            # the shards now) and drop every shard file the manifest no
+            # longer names, including orphans from a crashed compact.
+            self.journal.path.open("w", encoding="utf-8").close()
+            live = set(new_names)
+            for stale in self.primary_dir.glob("journal-*.jsonl"):
+                if stale.name not in live and _SHARD_NAME_RE.match(stale.name):
+                    self._stats.sources.pop(str(stale), None)
+                    try:
+                        stale.unlink()
+                    except OSError:  # pragma: no cover - best-effort
+                        pass
+
+            extras = [
+                path for path in self._sources
+                if path != self.journal.path and path not in set(old_shards)
+            ]
+            self._shards = new_paths
+            self._sources = [*new_paths, self.journal.path, *extras]
+            for path in new_paths:
+                # Fully consumed by construction: the shards were
+                # written from the in-memory index.
+                self._stats.sources[str(path)] = path.stat().st_size
+            self._stats.sources[str(self.journal.path)] = 0
+            self._generation = generation
+            self._revision += 1
+            return CompactionStats(
+                generation=generation,
+                entries=len(self._entries),
+                errors=len(self._errors),
+                shard_files=len(new_paths),
+                bytes_before=bytes_before,
+                bytes_after=bytes_after,
             )
 
 

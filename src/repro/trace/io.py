@@ -16,6 +16,7 @@ from __future__ import annotations
 import gzip
 import io as _io
 import re
+import zlib
 from pathlib import Path
 from typing import IO, Union
 
@@ -104,7 +105,11 @@ def load_din(source: PathOrFile, name: str = "") -> Trace:
                 if label not in _DIN_TO_KIND:
                     raise ValueError(f"line {lineno}: unknown din label {label}")
                 builder.append(int(parts[1], 16), _DIN_TO_KIND[label])
-        except gzip.BadGzipFile as exc:
+        except (gzip.BadGzipFile, EOFError, zlib.error) as exc:
+            # BadGzipFile covers a wrong magic number, but a *truncated*
+            # stream (the common half-written crash artifact) surfaces
+            # as EOFError and corrupt deflate data as zlib.error; all
+            # three are "corrupt gzip input" to the documented contract.
             raise ValueError(f"{source}: corrupt gzip trace ({exc})") from exc
     finally:
         if owned:

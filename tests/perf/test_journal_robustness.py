@@ -96,6 +96,24 @@ class TestNonFiniteRejection:
         assert journal.get("good") is None
         assert not journal.path.exists() or not journal.path.read_text()
 
+    @pytest.mark.parametrize("bad", ["0.5", None, [0.5], {"v": 0.5}, True])
+    def test_record_refuses_non_numeric_metrics(self, tmp_path, bad):
+        """Regression: a string (or other non-numeric) metric used to
+        crash ``math.isfinite`` with a raw TypeError; the journal now
+        raises its own descriptive ValueError before writing anything."""
+        journal = SweepJournal(tmp_path)
+        with pytest.raises(ValueError, match="is not a number"):
+            journal.record_many(
+                [("bad", {"label": "dm"}, {"miss_rate": 0.1, "ipc": bad}, 0.0)]
+            )
+        assert journal.get("bad") is None
+        assert not journal.path.exists() or not journal.path.read_text()
+
+    def test_non_numeric_error_names_the_metric(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        with pytest.raises(ValueError, match="'ipc'"):
+            journal.record("bad", {}, {"miss_rate": 0.1, "ipc": "fast"}, 0.0)
+
     @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
     def test_content_key_refuses_non_finite_payloads(self, bad):
         with pytest.raises(ValueError, match="stable content key"):

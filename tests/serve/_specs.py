@@ -52,6 +52,14 @@ def constant_answer():
     return {"answer": 42}
 
 
+@dataclass(frozen=True)
+class PoisonedFactory:
+    """A factory whose cells always fail — negative-cache test fodder."""
+
+    def __call__(self, size):
+        raise RuntimeError("poisoned cell")
+
+
 GRID = register(
     ExperimentSpec(
         id="serve-test-grid",
@@ -70,6 +78,18 @@ DERIVED = register(
         title="serve test derived",
         base=("serve-test-grid",),
         derive=scale_means,
+        hidden=True,
+    )
+)
+
+POISONED = register(
+    ExperimentSpec(
+        id="serve-test-poisoned",
+        title="serve test poisoned",
+        parameter_name="cache size",
+        parameters=(1024,),
+        factories=(("bad", PoisonedFactory()),),
+        traces=TwoBenchmarks(),
         hidden=True,
     )
 )

@@ -2,6 +2,9 @@
 
 import json
 import threading
+import time
+import urllib.error
+import urllib.request
 
 import pytest
 
@@ -107,6 +110,142 @@ class TestReadRoutes:
         assert "serve.requests" in names
 
 
+class TestEtag:
+    def test_repeat_spec_get_is_304_from_the_client_cache(self, client):
+        first = client.spec("serve-test-grid")
+        assert client.not_modified == 0
+        second = client.spec("serve-test-grid")
+        assert client.not_modified == 1
+        assert second == first
+
+    def test_store_mutation_invalidates_the_spec_etag(self, server, client):
+        before = client.spec("serve-test-grid")
+        assert before["cached"] == 0
+        client.run("serve-test-grid")
+        after = client.spec("serve-test-grid")
+        assert client.not_modified == 0  # a full 200, not a stale 304
+        assert after["cached"] == 4
+
+    def test_compaction_invalidates_the_spec_etag(self, server, client):
+        client.run("serve-test-grid")
+        client.spec("serve-test-grid")
+        server.store.compact()
+        client.spec("serve-test-grid")
+        assert client.not_modified == 0
+
+    def test_cell_etag_survives_unrelated_writes(self, server, client):
+        done = client.run("serve-test-grid")
+        key = done["cells"][0]["key"]
+        client.cell(key)
+        # an unrelated record does not change this cell's answer
+        server.store.record("feedface01", {}, 0.5, 0.0)
+        client.cell(key)
+        assert client.not_modified == 1
+
+    def test_raw_conditional_get_receives_304(self, server, client):
+        """Wire-level check: If-None-Match with the server's own ETag
+        answers 304 with an empty body and the tag echoed back."""
+        client.run("serve-test-grid")
+        url = f"{server.url}/spec/serve-test-grid"
+        with urllib.request.urlopen(url) as response:
+            etag = response.headers["ETag"]
+        assert etag
+        request = urllib.request.Request(url, headers={"If-None-Match": etag})
+        try:
+            response = urllib.request.urlopen(request)
+            status = response.status
+        except urllib.error.HTTPError as exc:  # urllib treats 304 as error
+            response = exc
+            status = exc.code
+        assert status == 304
+        assert response.headers["ETag"] == etag
+        assert response.read() == b""
+
+    def test_wildcard_and_weak_tags_match(self, server, client):
+        client.run("serve-test-grid")
+        url = f"{server.url}/spec/serve-test-grid"
+        with urllib.request.urlopen(url) as response:
+            etag = response.headers["ETag"]
+        for header in ("*", f"W/{etag}", f'"other", {etag}'):
+            request = urllib.request.Request(url, headers={"If-None-Match": header})
+            try:
+                status = urllib.request.urlopen(request).status
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+            assert status == 304, header
+
+    def test_mismatched_tag_gets_a_full_answer(self, server, client):
+        url = f"{server.url}/spec/serve-test-grid"
+        request = urllib.request.Request(
+            url, headers={"If-None-Match": '"stale-tag"'}
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200
+            assert json.loads(response.read())["id"] == "serve-test-grid"
+
+
+class TestNegativeCache:
+    @pytest.fixture()
+    def failing_server(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        with ResultServer(store, port=0, neg_ttl=30.0) as running:
+            yield running
+
+    def _run(self, server, spec="serve-test-poisoned"):
+        events = []
+        client = ServeClient(server.url)
+        with pytest.raises(ServeError) as excinfo:
+            client.run(spec, on_event=events.append)
+        cells = [e for e in events if e.get("event") == "cell"]
+        return str(excinfo.value), cells
+
+    def test_repeat_failure_served_from_cache_without_simulation(
+        self, failing_server
+    ):
+        cold_error, cold_cells = self._run(failing_server)
+        assert len(cold_cells) == 2  # 1 parameter x 1 factory x 2 traces
+        assert "poisoned cell" in cold_error
+        assert failing_server.store.error_keys()
+
+        warm_error, warm_cells = self._run(failing_server)
+        assert warm_cells == []  # answered from the index, zero simulation
+        assert "cached failure" in warm_error
+        assert "poisoned cell" in warm_error
+
+    def test_expired_entries_are_retried(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        with ResultServer(store, port=0, neg_ttl=0.2) as running:
+            _, cold_cells = self._run(running)
+            assert len(cold_cells) == 2
+            time.sleep(0.25)
+            _, retry_cells = self._run(running)
+            assert len(retry_cells) == 2  # TTL passed: simulated again
+
+    def test_zero_ttl_disables_the_negative_cache(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        with ResultServer(store, port=0, neg_ttl=0) as running:
+            self._run(running)
+            assert running.store.error_keys() == []  # nothing recorded
+            _, cells = self._run(running)
+            assert len(cells) == 2  # and nothing served from a cache
+
+    def test_negative_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="neg_ttl"):
+            ResultServer(open_store(tmp_path / "store"), port=0, neg_ttl=-1)
+
+    def test_healthz_reports_the_ttl(self, failing_server):
+        health = ServeClient(failing_server.url).healthz()
+        assert health["neg_ttl"] == 30.0
+
+    def test_negcache_counters_exported(self, failing_server):
+        self._run(failing_server)
+        self._run(failing_server)
+        client = ServeClient(failing_server.url)
+        metrics = {row["name"]: row for row in client.metrics()}
+        assert metrics["serve.negcache.stored"]["value"] >= 2
+        assert metrics["serve.negcache.hits"]["value"] >= 2
+
+
 class TestRun:
     def test_cold_then_warm_is_byte_identical_with_zero_simulation(
         self, server, client
@@ -176,6 +315,25 @@ class TestRun:
     def test_bad_engine_streams_an_error(self, client):
         with pytest.raises(ServeError, match="unknown engine"):
             client.run("serve-test-grid", engine="warp")
+
+    def test_cold_compact_warm_round_trip(self, server, client):
+        """The acceptance path: cold run, ``compact()``, then a warm run
+        that answers entirely from the compacted shards — zero cell
+        events, byte-identical output."""
+        done_cold = client.run("serve-test-grid")
+        stats = server.store.compact(shards=4)
+        assert stats.generation == 1
+        assert stats.entries == 4
+
+        events_warm = []
+        done_warm = client.run("serve-test-grid", on_event=events_warm.append)
+        assert [e["event"] for e in events_warm] == ["plan", "done"]
+        assert done_warm["manifest"]["cells_computed"] == 0
+        assert json.dumps(
+            [c["metrics"] for c in done_warm["cells"]], sort_keys=True
+        ) == json.dumps([c["metrics"] for c in done_cold["cells"]], sort_keys=True)
+        assert done_warm["result"] == done_cold["result"]
+        assert client.healthz()["generation"] == 1
 
     def test_concurrent_identical_runs_compute_once(self, server, client):
         """Two simultaneous POST /run of one spec serialise on the

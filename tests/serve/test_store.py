@@ -7,7 +7,12 @@ import pytest
 
 from repro.perf.journal import JOURNAL_FILENAME, JOURNAL_VERSION, SweepJournal
 from repro.perf.parallel import run_labeled_cells
-from repro.store import ResultStore, open_store
+from repro.store import (
+    DEFAULT_SHARDS,
+    STORE_MANIFEST_FILENAME,
+    ResultStore,
+    open_store,
+)
 
 from ._specs import TinyDirectFactory, TwoBenchmarks
 
@@ -115,6 +120,242 @@ class TestIntegrity:
             handle.write(full_line[25:])
         assert store.refresh() == 1
         assert "k2" in store
+
+
+class TestOffsetDrift:
+    """Regression: tailing must advance by *raw byte* length, not the
+    length of the decoded-with-replacement text.  U+FFFD is 3 bytes in
+    UTF-8, so a text-mode reader overshot the true offset on any line
+    holding invalid bytes and then silently swallowed the head of every
+    later append."""
+
+    def test_garbage_bytes_do_not_desync_the_tail(self, tmp_path):
+        directory = tmp_path / "a"
+        directory.mkdir()
+        path = directory / JOURNAL_FILENAME
+        # Three invalid bytes decode to three U+FFFD (9 bytes of text):
+        # a drifting reader would skip 6 bytes of the next line.
+        path.write_bytes(b"\xff\xfe\xfd\n")
+        store = open_store(tmp_path / "store", [directory])
+        assert store.stats().skipped == 1
+
+        with path.open("ab") as handle:
+            handle.write((json.dumps(_entry("k1")) + "\n").encode("utf-8"))
+        assert store.refresh() == 1
+        assert store.metrics("k1") == {"miss_rate": 0.25}
+        assert store.stats().skipped == 1  # nothing else was mangled
+
+    def test_invalid_bytes_inside_a_string_value_keep_the_entry(self, tmp_path):
+        """An entry whose label holds invalid bytes still parses (the
+        bytes become U+FFFD inside the JSON string) and, crucially, the
+        entries appended after it stay visible."""
+        directory = tmp_path / "a"
+        directory.mkdir()
+        path = directory / JOURNAL_FILENAME
+        entry = _entry("k-dirty")
+        entry["label"] = "@"
+        line = json.dumps(entry).encode("utf-8").replace(b"@", b"\xff\xff")
+        path.write_bytes(line + b"\n")
+        store = open_store(tmp_path / "store", [directory])
+        assert "k-dirty" in store
+
+        with path.open("ab") as handle:
+            handle.write((json.dumps(_entry("k-clean")) + "\n").encode("utf-8"))
+        assert store.refresh() == 1
+        assert "k-clean" in store
+        assert store.stats().skipped == 0
+
+
+class TestNegativeCache:
+    def test_record_then_lookup_and_reload(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record_errors([("bad1", "boom"), ("bad2", "crash")], at=123.0)
+        entry = store.error_entry("bad1")
+        assert entry["error"] == "boom"
+        assert entry["recorded_at"] == 123.0
+        assert sorted(store.error_keys()) == ["bad1", "bad2"]
+        assert store.stats().errors == 2
+        # failures are durable: a fresh store over the same dir sees them
+        reloaded = open_store(tmp_path / "store")
+        assert reloaded.error_entry("bad2")["error"] == "crash"
+
+    def test_error_entries_do_not_pollute_the_result_index(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record_errors([("bad", "boom")])
+        assert len(store) == 0
+        assert store.get("bad") is None
+        assert store.metrics("bad") is None
+
+    def test_success_evicts_the_cached_failure(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record_errors([("k1", "boom")])
+        store.record("k1", {"label": "dm"}, 0.5, 0.01)
+        assert store.error_entry("k1") is None
+        assert store.metrics("k1") == {"miss_rate": 0.5}
+        # and the eviction survives a reload (journal replay order)
+        assert open_store(tmp_path / "store").error_entry("k1") is None
+
+    def test_later_failure_restarts_the_ttl_window(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record_errors([("k1", "first")], at=10.0)
+        store.record_errors([("k1", "second")], at=20.0)
+        entry = store.error_entry("k1")
+        assert entry["error"] == "second"
+        assert entry["recorded_at"] == 20.0
+
+    def test_plain_journal_readers_ignore_error_lines(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record_errors([("bad", "boom")])
+        store.record("good", {}, 0.1, 0.0)
+        journal = SweepJournal(tmp_path / "store")
+        assert journal.get("good") is not None
+        assert journal.get("bad") is None
+
+
+class TestCompaction:
+    def _populate(self, store, count=20):
+        for i in range(count):
+            store.record(f"{i:08x}aa", {"label": "dm"}, 0.1 + i / 1000, 0.0)
+
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        self._populate(store)
+        store.record_errors([("deadbeef00", "boom")], at=99.0)
+        before = {key: store.metrics(key) for key in store.keys()}
+
+        stats = store.compact(shards=4)
+        assert stats.generation == 1
+        assert stats.entries == 20
+        assert stats.errors == 1
+        assert stats.shard_files <= 4
+        assert stats.bytes_after > 0
+
+        # the primary journal is empty; the manifest names the shards
+        assert (tmp_path / "store" / JOURNAL_FILENAME).read_text() == ""
+        manifest = json.loads(
+            (tmp_path / "store" / STORE_MANIFEST_FILENAME).read_text()
+        )
+        assert manifest["generation"] == 1
+        assert len(manifest["shards"]) == stats.shard_files
+
+        # the live store still answers every key, as does a fresh load
+        assert {key: store.metrics(key) for key in store.keys()} == before
+        reloaded = open_store(tmp_path / "store")
+        assert {key: reloaded.metrics(key) for key in reloaded.keys()} == before
+        assert reloaded.error_entry("deadbeef00")["recorded_at"] == 99.0
+        assert reloaded.generation == 1
+        assert reloaded.stats().duplicates == 0
+
+    def test_compaction_drops_superseded_lines(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        for _ in range(5):  # 5 writes, 1 live entry
+            store.record("00000001", {}, 0.5, 0.0)
+        stats = store.compact(shards=1)
+        assert stats.entries == 1
+        assert stats.bytes_after < stats.bytes_before
+        shard_lines = sum(
+            len(path.read_text().splitlines())
+            for path in (tmp_path / "store").glob("journal-*.jsonl")
+        )
+        assert shard_lines == 1
+
+    def test_second_compact_sweeps_the_previous_generation(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        self._populate(store, 8)
+        store.compact(shards=2)
+        gen1 = sorted(p.name for p in (tmp_path / "store").glob("journal-*.jsonl"))
+        store.record("ffffffff01", {}, 0.9, 0.0)
+        stats = store.compact(shards=2)
+        assert stats.generation == 2
+        gen2 = sorted(p.name for p in (tmp_path / "store").glob("journal-*.jsonl"))
+        assert gen2 and not set(gen1) & set(gen2)
+        reloaded = open_store(tmp_path / "store")
+        assert len(reloaded) == 9
+        assert reloaded.metrics("ffffffff01") == {"miss_rate": 0.9}
+
+    def test_records_after_compact_append_and_reload(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        self._populate(store, 4)
+        store.compact()
+        store.record("aabbccdd02", {}, 0.7, 0.0)
+        assert store.metrics("aabbccdd02") == {"miss_rate": 0.7}
+        reloaded = open_store(tmp_path / "store")
+        assert len(reloaded) == 5
+
+    def test_extra_source_entries_become_self_contained(self, tmp_path):
+        _write_journal(tmp_path / "extra", [_entry("feed0001")])
+        store = open_store(tmp_path / "store", [tmp_path / "extra"])
+        assert "feed0001" in store
+        store.compact(shards=1)
+        (tmp_path / "extra" / JOURNAL_FILENAME).unlink()
+        reloaded = open_store(tmp_path / "store")
+        assert reloaded.metrics("feed0001") == {"miss_rate": 0.25}
+
+    def test_extra_source_appends_after_compact_still_win(self, tmp_path):
+        _write_journal(tmp_path / "extra", [_entry("feed0001", 0.1)])
+        store = open_store(tmp_path / "store", [tmp_path / "extra"])
+        store.compact(shards=1)
+        _write_journal(tmp_path / "extra", [_entry("feed0001", 0.9)])
+        assert store.refresh() == 0  # same key, updated value
+        assert store.metrics("feed0001") == {"miss_rate": 0.9}
+
+    def test_sharding_spreads_keys(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        self._populate(store, 32)
+        stats = store.compact(shards=4)
+        assert stats.shard_files == 4  # hex prefixes 0..31 hit every slot
+
+    def test_non_hex_keys_still_shard(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record("not hex at all", {}, 0.5, 0.0)
+        stats = store.compact(shards=4)
+        assert stats.entries == 1
+        assert open_store(tmp_path / "store").metrics("not hex at all") == {
+            "miss_rate": 0.5
+        }
+
+    def test_bad_shard_count_rejected(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        with pytest.raises(ValueError, match="at least 1"):
+            store.compact(shards=0)
+
+    def test_default_shard_count(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        self._populate(store, 2)
+        assert store.compact().generation == 1
+        assert DEFAULT_SHARDS >= 1
+
+    def test_corrupt_manifest_degrades_to_journal_only(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record("00000001", {}, 0.5, 0.0)
+        (tmp_path / "store" / STORE_MANIFEST_FILENAME).write_text("{torn")
+        reloaded = open_store(tmp_path / "store")
+        # journal still loads; the torn manifest is simply ignored
+        assert reloaded.generation == 0
+        assert "00000001" in reloaded
+
+
+class TestStateToken:
+    def test_changes_on_every_mutation(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        t0 = store.state_token()
+        store.record("00000001", {}, 0.5, 0.0)
+        t1 = store.state_token()
+        assert t1 != t0
+        store.record_errors([("bad", "boom")])
+        t2 = store.state_token()
+        assert t2 != t1
+        store.compact()
+        t3 = store.state_token()
+        assert t3 != t2
+        assert len({t0, t1, t2, t3}) == 4
+
+    def test_stable_when_nothing_changes(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        store.record("00000001", {}, 0.5, 0.0)
+        token = store.state_token()
+        store.refresh()
+        assert store.state_token() == token
 
 
 class TestConcurrency:

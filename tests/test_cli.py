@@ -205,3 +205,54 @@ class TestObservabilityEnvValidation:
         with pytest.raises(SystemExit):
             main(["trace", "tomcatv", "--refs", "10"])
         assert "REPRO_PROFILE" in capsys.readouterr().err
+
+
+class TestStoreCompactCommand:
+    def _seed_store(self, directory):
+        from repro.store import open_store
+
+        store = open_store(directory)
+        for i in range(6):
+            store.record(f"{i:08x}aa", {"label": "dm"}, 0.1 + i / 100, 0.0)
+        return store
+
+    def test_compacts_and_reports(self, tmp_path, capsys):
+        store_dir = tmp_path / "results"
+        self._seed_store(store_dir)
+        assert main(["store", "compact", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1" in out
+        assert "6 cells" in out
+        assert (store_dir / "store_manifest.json").exists()
+
+    def test_shards_flag(self, tmp_path, capsys):
+        store_dir = tmp_path / "results"
+        self._seed_store(store_dir)
+        assert main(
+            ["store", "compact", "--store", str(store_dir), "--shards", "2"]
+        ) == 0
+        assert "shard" in capsys.readouterr().out
+
+    def test_store_dir_from_environment(self, tmp_path, monkeypatch, capsys):
+        store_dir = tmp_path / "results"
+        self._seed_store(store_dir)
+        monkeypatch.setenv("REPRO_SERVE_STORE", str(store_dir))
+        assert main(["store", "compact"]) == 0
+        assert "generation 1" in capsys.readouterr().out
+
+    def test_missing_store_dir_fails(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_STORE", raising=False)
+        with pytest.raises(SystemExit, match="--store"):
+            main(["store", "compact"])
+
+    def test_compacted_store_round_trips(self, tmp_path):
+        from repro.store import open_store
+
+        store_dir = tmp_path / "results"
+        before = {
+            key: self._seed_store(store_dir).metrics(key)
+            for key in self._seed_store(store_dir).keys()
+        }
+        assert main(["store", "compact", "--store", str(store_dir)]) == 0
+        reloaded = open_store(store_dir)
+        assert {key: reloaded.metrics(key) for key in reloaded.keys()} == before

@@ -133,3 +133,27 @@ class TestGzip:
         path.write_bytes(b"this is not gzip data")
         with pytest.raises(ValueError, match="broken.din.gz"):
             load_din(path)
+
+    def test_truncated_gz_raises_value_error(self, tmp_path):
+        """Regression: a gzip stream cut mid-member used to escape as a
+        raw EOFError, breaking the documented ValueError contract."""
+        trace = Trace([0x1000 + 4 * (i % 50) for i in range(5000)], [0] * 5000)
+        path = tmp_path / "cut.din.gz"
+        save_din(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="cut.din.gz"):
+            load_din(path)
+
+    def test_gz_with_corrupt_deflate_body_raises_value_error(self, tmp_path):
+        """A valid gzip header over a mangled deflate body surfaces as
+        zlib.error inside the reader; that too must become ValueError."""
+        trace = Trace([0x1000 + 4 * (i % 50) for i in range(5000)], [0] * 5000)
+        path = tmp_path / "mangled.din.gz"
+        save_din(trace, path)
+        data = bytearray(path.read_bytes())
+        for i in range(20, min(60, len(data))):  # stomp past the header
+            data[i] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="mangled.din.gz"):
+            load_din(path)

@@ -3,7 +3,8 @@
 Usage::
 
     python tools/check_bench_regression.py <current-dir> \
-        [--baseline benchmarks/results] [--tolerance 0.2] [--all-metrics]
+        [--baseline benchmarks/results] [--tolerance 0.2] [--all-metrics] \
+        [--require NAME ...]
 
 Compares every ``*.json`` bench artefact in ``<current-dir>`` against
 the committed baseline of the same name and fails (exit 1) when a gated
@@ -18,6 +19,12 @@ machine).  Baselines with no matching current artefact are reported but
 not fatal (the bench may not have run in this job); current artefacts
 with no baseline pass with a notice so new benches don't need a
 two-step landing.
+
+``--require NAME`` (repeatable; the artefact stem, e.g.
+``bench_serve_etag``) turns an absent artefact into a hard failure —
+without it, a bench leg that silently stops producing its artefact
+would retire its own gate.  CI requires every serving-tier ratio
+(warm/cold, compaction load, negative cache, ETag 304) this way.
 """
 
 import argparse
@@ -87,6 +94,10 @@ def main(argv=None) -> int:
     parser.add_argument("--all-metrics", action="store_true",
                         help="gate every numeric metric, not just the "
                         "artefact's 'gate' list")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="artefact stem that must be present (and "
+                        "gated) in this run; repeatable")
     args = parser.parse_args(argv)
 
     if not args.current.is_dir():
@@ -100,6 +111,16 @@ def main(argv=None) -> int:
 
     failures = []
     compared = 0
+    for name in args.require:
+        stem = name[:-5] if name.endswith(".json") else name
+        if not (args.current / f"{stem}.json").exists():
+            failures.append(
+                f"required artefact {stem}.json was not generated in this run"
+            )
+        elif not (args.baseline / f"{stem}.json").exists():
+            failures.append(
+                f"required artefact {stem}.json has no committed baseline"
+            )
     for baseline_path in baselines:
         current_path = args.current / baseline_path.name
         if not current_path.exists():

@@ -17,7 +17,14 @@ the HTTP client:
    ``<store>/runs/<run_id>/`` whose cached/computed counts match the
    streams;
 4. **store lookups** — every cell key from the run must answer on
-   ``GET /cell/<key>`` with the same metrics the run reported.
+   ``GET /cell/<key>`` with the same metrics the run reported;
+5. **conditional GET** — repeating ``GET /spec`` with the server's own
+   ``ETag`` in ``If-None-Match`` must answer ``304 Not Modified`` with
+   an empty body;
+6. **compact then query** — after ``store.compact()`` the same run must
+   still answer entirely from the index (zero cell events,
+   byte-identical output) and ``/healthz`` must report the new
+   generation.
 
 Exits non-zero with a named complaint on the first violation, so a CI
 failure reads as "warm run recomputed 3 cells", not as a stack trace.
@@ -27,6 +34,8 @@ import argparse
 import json
 import sys
 import tempfile
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -105,13 +114,69 @@ def check(spec: str, store_dir: Path) -> int:
                 failures.append(f"GET /cell/{cell['key'][:12]}… metrics mismatch")
                 break
 
+        # conditional GET: the server's own ETag must answer 304
+        spec_url = f"{server.url}/spec/{spec}"
+        with urllib.request.urlopen(spec_url) as response:
+            etag = response.headers.get("ETag")
+        if not etag:
+            failures.append("GET /spec sent no ETag header")
+        else:
+            request = urllib.request.Request(
+                spec_url, headers={"If-None-Match": etag}
+            )
+            try:
+                response = urllib.request.urlopen(request)
+                status = response.status
+            except urllib.error.HTTPError as exc:  # urllib flags 304 as error
+                response = exc
+                status = exc.code
+            if status != 304:
+                failures.append(
+                    f"conditional GET /spec answered {status}, expected 304"
+                )
+            elif response.read() != b"":
+                failures.append("304 response carried a body")
+
+        # compact, then the same query must still answer from the index
+        compaction = store.compact()
+        if compaction.entries != len(store):
+            failures.append(
+                f"compact snapshot holds {compaction.entries} entries, "
+                f"store holds {len(store)}"
+            )
+        post_events = []
+        post = client.run(spec, on_event=post_events.append)
+        post_cells = [e for e in post_events if e.get("event") == "cell"]
+        if post_cells:
+            failures.append(
+                f"post-compact run streamed {len(post_cells)} cell events "
+                f"(expected zero simulations)"
+            )
+        if post["manifest"]["cells_computed"] != 0:
+            failures.append(
+                f"post-compact run recomputed "
+                f"{post['manifest']['cells_computed']} cells"
+            )
+        if _canonical_cells(cold) != _canonical_cells(post):
+            failures.append("post-compact cell metrics differ from cold")
+        if cold["result"] != post["result"]:
+            failures.append("post-compact result differs from cold")
+        generation = client.healthz().get("generation")
+        if generation != compaction.generation:
+            failures.append(
+                f"healthz reports generation {generation}, compaction "
+                f"returned {compaction.generation}"
+            )
+
     if failures:
         for failure in failures:
             print(f"FAIL [{spec}]: {failure}", file=sys.stderr)
         return 1
     print(
         f"OK: served {spec} cold ({cold['manifest']['cells_computed']} computed) "
-        f"then warm (0 computed, byte-identical) at {server.url}"
+        f"then warm (0 computed, byte-identical), 304 on conditional GET, "
+        f"and warm again after compaction to generation "
+        f"{compaction.generation} at {server.url}"
     )
     return 0
 
