@@ -9,10 +9,15 @@ module-level hooks (nothing installed, the default state of every
 library call), and with a live tracer + metrics registry writing
 ``trace.jsonl`` — and asserts the live-instrumentation overhead stays
 under the 5% acceptance ceiling.  The table persists to
-``benchmarks/results/bench_obs_overhead.txt``.
+``benchmarks/results/bench_obs_overhead.txt``, with a JSON twin
+(``bench_obs_overhead.json`` / ``bench_obs_batch.json``) whose
+``*_traced_vs_bare_speedup`` ratios — bare seconds over traced seconds,
+1.0 = free instrumentation — feed ``tools/check_bench_regression.py``.
 """
 
 import time
+
+from conftest import write_json_result
 
 from repro import obs
 from repro.caches.direct_mapped import DirectMappedCache
@@ -107,6 +112,28 @@ def test_tracing_overhead_under_five_percent(results_dir, tmp_path):
         )
     report = "\n".join(lines)
     (results_dir / "bench_obs_overhead.txt").write_text(report + "\n")
+    write_json_result(
+        results_dir,
+        "bench_obs_overhead",
+        config={
+            "trace": "gcc",
+            "refs": TRACE_REFS,
+            "rounds": ROUNDS,
+            "iterations": ITERATIONS,
+            "max_overhead": MAX_OVERHEAD,
+        },
+        metrics={
+            key: value
+            for row in rows
+            for label in [row["label"].replace("-", "_")]
+            for key, value in [
+                (f"{label}_bare_rps",
+                 ITERATIONS * TRACE_REFS / row["bare_s"]),
+                (f"{label}_traced_vs_bare_speedup",
+                 row["bare_s"] / row["traced_s"]),
+            ]
+        },
+    )
     print(f"\n{report}\n")
 
     for row in rows:
@@ -183,6 +210,21 @@ def test_batched_tier_tracing_overhead(results_dir, tmp_path):
         ]
     )
     (results_dir / "bench_obs_batch.txt").write_text(report + "\n")
+    write_json_result(
+        results_dir,
+        "bench_obs_batch",
+        config={
+            "trace": "gcc",
+            "refs": TRACE_REFS,
+            "cells": len(cells),
+            "rounds": ROUNDS,
+            "max_overhead": MAX_OVERHEAD,
+        },
+        metrics={
+            "batch_bare_rps": len(cells) * TRACE_REFS / bare,
+            "batch_traced_vs_bare_speedup": bare / traced,
+        },
+    )
     print(f"\n{report}\n")
     assert overhead < MAX_OVERHEAD, (
         f"batched tier tracing overhead {overhead:.1%} exceeds "

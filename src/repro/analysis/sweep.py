@@ -66,6 +66,7 @@ def run_sweep(
     journal: "parallel.SweepJournal | str | None" = None,
     progress: Optional[bool] = None,
     timeout: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """Simulate every (parameter, factory) pair over ``traces``.
 
@@ -106,7 +107,7 @@ def run_sweep(
     ]
     outcomes = parallel.run_labeled_cells(
         cells, engine=engine, workers=workers, timeout=timeout,
-        journal=journal, progress=progress,
+        journal=journal, progress=progress, backend=backend,
     )
     failures = [outcome for outcome in outcomes if not outcome.ok]
     if failures:

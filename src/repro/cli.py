@@ -1,6 +1,6 @@
 """General-purpose command line tools.
 
-Eight subcommands make the library usable without writing Python:
+Ten subcommands make the library usable without writing Python:
 
 * ``trace``    — generate a benchmark trace and write it as din text;
 * ``simulate`` — run a cache configuration over a din trace (or a named
@@ -17,7 +17,11 @@ Eight subcommands make the library usable without writing Python:
   rewrites the append-only history into generation-stamped shards so
   multi-gigabyte journals reload without replaying superseded lines;
 * ``query``    — talk to a running daemon: list specs, look up a stored
-  cell by content key, or run an experiment server-side.
+  cell by content key, or run an experiment server-side;
+* ``worker``   — the fleet-backend protocol loop: serve sweep cells
+  over NDJSON on stdin/stdout until EOF or a shutdown op (launched by
+  ``--backend fleet``, locally or as ``ssh host python3 -m repro.cli
+  worker``).
 
 Examples::
 
@@ -55,6 +59,7 @@ from .core.hitlast import HashedHitLastStore, IdealHitLastStore
 from .core.long_lines import make_long_line_exclusion_cache
 from .env import validate as validate_env
 from .obs import configure_logging, summarize_directory
+from .perf.backends import backend_names, set_default_backend
 from .perf.engine import ENGINES, simulate as engine_simulate
 from .perf.parallel import set_default_workers
 from .trace.io import load_din, save_din
@@ -194,7 +199,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     store = open_store(store_dir, extra_sources=args.journals or ())
     ingested = store.refresh()
     server = ResultServer(
-        store, host=args.host, port=args.port, default_engine=args.engine
+        store, host=args.host, port=args.port, default_engine=args.engine,
+        default_backend=args.backend,
     )
     print(
         f"serving {store_dir} ({len(store)} cells, {ingested} ingested, "
@@ -237,6 +243,12 @@ def _cmd_store_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .perf.worker import worker_main
+
+    return worker_main()
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from .serve import ServeClient, ServeError
 
@@ -268,7 +280,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 )
 
         done = client.run(
-            args.spec, engine=args.engine, workers=args.workers, on_event=on_event
+            args.spec, engine=args.engine, workers=args.workers,
+            backend=args.backend, on_event=on_event,
         )
         manifest = done["manifest"]
         print(
@@ -331,6 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--workers", type=int, default=None, metavar="N",
                             help="default process-pool size for any sweep "
                             "run in-process (default: REPRO_WORKERS or 1)")
+    sim_parser.add_argument("--backend", choices=backend_names(), default=None,
+                            help="default sweep execution backend for any "
+                            "sweep run in-process: inline, local-pool, or "
+                            "fleet (default: REPRO_BACKEND or automatic)")
     sim_parser.set_defaults(func=_cmd_simulate)
 
     classify_parser = sub.add_parser("classify", help="3C miss classification")
@@ -410,6 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="default process-pool size for server-side sweeps "
         "(default: REPRO_WORKERS or 1)",
     )
+    serve_parser.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="default execution backend for server-side sweeps: inline, "
+        "local-pool, or fleet (default: REPRO_BACKEND or automatic); "
+        "per-run override via the POST /run body",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     store_parser = sub.add_parser(
@@ -464,10 +487,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="server-side process-pool size for this run",
     )
     run_parser.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="server-side execution backend for this run "
+        "(default: the daemon's)",
+    )
+    run_parser.add_argument(
         "--progress", action="store_true",
         help="print each newly resolved cell on stderr as it streams in",
     )
     query_parser.set_defaults(func=_cmd_query)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="serve fleet-backend sweep cells over NDJSON on stdin/stdout "
+        "(long-lived; launched by --backend fleet, locally or over SSH)",
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
 
     return parser
 
@@ -487,6 +522,9 @@ def main(argv: "List[str] | None" = None) -> int:
         if workers < 1:
             parser.error("--workers must be at least 1")
         set_default_workers(workers)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        set_default_backend(backend)
     return args.func(args)
 
 

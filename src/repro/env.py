@@ -18,6 +18,12 @@ them carried its own copy of the parsing and error wording.  The rules:
 * ``REPRO_BATCH_CELLS`` — maximum cells the batched engine groups into
   one vectorized kernel invocation (integer >= 1; unset uses the
   scheduler default, see :mod:`repro.perf.parallel`);
+* ``REPRO_BACKEND`` — default sweep execution backend
+  (``inline``/``local-pool``/``fleet``; unset means the runner picks
+  automatically, see :mod:`repro.perf.backends`);
+* ``REPRO_FLEET_HOSTS`` — comma-separated fleet worker endpoints for
+  the ``fleet`` backend (``local``, an SSH host, or a full worker
+  command template; unset means ``--workers`` local subprocesses);
 * ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT`` — bind address for the
   ``repro serve`` result-store daemon (default ``127.0.0.1:8377``;
   port 0 asks the OS for an ephemeral port);
@@ -96,6 +102,46 @@ def env_batch_cells() -> Optional[int]:
     if cells < 1:
         raise ValueError("REPRO_BATCH_CELLS must be at least 1")
     return cells
+
+
+#: Registered sweep execution backends (mirrors repro.perf.backends;
+#: duplicated here so env stays import-leaf).
+BACKEND_NAMES = ("inline", "local-pool", "fleet")
+
+
+def env_backend() -> Optional[str]:
+    """The validated REPRO_BACKEND setting (None when unset or blank)."""
+    raw = os.environ.get("REPRO_BACKEND")
+    if raw is None:
+        return None
+    raw = raw.strip().lower()
+    if not raw:
+        return None
+    if raw not in BACKEND_NAMES:
+        options = ", ".join(BACKEND_NAMES)
+        raise ValueError(f"REPRO_BACKEND must be one of {options}, got {raw!r}")
+    return raw
+
+
+def env_fleet_hosts() -> "list[str]":
+    """The parsed REPRO_FLEET_HOSTS endpoint list (empty when unset).
+
+    Comma-separated; each entry is ``local`` (a subprocess of this
+    machine), a bare SSH destination (``user@host``), or — when it
+    contains whitespace — a full worker command template.  Blank
+    entries are rejected rather than skipped: a trailing comma almost
+    always means a host was lost to a shell quoting mistake.
+    """
+    raw = os.environ.get("REPRO_FLEET_HOSTS")
+    if raw is None or not raw.strip():
+        return []
+    hosts = [entry.strip() for entry in raw.split(",")]
+    if any(not entry for entry in hosts):
+        raise ValueError(
+            f"REPRO_FLEET_HOSTS must be a comma-separated list of non-empty "
+            f"endpoints, got {raw!r}"
+        )
+    return hosts
 
 
 # -- result-store daemon (repro serve / repro query) ---------------------------
@@ -221,6 +267,8 @@ def validate() -> None:
     """
     env_workers()
     env_batch_cells()
+    env_backend()
+    env_fleet_hosts()
     trace_scale()
     log_level()
     profile_enabled()

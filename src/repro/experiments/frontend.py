@@ -87,6 +87,17 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "or 1 = sequential)",
     )
     parser.add_argument(
+        "--backend",
+        choices=perf.backend_names(),
+        default=None,
+        help="sweep execution backend: 'inline' runs cells in this "
+        "process, 'local-pool' uses one machine's process pool (plus the "
+        "batched shared-memory tier), 'fleet' shards cells across "
+        "long-lived repro worker subprocesses — local by default, or the "
+        "REPRO_FLEET_HOSTS endpoints (SSH or command templates) "
+        "(default: REPRO_BACKEND, or automatic by worker count)",
+    )
+    parser.add_argument(
         "--resume-dir",
         metavar="DIR",
         default=None,
@@ -259,6 +270,7 @@ def _run_spec_args(
         workers=args.workers,
         journal=str(resume_dir) if resume_dir is not None else None,
         progress=True if args.progress else None,
+        backend=getattr(args, "backend", None),
     )
 
 

@@ -301,13 +301,14 @@ def run_spec(
     journal: "parallel.SweepJournal | str | None" = None,
     progress: Optional[bool] = None,
     timeout: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> object:
     """Execute a spec (or registered spec id) and return its result.
 
     Results are memoised by ``(fingerprint, trace budget)``; execution
-    options (engine, workers, journal) are deliberately *not* part of
-    the key because they cannot change the result, only how fast and
-    how durably it is computed.  Grid cells run through the resilient
+    options (engine, workers, journal, backend) are deliberately *not*
+    part of the key because they cannot change the result, only how
+    fast and how durably it is computed.  Grid cells run through the resilient
     sweep runner, so ``--workers``/``--resume-dir``/``--progress`` and
     worker-crash retry all apply; any cell failure raises
     :class:`~repro.perf.parallel.SweepCellError` naming the cells.
@@ -330,12 +331,12 @@ def run_spec(
         elif spec.derive is not None:
             bases = [
                 run_spec(base, engine=engine, workers=workers, journal=journal,
-                         progress=progress, timeout=timeout)
+                         progress=progress, timeout=timeout, backend=backend)
                 for base in spec.base
             ]
             result = spec.derive(*bases)
         else:
-            grid = _run_grid(spec, engine, workers, journal, progress, timeout)
+            grid = _run_grid(spec, engine, workers, journal, progress, timeout, backend)
             result = collect_result(spec, grid)
 
     _RESULT_CACHE[key] = result
@@ -415,6 +416,7 @@ def _run_grid(
     journal: "parallel.SweepJournal | str | None",
     progress: Optional[bool],
     timeout: Optional[float],
+    backend: Optional[str] = None,
 ) -> GridResult:
     cells, traces_by_parameter = grid_cells(spec)
     outcomes = parallel.run_labeled_cells(
@@ -425,6 +427,7 @@ def _run_grid(
         journal=journal,
         progress=progress,
         evaluator=spec.evaluator,
+        backend=backend,
     )
     return grid_from_outcomes(spec, outcomes, traces_by_parameter)
 

@@ -9,7 +9,11 @@ shows:
   ``cell`` spans render as one line: count, total seconds, share of the
   root span's time);
 * the top-N slowest individual ``cell`` spans with their identifying
-  attributes, which is where "why was fig13 slow?" usually terminates.
+  attributes, which is where "why was fig13 slow?" usually terminates;
+* a per-worker cell-count table when any ``cell`` span carries a
+  ``worker`` attribute (the fleet backend stamps each cell with the
+  worker that executed it), which shows at a glance whether the fleet
+  sharded evenly or one host starved.
 
 A directory with no ``trace.jsonl`` of its own but run subdirectories
 (the ``--trace-dir`` layout: one subdirectory per spec) is summarised
@@ -135,7 +139,35 @@ def summarize_run(directory: Union[str, Path], top: int = 10) -> str:
         lines.append(f"  top {min(top, len(cells))} slowest cells")
         for span in cells[:top]:
             lines.append(f"    {span.duration:>9.3f}s  {_span_label(span)}")
+
+    by_worker = worker_cell_counts(cells)
+    if by_worker:
+        lines.append("")
+        lines.append(f"  cells by worker ({len(by_worker)} workers)")
+        for worker, (count, seconds) in sorted(
+            by_worker.items(), key=lambda item: (-item[1][0], item[0])
+        ):
+            lines.append(f"    {worker:<32}  x{count:<6d} {seconds:>9.3f}s")
     return "\n".join(lines) + "\n"
+
+
+def worker_cell_counts(
+    cells: List[Span],
+) -> "Dict[str, Tuple[int, float]]":
+    """Per-worker ``(cell count, total seconds)`` from cell spans.
+
+    Only spans stamped with a ``worker`` attribute contribute — the
+    inline and local-pool backends leave cells unattributed, so the
+    table appears exactly when a fleet ran.
+    """
+    counts: "Dict[str, Tuple[int, float]]" = {}
+    for span in cells:
+        worker = span.attrs.get("worker")
+        if not worker:
+            continue
+        count, seconds = counts.get(str(worker), (0, 0.0))
+        counts[str(worker)] = (count + 1, seconds + span.duration)
+    return counts
 
 
 def find_runs(directory: Union[str, Path]) -> List[Path]:

@@ -18,7 +18,14 @@
   :class:`~repro.perf.parallel.TraceKey` recipes instead of trace
   arrays;
 * :mod:`repro.perf.journal` — the opt-in on-disk result journal that
-  lets a crashed or interrupted sweep resume from its completed cells.
+  lets a crashed or interrupted sweep resume from its completed cells;
+* :mod:`repro.perf.backends` — the pluggable execution backends the
+  sweep runner delegates to: ``inline`` (this process), ``local-pool``
+  (one machine's process pool + batched shared-memory tier), and
+  ``fleet`` (cells sharded across long-lived ``repro worker``
+  subprocesses, local or SSH);
+* :mod:`repro.perf.worker` — the NDJSON protocol loop a fleet worker
+  subprocess runs (``python -m repro.cli worker``).
 """
 
 from .batch import DEBatchSpec, simulate_dynamic_exclusion_batch
@@ -47,6 +54,20 @@ from .kernels import (
     simulate_lru,
     simulate_optimal_last_line,
 )
+from .backends import (
+    BACKENDS,
+    SweepBackend,
+    SweepContext,
+    backend_names,
+    create_backend,
+    default_backend,
+    live_worker_ids,
+    live_workers,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    worker_command,
+)
 from .parallel import (
     DEFAULT_BATCH_CELLS,
     CellIdentity,
@@ -73,23 +94,30 @@ from .parallel import (
     set_default_workers,
     simulate_cell,
 )
+from .worker import worker_main
 
 __all__ = [
+    "BACKENDS",
     "ENGINES",
     "CellIdentity",
     "CellOutcome",
     "KernelExecutionError",
+    "SweepBackend",
     "SweepCellError",
+    "SweepContext",
     "SweepJournal",
     "SweepTelemetry",
     "TraceKey",
     "as_trace",
+    "backend_names",
     "batch_spec_for",
     "is_batch_spec",
     "canonical_parameter",
     "clear_trace_cache",
+    "create_backend",
     "DEBatchSpec",
     "DEFAULT_BATCH_CELLS",
+    "default_backend",
     "default_engine",
     "default_journal_dir",
     "drain_telemetry",
@@ -100,9 +128,13 @@ __all__ = [
     "identity_for",
     "is_trace_recipe",
     "kernel_for",
+    "live_worker_ids",
+    "live_workers",
     "outcome_observer",
     "parameter_from_json",
+    "register_backend",
     "registered_kernel_types",
+    "resolve_backend",
     "resolve_batch_cells",
     "resolve_engine",
     "resolve_workers",
@@ -110,6 +142,7 @@ __all__ = [
     "run_labeled_cells",
     "SharedTrace",
     "SharedTraceHandle",
+    "set_default_backend",
     "set_default_cell_timeout",
     "set_default_engine",
     "set_default_journal_dir",
@@ -125,4 +158,6 @@ __all__ = [
     "simulate_dynamic_exclusion_batch",
     "simulate_lru",
     "simulate_optimal_last_line",
+    "worker_command",
+    "worker_main",
 ]

@@ -1,0 +1,267 @@
+"""The sweep-backend interface, registry, and shared execution helpers.
+
+A **backend** is one strategy for executing a sweep's pending cells:
+``inline`` (this process, no pool), ``local-pool`` (one machine's
+:class:`~concurrent.futures.ProcessPoolExecutor` plus the batched
+shared-memory tier), or ``fleet`` (long-lived ``repro worker``
+subprocesses — local or SSH — speaking NDJSON).  Backends share one
+contract:
+
+* :meth:`SweepBackend.submit_cells` receives the pending cell indices
+  and a :class:`SweepContext` and *yields* each :class:`CellOutcome` as
+  it resolves, having already folded it into the run's journal and
+  telemetry via the context helpers.  The orchestrator
+  (:func:`repro.perf.parallel.run_labeled_cells`) reports each yielded
+  outcome to observers/progress, so cells stream in completion order
+  whatever strategy ran them.
+* :meth:`SweepBackend.close` releases whatever the run held (pools,
+  worker subprocesses); the orchestrator always calls it.
+
+Selection, in priority order: an explicit ``backend=`` argument, the
+process default set by ``--backend`` on a CLI, the ``REPRO_BACKEND``
+environment variable, and finally the automatic choice that preserves
+the pre-backend behaviour (``inline`` for single-worker or single-cell
+runs, ``local-pool`` otherwise).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Type
+
+from ...env import env_backend
+from ...obs import metrics as obs_metrics
+from ...obs import tracing as obs_tracing
+from ..cells import CellEvaluator, CellOutcome, LabeledCell
+from ..journal import SweepJournal
+from ..telemetry import SweepTelemetry
+
+
+@dataclass
+class SweepContext:
+    """Everything one sweep run hands its backend.
+
+    The mutation helpers (:meth:`record_success`, :meth:`fail`) are the
+    single place cell results turn into journal entries and telemetry
+    counters, so every backend journals and counts identically — the
+    backend-invariance tests pin exactly that.
+    """
+
+    cells: Sequence[LabeledCell]
+    outcomes: List[CellOutcome]
+    engine: str
+    workers: int
+    timeout: Optional[float]
+    pool_retries: int
+    journal: Optional[SweepJournal]
+    progress: bool
+    telemetry: SweepTelemetry
+    evaluator: Optional[CellEvaluator] = None
+    batch_cells: int = 16
+    fleet_hosts: List[str] = field(default_factory=list)
+
+    def record_success(
+        self,
+        outcome: CellOutcome,
+        metrics: Dict[str, float],
+        seconds: float,
+        journal: "SweepJournal | None | object" = None,
+    ) -> None:
+        """Fold one computed cell into its envelope, the journal, and
+        telemetry.  ``journal`` overrides the run journal (the batched
+        tier passes its deferred-flush buffer)."""
+        outcome.metrics = dict(metrics)
+        outcome.miss_rate = metrics.get("miss_rate")
+        outcome.seconds = seconds
+        self.telemetry.completed += 1
+        self.telemetry.cell_seconds.append(seconds)
+        if outcome.worker:
+            counts = self.telemetry.worker_cells
+            counts[outcome.worker] = counts.get(outcome.worker, 0) + 1
+        sink = self.journal if journal is None else journal
+        if sink is not None and outcome.identity.journalable:
+            identity = outcome.identity
+            sink.record(identity.key(), identity.payload(), metrics, seconds)
+
+    def fail(self, outcome: CellOutcome, error: str) -> None:
+        outcome.error = error
+        self.telemetry.failed += 1
+
+    def report(self, outcome: CellOutcome) -> None:
+        """Stream one resolved cell to the observer hook and, when
+        ``--progress`` is on, a stderr progress line."""
+        report_outcome(self.progress, self.telemetry, outcome)
+
+
+class SweepBackend:
+    """One execution strategy for a sweep's pending cells."""
+
+    #: Registry key ("inline", "local-pool", "fleet").
+    name = ""
+
+    def submit_cells(
+        self, pending: Sequence[int], ctx: SweepContext
+    ) -> Iterator[CellOutcome]:
+        """Execute the pending cells, yielding each resolved envelope.
+
+        Implementations must fold every yielded outcome into the journal
+        and telemetry (via the ``ctx`` helpers) *before* yielding it.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release run-scoped resources (pools, worker processes)."""
+
+
+# -- registry -----------------------------------------------------------------
+
+BACKENDS: Dict[str, Type[SweepBackend]] = {}
+
+
+def register_backend(cls: Type[SweepBackend]) -> Type[SweepBackend]:
+    """Register a backend class under its ``name`` (usable as a decorator)."""
+    if not cls.name:
+        raise ValueError(f"backend class {cls.__name__} has no name")
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def backend_names() -> List[str]:
+    return sorted(BACKENDS)
+
+
+def create_backend(name: str) -> SweepBackend:
+    """Instantiate a registered backend for one sweep run."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (choose from {', '.join(backend_names())})"
+        ) from None
+    return cls()
+
+
+# -- backend selection --------------------------------------------------------
+
+_DEFAULT_BACKEND: Optional[str] = None
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Set the process-wide default (the CLI's ``--backend`` flag)."""
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (choose from {', '.join(backend_names())})"
+        )
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
+
+
+def default_backend() -> Optional[str]:
+    return _DEFAULT_BACKEND
+
+
+def resolve_backend(backend: Optional[str] = None) -> Optional[str]:
+    """Explicit argument > CLI default > REPRO_BACKEND > None (automatic).
+
+    ``None`` means the orchestrator picks per run: ``inline`` when the
+    run is single-worker or has at most one pending cell, otherwise
+    ``local-pool`` — exactly the pre-backend dispatch.
+    """
+    if backend is not None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} "
+                f"(choose from {', '.join(backend_names())})"
+            )
+        return backend
+    if _DEFAULT_BACKEND is not None:
+        return _DEFAULT_BACKEND
+    return env_backend()
+
+
+# -- outcome observation and progress -----------------------------------------
+
+# Per-thread hook observing every resolved cell (cached, computed, or
+# failed) as run_labeled_cells reports it.  Thread-local so concurrent
+# sweeps — e.g. two serve requests on different handler threads — each
+# stream only their own cells.
+_OUTCOME_OBSERVER = threading.local()
+
+
+@contextmanager
+def outcome_observer(callback: "Callable[[SweepTelemetry, CellOutcome], None]"):
+    """Observe each resolved cell of any sweep run on this thread.
+
+    The callback receives the run's live telemetry and the cell's
+    envelope at the same points ``--progress`` would print a line:
+    journal replays, pooled/batched completions, and failures alike.
+    ``repro.serve`` uses this to stream per-cell progress over HTTP.
+    Callback exceptions are swallowed (and counted under the
+    ``sweep.observer_errors`` metric): a broken observer must not
+    poison the sweep it is watching.
+    """
+    previous = getattr(_OUTCOME_OBSERVER, "callback", None)
+    _OUTCOME_OBSERVER.callback = callback
+    try:
+        yield
+    finally:
+        _OUTCOME_OBSERVER.callback = previous
+
+
+def report_outcome(
+    enabled: bool, telemetry: SweepTelemetry, outcome: CellOutcome
+) -> None:
+    observer = getattr(_OUTCOME_OBSERVER, "callback", None)
+    if observer is not None:
+        try:
+            observer(telemetry, outcome)
+        except Exception:
+            obs_metrics.counter("sweep.observer_errors")
+    if not enabled:
+        return
+    resolved = telemetry.completed + telemetry.failed
+    if outcome.cached:
+        status = "journal"
+    elif outcome.error is not None:
+        status = f"FAILED ({outcome.error})"
+    else:
+        status = f"{outcome.seconds:.2f}s"
+    print(
+        f"[sweep {resolved}/{telemetry.total}] {outcome.identity.describe()} -> {status}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+# -- span helpers -------------------------------------------------------------
+
+
+def cell_attrs(outcome: CellOutcome) -> Dict[str, object]:
+    """JSON-safe span attributes naming one cell."""
+    identity = outcome.identity
+    return {
+        "label": identity.label,
+        "parameter": repr(identity.parameter),
+        "trace": identity.trace_name,
+        "engine": identity.engine,
+    }
+
+
+def record_cell_span(outcome: CellOutcome, **extra: object) -> None:
+    """Synthetic ``cell`` span for a cell executed outside this process.
+
+    Worker processes cannot reach the parent's tracer, so the parent
+    back-dates a span from the envelope's worker-measured seconds once
+    the cell resolves (success or terminal failure).  ``extra`` tags the
+    strategy (``pooled=True``, ``batched=True``, ``worker=...``).
+    """
+    attrs = cell_attrs(outcome)
+    attrs.update(extra)
+    if outcome.worker:
+        attrs["worker"] = outcome.worker
+    if outcome.error is not None:
+        attrs["error"] = outcome.error
+    obs_tracing.record("cell", outcome.seconds, **attrs)

@@ -1,0 +1,235 @@
+"""Batch-group scheduling shared by the inline and local-pool backends.
+
+``engine="batch"`` keeps every per-cell contract — identities, journal
+entries (written under the fast engine's keys, since the results are
+pinned equal), envelopes, per-cell ``cell.seconds`` — but schedules
+pending cells in trace-sharing groups through the vectorized batch
+kernels.  This module owns the group partitioning, the worker-side
+group task, and the fold of group results back into per-cell envelopes;
+the backends own *where* groups execute (inline or a process pool).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ...obs import metrics as obs_metrics
+from ...obs import tracing as obs_tracing
+from .. import engine as engine_mod
+from ..cells import CellOutcome, LabeledCell
+from ..journal import SweepJournal
+from ..trace_cache import TraceLike, as_trace, is_trace_recipe
+from .base import SweepContext, record_cell_span
+
+
+def group_pending(
+    cells: Sequence[LabeledCell], pending: Sequence[int], limit: int
+) -> List[List[int]]:
+    """Partition pending cell indices into batch groups.
+
+    Cells sharing one trace — the same recipe, or the very same Trace
+    object — land in one group (chunked at ``limit``) so the batch
+    kernel simulates them against a single materialisation.  Groups keep
+    first-appearance order and cells keep their original order within a
+    group; the concatenation of all groups is exactly ``pending``, each
+    index once.
+    """
+    by_trace: Dict[object, List[int]] = {}
+    order: List[object] = []
+    for index in pending:
+        trace = cells[index][3]
+        key: object = trace if is_trace_recipe(trace) else id(trace)
+        bucket = by_trace.get(key)
+        if bucket is None:
+            by_trace[key] = bucket = []
+            order.append(key)
+        bucket.append(index)
+    groups: List[List[int]] = []
+    for key in order:
+        bucket = by_trace[key]
+        for start in range(0, len(bucket), limit):
+            groups.append(bucket[start : start + limit])
+    return groups
+
+
+class JournalBatch:
+    """Defers journal appends so a batch group flushes with one write.
+
+    Quacks like :class:`SweepJournal` for ``ctx.record_success``; every
+    buffered entry is still one per-cell journal line, so resume
+    granularity is unchanged — only the open/flush count drops from one
+    per cell to one per group.
+    """
+
+    def __init__(self, journal: Optional[SweepJournal]) -> None:
+        self._journal = journal
+        self._entries: List[tuple] = []
+
+    def record(self, key: str, fields: dict, metrics: Dict[str, float], seconds: float) -> None:
+        self._entries.append((key, fields, metrics, seconds))
+
+    def flush(self) -> None:
+        if self._journal is not None and self._entries:
+            self._journal.record_many(self._entries)
+        self._entries.clear()
+
+
+def _cell_batch_spec(factory: Callable[[object], object], parameter: object):
+    """The cell's batch spec straight from its factory, if it offers one.
+
+    The ``batch_spec`` factory protocol: a factory may expose
+    ``batch_spec(parameter)`` returning a registered batch spec (or
+    ``None``) describing exactly the model ``factory(parameter)`` would
+    build.  It exists purely to skip model construction — building a
+    large cache allocates per-set arrays just so the engine can read
+    three fields off it — so a factory whose models are *not* freshly
+    cold must return ``None`` and let the model-based eligibility check
+    decide.
+    """
+    getter = getattr(factory, "batch_spec", None)
+    if getter is None:
+        return None
+    spec = getter(parameter)
+    if spec is None or not engine_mod.is_batch_spec(spec):
+        return None
+    return spec
+
+
+def batch_task(
+    specs: "List[tuple]",
+    trace_ref: TraceLike,
+    engine: str,
+) -> "List[tuple]":
+    """Worker-side group execution: one marker tuple per cell, in order.
+
+    ``specs`` is ``[(factory, parameter), ...]``.  Cells whose factory
+    speaks the ``batch_spec`` protocol go straight to the spec-level
+    kernel entry point; the rest build their model and either join the
+    batch via the model-based eligibility check or fall back to per-cell
+    fast simulation.  A factory that raises fails only its own cell; the
+    group's compute time is split evenly across its cells (they execute
+    jointly, there is no per-cell clock).  Raises only for group-level
+    failures (trace load, kernel error), which the scheduler answers by
+    re-running the cells individually.
+    """
+    started = time.perf_counter()
+    trace = as_trace(trace_ref)
+    batch_specs: List[Optional[object]] = []
+    failures: Dict[int, str] = {}
+    models: Dict[int, object] = {}
+    for position, (factory, parameter) in enumerate(specs):
+        spec = _cell_batch_spec(factory, parameter)
+        if spec is None and position not in failures:
+            try:
+                model = factory(parameter)
+            except Exception as exc:
+                failures[position] = f"{type(exc).__name__}: {exc}"
+            else:
+                spec = engine_mod.batch_spec_for(model)
+                if spec is None:
+                    models[position] = model
+        batch_specs.append(spec)
+    vectorized = [i for i, spec in enumerate(batch_specs) if spec is not None]
+    obs_metrics.counter("batch.cells.vectorized", len(vectorized))
+    obs_metrics.counter("batch.cells.fallback", len(specs) - len(vectorized))
+    results: List[tuple] = [()] * len(specs)
+    if vectorized:
+        stats_list = engine_mod.simulate_batch_specs(
+            trace, [batch_specs[i] for i in vectorized]
+        )
+        for position, stats in zip(vectorized, stats_list):
+            results[position] = ("ok", {"miss_rate": stats.miss_rate}, 0.0)
+    for position, model in models.items():
+        stats = engine_mod.simulate(model, trace, engine="fast")
+        results[position] = ("ok", {"miss_rate": stats.miss_rate}, 0.0)
+    share = (time.perf_counter() - started) / max(1, len(specs))
+    for position, error in failures.items():
+        results[position] = ("error", error, share)
+    return [
+        (marker[0], marker[1], share) for marker in results
+    ]
+
+
+def apply_group_results(
+    results: "List[tuple]",
+    group: Sequence[int],
+    ctx: SweepContext,
+) -> Iterator[CellOutcome]:
+    """Fold one group's worker markers into per-cell envelopes."""
+    batch_journal = JournalBatch(ctx.journal)
+    for index, marker in zip(group, results):
+        outcome = ctx.outcomes[index]
+        outcome.attempts += 1
+        status, payload, seconds = marker
+        outcome.seconds = seconds
+        if status == "ok":
+            ctx.record_success(outcome, payload, seconds, journal=batch_journal)
+        else:
+            ctx.fail(outcome, str(payload))
+        record_cell_span(outcome, batched=True)
+        yield outcome
+    batch_journal.flush()
+
+
+def run_sequential(
+    pending: Sequence[int], ctx: SweepContext
+) -> Iterator[CellOutcome]:
+    """Inline per-cell execution (no pool; also the batch-group fallback)."""
+    from ..cells import evaluate_cell
+    from .base import cell_attrs
+
+    for index in pending:
+        outcome = ctx.outcomes[index]
+        _, factory, parameter, trace = ctx.cells[index]
+        outcome.attempts += 1
+        cell_started = time.perf_counter()
+        with obs_tracing.span("cell", **cell_attrs(outcome)) as cell_span:
+            try:
+                metrics = evaluate_cell(
+                    factory, parameter, trace, ctx.engine, ctx.evaluator
+                )
+            except Exception as exc:
+                outcome.seconds = time.perf_counter() - cell_started
+                ctx.fail(outcome, f"{type(exc).__name__}: {exc}")
+                if cell_span is not None:
+                    cell_span.attrs["error"] = outcome.error
+            else:
+                ctx.record_success(
+                    outcome, metrics, time.perf_counter() - cell_started
+                )
+        yield outcome
+
+
+def run_batched_inline(
+    groups: List[List[int]], ctx: SweepContext
+) -> Iterator[CellOutcome]:
+    """Batched execution without a pool: one kernel invocation per group.
+
+    A group-level failure (kernel exception, trace generation error)
+    demotes just that group to the per-cell sequential path, so a
+    poisoned cell costs its group's batching, not the sweep.
+    """
+    for group in groups:
+        trace_ref = ctx.cells[group[0]][3]
+        specs = [(ctx.cells[index][1], ctx.cells[index][2]) for index in group]
+        with obs_tracing.span("batch_group", cells=len(group)) as group_span:
+            try:
+                results = batch_task(specs, trace_ref, ctx.engine)
+            except Exception as exc:
+                if group_span is not None:
+                    group_span.attrs["fallback"] = f"{type(exc).__name__}: {exc}"
+                obs_metrics.counter("batch.group_fallbacks", engine=ctx.engine)
+                yield from run_sequential(group, ctx)
+            else:
+                yield from apply_group_results(results, group, ctx)
+
+
+def batch_eligible(pending: Sequence[int], ctx: SweepContext) -> bool:
+    """Whether this run should schedule in batch groups at all.
+
+    Custom ``evaluator`` sweeps bypass grouping entirely (an evaluator
+    is a per-cell measurement by contract), and a single pending cell
+    has nothing to amortise.
+    """
+    return ctx.engine == "batch" and ctx.evaluator is None and len(pending) > 1

@@ -1,0 +1,429 @@
+"""The ``fleet`` backend: cells sharded across ``repro worker`` processes.
+
+Where ``local-pool`` stops at one machine's ProcessPoolExecutor, the
+fleet shards a sweep across long-lived worker subprocesses speaking the
+NDJSON protocol of :mod:`repro.perf.worker` over stdin/stdout.  Each
+endpoint is launched from a command template, so the same code path
+covers local multi-process and SSH multi-host:
+
+* ``local`` — ``python -m repro.cli worker`` as a subprocess of this
+  machine (the default: ``--workers N`` spawns N of these);
+* ``user@host`` — ``ssh -o BatchMode=yes user@host python3 -m
+  repro.cli worker`` (the repo must be importable on the remote);
+* anything containing whitespace — used verbatim as the worker command
+  (``"kubectl exec pod -- python -m repro.cli worker"``).
+
+Endpoints come from ``REPRO_FLEET_HOSTS`` (comma-separated) when set.
+
+Scheduling keeps **one cell in flight per worker**: a dead worker
+forfeits exactly one cell, which is re-dispatched to a surviving worker
+with a per-cell crash budget (``pool_retries``) before it is failed
+with exact attribution — the same envelope discipline the local pool's
+solo mode provides, without serialising the healthy remainder.  A
+worker that dies after proving itself (its ``ready`` handshake) is
+respawned and counted under ``pool_restarts``; one that never comes up
+(unreachable host, broken command) is retired permanently so a typo'd
+endpoint cannot respawn-loop.  Per-cell timeouts kill the stuck worker
+and fail only its cell, exactly like the pool.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from ...obs import metrics as obs_metrics
+from ..cells import CellOutcome
+from .base import SweepBackend, SweepContext, record_cell_span, register_backend
+
+#: Seconds close() waits for a worker to exit after a shutdown request
+#: before killing it.
+SHUTDOWN_GRACE = 2.0
+
+
+def worker_command(endpoint: str) -> List[str]:
+    """The argv that launches one fleet worker for ``endpoint``."""
+    if endpoint == "local":
+        return [sys.executable, "-m", "repro.cli", "worker"]
+    if any(ch.isspace() for ch in endpoint):
+        return shlex.split(endpoint)
+    return [
+        "ssh", "-o", "BatchMode=yes", endpoint,
+        "python3", "-m", "repro.cli", "worker",
+    ]
+
+
+def _worker_env() -> Dict[str, str]:
+    """The subprocess environment, with this repro importable.
+
+    The parent found ``repro`` somehow; a ``local`` worker launched as
+    ``python -m repro.cli`` must find the same one even when the parent
+    was started from a different working directory.
+    """
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[3])
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_dir + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+# Live-worker registry: serve's /healthz and /metrics report how many
+# fleet workers this process currently has running, across all sweeps.
+_LIVE_LOCK = threading.Lock()
+_LIVE_WORKERS: "Set[FleetWorker]" = set()
+
+
+def live_workers() -> int:
+    """Fleet workers currently alive in this process."""
+    with _LIVE_LOCK:
+        return len(_LIVE_WORKERS)
+
+
+def live_worker_ids() -> List[str]:
+    with _LIVE_LOCK:
+        return sorted(worker.id for worker in _LIVE_WORKERS)
+
+
+def _track(worker: "FleetWorker", alive: bool) -> None:
+    with _LIVE_LOCK:
+        if alive:
+            _LIVE_WORKERS.add(worker)
+        else:
+            _LIVE_WORKERS.discard(worker)
+        count = len(_LIVE_WORKERS)
+    obs_metrics.gauge("fleet.workers.live", count)
+
+
+class FleetWorker:
+    """One worker subprocess plus its reader thread.
+
+    The reader pushes ``(worker, line)`` events onto the backend's queue
+    and ``(worker, None)`` at EOF, so the scheduler consumes results and
+    deaths from a single stream.
+    """
+
+    def __init__(
+        self, slot: int, endpoint: str, events: "queue.Queue"
+    ) -> None:
+        self.slot = slot
+        self.endpoint = endpoint
+        self.id = f"{endpoint}#{slot}"
+        self.in_flight: Optional[int] = None
+        self.dispatched_at = 0.0
+        self.ready = False
+        self.retired = False
+        self.cells_done = 0
+        self.process = subprocess.Popen(
+            worker_command(endpoint),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # workers share the parent's stderr
+            text=True,
+            env=_worker_env(),
+        )
+        self._events = events
+        self._reader = threading.Thread(
+            target=self._read, name=f"fleet-reader-{self.id}", daemon=True
+        )
+        self._reader.start()
+        _track(self, True)
+
+    def _read(self) -> None:
+        try:
+            for line in self.process.stdout:
+                self._events.put((self, line))
+        except Exception:  # pragma: no cover - pipe teardown races
+            pass
+        self._events.put((self, None))
+
+    def send(self, request: dict) -> bool:
+        try:
+            self.process.stdin.write(json.dumps(request) + "\n")
+            self.process.stdin.flush()
+        except (OSError, ValueError):
+            return False  # dying worker: its EOF event carries the cleanup
+        return True
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+    def describe(self) -> str:
+        return f"{self.id} (pid {self.process.pid})"
+
+
+@register_backend
+class FleetBackend(SweepBackend):
+    name = "fleet"
+
+    def __init__(self) -> None:
+        self._workers: List[FleetWorker] = []
+        self._events: "queue.Queue" = queue.Queue()
+
+    # -- scheduling -----------------------------------------------------------
+
+    def submit_cells(
+        self, pending: Sequence[int], ctx: SweepContext
+    ) -> Iterator[CellOutcome]:
+        endpoints = list(ctx.fleet_hosts) or ["local"] * max(1, ctx.workers)
+        for slot, endpoint in enumerate(endpoints):
+            self._spawn(slot, endpoint)
+        ctx.telemetry.workers = len(endpoints)
+
+        todo = deque(pending)
+        unresolved = set(pending)
+        crashes: Dict[int, int] = {}
+
+        while unresolved:
+            # Keep every live worker busy (one cell in flight each).
+            for worker in self._alive():
+                if worker.in_flight is None and todo:
+                    index = todo.popleft()
+                    if not self._dispatch(worker, index, ctx):
+                        # Unpicklable cell payload: deterministic, fail it.
+                        outcome = ctx.outcomes[index]
+                        yield outcome
+                        unresolved.discard(index)
+            if not self._alive():
+                for index in sorted(unresolved):
+                    outcome = ctx.outcomes[index]
+                    ctx.fail(outcome, (
+                        f"BrokenFleetError: no live fleet workers remain "
+                        f"({len(self._workers)} retired) — cell was never "
+                        f"completed"
+                    ))
+                    record_cell_span(outcome, fleet=True)
+                    yield outcome
+                unresolved.clear()
+                break
+
+            event = self._next_event(ctx)
+            if event is None:
+                # Per-cell timeout expired for at least one in-flight cell.
+                for worker in self._expired(ctx):
+                    index = worker.in_flight
+                    worker.in_flight = None
+                    worker.retired = True
+                    worker.kill()
+                    _track(worker, False)
+                    outcome = ctx.outcomes[index]
+                    outcome.attempts += 1
+                    outcome.worker = worker.id
+                    ctx.fail(outcome, (
+                        f"TimeoutError: cell exceeded the {ctx.timeout}s "
+                        f"per-cell timeout (worker terminated)"
+                    ))
+                    record_cell_span(outcome, fleet=True)
+                    yield outcome
+                    unresolved.discard(index)
+                    self._respawn(worker, ctx)
+                continue
+
+            worker, line = event
+            if worker.retired:
+                continue  # stale event from a deliberately killed worker
+            if line is None:
+                yield from self._worker_died(worker, todo, unresolved, crashes, ctx)
+                continue
+            message = self._parse(line)
+            if message is None:
+                continue
+            kind = message.get("event")
+            if kind == "ready":
+                worker.ready = True
+            elif kind == "result":
+                index = worker.in_flight
+                if index is None or message.get("id") != index:
+                    continue  # response to a cell already timed out/requeued
+                worker.in_flight = None
+                outcome = ctx.outcomes[index]
+                outcome.attempts += 1
+                outcome.worker = worker.id
+                seconds = float(message.get("seconds", 0.0))
+                if message.get("ok"):
+                    worker.cells_done += 1
+                    metrics = {
+                        str(k): float(v)
+                        for k, v in message.get("metrics", {}).items()
+                    }
+                    ctx.record_success(outcome, metrics, seconds)
+                else:
+                    # Captured worker-side: deterministic, not retried.
+                    outcome.seconds = seconds
+                    ctx.fail(outcome, str(message.get("error")))
+                record_cell_span(outcome, fleet=True)
+                yield outcome
+                unresolved.discard(index)
+            # "pong" and "error" events need no scheduling action.
+
+    # -- helpers --------------------------------------------------------------
+
+    def _alive(self) -> List[FleetWorker]:
+        return [worker for worker in self._workers if not worker.retired]
+
+    def _spawn(self, slot: int, endpoint: str) -> Optional[FleetWorker]:
+        try:
+            worker = FleetWorker(slot, endpoint, self._events)
+        except OSError as exc:
+            print(
+                f"[fleet] failed to launch worker {endpoint}#{slot}: {exc}",
+                file=sys.stderr,
+            )
+            obs_metrics.counter("fleet.workers.spawn_failures")
+            return None
+        self._workers.append(worker)
+        obs_metrics.counter("fleet.workers.spawned")
+        return worker
+
+    def _respawn(self, dead: FleetWorker, ctx: SweepContext) -> None:
+        """Replace a worker that died after proving itself.
+
+        A worker that never completed its ``ready`` handshake is not
+        replaced: an unreachable SSH host or a broken command template
+        would otherwise respawn-loop for the whole sweep.
+        """
+        if not dead.ready:
+            return
+        replacement = self._spawn(dead.slot, dead.endpoint)
+        if replacement is not None:
+            ctx.telemetry.pool_restarts += 1
+            obs_metrics.counter("fleet.workers.respawned")
+
+    def _worker_died(
+        self,
+        worker: FleetWorker,
+        todo: "deque",
+        unresolved: set,
+        crashes: Dict[int, int],
+        ctx: SweepContext,
+    ) -> Iterator[CellOutcome]:
+        worker.retired = True
+        _track(worker, False)
+        obs_metrics.counter("fleet.workers.retired")
+        exit_code = worker.process.poll()
+        index = worker.in_flight
+        worker.in_flight = None
+        if index is not None:
+            crashes[index] = crashes.get(index, 0) + 1
+            outcome = ctx.outcomes[index]
+            outcome.attempts += 1
+            if crashes[index] > ctx.pool_retries:
+                outcome.worker = worker.id
+                ctx.fail(outcome, (
+                    f"BrokenFleetWorker: fleet worker {worker.describe()} "
+                    f"died while executing this cell (exit code {exit_code})"
+                ))
+                record_cell_span(outcome, fleet=True)
+                yield outcome
+                unresolved.discard(index)
+            else:
+                todo.appendleft(index)  # re-dispatch to a surviving worker
+        if unresolved:
+            self._respawn(worker, ctx)
+
+    def _dispatch(
+        self, worker: FleetWorker, index: int, ctx: SweepContext
+    ) -> bool:
+        _, factory, parameter, trace = ctx.cells[index]
+        outcome = ctx.outcomes[index]
+        try:
+            payload = base64.b64encode(
+                pickle.dumps((factory, parameter, trace, ctx.evaluator))
+            ).decode("ascii")
+        except Exception as exc:
+            outcome.attempts += 1
+            ctx.fail(outcome, f"{type(exc).__name__}: {exc}")
+            record_cell_span(outcome, fleet=True)
+            return False
+        worker.in_flight = index
+        worker.dispatched_at = time.monotonic()
+        worker.send({
+            "op": "cell",
+            "id": index,
+            "engine": ctx.engine,
+            "payload": payload,
+        })
+        # A send failure surfaces as the worker's EOF event; the cell is
+        # re-dispatched there.
+        return True
+
+    def _next_event(self, ctx: SweepContext):
+        """The next worker event, or None when a per-cell timeout expired."""
+        if ctx.timeout is None:
+            return self._events.get()
+        while True:
+            in_flight = [w for w in self._alive() if w.in_flight is not None]
+            if not in_flight:
+                return self._events.get()
+            now = time.monotonic()
+            deadline = min(
+                w.dispatched_at + ctx.timeout for w in in_flight
+            )
+            if deadline <= now:
+                if self._expired(ctx):
+                    return None
+                continue
+            try:
+                return self._events.get(timeout=deadline - now)
+            except queue.Empty:
+                if self._expired(ctx):
+                    return None
+
+    def _expired(self, ctx: SweepContext) -> List[FleetWorker]:
+        if ctx.timeout is None:
+            return []
+        now = time.monotonic()
+        return [
+            worker
+            for worker in self._alive()
+            if worker.in_flight is not None
+            and now - worker.dispatched_at > ctx.timeout
+        ]
+
+    def close(self) -> None:
+        for worker in self._workers:
+            if worker.retired:
+                continue
+            worker.send({"op": "shutdown"})
+        deadline = time.monotonic() + SHUTDOWN_GRACE
+        for worker in self._workers:
+            if worker.retired:
+                continue
+            remaining = deadline - time.monotonic()
+            try:
+                worker.process.wait(timeout=max(0.0, remaining))
+            except subprocess.TimeoutExpired:
+                worker.kill()
+            worker.retired = True
+            _track(worker, False)
+        self._workers.clear()
+
+    def _parse(self, line: str) -> Optional[dict]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            message = json.loads(line)
+        except ValueError:
+            obs_metrics.counter("fleet.protocol_errors")
+            return None
+        if not isinstance(message, dict):
+            obs_metrics.counter("fleet.protocol_errors")
+            return None
+        return message

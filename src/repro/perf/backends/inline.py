@@ -1,0 +1,34 @@
+"""The ``inline`` backend: everything in this process, no pool.
+
+The degenerate — and often correct — strategy: single-worker runs,
+single-cell runs, and environments where forking is unwelcome (test
+harnesses, notebook kernels).  ``engine="batch"`` still batches; the
+kernel invocations just happen in this process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..cells import CellOutcome
+from .base import SweepBackend, SweepContext, register_backend
+from .batched import (
+    batch_eligible,
+    group_pending,
+    run_batched_inline,
+    run_sequential,
+)
+
+
+@register_backend
+class InlineBackend(SweepBackend):
+    name = "inline"
+
+    def submit_cells(
+        self, pending: Sequence[int], ctx: SweepContext
+    ) -> Iterator[CellOutcome]:
+        if batch_eligible(pending, ctx):
+            groups = group_pending(ctx.cells, pending, ctx.batch_cells)
+            yield from run_batched_inline(groups, ctx)
+        else:
+            yield from run_sequential(pending, ctx)

@@ -1,0 +1,293 @@
+"""The ``local-pool`` backend: one machine's ProcessPoolExecutor.
+
+The extracted pre-backend pooled machinery, behaviour-identical:
+
+* bounded retry with pool re-creation when a worker dies
+  (``BrokenProcessPool`` — an OOM-killed worker on a scaled trace is
+  the motivating case), falling back to one-cell-in-flight execution to
+  attribute a deterministic crasher precisely;
+* an optional per-cell ``timeout`` that terminates the stuck worker and
+  fails just that cell;
+* for ``engine="batch"``, trace-sharing groups shipped to workers with
+  zero-copy shared-memory trace distribution
+  (:class:`~repro.perf.shared.SharedTrace`), falling back — cells
+  intact — to the per-cell machinery when a group fails as a unit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterator, List, Sequence
+
+from ...obs import metrics as obs_metrics
+from ...obs import tracing as obs_tracing
+from ..cells import CellOutcome, cell_task
+from ..shared import SharedTrace
+from ..trace_cache import TraceLike, as_trace, is_trace_recipe
+from .base import SweepBackend, SweepContext, record_cell_span, register_backend
+from .batched import apply_group_results, batch_eligible, batch_task, group_pending
+
+
+def terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill the pool's workers; used to enforce per-cell timeouts."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+@register_backend
+class LocalPoolBackend(SweepBackend):
+    name = "local-pool"
+
+    def submit_cells(
+        self, pending: Sequence[int], ctx: SweepContext
+    ) -> Iterator[CellOutcome]:
+        if batch_eligible(pending, ctx):
+            groups = group_pending(ctx.cells, pending, ctx.batch_cells)
+            yield from self._run_batched_pooled(groups, ctx)
+        else:
+            yield from self._run_pooled(list(pending), ctx)
+
+    # -- per-cell pooled execution -------------------------------------------
+
+    def _run_pooled(
+        self, pending: List[int], ctx: SweepContext
+    ) -> Iterator[CellOutcome]:
+        """Pool execution with crash retry, timeout enforcement, and solo
+        fallback for exact attribution of a persistent crasher."""
+        crash_retries_left = ctx.pool_retries
+        solo = False
+        while pending:
+            with obs_tracing.span(
+                "pool_attempt",
+                workers=min(ctx.workers, len(pending)),
+                pending=len(pending),
+                solo=solo,
+            ) as attempt_span:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(ctx.workers, len(pending))
+                )
+                broke = False
+                crashed = False
+                try:
+                    if solo:
+                        pending, broke = yield from self._solo_round(
+                            pool, pending, ctx
+                        )
+                        crashed = False  # solo rounds attribute and consume the crasher
+                    else:
+                        pending, crashed, broke = yield from self._concurrent_round(
+                            pool, pending, ctx
+                        )
+                finally:
+                    pool.shutdown(wait=not broke, cancel_futures=True)
+                if attempt_span is not None and broke:
+                    attempt_span.attrs["broke"] = True
+            if broke:
+                ctx.telemetry.pool_restarts += 1
+            if crashed:
+                crash_retries_left -= 1
+                if crash_retries_left < 0:
+                    solo = True
+
+    def _concurrent_round(
+        self, pool: ProcessPoolExecutor, pending: List[int], ctx: SweepContext
+    ):
+        """Submit every pending cell at once.
+
+        Returns ``(still_pending, crashed, broke)``: ``crashed`` means a
+        worker died (retry budget applies); ``broke`` means the pool is
+        unusable (crash or timeout termination) and must be re-created.
+        """
+        cells = ctx.cells
+        submitted = [
+            (index, pool.submit(cell_task, cells[index][1], cells[index][2],
+                                cells[index][3], ctx.engine, ctx.evaluator))
+            for index in pending
+        ]
+        still_pending: List[int] = []
+        crashed = False
+        broke = False
+        timed_out = False
+        for index, future in submitted:
+            outcome = ctx.outcomes[index]
+            try:
+                metrics, seconds = future.result(timeout=ctx.timeout)
+            except CancelledError:
+                still_pending.append(index)  # no attempt consumed
+                continue
+            except FuturesTimeoutError as exc:
+                outcome.attempts += 1
+                if ctx.timeout is None:
+                    # No wait timeout configured: the *cell* raised a
+                    # TimeoutError of its own — a deterministic failure.
+                    ctx.fail(outcome, f"{type(exc).__name__}: {exc}")
+                else:
+                    ctx.fail(outcome, (
+                        f"TimeoutError: cell exceeded the {ctx.timeout}s "
+                        f"per-cell timeout (worker terminated)"
+                    ))
+                    terminate_pool(pool)
+                    broke = True
+                    timed_out = True
+                record_cell_span(outcome, pooled=True)
+            except BrokenProcessPool:
+                outcome.attempts += 1
+                broke = True
+                if not timed_out:
+                    crashed = True  # self-inflicted breaks don't burn retries
+                still_pending.append(index)  # retried; culprit unknown in this mode
+            except Exception as exc:
+                # Deterministic cell error (bad geometry, kernel exception,
+                # factory raise): retrying cannot help — fail this cell only.
+                outcome.attempts += 1
+                ctx.fail(outcome, f"{type(exc).__name__}: {exc}")
+                record_cell_span(outcome, pooled=True)
+            else:
+                outcome.attempts += 1
+                ctx.record_success(outcome, metrics, seconds)
+                record_cell_span(outcome, pooled=True)
+            yield outcome
+        return still_pending, crashed, broke
+
+    def _solo_round(
+        self, pool: ProcessPoolExecutor, pending: List[int], ctx: SweepContext
+    ):
+        """One cell in flight at a time: a pool break names its cell exactly.
+
+        Returns ``(still_pending, broke)``.  Guaranteed progress — every
+        iteration either completes or definitively fails its cell — so the
+        outer loop terminates even against a factory that kills its worker
+        on every attempt.
+        """
+        remaining = list(pending)
+        while remaining:
+            index = remaining[0]
+            outcome = ctx.outcomes[index]
+            _, factory, parameter, trace = ctx.cells[index]
+            future = pool.submit(
+                cell_task, factory, parameter, trace, ctx.engine, ctx.evaluator
+            )
+            outcome.attempts += 1
+            try:
+                metrics, seconds = future.result(timeout=ctx.timeout)
+            except FuturesTimeoutError as exc:
+                if ctx.timeout is None:
+                    ctx.fail(outcome, f"{type(exc).__name__}: {exc}")
+                    record_cell_span(outcome, pooled=True)
+                    yield outcome
+                    remaining = remaining[1:]
+                    continue
+                ctx.fail(outcome, (
+                    f"TimeoutError: cell exceeded the {ctx.timeout}s per-cell "
+                    f"timeout (worker terminated)"
+                ))
+                terminate_pool(pool)
+                record_cell_span(outcome, pooled=True)
+                yield outcome
+                return remaining[1:], True
+            except BrokenProcessPool as exc:
+                ctx.fail(outcome, (
+                    f"{type(exc).__name__}: worker process died while "
+                    f"executing this cell ({exc})"
+                ))
+                record_cell_span(outcome, pooled=True)
+                yield outcome
+                return remaining[1:], True
+            except Exception as exc:
+                ctx.fail(outcome, f"{type(exc).__name__}: {exc}")
+            else:
+                ctx.record_success(outcome, metrics, seconds)
+            record_cell_span(outcome, pooled=True)
+            yield outcome
+            remaining = remaining[1:]
+        return remaining, False
+
+    # -- batched pooled execution --------------------------------------------
+
+    def _run_batched_pooled(
+        self, groups: List[List[int]], ctx: SweepContext
+    ) -> Iterator[CellOutcome]:
+        """Pooled batched execution with zero-copy trace distribution.
+
+        The parent materialises each distinct trace once into a shared-
+        memory segment (:class:`~repro.perf.shared.SharedTrace`) and ships
+        workers a handle; group timeouts scale the per-cell budget by group
+        size.  Any group that times out, crashes its worker, or raises falls
+        back — cells intact — to the per-cell pooled machinery, which owns
+        retries, per-cell timeouts, and solo crash attribution.  Segments
+        are unlinked in a ``finally`` so no ``/dev/shm`` entry outlives the
+        sweep, whatever failed inside it.
+        """
+        cells = ctx.cells
+        shared_traces: Dict[object, SharedTrace] = {}
+        fallback: List[int] = []
+
+        def trace_handle(trace: TraceLike) -> object:
+            key: object = trace if is_trace_recipe(trace) else id(trace)
+            entry = shared_traces.get(key)
+            if entry is None:
+                recipe = trace if is_trace_recipe(trace) else None
+                entry = SharedTrace.create(as_trace(trace), recipe=recipe)
+                shared_traces[key] = entry
+            return entry.handle
+
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(ctx.workers, len(groups))
+            )
+            broke = False
+            try:
+                submitted = [
+                    (
+                        group,
+                        pool.submit(
+                            batch_task,
+                            [(cells[index][1], cells[index][2]) for index in group],
+                            trace_handle(cells[group[0]][3]),
+                            ctx.engine,
+                        ),
+                    )
+                    for group in groups
+                ]
+                for group, future in submitted:
+                    group_timeout = (
+                        ctx.timeout * len(group) if ctx.timeout is not None else None
+                    )
+                    try:
+                        results = future.result(timeout=group_timeout)
+                    except CancelledError:
+                        fallback.extend(group)
+                    except FuturesTimeoutError:
+                        if ctx.timeout is not None:
+                            terminate_pool(pool)
+                            broke = True
+                        obs_metrics.counter("batch.group_fallbacks", engine=ctx.engine)
+                        fallback.extend(group)
+                    except BrokenProcessPool:
+                        broke = True
+                        obs_metrics.counter("batch.group_fallbacks", engine=ctx.engine)
+                        fallback.extend(group)
+                    except Exception:
+                        obs_metrics.counter("batch.group_fallbacks", engine=ctx.engine)
+                        fallback.extend(group)
+                    else:
+                        yield from apply_group_results(results, group, ctx)
+            finally:
+                pool.shutdown(wait=not broke, cancel_futures=True)
+            if broke:
+                ctx.telemetry.pool_restarts += 1
+        finally:
+            for entry in shared_traces.values():
+                entry.unlink()
+
+        if fallback:
+            # Per-cell machinery: full retry budget, per-cell timeout, solo
+            # attribution of a deterministic crasher.
+            yield from self._run_pooled(fallback, ctx)

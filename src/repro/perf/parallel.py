@@ -1,29 +1,22 @@
-"""Process-parallel sweep execution with fault tolerance.
+"""The sweep runtime: orchestration over pluggable execution backends.
 
 A figure sweep is a grid of independent (parameter, policy, benchmark)
-cells, so it parallelises trivially — except that shipping megabyte
-trace arrays to worker processes would swamp the win.  Benchmark traces
-are deterministic functions of their ``(name, kind, max_refs)`` key, so
-:class:`TraceKey` sends the *key* instead and each worker regenerates
-(and memoises) the trace on first use.
+cells.  This module owns the run-level contract — per-cell
+:class:`CellOutcome` envelopes, journal replay and merge-on-arrival
+resume, telemetry, progress/observer streaming — and delegates *how*
+pending cells execute to a :class:`~repro.perf.backends.SweepBackend`:
 
-The execution layer is built around per-cell **result envelopes**
-(:class:`CellOutcome`) instead of bare ``future.result()`` calls: every
-cell carries its full :class:`CellIdentity` — factory label and
-fingerprint, parameter, trace recipe, engine — plus wall time and any
-captured exception, so a failure names exactly which cell died instead
-of aborting the whole grid anonymously.  On top of that sit
+* ``inline`` — this process, no pool (the single-worker default);
+* ``local-pool`` — one machine's ProcessPoolExecutor with crash retry,
+  solo-mode crash attribution, per-cell timeouts, and the batched
+  shared-memory tier;
+* ``fleet`` — cells sharded across long-lived ``repro worker``
+  subprocesses (local or SSH) with worker retirement and re-dispatch.
 
-* bounded retry with pool re-creation when a worker dies
-  (``BrokenProcessPool`` — an OOM-killed worker on a scaled trace is
-  the motivating case), falling back to one-cell-in-flight execution to
-  attribute a deterministic crasher precisely;
-* an optional per-cell ``timeout`` (pooled runs only) that terminates
-  the stuck worker and fails just that cell;
-* an opt-in on-disk journal (:class:`~repro.perf.journal.SweepJournal`)
-  so an interrupted sweep resumes from its completed cells;
-* structured run telemetry (:class:`SweepTelemetry`) collected for the
-  experiments CLI's ``--progress``/``--resume-dir`` reporting.
+Backend selection: an explicit ``backend=`` argument > the CLI's
+``--backend`` default > ``REPRO_BACKEND`` > automatic (``inline`` for
+single-worker or single-cell runs, ``local-pool`` otherwise — exactly
+the pre-backend dispatch).
 
 Worker count resolution, in priority order:
 
@@ -32,119 +25,63 @@ Worker count resolution, in priority order:
 3. the ``REPRO_WORKERS`` environment variable (validated like
    ``REPRO_TRACE_SCALE``),
 4. 1 (sequential — no process pool is created at all).
+
+The split history: trace recipes live in
+:mod:`repro.perf.trace_cache`, identity/envelope types in
+:mod:`repro.perf.cells`, telemetry in :mod:`repro.perf.telemetry`, and
+the execution strategies in :mod:`repro.perf.backends`.  Everything
+historically importable from this module still is.
 """
 
 from __future__ import annotations
 
-import hashlib
-import sys
-import threading
 import time
-from collections import deque
-from contextlib import contextmanager
-from concurrent.futures import CancelledError, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence
 
 from ..env import env_batch_cells
+from ..env import env_fleet_hosts  # noqa: F401 (re-exported; the one parser)
 from ..env import env_workers  # noqa: F401 (re-exported; the one parser)
-from ..obs import metrics as obs_metrics
-from ..obs import profiling as obs_profiling
 from ..obs import tracing as obs_tracing
-from ..trace.trace import Trace
 from . import engine as engine_mod
-from .journal import SweepJournal, canonical_parameter, content_key, is_stable_parameter
-from .shared import SharedTrace
-
-
-@dataclass(frozen=True)
-class TraceKey:
-    """A deterministic recipe for a benchmark trace.
-
-    Cheap to pickle (three scalars); :meth:`load` regenerates the trace
-    through :func:`repro.workloads.registry.trace_by_kind` and memoises
-    it per process, so a pool worker builds each benchmark once no
-    matter how many sweep cells it executes.
-    """
-
-    name: str
-    kind: str = "instruction"
-    max_refs: int = 200_000
-
-    def load(self) -> Trace:
-        return as_trace(self)  # memoised per process
-
-    def _build(self) -> Trace:
-        from ..workloads.registry import trace_by_kind
-
-        return trace_by_kind(self.name, self.kind, max_refs=self.max_refs)
-
-
-#: Any hashable, picklable recipe exposing ``name``/``kind``/``max_refs``
-#: attributes plus a ``load() -> Trace`` method works wherever a
-#: :class:`TraceKey` does (the experiment-spec layer defines e.g.
-#: timeshared and analytic-pattern recipes); :func:`as_trace` memoises
-#: every recipe through the same per-process cache.
-TraceLike = Union[Trace, TraceKey, object]
-
-_TRACE_CACHE: Dict[object, Trace] = {}
-
-#: Ten benchmarks x three kinds fit comfortably; anything past this is
-#: a scale change or a synthetic flood, and old entries are evicted FIFO.
-_TRACE_CACHE_LIMIT = 64
-
-
-def is_trace_recipe(trace: object) -> bool:
-    """Whether ``trace`` is a deterministic recipe rather than raw data."""
-    return (
-        not isinstance(trace, Trace)
-        and hasattr(trace, "load")
-        and hasattr(trace, "name")
-        and hasattr(trace, "kind")
-        and hasattr(trace, "max_refs")
-    )
-
-
-def clear_trace_cache() -> None:
-    """Drop this process's memoised recipe traces."""
-    _TRACE_CACHE.clear()
-
-
-def as_trace(trace: TraceLike) -> Trace:
-    """Materialise a trace recipe (memoised); pass a Trace through unchanged."""
-    if isinstance(trace, Trace):
-        return trace
-    if not is_trace_recipe(trace):
-        raise TypeError(
-            f"expected a Trace or a trace recipe with name/kind/max_refs/load, "
-            f"got {type(trace).__name__}"
-        )
-    cached = _TRACE_CACHE.get(trace)
-    if cached is None:
-        if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
-            # Drop the oldest memoised trace (insertion order): the
-            # cache otherwise grows without bound when sweeps mix
-            # many distinct recipes.
-            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-        # Recipes with a raw ``_build`` (TraceKey) route their public
-        # ``load`` back through this memo; plain recipes just load.
-        build = getattr(trace, "_build", None) or trace.load
-        with obs_tracing.span(
-            "trace_gen",
-            trace=str(trace.name),
-            trace_kind=str(trace.kind),
-            refs=int(trace.max_refs),
-        ):
-            with obs_profiling.section("trace_gen"):
-                cached = build()
-        obs_metrics.counter("trace.cache.miss")
-        _TRACE_CACHE[trace] = cached
-    else:
-        obs_metrics.counter("trace.cache.hit")
-    return cached
+from .backends import (
+    SweepContext,
+    create_backend,
+    default_backend,
+    outcome_observer,  # noqa: F401 (public API, re-exported)
+    resolve_backend,
+    set_default_backend,  # noqa: F401 (public API, re-exported)
+)
+from .backends.base import cell_attrs as _cell_attrs  # noqa: F401 (compat)
+from .backends.base import report_outcome as _report_outcome
+from .backends.batched import group_pending as _group_pending  # noqa: F401 (compat)
+from .cells import (  # noqa: F401 (public API, re-exported)
+    Cell,
+    CellEvaluator,
+    CellIdentity,
+    CellOutcome,
+    LabeledCell,
+    SweepCellError,
+    cell_task as _cell_task,  # compat alias: the pre-split private name
+    evaluate_cell,
+    identity_for,
+    simulate_cell,
+)
+from .journal import SweepJournal
+from .telemetry import (  # noqa: F401 (public API, re-exported)
+    TELEMETRY_LOG_LIMIT,
+    SweepTelemetry,
+    drain_telemetry,
+    log_telemetry as _log_telemetry,  # compat alias: the pre-split private name
+    publish_metrics as _publish_metrics,
+)
+from .trace_cache import (  # noqa: F401 (public API, re-exported)
+    TraceKey,
+    TraceLike,
+    as_trace,
+    clear_trace_cache,
+    is_trace_recipe,
+)
 
 
 # -- worker-count resolution --------------------------------------------------
@@ -194,40 +131,11 @@ def resolve_batch_cells(batch_cells: Optional[int] = None) -> int:
     return DEFAULT_BATCH_CELLS
 
 
-def _group_pending(
-    cells: Sequence["LabeledCell"], pending: Sequence[int], limit: int
-) -> List[List[int]]:
-    """Partition pending cell indices into batch groups.
-
-    Cells sharing one trace — the same recipe, or the very same Trace
-    object — land in one group (chunked at ``limit``) so the batch
-    kernel simulates them against a single materialisation.  Groups keep
-    first-appearance order and cells keep their original order within a
-    group; the concatenation of all groups is exactly ``pending``, each
-    index once.
-    """
-    by_trace: Dict[object, List[int]] = {}
-    order: List[object] = []
-    for index in pending:
-        trace = cells[index][3]
-        key: object = trace if is_trace_recipe(trace) else id(trace)
-        bucket = by_trace.get(key)
-        if bucket is None:
-            by_trace[key] = bucket = []
-            order.append(key)
-        bucket.append(index)
-    groups: List[List[int]] = []
-    for key in order:
-        bucket = by_trace[key]
-        for start in range(0, len(bucket), limit):
-            groups.append(bucket[start : start + limit])
-    return groups
-
-
 # -- resilience defaults (the CLI's --resume-dir / --progress flags) ----------
 
 #: Pool re-creations attempted after a worker crash before switching to
 #: one-cell-in-flight execution to attribute the crasher precisely.
+#: The fleet backend spends the same budget as per-cell re-dispatches.
 DEFAULT_POOL_RETRIES = 2
 
 _DEFAULT_JOURNAL_DIR: Optional[Path] = None
@@ -260,352 +168,6 @@ def set_default_cell_timeout(seconds: Optional[float]) -> None:
     _DEFAULT_CELL_TIMEOUT = seconds
 
 
-# -- cell identity ------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class CellIdentity:
-    """Everything needed to name one sweep cell in an error, journal
-    entry, or progress line: which curve (factory label + fingerprint),
-    which parameter, which trace (with its reference budget, i.e. the
-    ``max_refs``/``REPRO_TRACE_SCALE`` the run used), which engine."""
-
-    label: str
-    factory: str
-    parameter: object
-    trace_name: str
-    trace_kind: str
-    trace_refs: int
-    engine: str
-    trace_digest: str = ""
-    journalable: bool = True
-    evaluator: str = ""
-
-    def describe(self) -> str:
-        return (
-            f"{self.label} | {self.parameter!r} | "
-            f"{self.trace_name}({self.trace_kind}, {self.trace_refs} refs) | "
-            f"engine={self.engine}"
-        )
-
-    def payload(self) -> dict:
-        """The content-hashed identity dict (journal key material).
-
-        The ``evaluator`` field is included only when a custom metric
-        evaluator is in play, so default miss-rate cells hash to exactly
-        the keys the pre-spec sweep runner wrote — an old journal
-        resumes under the new pipeline unchanged.
-        """
-        payload = {
-            "label": self.label,
-            "factory": self.factory,
-            "parameter": canonical_parameter(self.parameter)
-            if self.journalable
-            else repr(self.parameter),
-            "trace_name": self.trace_name,
-            "trace_kind": self.trace_kind,
-            "trace_refs": self.trace_refs,
-            "trace_digest": self.trace_digest,
-            # The batched engine is a scheduling strategy, not a different
-            # simulation: its results are pinned equal to the fast tier's,
-            # so its journal entries hash to the same keys and the two
-            # engines resume each other's sweeps interchangeably.
-            "engine": "fast" if self.engine == "batch" else self.engine,
-        }
-        if self.evaluator:
-            payload["evaluator"] = self.evaluator
-        return payload
-
-    def key(self) -> str:
-        return content_key(self.payload())
-
-
-def _factory_fingerprint(factory: object) -> Optional[str]:
-    """A repr stable across processes, or None when there isn't one.
-
-    Frozen-dataclass factories (``StandardFactory`` etc.) repr their
-    configuration deterministically.  Lambdas and local closures repr a
-    memory address, which a resumed run cannot be matched against — and
-    a *reused* address must never cause a false journal hit — so such
-    cells are executed but never journaled.
-    """
-    text = repr(factory)
-    if " at 0x" in text or "<locals>" in text or "object at" in text:
-        return None
-    return text
-
-
-def _trace_digest(trace: Trace) -> str:
-    """Stable content digest of a raw (non-TraceKey) trace."""
-    digest = hashlib.sha256()
-    digest.update(trace.addrs.tobytes())
-    digest.update(trace.kinds.tobytes())
-    return digest.hexdigest()[:16]
-
-
-def identity_for(
-    label: str,
-    factory: Callable[[object], object],
-    parameter: object,
-    trace: TraceLike,
-    engine: str,
-    digest: bool = False,
-    evaluator: Optional[Callable] = None,
-) -> CellIdentity:
-    """Build the full identity envelope for one cell.
-
-    ``digest`` asks for a content hash of raw Trace objects (needed only
-    when journaling, where a name collision must not replay the wrong
-    trace's result; trace recipes are already deterministic).
-    """
-    fingerprint = _factory_fingerprint(factory)
-    if is_trace_recipe(trace):
-        name, kind, refs, trace_dig = (
-            str(trace.name), str(trace.kind), int(trace.max_refs), ""
-        )
-    else:
-        name = trace.name or "<anonymous>"
-        kind = "<trace>"
-        refs = len(trace)
-        trace_dig = _trace_digest(trace) if digest else ""
-    evaluator_print = None
-    if evaluator is not None:
-        evaluator_print = _factory_fingerprint(evaluator)
-    return CellIdentity(
-        label=label,
-        factory=fingerprint if fingerprint is not None else repr(factory),
-        parameter=parameter,
-        trace_name=name,
-        trace_kind=kind,
-        trace_refs=refs,
-        engine=engine,
-        trace_digest=trace_dig,
-        journalable=(
-            fingerprint is not None
-            and is_stable_parameter(parameter)
-            and (evaluator is None or evaluator_print is not None)
-        ),
-        evaluator=evaluator_print or "",
-    )
-
-
-# -- result envelopes, telemetry, errors --------------------------------------
-
-
-@dataclass
-class CellOutcome:
-    """One cell's result envelope: identity + value or captured error.
-
-    ``metrics`` carries every number the cell's evaluator produced; the
-    default evaluator yields ``{"miss_rate": ...}`` and ``miss_rate``
-    mirrors that entry for the existing single-metric callers.
-    """
-
-    identity: CellIdentity
-    miss_rate: Optional[float] = None
-    metrics: Optional[Dict[str, float]] = None
-    seconds: float = 0.0
-    attempts: int = 0
-    cached: bool = False
-    error: Optional[str] = None
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None and self.metrics is not None
-
-
-@dataclass
-class SweepTelemetry:
-    """Structured counters for one ``run_labeled_cells`` invocation.
-
-    Since the ``repro.obs`` metrics registry became the primary sink
-    (see :func:`_publish_metrics`), this dataclass is the per-run
-    compatibility view the experiments CLI serialises to
-    ``<id>.telemetry.json`` — same fields, same JSON shape as always.
-    """
-
-    engine: str
-    workers: int
-    total: int = 0
-    completed: int = 0
-    failed: int = 0
-    cached: int = 0
-    pool_restarts: int = 0
-    elapsed: float = 0.0
-    cell_seconds: List[float] = field(default_factory=list)
-
-    def to_dict(self) -> dict:
-        timings = self.cell_seconds
-        return {
-            "kind": "sweep-telemetry",
-            "version": 1,
-            "engine": self.engine,
-            "workers": self.workers,
-            "cells_total": self.total,
-            "cells_completed": self.completed,
-            "cells_failed": self.failed,
-            "cells_cached": self.cached,
-            "pool_restarts": self.pool_restarts,
-            "elapsed_seconds": round(self.elapsed, 6),
-            "cell_seconds": [round(s, 6) for s in timings],
-            "cell_seconds_mean": round(sum(timings) / len(timings), 6) if timings else 0.0,
-            "cell_seconds_max": round(max(timings), 6) if timings else 0.0,
-        }
-
-    # The serialisation API is ``as_dict``/``from_dict``; ``to_dict``
-    # remains as the original spelling callers already use.
-    def as_dict(self) -> dict:
-        return self.to_dict()
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "SweepTelemetry":
-        """Rebuild a record from :meth:`as_dict` output (round-trip safe
-        modulo the 1e-6 rounding applied on the way out)."""
-        if data.get("kind") != "sweep-telemetry":
-            raise ValueError(f"not a sweep-telemetry record: {data.get('kind')!r}")
-        return cls(
-            engine=str(data["engine"]),
-            workers=int(data["workers"]),
-            total=int(data["cells_total"]),
-            completed=int(data["cells_completed"]),
-            failed=int(data["cells_failed"]),
-            cached=int(data["cells_cached"]),
-            pool_restarts=int(data["pool_restarts"]),
-            elapsed=float(data["elapsed_seconds"]),
-            cell_seconds=[float(s) for s in data.get("cell_seconds", [])],
-        )
-
-    def summary(self) -> str:
-        return (
-            f"{self.total} cells: {self.completed} done "
-            f"({self.cached} from journal), {self.failed} failed, "
-            f"{self.pool_restarts} pool restarts, "
-            f"{self.workers} worker(s), engine={self.engine}, "
-            f"{self.elapsed:.2f}s"
-        )
-
-
-class SweepCellError(RuntimeError):
-    """One or more sweep cells failed; carries every failed envelope.
-
-    The message names each failed cell's full identity so a 500-cell
-    overnight sweep reports "dynamic-exclusion @ 32768 on gcc under the
-    fast engine died", not a bare traceback from an anonymous future.
-    """
-
-    def __init__(self, failures: Sequence[CellOutcome], total: int) -> None:
-        self.failures = list(failures)
-        self.total = total
-        lines = [f"{len(self.failures)} of {total} sweep cell(s) failed:"]
-        for outcome in self.failures:
-            lines.append(f"  [{outcome.identity.describe()}] {outcome.error}")
-        super().__init__("\n".join(lines))
-
-
-#: Retained run records for callers that never drain (a library user
-#: driving run_labeled_cells in a loop): the deque discards the oldest
-#: past this bound instead of growing for the life of the process.  The
-#: obs metrics registry keeps the running totals regardless.
-TELEMETRY_LOG_LIMIT = 256
-
-_TELEMETRY_LOCK = threading.Lock()
-_TELEMETRY_LOG: Deque[SweepTelemetry] = deque(maxlen=TELEMETRY_LOG_LIMIT)
-
-
-def drain_telemetry() -> List[SweepTelemetry]:
-    """Return and clear the telemetry records accumulated so far."""
-    with _TELEMETRY_LOCK:
-        drained = list(_TELEMETRY_LOG)
-        _TELEMETRY_LOG.clear()
-    return drained
-
-
-def _log_telemetry(telemetry: SweepTelemetry) -> None:
-    with _TELEMETRY_LOCK:
-        _TELEMETRY_LOG.append(telemetry)
-
-
-def _publish_metrics(telemetry: SweepTelemetry) -> None:
-    """Fold one run's telemetry into the obs metrics registry."""
-    engine = telemetry.engine
-    obs_metrics.counter("sweep.runs", engine=engine)
-    obs_metrics.counter("sweep.cells.total", telemetry.total, engine=engine)
-    obs_metrics.counter("sweep.cells.completed", telemetry.completed, engine=engine)
-    obs_metrics.counter("sweep.cells.failed", telemetry.failed, engine=engine)
-    obs_metrics.counter("sweep.cells.cached", telemetry.cached, engine=engine)
-    obs_metrics.counter("sweep.pool_restarts", telemetry.pool_restarts, engine=engine)
-    obs_metrics.gauge("sweep.workers", telemetry.workers, engine=engine)
-    for seconds in telemetry.cell_seconds:
-        obs_metrics.histogram("cell.seconds", seconds, engine=engine)
-
-
-# -- cell execution -----------------------------------------------------------
-
-#: One sweep cell: (factory, parameter, trace).  The factory and the
-#: trace reference must be picklable when workers > 1 — pass module
-#: -level callables / dataclass instances and TraceKeys, not lambdas
-#: and raw Traces.
-Cell = Tuple[Callable[[object], object], object, TraceLike]
-
-#: A labelled sweep cell: (label, factory, parameter, trace).
-LabeledCell = Tuple[str, Callable[[object], object], object, TraceLike]
-
-
-def simulate_cell(
-    factory: Callable[[object], object],
-    parameter: object,
-    trace: TraceLike,
-    engine: Optional[str] = None,
-) -> float:
-    """Build one simulator, run one trace, return the miss rate."""
-    stats = engine_mod.simulate(factory(parameter), as_trace(trace), engine=engine)
-    return stats.miss_rate
-
-
-#: A custom per-cell measurement: ``(model, trace, engine) -> metrics``.
-#: Must be picklable (module-level callable or frozen dataclass) when the
-#: sweep fans out to workers; an address-free repr makes its cells
-#: journalable.  The default (``None``) measures ``{"miss_rate": ...}``
-#: through the engine dispatch.
-CellEvaluator = Callable[[object, Trace, str], Dict[str, float]]
-
-
-def evaluate_cell(
-    factory: Callable[[object], object],
-    parameter: object,
-    trace: TraceLike,
-    engine: Optional[str] = None,
-    evaluator: Optional[CellEvaluator] = None,
-) -> Dict[str, float]:
-    """Build one model, run one trace, return the cell's metric dict."""
-    engine = engine_mod.resolve_engine(engine)
-    model = factory(parameter)
-    materialised = as_trace(trace)
-    if evaluator is None:
-        stats = engine_mod.simulate(model, materialised, engine=engine)
-        return {"miss_rate": stats.miss_rate}
-    metrics = evaluator(model, materialised, engine)
-    if not isinstance(metrics, dict) or not metrics:
-        raise TypeError(
-            f"cell evaluator {evaluator!r} must return a non-empty dict of "
-            f"floats, got {metrics!r}"
-        )
-    return {str(key): float(value) for key, value in metrics.items()}
-
-
-def _cell_task(
-    factory: Callable[[object], object],
-    parameter: object,
-    trace: TraceLike,
-    engine: str,
-    evaluator: Optional[CellEvaluator] = None,
-) -> "tuple[Dict[str, float], float]":
-    """Worker-side cell execution: (metrics, compute seconds)."""
-    started = time.perf_counter()
-    metrics = evaluate_cell(factory, parameter, trace, engine, evaluator)
-    return metrics, time.perf_counter() - started
-
-
 def _resolve_journal(journal: "SweepJournal | str | Path | None") -> Optional[SweepJournal]:
     if journal is None:
         if _DEFAULT_JOURNAL_DIR is None:
@@ -622,406 +184,17 @@ def _resolve_journal(journal: "SweepJournal | str | Path | None") -> Optional[Sw
     return SweepJournal(journal)
 
 
-def _cell_attrs(outcome: CellOutcome) -> Dict[str, object]:
-    """JSON-safe span attributes naming one cell."""
-    identity = outcome.identity
-    return {
-        "label": identity.label,
-        "parameter": repr(identity.parameter),
-        "trace": identity.trace_name,
-        "engine": identity.engine,
-    }
+def _auto_backend(workers: int, pending: int) -> str:
+    """The automatic strategy: exactly the pre-backend dispatch.
 
-
-def _record_pooled_span(outcome: CellOutcome) -> None:
-    """Synthetic ``cell`` span for a pool-executed cell.
-
-    Worker processes cannot reach the parent's tracer, so the parent
-    back-dates a span from the envelope's worker-measured seconds once
-    the cell resolves (success or terminal failure).
+    Single-worker and single-cell runs stay inline (no pool, nothing
+    needs pickling); everything else pools on this machine.  The inline
+    and local-pool backends each route ``engine="batch"`` runs to their
+    batched tier internally.
     """
-    attrs = _cell_attrs(outcome)
-    attrs["pooled"] = True
-    if outcome.error is not None:
-        attrs["error"] = outcome.error
-    obs_tracing.record("cell", outcome.seconds, **attrs)
-
-
-def _record_success(
-    outcome: CellOutcome,
-    metrics: Dict[str, float],
-    seconds: float,
-    journal: Optional[SweepJournal],
-    telemetry: SweepTelemetry,
-) -> None:
-    outcome.metrics = dict(metrics)
-    outcome.miss_rate = metrics.get("miss_rate")
-    outcome.seconds = seconds
-    telemetry.completed += 1
-    telemetry.cell_seconds.append(seconds)
-    if journal is not None and outcome.identity.journalable:
-        identity = outcome.identity
-        journal.record(identity.key(), identity.payload(), metrics, seconds)
-
-
-# Per-thread hook observing every resolved cell (cached, computed, or
-# failed) as run_labeled_cells reports it.  Thread-local so concurrent
-# sweeps — e.g. two serve requests on different handler threads — each
-# stream only their own cells.
-_OUTCOME_OBSERVER = threading.local()
-
-
-@contextmanager
-def outcome_observer(callback: "Callable[[SweepTelemetry, CellOutcome], None]"):
-    """Observe each resolved cell of any sweep run on this thread.
-
-    The callback receives the run's live telemetry and the cell's
-    envelope at the same points ``--progress`` would print a line:
-    journal replays, pooled/batched completions, and failures alike.
-    ``repro.serve`` uses this to stream per-cell progress over HTTP.
-    Callback exceptions are swallowed (and counted under the
-    ``sweep.observer_errors`` metric): a broken observer must not
-    poison the sweep it is watching.
-    """
-    previous = getattr(_OUTCOME_OBSERVER, "callback", None)
-    _OUTCOME_OBSERVER.callback = callback
-    try:
-        yield
-    finally:
-        _OUTCOME_OBSERVER.callback = previous
-
-
-def _report_progress(enabled: bool, telemetry: SweepTelemetry, outcome: CellOutcome) -> None:
-    observer = getattr(_OUTCOME_OBSERVER, "callback", None)
-    if observer is not None:
-        try:
-            observer(telemetry, outcome)
-        except Exception:
-            obs_metrics.counter("sweep.observer_errors")
-    if not enabled:
-        return
-    resolved = telemetry.completed + telemetry.failed
-    if outcome.cached:
-        status = "journal"
-    elif outcome.error is not None:
-        status = f"FAILED ({outcome.error})"
-    else:
-        status = f"{outcome.seconds:.2f}s"
-    print(
-        f"[sweep {resolved}/{telemetry.total}] {outcome.identity.describe()} -> {status}",
-        file=sys.stderr,
-        flush=True,
-    )
-
-
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Kill the pool's workers; used to enforce per-cell timeouts."""
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except Exception:  # pragma: no cover - best-effort teardown
-            pass
-    pool.shutdown(wait=False, cancel_futures=True)
-
-
-def _run_sequential(
-    cells: Sequence["LabeledCell"],
-    outcomes: List["CellOutcome"],
-    pending: Sequence[int],
-    engine: str,
-    journal: Optional[SweepJournal],
-    progress: bool,
-    telemetry: SweepTelemetry,
-    evaluator: Optional[CellEvaluator] = None,
-) -> None:
-    """Inline per-cell execution (no pool; also the batch-group fallback)."""
-    for index in pending:
-        outcome = outcomes[index]
-        _, factory, parameter, trace = cells[index]
-        outcome.attempts += 1
-        cell_started = time.perf_counter()
-        with obs_tracing.span("cell", **_cell_attrs(outcome)) as cell_span:
-            try:
-                metrics = evaluate_cell(factory, parameter, trace, engine, evaluator)
-            except Exception as exc:
-                outcome.seconds = time.perf_counter() - cell_started
-                outcome.error = f"{type(exc).__name__}: {exc}"
-                telemetry.failed += 1
-                if cell_span is not None:
-                    cell_span.attrs["error"] = outcome.error
-            else:
-                _record_success(
-                    outcome, metrics, time.perf_counter() - cell_started,
-                    journal, telemetry,
-                )
-        _report_progress(progress, telemetry, outcome)
-
-
-# -- batched execution --------------------------------------------------------
-
-
-class _JournalBatch:
-    """Defers journal appends so a batch group flushes with one write.
-
-    Quacks like :class:`SweepJournal` for :func:`_record_success`; every
-    buffered entry is still one per-cell journal line, so resume
-    granularity is unchanged — only the open/flush count drops from one
-    per cell to one per group.
-    """
-
-    def __init__(self, journal: Optional[SweepJournal]) -> None:
-        self._journal = journal
-        self._entries: List[tuple] = []
-
-    def record(self, key: str, fields: dict, metrics: Dict[str, float], seconds: float) -> None:
-        self._entries.append((key, fields, metrics, seconds))
-
-    def flush(self) -> None:
-        if self._journal is not None and self._entries:
-            self._journal.record_many(self._entries)
-        self._entries.clear()
-
-
-def _record_batched_span(outcome: CellOutcome) -> None:
-    """Synthetic ``cell`` span for a batch-executed cell.
-
-    Batched cells execute jointly inside one kernel invocation, so the
-    scheduler back-dates each cell's span (and the ``cell.seconds``
-    histogram fed from it) with the cell's share of the group's
-    wall time once the group resolves.
-    """
-    attrs = _cell_attrs(outcome)
-    attrs["batched"] = True
-    if outcome.error is not None:
-        attrs["error"] = outcome.error
-    obs_tracing.record("cell", outcome.seconds, **attrs)
-
-
-def _cell_batch_spec(factory: Callable[[object], object], parameter: object):
-    """The cell's batch spec straight from its factory, if it offers one.
-
-    The ``batch_spec`` factory protocol: a factory may expose
-    ``batch_spec(parameter)`` returning a registered batch spec (or
-    ``None``) describing exactly the model ``factory(parameter)`` would
-    build.  It exists purely to skip model construction — building a
-    large cache allocates per-set arrays just so the engine can read
-    three fields off it — so a factory whose models are *not* freshly
-    cold must return ``None`` and let the model-based eligibility check
-    decide.
-    """
-    getter = getattr(factory, "batch_spec", None)
-    if getter is None:
-        return None
-    spec = getter(parameter)
-    if spec is None or not engine_mod.is_batch_spec(spec):
-        return None
-    return spec
-
-
-def _batch_task(
-    specs: "List[tuple]",
-    trace_ref: TraceLike,
-    engine: str,
-) -> "List[tuple]":
-    """Worker-side group execution: one marker tuple per cell, in order.
-
-    ``specs`` is ``[(factory, parameter), ...]``.  Cells whose factory
-    speaks the ``batch_spec`` protocol go straight to the spec-level
-    kernel entry point; the rest build their model and either join the
-    batch via the model-based eligibility check or fall back to per-cell
-    fast simulation.  A factory that raises fails only its own cell; the
-    group's compute time is split evenly across its cells (they execute
-    jointly, there is no per-cell clock).  Raises only for group-level
-    failures (trace load, kernel error), which the scheduler answers by
-    re-running the cells individually.
-    """
-    started = time.perf_counter()
-    trace = as_trace(trace_ref)
-    batch_specs: List[Optional[object]] = []
-    failures: Dict[int, str] = {}
-    models: Dict[int, object] = {}
-    for position, (factory, parameter) in enumerate(specs):
-        spec = _cell_batch_spec(factory, parameter)
-        if spec is None and position not in failures:
-            try:
-                model = factory(parameter)
-            except Exception as exc:
-                failures[position] = f"{type(exc).__name__}: {exc}"
-            else:
-                spec = engine_mod.batch_spec_for(model)
-                if spec is None:
-                    models[position] = model
-        batch_specs.append(spec)
-    vectorized = [i for i, spec in enumerate(batch_specs) if spec is not None]
-    obs_metrics.counter("batch.cells.vectorized", len(vectorized))
-    obs_metrics.counter("batch.cells.fallback", len(specs) - len(vectorized))
-    results: List[tuple] = [()] * len(specs)
-    if vectorized:
-        stats_list = engine_mod.simulate_batch_specs(
-            trace, [batch_specs[i] for i in vectorized]
-        )
-        for position, stats in zip(vectorized, stats_list):
-            results[position] = ("ok", {"miss_rate": stats.miss_rate}, 0.0)
-    for position, model in models.items():
-        stats = engine_mod.simulate(model, trace, engine="fast")
-        results[position] = ("ok", {"miss_rate": stats.miss_rate}, 0.0)
-    share = (time.perf_counter() - started) / max(1, len(specs))
-    for position, error in failures.items():
-        results[position] = ("error", error, share)
-    return [
-        (marker[0], marker[1], share) for marker in results
-    ]
-
-
-def _apply_group_results(
-    results: "List[tuple]",
-    group: Sequence[int],
-    outcomes: List[CellOutcome],
-    journal: Optional[SweepJournal],
-    progress: bool,
-    telemetry: SweepTelemetry,
-) -> None:
-    """Fold one group's worker markers into per-cell envelopes."""
-    batch_journal = _JournalBatch(journal)
-    for index, marker in zip(group, results):
-        outcome = outcomes[index]
-        outcome.attempts += 1
-        status, payload, seconds = marker
-        outcome.seconds = seconds
-        if status == "ok":
-            _record_success(outcome, payload, seconds, batch_journal, telemetry)
-        else:
-            outcome.error = str(payload)
-            telemetry.failed += 1
-        _record_batched_span(outcome)
-        _report_progress(progress, telemetry, outcome)
-    batch_journal.flush()
-
-
-def _run_batched_inline(
-    cells: Sequence["LabeledCell"],
-    outcomes: List[CellOutcome],
-    groups: List[List[int]],
-    engine: str,
-    journal: Optional[SweepJournal],
-    progress: bool,
-    telemetry: SweepTelemetry,
-) -> None:
-    """Batched execution without a pool: one kernel invocation per group.
-
-    A group-level failure (kernel exception, trace generation error)
-    demotes just that group to the per-cell sequential path, so a
-    poisoned cell costs its group's batching, not the sweep.
-    """
-    for group in groups:
-        trace_ref = cells[group[0]][3]
-        specs = [(cells[index][1], cells[index][2]) for index in group]
-        with obs_tracing.span("batch_group", cells=len(group)) as group_span:
-            try:
-                results = _batch_task(specs, trace_ref, engine)
-            except Exception as exc:
-                if group_span is not None:
-                    group_span.attrs["fallback"] = f"{type(exc).__name__}: {exc}"
-                obs_metrics.counter("batch.group_fallbacks", engine=engine)
-                _run_sequential(
-                    cells, outcomes, group, engine, journal, progress, telemetry,
-                )
-            else:
-                _apply_group_results(
-                    results, group, outcomes, journal, progress, telemetry,
-                )
-
-
-def _run_batched_pooled(
-    cells: Sequence["LabeledCell"],
-    outcomes: List[CellOutcome],
-    groups: List[List[int]],
-    engine: str,
-    workers: int,
-    timeout: Optional[float],
-    pool_retries: int,
-    journal: Optional[SweepJournal],
-    progress: bool,
-    telemetry: SweepTelemetry,
-) -> None:
-    """Pooled batched execution with zero-copy trace distribution.
-
-    The parent materialises each distinct trace once into a shared-
-    memory segment (:class:`~repro.perf.shared.SharedTrace`) and ships
-    workers a handle; group timeouts scale the per-cell budget by group
-    size.  Any group that times out, crashes its worker, or raises falls
-    back — cells intact — to the per-cell pooled machinery, which owns
-    retries, per-cell timeouts, and solo crash attribution.  Segments
-    are unlinked in a ``finally`` so no ``/dev/shm`` entry outlives the
-    sweep, whatever failed inside it.
-    """
-    shared_traces: Dict[object, SharedTrace] = {}
-    fallback: List[int] = []
-
-    def trace_handle(trace: TraceLike) -> object:
-        key: object = trace if is_trace_recipe(trace) else id(trace)
-        entry = shared_traces.get(key)
-        if entry is None:
-            recipe = trace if is_trace_recipe(trace) else None
-            entry = SharedTrace.create(as_trace(trace), recipe=recipe)
-            shared_traces[key] = entry
-        return entry.handle
-
-    try:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(groups)))
-        broke = False
-        try:
-            submitted = [
-                (
-                    group,
-                    pool.submit(
-                        _batch_task,
-                        [(cells[index][1], cells[index][2]) for index in group],
-                        trace_handle(cells[group[0]][3]),
-                        engine,
-                    ),
-                )
-                for group in groups
-            ]
-            for group, future in submitted:
-                group_timeout = timeout * len(group) if timeout is not None else None
-                try:
-                    results = future.result(timeout=group_timeout)
-                except CancelledError:
-                    fallback.extend(group)
-                except FuturesTimeoutError:
-                    if timeout is not None:
-                        _terminate_pool(pool)
-                        broke = True
-                    obs_metrics.counter("batch.group_fallbacks", engine=engine)
-                    fallback.extend(group)
-                except BrokenProcessPool:
-                    broke = True
-                    obs_metrics.counter("batch.group_fallbacks", engine=engine)
-                    fallback.extend(group)
-                except Exception:
-                    obs_metrics.counter("batch.group_fallbacks", engine=engine)
-                    fallback.extend(group)
-                else:
-                    _apply_group_results(
-                        results, group, outcomes, journal, progress, telemetry,
-                    )
-        finally:
-            pool.shutdown(wait=not broke, cancel_futures=True)
-        if broke:
-            telemetry.pool_restarts += 1
-    finally:
-        for entry in shared_traces.values():
-            entry.unlink()
-
-    if fallback:
-        # Per-cell machinery: full retry budget, per-cell timeout, solo
-        # attribution of a deterministic crasher.
-        _run_pooled(
-            cells, outcomes, fallback, engine, workers, timeout, pool_retries,
-            journal, progress, telemetry, None,
-        )
+    if workers <= 1 or pending <= 1:
+        return "inline"
+    return "local-pool"
 
 
 def run_labeled_cells(
@@ -1034,6 +207,7 @@ def run_labeled_cells(
     progress: Optional[bool] = None,
     evaluator: Optional[CellEvaluator] = None,
     batch_cells: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[CellOutcome]:
     """Execute labelled cells, returning one envelope per cell (in order).
 
@@ -1046,26 +220,28 @@ def run_labeled_cells(
     ``journal`` (a :class:`~repro.perf.journal.SweepJournal` or a
     directory path; default: the process-wide ``--resume-dir``) replays
     already-completed cells and records each new success immediately, so
-    a crashed or interrupted sweep re-runs only the remainder.
+    a crashed or interrupted sweep re-runs only the remainder.  Journal
+    keys are backend-independent: a journal written under any backend
+    resumes under any other.
 
-    ``timeout`` (seconds; pooled runs only — a sequential run cannot
-    interrupt itself) terminates the worker of a cell that exceeds it
-    and fails just that cell.  A worker death (``BrokenProcessPool``)
-    triggers up to ``pool_retries`` full-concurrency pool re-creations;
-    if the crash persists, execution drops to one-cell-in-flight so the
-    crashing cell is identified exactly and everything else completes.
+    ``timeout`` (seconds; pooled/fleet runs only — a sequential run
+    cannot interrupt itself) terminates the worker of a cell that
+    exceeds it and fails just that cell.  A worker death triggers up to
+    ``pool_retries`` re-executions (pool re-creations under
+    ``local-pool``, re-dispatches to surviving workers under ``fleet``);
+    if the crash persists, the crashing cell is failed with exact
+    attribution and everything else completes.
 
     ``engine="batch"`` keeps every per-cell contract above — identities,
     journal entries (written under the fast engine's keys, since the
     results are pinned equal), envelopes, per-cell ``cell.seconds`` —
     but schedules pending cells in trace-sharing groups of
     ``batch_cells`` (default ``REPRO_BATCH_CELLS``, then
-    :data:`DEFAULT_BATCH_CELLS`) through the vectorized batch kernels,
-    shipping each distinct trace to pooled workers once via shared
-    memory.  Cells without a batch kernel, and whole groups that fail or
-    time out as a unit, fall back to the per-cell machinery; custom
-    ``evaluator`` sweeps bypass grouping entirely (an evaluator is a
-    per-cell measurement by contract).
+    :data:`DEFAULT_BATCH_CELLS`) through the vectorized batch kernels.
+
+    ``backend`` picks the execution strategy (``inline`` /
+    ``local-pool`` / ``fleet``); ``None`` defers to the CLI default,
+    then ``REPRO_BACKEND``, then the automatic per-run choice.
     """
     engine = engine_mod.resolve_engine(engine)
     workers = resolve_workers(workers)
@@ -1073,6 +249,7 @@ def run_labeled_cells(
     progress = _DEFAULT_PROGRESS if progress is None else progress
     timeout = _DEFAULT_CELL_TIMEOUT if timeout is None else timeout
     pool_retries = DEFAULT_POOL_RETRIES if pool_retries is None else pool_retries
+    backend = resolve_backend(backend)
 
     started = time.perf_counter()
     telemetry = SweepTelemetry(engine=engine, workers=workers, total=len(cells))
@@ -1097,33 +274,35 @@ def run_labeled_cells(
                 outcome.cached = True
                 telemetry.cached += 1
                 telemetry.completed += 1
-                _report_progress(progress, telemetry, outcome)
+                _report_outcome(progress, telemetry, outcome)
             else:
                 pending.append(index)
 
-        batched = engine == "batch" and evaluator is None and len(pending) > 1
-        if batched:
-            groups = _group_pending(cells, pending, resolve_batch_cells(batch_cells))
-            if workers <= 1:
-                _run_batched_inline(
-                    cells, outcomes, groups, engine, journal, progress, telemetry,
-                )
-            else:
-                _run_batched_pooled(
-                    cells, outcomes, groups, engine, workers, timeout, pool_retries,
-                    journal, progress, telemetry,
-                )
-        elif workers <= 1 or len(pending) <= 1:
-            _run_sequential(
-                cells, outcomes, pending, engine, journal, progress, telemetry,
-                evaluator,
-            )
-        else:
-            _run_pooled(
-                cells, outcomes, pending, engine, workers, timeout, pool_retries,
-                journal, progress, telemetry, evaluator,
-            )
-
+        backend_name = backend or _auto_backend(workers, len(pending))
+        telemetry.backend = backend_name
+        if sweep_span is not None:
+            sweep_span.attrs["backend"] = backend_name
+        ctx = SweepContext(
+            cells=cells,
+            outcomes=outcomes,
+            engine=engine,
+            workers=workers,
+            timeout=timeout,
+            pool_retries=pool_retries,
+            journal=journal,
+            progress=progress,
+            telemetry=telemetry,
+            evaluator=evaluator,
+            batch_cells=resolve_batch_cells(batch_cells),
+            fleet_hosts=env_fleet_hosts(),
+        )
+        runner = create_backend(backend_name)
+        try:
+            if pending:
+                for outcome in runner.submit_cells(pending, ctx):
+                    ctx.report(outcome)
+        finally:
+            runner.close()
         telemetry.elapsed = time.perf_counter() - started
         if sweep_span is not None:
             sweep_span.attrs["completed"] = telemetry.completed
@@ -1134,194 +313,6 @@ def run_labeled_cells(
     return outcomes
 
 
-def _run_pooled(
-    cells: Sequence[LabeledCell],
-    outcomes: List[CellOutcome],
-    pending: List[int],
-    engine: str,
-    workers: int,
-    timeout: Optional[float],
-    pool_retries: int,
-    journal: Optional[SweepJournal],
-    progress: bool,
-    telemetry: SweepTelemetry,
-    evaluator: Optional[CellEvaluator] = None,
-) -> None:
-    """Pool execution with crash retry, timeout enforcement, and solo
-    fallback for exact attribution of a persistent crasher."""
-    crash_retries_left = pool_retries
-    solo = False
-    while pending:
-        with obs_tracing.span(
-            "pool_attempt",
-            workers=min(workers, len(pending)),
-            pending=len(pending),
-            solo=solo,
-        ) as attempt_span:
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-            broke = False
-            crashed = False
-            try:
-                if solo:
-                    pending, broke = _solo_round(
-                        pool, cells, outcomes, pending, engine, timeout,
-                        journal, progress, telemetry, evaluator,
-                    )
-                    crashed = False  # solo rounds attribute and consume the crasher
-                else:
-                    pending, crashed, broke = _concurrent_round(
-                        pool, cells, outcomes, pending, engine, timeout,
-                        journal, progress, telemetry, evaluator,
-                    )
-            finally:
-                pool.shutdown(wait=not broke, cancel_futures=True)
-            if attempt_span is not None and broke:
-                attempt_span.attrs["broke"] = True
-        if broke:
-            telemetry.pool_restarts += 1
-        if crashed:
-            crash_retries_left -= 1
-            if crash_retries_left < 0:
-                solo = True
-
-
-def _concurrent_round(
-    pool: ProcessPoolExecutor,
-    cells: Sequence[LabeledCell],
-    outcomes: List[CellOutcome],
-    pending: List[int],
-    engine: str,
-    timeout: Optional[float],
-    journal: Optional[SweepJournal],
-    progress: bool,
-    telemetry: SweepTelemetry,
-    evaluator: Optional[CellEvaluator] = None,
-) -> "tuple[List[int], bool, bool]":
-    """Submit every pending cell at once.
-
-    Returns ``(still_pending, crashed, broke)``: ``crashed`` means a
-    worker died (retry budget applies); ``broke`` means the pool is
-    unusable (crash or timeout termination) and must be re-created.
-    """
-    submitted = [
-        (index, pool.submit(_cell_task, cells[index][1], cells[index][2],
-                            cells[index][3], engine, evaluator))
-        for index in pending
-    ]
-    still_pending: List[int] = []
-    crashed = False
-    broke = False
-    timed_out = False
-    for index, future in submitted:
-        outcome = outcomes[index]
-        try:
-            metrics, seconds = future.result(timeout=timeout)
-        except CancelledError:
-            still_pending.append(index)  # no attempt consumed
-            continue
-        except FuturesTimeoutError as exc:
-            outcome.attempts += 1
-            if timeout is None:
-                # No wait timeout configured: the *cell* raised a
-                # TimeoutError of its own — a deterministic failure.
-                outcome.error = f"{type(exc).__name__}: {exc}"
-                telemetry.failed += 1
-            else:
-                outcome.error = (
-                    f"TimeoutError: cell exceeded the {timeout}s per-cell "
-                    f"timeout (worker terminated)"
-                )
-                telemetry.failed += 1
-                _terminate_pool(pool)
-                broke = True
-                timed_out = True
-            _record_pooled_span(outcome)
-        except BrokenProcessPool:
-            outcome.attempts += 1
-            broke = True
-            if not timed_out:
-                crashed = True  # self-inflicted breaks don't burn retries
-            still_pending.append(index)  # retried; culprit unknown in this mode
-        except Exception as exc:
-            # Deterministic cell error (bad geometry, kernel exception,
-            # factory raise): retrying cannot help — fail this cell only.
-            outcome.attempts += 1
-            outcome.error = f"{type(exc).__name__}: {exc}"
-            telemetry.failed += 1
-            _record_pooled_span(outcome)
-        else:
-            outcome.attempts += 1
-            _record_success(outcome, metrics, seconds, journal, telemetry)
-            _record_pooled_span(outcome)
-        _report_progress(progress, telemetry, outcome)
-    return still_pending, crashed, broke
-
-
-def _solo_round(
-    pool: ProcessPoolExecutor,
-    cells: Sequence[LabeledCell],
-    outcomes: List[CellOutcome],
-    pending: List[int],
-    engine: str,
-    timeout: Optional[float],
-    journal: Optional[SweepJournal],
-    progress: bool,
-    telemetry: SweepTelemetry,
-    evaluator: Optional[CellEvaluator] = None,
-) -> "tuple[List[int], bool]":
-    """One cell in flight at a time: a pool break names its cell exactly.
-
-    Returns ``(still_pending, broke)``.  Guaranteed progress — every
-    iteration either completes or definitively fails its cell — so the
-    outer loop terminates even against a factory that kills its worker
-    on every attempt.
-    """
-    remaining = list(pending)
-    while remaining:
-        index = remaining[0]
-        outcome = outcomes[index]
-        _, factory, parameter, trace = cells[index]
-        future = pool.submit(_cell_task, factory, parameter, trace, engine, evaluator)
-        outcome.attempts += 1
-        try:
-            metrics, seconds = future.result(timeout=timeout)
-        except FuturesTimeoutError as exc:
-            if timeout is None:
-                outcome.error = f"{type(exc).__name__}: {exc}"
-                telemetry.failed += 1
-                _record_pooled_span(outcome)
-                _report_progress(progress, telemetry, outcome)
-                remaining = remaining[1:]
-                continue
-            outcome.error = (
-                f"TimeoutError: cell exceeded the {timeout}s per-cell timeout "
-                f"(worker terminated)"
-            )
-            telemetry.failed += 1
-            _terminate_pool(pool)
-            _record_pooled_span(outcome)
-            _report_progress(progress, telemetry, outcome)
-            return remaining[1:], True
-        except BrokenProcessPool as exc:
-            outcome.error = (
-                f"{type(exc).__name__}: worker process died while executing "
-                f"this cell ({exc})"
-            )
-            telemetry.failed += 1
-            _record_pooled_span(outcome)
-            _report_progress(progress, telemetry, outcome)
-            return remaining[1:], True
-        except Exception as exc:
-            outcome.error = f"{type(exc).__name__}: {exc}"
-            telemetry.failed += 1
-        else:
-            _record_success(outcome, metrics, seconds, journal, telemetry)
-        _record_pooled_span(outcome)
-        _report_progress(progress, telemetry, outcome)
-        remaining = remaining[1:]
-    return remaining, False
-
-
 def run_cells(
     cells: Sequence[Cell],
     engine: Optional[str] = None,
@@ -1329,14 +320,15 @@ def run_cells(
     timeout: Optional[float] = None,
     journal: "SweepJournal | str | Path | None" = None,
     progress: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> List[float]:
     """Miss rates for every cell, preserving order.
 
     ``workers <= 1`` runs inline (no pool, nothing needs pickling).
-    Otherwise the cells are farmed to a :class:`ProcessPoolExecutor`;
-    the engine name is resolved *before* submission so the CLI's
-    ``--engine`` default reaches the workers even though module globals
-    are not shared across processes.
+    Otherwise the cells are farmed to the selected backend; the engine
+    name is resolved *before* submission so the CLI's ``--engine``
+    default reaches the workers even though module globals are not
+    shared across processes.
 
     Cells are executed through the resilient envelope layer
     (:func:`run_labeled_cells`); any cell failure raises
@@ -1349,7 +341,7 @@ def run_cells(
     ]
     outcomes = run_labeled_cells(
         labeled, engine=engine, workers=workers, timeout=timeout,
-        journal=journal, progress=progress,
+        journal=journal, progress=progress, backend=backend,
     )
     failures = [outcome for outcome in outcomes if not outcome.ok]
     if failures:

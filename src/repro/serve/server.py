@@ -21,10 +21,13 @@ Protocol (all JSON; ``POST /run`` streams newline-delimited events):
   with ``304 Not Modified`` before any cell planning happens;
 * ``GET /cell/<key>`` — the stored journal entry for a content key,
   ``ETag``-tagged by the entry's own content hash (``304`` on repeats);
-* ``GET /healthz`` — liveness + store statistics;
+* ``GET /healthz`` — liveness + store statistics, the active sweep
+  backend, and the live fleet-worker count;
 * ``GET /metrics`` — the process obs metrics registry
-  (``serve.*`` series included);
-* ``POST /run`` — body ``{"spec": id, "engine"?: name, "workers"?: n}``;
+  (``serve.*`` and ``fleet.*`` series included) plus the active
+  backend and live fleet-worker count;
+* ``POST /run`` — body ``{"spec": id, "engine"?: name, "workers"?: n,
+  "backend"?: name}``;
   the response is ``application/x-ndjson``: one ``plan`` event, a
   ``cell`` event per newly resolved cell, and a final ``done`` event
   carrying every cell's metrics, the collected result, the rendered
@@ -73,6 +76,7 @@ from ..obs import build_manifest, get_logger, write_manifest
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..perf import engine as engine_mod
+from ..perf.backends import backend_names, live_workers
 from ..perf.parallel import (
     CellIdentity,
     CellOutcome,
@@ -329,6 +333,8 @@ def execute_run(
     workers: "Optional[int]" = None,
     default_engine: str = DEFAULT_SERVE_ENGINE,
     neg_ttl: float = 0.0,
+    backend: "Optional[str]" = None,
+    default_backend: "Optional[str]" = None,
 ) -> dict:
     """Serve one run request: plan, answer from store, compute the rest.
 
@@ -345,6 +351,12 @@ def execute_run(
     wall_started = time.perf_counter()
     cpu_started = time.process_time()
 
+    run_backend = backend or default_backend
+    if run_backend is not None and run_backend not in backend_names():
+        raise ValueError(
+            f"unknown backend {run_backend!r}; expected one of "
+            f"{sorted(backend_names())}"
+        )
     grids = expand_grid_specs(spec)
     plans = [
         plan_grid(grid, resolve_serve_engine(grid, engine, default_engine))
@@ -364,6 +376,7 @@ def execute_run(
             "fingerprint": fingerprint_digest(spec),
             "grids": [plan.spec.id for plan in plans],
             "engine": plans[0].engine if plans else default_engine,
+            "backend": run_backend or "auto",
             "cells": total,
             "cached": total - pending,
             "pending": pending,
@@ -403,6 +416,7 @@ def execute_run(
                     journal=store,
                     progress=False,
                     evaluator=plan.spec.evaluator,
+                    backend=run_backend,
                 )
             failures = [outcome for outcome in outcomes if not outcome.ok]
             if failures:
@@ -438,6 +452,7 @@ def execute_run(
         extra={
             "run_id": run_id,
             "served_by": f"repro.serve/{SERVE_VERSION}",
+            "backend": run_backend or "auto",
             "cells_total": total,
             "cells_cached": total - computed,
             "cells_computed": computed,
@@ -564,7 +579,14 @@ class _Handler(BaseHTTPRequestHandler):
         if route == "/healthz":
             return self._get_healthz()
         if route == "/metrics":
-            self._send_json(200, {"metrics": obs_metrics.current_registry().export()})
+            self._send_json(
+                200,
+                {
+                    "metrics": obs_metrics.current_registry().export(),
+                    "backend": self.app.default_backend or "auto",
+                    "fleet_workers": live_workers(),
+                },
+            )
             return 200
         self._send_json(404, {"error": f"unknown route {self.path!r}"})
         return 404
@@ -663,6 +685,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "ok": True,
                 "version": SERVE_VERSION,
                 "engine": self.app.default_engine,
+                "backend": self.app.default_backend or "auto",
+                "fleet_workers": live_workers(),
                 "specs": len(all_specs(include_hidden=True)),
                 "generation": self.app.store.generation,
                 "neg_ttl": self.app.neg_ttl,
@@ -698,6 +722,14 @@ class _Handler(BaseHTTPRequestHandler):
                 workers = int(workers)
                 if workers < 1:
                     raise ValueError("workers must be at least 1")
+            backend = body.get("backend")
+            if backend is not None:
+                backend = str(backend)
+                if backend not in backend_names():
+                    raise ValueError(
+                        f"unknown backend {backend!r}; expected one of "
+                        f"{sorted(backend_names())}"
+                    )
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
             return 400
@@ -730,6 +762,8 @@ class _Handler(BaseHTTPRequestHandler):
                     workers=workers,
                     default_engine=self.app.default_engine,
                     neg_ttl=self.app.neg_ttl,
+                    backend=backend,
+                    default_backend=self.app.default_backend,
                 )
         except (ServeUnsupportedError, SweepCellError, ValueError) as exc:
             emit({"event": "error", "error": f"{type(exc).__name__}: {exc}"})
@@ -750,7 +784,10 @@ class ResultServer:
     ``host``/``port`` default to the ``REPRO_SERVE_HOST``/``PORT``
     knobs; pass ``port=0`` for an OS-assigned ephemeral port (tests).
     ``neg_ttl`` (seconds) bounds the negative-result cache and defaults
-    to ``REPRO_SERVE_NEG_TTL``; ``0`` disables it.  Use as a context
+    to ``REPRO_SERVE_NEG_TTL``; ``0`` disables it.  ``default_backend``
+    names the sweep backend server-side runs use when the request body
+    carries none (``None`` = the sweep runner's automatic choice, or
+    ``REPRO_BACKEND``).  Use as a context
     manager, or call :meth:`start` / :meth:`serve_forever` and
     :meth:`close` explicitly.
     """
@@ -762,14 +799,21 @@ class ResultServer:
         port: "Optional[int]" = None,
         default_engine: str = DEFAULT_SERVE_ENGINE,
         neg_ttl: "Optional[float]" = None,
+        default_backend: "Optional[str]" = None,
     ) -> None:
         if default_engine not in engine_mod.ENGINES:
             raise ValueError(
                 f"unknown engine {default_engine!r}; expected one of "
                 f"{sorted(engine_mod.ENGINES)}"
             )
+        if default_backend is not None and default_backend not in backend_names():
+            raise ValueError(
+                f"unknown backend {default_backend!r}; expected one of "
+                f"{sorted(backend_names())}"
+            )
         self.store = store
         self.default_engine = default_engine
+        self.default_backend = default_backend
         self.neg_ttl = env.serve_neg_ttl() if neg_ttl is None else float(neg_ttl)
         if self.neg_ttl < 0:
             raise ValueError("neg_ttl must be >= 0 (0 disables the negative cache)")

@@ -144,6 +144,75 @@ class TestMaxRefsFloor:
         assert env.max_refs() == env.BASE_MAX_REFS // 100
 
 
+class TestBackend:
+    def test_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert env.env_backend() is None
+
+    def test_blank_means_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  ")
+        assert env.env_backend() is None
+
+    @pytest.mark.parametrize("raw", ["inline", "local-pool", "fleet"])
+    def test_every_backend_accepted(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BACKEND", raw)
+        assert env.env_backend() == raw
+
+    def test_normalised(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  FLEET ")
+        assert env.env_backend() == "fleet"
+
+    def test_bad_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            env.env_backend()
+
+    def test_names_match_the_registry(self):
+        from repro.perf.backends import backend_names
+
+        assert sorted(env.BACKEND_NAMES) == sorted(backend_names())
+
+    def test_validate_covers_it(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            env.validate()
+
+
+class TestFleetHosts:
+    def test_unset_means_empty(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_HOSTS", raising=False)
+        assert env.env_fleet_hosts() == []
+
+    def test_blank_means_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_HOSTS", "  ")
+        assert env.env_fleet_hosts() == []
+
+    def test_parsed_and_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_HOSTS", "local, user@box1 ,box2")
+        assert env.env_fleet_hosts() == ["local", "user@box1", "box2"]
+
+    def test_command_template_entry(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FLEET_HOSTS", "python3 -m repro.cli worker"
+        )
+        assert env.env_fleet_hosts() == ["python3 -m repro.cli worker"]
+
+    def test_blank_entry_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_HOSTS", "local,,local")
+        with pytest.raises(ValueError, match="REPRO_FLEET_HOSTS"):
+            env.env_fleet_hosts()
+
+    def test_trailing_comma_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_HOSTS", "local,")
+        with pytest.raises(ValueError, match="non-empty"):
+            env.env_fleet_hosts()
+
+    def test_validate_covers_it(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_HOSTS", ",")
+        with pytest.raises(ValueError, match="REPRO_FLEET_HOSTS"):
+            env.validate()
+
+
 class TestServeKnobs:
     def test_defaults(self, monkeypatch):
         for name in ("REPRO_SERVE_HOST", "REPRO_SERVE_PORT",

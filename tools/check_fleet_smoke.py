@@ -1,0 +1,190 @@
+"""CI smoke gate for the fleet execution backend.
+
+Usage::
+
+    python tools/check_fleet_smoke.py [--spec fig05] [--resume-dir DIR]
+
+Drives the experiments CLI the way the fleet backend is meant to be
+used — and the way it is meant to fail:
+
+1. **sweep** — runs the spec with ``--backend fleet --workers 2``
+   (two local ``repro worker`` subprocesses) and ``--resume-dir``;
+2. **kill** — as soon as the journal shows the sweep is executing,
+   SIGKILLs the oldest live worker subprocess, mid-sweep;
+3. **survive** — the run must still exit 0 with zero failed cells: the
+   dead worker is retired, its in-flight cell re-dispatched, and the
+   telemetry must name the ``fleet`` backend, attribute cells to
+   workers, and (when the kill landed before the last dispatch) count
+   at least one pool restart;
+4. **resume** — the identical command again must replay every cell
+   from the journal (``cells_cached == cells_total``) and recompute
+   nothing.
+
+Exits non-zero with a named complaint on the first violation, so a CI
+failure reads as "rerun recomputed 12 cells", not as a stack trace.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _worker_pids(parent_pid: int) -> "list[tuple[int, int]]":
+    """Live ``repro.cli worker`` children of ``parent_pid`` as
+    ``(starttime, pid)`` pairs (Linux /proc scan)."""
+    found = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        pid = int(entry)
+        try:
+            cmdline = (Path("/proc") / entry / "cmdline").read_bytes()
+            stat = (Path("/proc") / entry / "stat").read_text()
+        except OSError:
+            continue  # raced with process exit
+        argv = cmdline.decode("utf-8", "replace").split("\0")
+        if "repro.cli" not in argv or "worker" not in argv:
+            continue
+        # stat is "pid (comm) state ppid ... starttime ..."; comm may
+        # itself contain spaces, so split after the closing paren.
+        fields = stat.rsplit(")", 1)[1].split()
+        ppid, starttime = int(fields[1]), int(fields[19])
+        if ppid == parent_pid:
+            found.append((starttime, pid))
+    return sorted(found)
+
+
+def _journal_entries(resume_dir: Path) -> int:
+    journal = resume_dir / "journal.jsonl"
+    if not journal.exists():
+        return 0
+    return sum(1 for line in journal.read_text().splitlines() if line.strip())
+
+
+def _run_and_kill_worker(command, env, resume_dir: Path) -> "tuple[int, bool]":
+    """Run the sweep, SIGKILL the oldest fleet worker once it is busy.
+
+    Returns ``(exit_code, killed_mid_sweep)`` — the kill is mid-sweep
+    when the journal was still short of its final length, so the dead
+    worker provably had work left to lose.
+    """
+    process = subprocess.Popen(command, env=env)
+    killed = False
+    entries_at_kill = 0
+    while process.poll() is None:
+        # The first journal entry proves the fleet is up and executing;
+        # the oldest worker has certainly finished its ready handshake.
+        if not killed and _journal_entries(resume_dir) >= 1:
+            workers = _worker_pids(process.pid)
+            if workers:
+                _, victim = workers[0]
+                entries_at_kill = _journal_entries(resume_dir)
+                os.kill(victim, signal.SIGKILL)
+                killed = True
+                print(f"killed fleet worker pid {victim} mid-sweep "
+                      f"({entries_at_kill} cells journaled)")
+        time.sleep(0.02)
+    mid_sweep = killed and entries_at_kill < _journal_entries(resume_dir)
+    if not killed:
+        print("notice: sweep finished before a worker could be killed; "
+              "the rerun below still proves a full-journal replay")
+    return process.returncode, mid_sweep
+
+
+def _fleet_sweeps(resume_dir: Path, spec: str) -> "list[dict]":
+    path = resume_dir / f"{spec}.telemetry.json"
+    payload = json.loads(path.read_text())
+    return payload["sweeps"]
+
+
+def check(spec: str, resume_dir: Path) -> int:
+    failures = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    command = [
+        sys.executable, "-m", "repro.experiments", "--only", spec,
+        "--backend", "fleet", "--workers", "2",
+        "--resume-dir", str(resume_dir), "--progress",
+    ]
+
+    code, mid_sweep = _run_and_kill_worker(command, env, resume_dir)
+    if code != 0:
+        print(f"FAIL: fleet sweep exited {code} after the worker kill",
+              file=sys.stderr)
+        return 1
+    print(f"PASS: fleet sweep survived the kill (exit 0, "
+          f"{_journal_entries(resume_dir)} cells journaled)")
+
+    sweeps = _fleet_sweeps(resume_dir, spec)
+    fleet = [s for s in sweeps if s.get("backend") == "fleet"]
+    if not fleet:
+        failures.append(f"no fleet-backend sweep in {spec}.telemetry.json "
+                        f"(backends: {[s.get('backend') for s in sweeps]})")
+    for record in fleet:
+        if record["cells_failed"]:
+            failures.append(
+                f"{record['cells_failed']} cells failed — the killed "
+                f"worker's cells were not re-dispatched"
+            )
+        if record["cells_completed"] != record["cells_total"]:
+            failures.append(
+                f"only {record['cells_completed']}/{record['cells_total']} "
+                f"cells completed"
+            )
+        if not record.get("worker_cells"):
+            failures.append("telemetry has no per-worker cell attribution")
+    if mid_sweep and not any(s.get("pool_restarts", 0) for s in fleet):
+        failures.append(
+            "worker was killed mid-sweep but telemetry counted no pool "
+            "restart (dead worker was not respawned)"
+        )
+    if not failures:
+        restarts = sum(s.get("pool_restarts", 0) for s in fleet)
+        print(f"PASS: telemetry attributes the sweep to the fleet backend "
+              f"({restarts} pool restart(s))")
+
+    # The rerun must answer entirely from the journal.
+    rerun = subprocess.run(command, env=env)
+    if rerun.returncode != 0:
+        failures.append(f"resume run exited {rerun.returncode}")
+    else:
+        resumed = _fleet_sweeps(resume_dir, spec)
+        recomputed = sum(
+            s["cells_total"] - s["cells_cached"] for s in resumed
+        )
+        if recomputed:
+            failures.append(
+                f"rerun recomputed {recomputed} cells instead of replaying "
+                f"the journal"
+            )
+        else:
+            print(f"PASS: rerun replayed all "
+                  f"{sum(s['cells_total'] for s in resumed)} cells from "
+                  f"the journal")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default="fig05",
+                        help="experiment to sweep (default: fig05)")
+    parser.add_argument("--resume-dir", type=Path, required=True,
+                        help="journal/telemetry directory for the run and "
+                        "its resume")
+    args = parser.parse_args(argv)
+    args.resume_dir.mkdir(parents=True, exist_ok=True)
+    return check(args.spec, args.resume_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
