@@ -18,9 +18,10 @@ them carried its own copy of the parsing and error wording.  The rules:
 * ``REPRO_BATCH_CELLS`` — maximum cells the batched engine groups into
   one vectorized kernel invocation (integer >= 1; unset uses the
   scheduler default, see :mod:`repro.perf.parallel`);
-* ``REPRO_BACKEND`` — default sweep execution backend
-  (``inline``/``local-pool``/``fleet``; unset means the runner picks
-  automatically, see :mod:`repro.perf.backends`);
+* ``REPRO_BACKEND`` — default sweep execution backend (any registered
+  backend name; ``inline``/``local-pool``/``fleet`` are built in, and
+  unset means the runner picks automatically, see
+  :mod:`repro.perf.backends`);
 * ``REPRO_FLEET_HOSTS`` — comma-separated fleet worker endpoints for
   the ``fleet`` backend (``local``, an SSH host, or a full worker
   command template; unset means ``--workers`` local subprocesses);
@@ -104,21 +105,26 @@ def env_batch_cells() -> Optional[int]:
     return cells
 
 
-#: Registered sweep execution backends (mirrors repro.perf.backends;
-#: duplicated here so env stays import-leaf).
-BACKEND_NAMES = ("inline", "local-pool", "fleet")
-
-
 def env_backend() -> Optional[str]:
-    """The validated REPRO_BACKEND setting (None when unset or blank)."""
+    """The validated REPRO_BACKEND setting (None when unset or blank).
+
+    Checked against the live ``repro.perf.backends`` registry rather
+    than a hard-coded list, so a backend added at runtime via
+    ``register_backend()`` is accepted here exactly as it is by the
+    explicit argument and ``--backend`` paths.  The import is deferred
+    to the call so this module stays an import leaf.
+    """
     raw = os.environ.get("REPRO_BACKEND")
     if raw is None:
         return None
     raw = raw.strip().lower()
     if not raw:
         return None
-    if raw not in BACKEND_NAMES:
-        options = ", ".join(BACKEND_NAMES)
+    from .perf.backends import backend_names
+
+    names = backend_names()
+    if raw not in names:
+        options = ", ".join(names)
         raise ValueError(f"REPRO_BACKEND must be one of {options}, got {raw!r}")
     return raw
 

@@ -163,6 +163,12 @@ class FleetWorker:
             self.process.kill()
         except Exception:  # pragma: no cover - best-effort teardown
             pass
+        # Reap immediately: a long-lived parent (the serve daemon) runs
+        # many sweeps, and an unwaited kill leaves a zombie per timeout.
+        try:
+            self.process.wait(timeout=SHUTDOWN_GRACE)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
 
     def describe(self) -> str:
         return f"{self.id} (pid {self.process.pid})"
@@ -191,15 +197,21 @@ class FleetBackend(SweepBackend):
         crashes: Dict[int, int] = {}
 
         while unresolved:
-            # Keep every live worker busy (one cell in flight each).
+            # Keep every live worker busy (one cell in flight each).  A
+            # free worker must drain past dispatch failures — an
+            # unpicklable payload resolves its cell immediately without
+            # occupying the worker, and stopping at the first one would
+            # leave the loop blocked on an event no worker will send.
             for worker in self._alive():
-                if worker.in_flight is None and todo:
+                while worker.in_flight is None and todo:
                     index = todo.popleft()
                     if not self._dispatch(worker, index, ctx):
                         # Unpicklable cell payload: deterministic, fail it.
                         outcome = ctx.outcomes[index]
                         yield outcome
                         unresolved.discard(index)
+            if not unresolved:
+                break  # every remaining cell failed at dispatch
             if not self._alive():
                 for index in sorted(unresolved):
                     outcome = ctx.outcomes[index]
@@ -404,6 +416,7 @@ class FleetBackend(SweepBackend):
         deadline = time.monotonic() + SHUTDOWN_GRACE
         for worker in self._workers:
             if worker.retired:
+                worker.process.poll()  # reap a zombie left by its death
                 continue
             remaining = deadline - time.monotonic()
             try:

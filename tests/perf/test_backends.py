@@ -22,6 +22,7 @@ import io
 import json
 import os
 import sys
+import threading
 
 import pytest
 
@@ -62,6 +63,23 @@ def _grid(factory):
     return [
         ("curve", factory, size, trace) for size in SIZES for trace in TRACES
     ]
+
+
+def _zombie_children():
+    """PIDs of defunct children of this process (Linux /proc scan)."""
+    import glob
+
+    me = str(os.getpid())
+    zombies = []
+    for stat_path in glob.glob("/proc/[0-9]*/stat"):
+        try:
+            content = open(stat_path).read()
+        except OSError:
+            continue  # process exited between glob and read
+        fields = content.rsplit(") ", 1)[-1].split()
+        if len(fields) >= 2 and fields[0] == "Z" and fields[1] == me:
+            zombies.append(stat_path.split("/")[2])
+    return zombies
 
 
 @pytest.fixture(autouse=True)
@@ -313,6 +331,39 @@ class TestFleetExecution:
             if outcome.error and "BrokenFleet" in outcome.error
         )
 
+    def test_unpicklable_payloads_fail_fast_without_hanging(self):
+        # Regression: a cell whose payload fails to pickle resolves at
+        # dispatch without ever occupying a worker, so a sweep where
+        # nothing gets in flight must terminate instead of blocking on
+        # the event queue forever.  One worker and several bad cells is
+        # the sharp case: the worker's single ``ready`` event cannot
+        # unblock more than one scheduling pass.
+        bad = [("bad", lambda size: None, size, TRACES[0]) for size in SIZES]
+        done = {}
+
+        def run():
+            done["bad"] = run_labeled_cells(
+                bad, engine="fast", workers=1, backend="fleet"
+            )
+            done["mixed"] = run_labeled_cells(
+                bad + _grid(WellBehavedFactory()),
+                engine="fast",
+                workers=2,
+                backend="fleet",
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive(), "fleet sweep hung on unpicklable payloads"
+        assert all("pickle" in o.error for o in done["bad"])
+        mixed = done["mixed"]
+        assert all(
+            "pickle" in o.error
+            for o in mixed if o.identity.label == "bad"
+        )
+        assert all(o.ok for o in mixed if o.identity.label == "curve")
+
     def test_per_cell_timeout_kills_only_the_stuck_cell(self):
         outcomes = run_labeled_cells(
             _grid(SlowFactory(poison=2048)),
@@ -330,6 +381,10 @@ class TestFleetExecution:
             outcome.ok for outcome in outcomes
             if outcome.identity.parameter != 2048
         )
+        # Timeout-killed workers must be reaped, not left defunct: a
+        # long-lived serve daemon accumulates one zombie per timeout
+        # otherwise.
+        assert _zombie_children() == []
 
 
 class TestWorkerMain:

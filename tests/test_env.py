@@ -167,10 +167,18 @@ class TestBackend:
         with pytest.raises(ValueError, match="REPRO_BACKEND"):
             env.env_backend()
 
-    def test_names_match_the_registry(self):
-        from repro.perf.backends import backend_names
+    def test_runtime_registered_backend_accepted(self, monkeypatch):
+        from repro.perf.backends import BACKENDS, SweepBackend, register_backend
 
-        assert sorted(env.BACKEND_NAMES) == sorted(backend_names())
+        class CustomBackend(SweepBackend):
+            name = "custom-env-test"
+
+        register_backend(CustomBackend)
+        try:
+            monkeypatch.setenv("REPRO_BACKEND", "custom-env-test")
+            assert env.env_backend() == "custom-env-test"
+        finally:
+            BACKENDS.pop("custom-env-test", None)
 
     def test_validate_covers_it(self, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "threads")
