@@ -230,3 +230,87 @@ def test_batched_tier_tracing_overhead(results_dir, tmp_path):
         f"batched tier tracing overhead {overhead:.1%} exceeds "
         f"the {MAX_OVERHEAD:.0%} ceiling"
     )
+
+
+def test_fleet_backend_tracing_overhead(results_dir, tmp_path):
+    """Distributed tracing across the fleet must clear the same 5%.
+
+    With a tracer installed, every fleet cell request carries the
+    propagation context and every reply ships the worker's spans and
+    metric deltas home for merging — per-cell wire and merge cost the
+    bare run doesn't pay.  This times a whole fleet sweep (2 local
+    worker subprocesses, pool spin-up included, exactly what a traced
+    ``--backend fleet`` run pays) bare vs live-traced, interleaved
+    best-of-rounds.
+    """
+    from repro.experiments.common import StandardFactory
+    from repro.obs.metrics import MetricsRegistry as Registry
+    from repro.perf import parallel
+
+    trace_key = parallel.TraceKey("gcc", "instruction", TRACE_REFS)
+    trace_key.load()
+    # StandardFactory is importable from the worker subprocesses (a
+    # closure here would not unpickle there); sizes must keep the set
+    # count a power of two.
+    factory = StandardFactory("dynamic-exclusion", 4)
+    cells = [(f"de@{1024 << i}", factory, 1024 << i, trace_key)
+             for i in range(8)]
+
+    def sweep_seconds():
+        start = time.perf_counter()
+        outcomes = parallel.run_labeled_cells(
+            cells, engine="fast", workers=2, backend="fleet",
+            journal=None, progress=False,
+        )
+        assert all(o.ok for o in outcomes)
+        return time.perf_counter() - start
+
+    tracer = obs.Tracer(tmp_path / "fleet")
+    registry = Registry()
+    sweep_seconds()  # warm (worker spawn path, trace cache, kernels)
+    bare = traced = float("inf")
+    try:
+        for _ in range(ROUNDS):
+            bare = min(bare, sweep_seconds())
+            obs.install_tracer(tracer)
+            obs.install_registry(registry)
+            try:
+                traced = min(traced, sweep_seconds())
+            finally:
+                obs.uninstall_registry()
+                obs.uninstall_tracer()
+    finally:
+        tracer.close()
+
+    overhead = traced / bare - 1.0
+    report = "\n".join(
+        [
+            f"Fleet-backend observability overhead (gcc, {TRACE_REFS:,} "
+            f"refs, {len(cells)} DE cells, 2 workers, best of {ROUNDS})",
+            f"{'bare':<10} {bare * 1e3:>8.1f}ms",
+            f"{'traced':<10} {traced * 1e3:>8.1f}ms",
+            f"overhead: {overhead:+.1%} (ceiling {MAX_OVERHEAD:.0%})",
+        ]
+    )
+    (results_dir / "bench_obs_fleet.txt").write_text(report + "\n")
+    write_json_result(
+        results_dir,
+        "bench_obs_fleet",
+        config={
+            "trace": "gcc",
+            "refs": TRACE_REFS,
+            "cells": len(cells),
+            "workers": 2,
+            "rounds": ROUNDS,
+            "max_overhead": MAX_OVERHEAD,
+        },
+        metrics={
+            "fleet_bare_rps": len(cells) * TRACE_REFS / bare,
+            "fleet_traced_vs_bare_speedup": bare / traced,
+        },
+    )
+    print(f"\n{report}\n")
+    assert overhead < MAX_OVERHEAD, (
+        f"fleet backend tracing overhead {overhead:.1%} exceeds "
+        f"the {MAX_OVERHEAD:.0%} ceiling"
+    )

@@ -198,6 +198,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     store = open_store(store_dir, extra_sources=args.journals or ())
     ingested = store.refresh()
+    tracer = None
+    if args.trace_dir:
+        from . import obs
+
+        tracer = obs.install_tracer(obs.Tracer(args.trace_dir))
+        print(f"tracing requests to {tracer.path}", file=sys.stderr)
     server = ResultServer(
         store, host=args.host, port=args.port, default_engine=args.engine,
         default_backend=args.backend,
@@ -213,6 +219,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+        if tracer is not None:
+            from . import obs
+
+            obs.uninstall_tracer()
+            tracer.close()
     return 0
 
 
@@ -432,6 +443,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="default execution backend for server-side sweeps: inline, "
         "local-pool, or fleet (default: REPRO_BACKEND or automatic); "
         "per-run override via the POST /run body",
+    )
+    serve_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="persist the daemon's spans (serve.request, execute_run, "
+        "sweeps, shipped worker spans) to DIR/trace.jsonl for "
+        "'repro obs summarize'",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

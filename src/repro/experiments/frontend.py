@@ -224,6 +224,9 @@ def _run_observed(
     """
     run_dir = trace_dir / spec.id if trace_dir is not None else None
     tracer = obs.install_tracer(obs.Tracer(run_dir)) if run_dir is not None else None
+    registry = (
+        obs.install_registry(obs.MetricsRegistry()) if run_dir is not None else None
+    )
     profiler = obs.install_profiler(obs.Profiler()) if profiling else None
     wall_started = time.perf_counter()
     cpu_started = time.process_time()
@@ -244,6 +247,14 @@ def _run_observed(
                 _log.info("[profile written to %s]", path)
             else:
                 _log.info("profile breakdown:\n%s", profiler.report())
+        if registry is not None:
+            obs.uninstall_registry()
+            metrics_path = run_dir / obs.METRICS_FILENAME
+            metrics_path.write_text(
+                json.dumps(registry.export(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            _log.info("[metrics written to %s]", metrics_path)
         if tracer is not None:
             obs.uninstall_tracer()
             tracer.close()

@@ -5,8 +5,10 @@ spans persisted as torn-tail-tolerant JSONL (:mod:`.tracing`), a typed
 counter/gauge/histogram registry (:mod:`.metrics`), opt-in
 ``REPRO_PROFILE=1`` phase/cProfile breakdowns (:mod:`.profiling`),
 ``run_manifest.json`` writers/readers (:mod:`.manifest`), the
-``obs summarize`` renderer (:mod:`.summarize`), and stderr logging
-gated by ``REPRO_LOG_LEVEL`` (:mod:`.logs`).
+``obs summarize`` renderer (:mod:`.summarize`), stderr logging
+gated by ``REPRO_LOG_LEVEL`` (:mod:`.logs`), cross-process span/metric
+propagation for the sweep backends (:mod:`.distributed`), and
+Prometheus text exposition (:mod:`.promtext`).
 
 Import direction: ``repro.obs`` imports nothing from ``repro.perf`` or
 ``repro.experiments`` — every other layer may import obs, never the
@@ -16,6 +18,14 @@ when no tracer/profiler is installed, so library code stays
 instrumented unconditionally.
 """
 
+from repro.obs.distributed import (
+    DROPPED_COUNTER,
+    MAX_SHIPPED_SPANS,
+    OBS_WIRE_VERSION,
+    WorkerCapture,
+    merge_cell_payload,
+    propagation_context,
+)
 from repro.obs.logs import LOG_LEVELS, configure_logging, get_logger
 from repro.obs.manifest import (
     MANIFEST_FILENAME,
@@ -25,6 +35,7 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.metrics import (
+    METRICS_FILENAME,
     MetricsRegistry,
     counter,
     current_registry,
@@ -32,6 +43,11 @@ from repro.obs.metrics import (
     histogram,
     install_registry,
     uninstall_registry,
+)
+from repro.obs.promtext import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
 )
 from repro.obs.profiling import (
     PROFILE_FILENAME,
@@ -56,14 +72,20 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "DROPPED_COUNTER",
     "LOG_LEVELS",
     "MANIFEST_FILENAME",
+    "MAX_SHIPPED_SPANS",
+    "METRICS_FILENAME",
     "MetricsRegistry",
+    "OBS_WIRE_VERSION",
     "PROFILE_FILENAME",
+    "PROMETHEUS_CONTENT_TYPE",
     "Profiler",
     "Span",
     "TRACE_FILENAME",
     "Tracer",
+    "WorkerCapture",
     "build_manifest",
     "configure_logging",
     "counter",
@@ -78,9 +100,13 @@ __all__ = [
     "install_registry",
     "install_tracer",
     "iter_jsonl",
+    "merge_cell_payload",
+    "parse_prometheus",
+    "propagation_context",
     "read_manifest",
     "read_spans",
     "record",
+    "render_prometheus",
     "section",
     "span",
     "summarize_directory",

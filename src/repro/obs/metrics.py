@@ -28,10 +28,15 @@ in via :func:`install_registry`.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Distinct (name, labels) series per registry before overflow folding.
 DEFAULT_MAX_SERIES = 4096
+
+#: Per-run metrics snapshot written next to ``trace.jsonl`` by traced
+#: experiment runs (``registry.export()`` as JSON); ``obs summarize``
+#: renders it even when no trace was captured.
+METRICS_FILENAME = "metrics.json"
 
 #: Histogram bucket upper bounds (seconds-oriented, log-spaced); the
 #: implicit final bucket is +inf.
@@ -127,6 +132,50 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def merge_from(
+        self,
+        bounds: "Iterable[float]",
+        buckets: "Iterable[float]",
+        count: float,
+        total: float,
+        minimum: Optional[float],
+        maximum: Optional[float],
+    ) -> None:
+        """Fold another histogram's state into this one.
+
+        Matching bucket bounds add element-wise (the lossless case —
+        every worker-side histogram of the same series shares the
+        parent's bounds).  Mismatched bounds re-bucket each incoming
+        bucket at its upper bound (+inf into +inf), which preserves
+        count/sum/min/max exactly and bucket counts to the resolution
+        the coarser side had anyway.
+        """
+        bounds = tuple(float(bound) for bound in bounds)
+        buckets = [int(bucket) for bucket in buckets]
+        self.count += int(count)
+        self.sum += float(total)
+        if minimum is not None and (self.min is None or minimum < self.min):
+            self.min = float(minimum)
+        if maximum is not None and (self.max is None or maximum > self.max):
+            self.max = float(maximum)
+        if bounds == self.bounds and len(buckets) == len(self.buckets):
+            for index, bucket in enumerate(buckets):
+                self.buckets[index] += bucket
+            return
+        for index, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            if index >= len(bounds):
+                self.buckets[-1] += bucket
+                continue
+            value = bounds[index]
+            for target, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.buckets[target] += bucket
+                    break
+            else:
+                self.buckets[-1] += bucket
+
     def to_dict(self) -> dict:
         return {
             "type": self.kind,
@@ -148,7 +197,7 @@ class MetricsRegistry:
         self._max_series = max_series
         self.overflowed = 0
 
-    def _get(self, name: str, labels: Dict[str, object], factory):
+    def _get(self, name: str, labels: Dict[str, object], cls, make=None):
         key = (name, _label_key(labels))
         with self._lock:
             series = self._series.get(key)
@@ -162,11 +211,11 @@ class MetricsRegistry:
                     if series is None:
                         series = self._series[key] = Counter()
                     return series, True
-                series = self._series[key] = factory()
-            if not isinstance(series, factory):
+                series = self._series[key] = (make or cls)()
+            if not isinstance(series, cls):
                 raise TypeError(
                     f"metric {name!r} already registered as "
-                    f"{type(series).__name__}, not {factory.__name__}"
+                    f"{type(series).__name__}, not {cls.__name__}"
                 )
             return series, False
 
@@ -183,13 +232,104 @@ class MetricsRegistry:
             else:
                 series.set(value)
 
-    def histogram(self, name: str, value: float, **labels: object) -> None:
-        series, overflow = self._get(name, labels, Histogram)
+    def histogram(
+        self,
+        name: str,
+        value: float,
+        bounds: "Optional[Iterable[float]]" = None,
+        **labels: object,
+    ) -> None:
+        """Observe ``value``; ``bounds`` sets the bucket upper bounds iff
+        this observation creates the series (an existing series keeps
+        its bounds — callers of one series must agree on them)."""
+        make = None
+        if bounds is not None:
+            fixed = tuple(float(bound) for bound in bounds)
+            make = lambda: Histogram(fixed)  # noqa: E731
+        series, overflow = self._get(name, labels, Histogram, make=make)
         with self._lock:
             if overflow:
                 series.inc()
             else:
                 series.observe(value)
+
+    def merge(self, deltas: List[dict], **extra_labels: object) -> int:
+        """Fold an exported snapshot (``registry.export()`` of another
+        registry, typically a worker's) into this registry.
+
+        ``extra_labels`` are stamped onto every merged series — the
+        distributed merge passes ``worker=`` so per-worker breakdowns
+        survive aggregation.  Counters and histograms add; gauges take
+        the incoming value (last write wins, as for local sets).
+        Returns the number of series merged; unusable entries are
+        skipped and surface as an ``obs.metrics.merge_skipped`` counter.
+        """
+        merged = 0
+        for entry in deltas:
+            if not isinstance(entry, dict):
+                self.counter("obs.metrics.merge_skipped")
+                continue
+            name = entry.get("name")
+            kind = entry.get("type")
+            raw_labels = entry.get("labels")
+            if not isinstance(name, str) or not isinstance(kind, str):
+                self.counter("obs.metrics.merge_skipped")
+                continue
+            labels = dict(raw_labels) if isinstance(raw_labels, dict) else {}
+            labels.update(extra_labels)
+            try:
+                if kind == "counter":
+                    self.counter(name, float(entry.get("value", 0.0)), **labels)
+                elif kind == "gauge":
+                    self.gauge(name, float(entry.get("value", 0.0)), **labels)
+                elif kind == "histogram":
+                    bounds = entry.get("bounds") or DEFAULT_BUCKETS
+                    fixed = tuple(float(bound) for bound in bounds)
+                    series, overflow = self._get(
+                        name, labels, Histogram, make=lambda: Histogram(fixed)
+                    )
+                    with self._lock:
+                        if overflow:
+                            series.inc()
+                        else:
+                            series.merge_from(
+                                fixed,
+                                entry.get("buckets") or [],
+                                entry.get("count", 0),
+                                entry.get("sum", 0.0),
+                                entry.get("min"),
+                                entry.get("max"),
+                            )
+                else:
+                    self.counter("obs.metrics.merge_skipped")
+                    continue
+            except (TypeError, ValueError):
+                self.counter("obs.metrics.merge_skipped")
+                continue
+            merged += 1
+        return merged
+
+    def total(self, name: str, **labels: object) -> Optional[float]:
+        """Sum of every counter/gauge series named ``name`` whose labels
+        are a superset of the given filter, or None when no series
+        matches.
+
+        This is the cross-worker read: merged fleet counters carry an
+        extra ``worker=`` label per series, so an exact :meth:`value`
+        lookup misses them while ``total('fsm.sticky_saves',
+        benchmark=..., engine=...)`` sums the fleet."""
+        wanted = _label_key(labels)
+        result: Optional[float] = None
+        with self._lock:
+            for (series_name, label_items), series in self._series.items():
+                if series_name != name:
+                    continue
+                if not set(wanted) <= set(label_items):
+                    continue
+                if not isinstance(series, (Counter, Gauge)):
+                    raise TypeError(f"metric {name!r} is a {series.kind}; use get()")
+                result = (result or 0.0) + series.value
+        return result
 
     # -- reads --------------------------------------------------------------
 
@@ -261,5 +401,10 @@ def gauge(name: str, value: float, **labels: object) -> None:
     _REGISTRY.gauge(name, value, **labels)
 
 
-def histogram(name: str, value: float, **labels: object) -> None:
-    _REGISTRY.histogram(name, value, **labels)
+def histogram(
+    name: str,
+    value: float,
+    bounds: "Optional[Iterable[float]]" = None,
+    **labels: object,
+) -> None:
+    _REGISTRY.histogram(name, value, bounds=bounds, **labels)

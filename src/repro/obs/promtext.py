@@ -1,0 +1,243 @@
+"""Prometheus text exposition for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The serve daemon's ``/metrics`` endpoint speaks JSON by default (the
+repo's own tooling reads it), but a standard scraper wants the
+`text exposition format`_ — ``# TYPE`` comments, one sample per line,
+histograms unrolled into cumulative ``_bucket{le=...}`` series plus
+``_sum``/``_count``.  :func:`render_prometheus` produces that from any
+registry (or a ``registry.export()`` snapshot), and
+:func:`parse_prometheus` is the deliberately small inverse used by the
+test suite and the CI smoke to prove every emitted line parses.
+
+Name and label-value rules follow the format spec:
+
+* metric names are sanitised to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (this
+  repo's dotted series names — ``fsm.sticky_saves`` — become
+  ``fsm_sticky_saves``);
+* label **names** get the same treatment minus the colon;
+* label **values** are escaped, not sanitised: backslash, double quote
+  and newline become ``\\\\``, ``\\"`` and ``\\n``.
+
+Histograms here store per-bucket (non-cumulative) counts; exposition
+buckets are cumulative and always end with ``le="+Inf"`` equal to
+``_count``.
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from . import metrics as obs_metrics
+
+#: Content type a Prometheus scraper expects for the text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """Metric name valid under the exposition grammar (dots → underscores)."""
+    name = _NAME_BAD.sub("_", name)
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def sanitize_label_name(name: str) -> str:
+    name = _LABEL_BAD.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: object) -> str:
+    text = str(value)
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: Dict[str, object]) -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{sanitize_label_name(str(key))}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items(), key=lambda item: str(item[0]))
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(
+    source: "Union[obs_metrics.MetricsRegistry, List[dict]]",
+) -> str:
+    """Render a registry (or an ``export()`` snapshot) as exposition text.
+
+    Series sharing a name are grouped under one ``# TYPE`` comment; the
+    repo's counters keep their sanitised names verbatim (no ``_total``
+    suffix is appended — the JSON surface and the text surface must name
+    the same series).
+    """
+    if isinstance(source, obs_metrics.MetricsRegistry):
+        entries = source.export()
+    else:
+        entries = list(source)
+
+    grouped: "Dict[str, List[dict]]" = {}
+    kinds: Dict[str, str] = {}
+    order: List[str] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("name")
+        kind = entry.get("type")
+        if not isinstance(name, str) or kind not in ("counter", "gauge", "histogram"):
+            continue
+        prom_name = sanitize_name(name)
+        if prom_name not in grouped:
+            grouped[prom_name] = []
+            kinds[prom_name] = kind
+            order.append(prom_name)
+        if kinds[prom_name] != kind:
+            # Two dotted names collapsing onto one sanitised name with
+            # different types cannot be exposed coherently; keep the
+            # first and skip the collision.
+            continue
+        grouped[prom_name].append(entry)
+
+    lines: List[str] = []
+    for prom_name in order:
+        kind = kinds[prom_name]
+        lines.append(f"# TYPE {prom_name} {kind}")
+        for entry in grouped[prom_name]:
+            labels = entry.get("labels")
+            labels = dict(labels) if isinstance(labels, dict) else {}
+            if kind in ("counter", "gauge"):
+                value = float(entry.get("value", 0.0))
+                lines.append(f"{prom_name}{_label_text(labels)} {_format_value(value)}")
+                continue
+            bounds = [float(bound) for bound in entry.get("bounds") or []]
+            buckets = [int(bucket) for bucket in entry.get("buckets") or []]
+            count = int(entry.get("count", 0))
+            total = float(entry.get("sum", 0.0))
+            cumulative = 0
+            for index, bound in enumerate(bounds):
+                cumulative += buckets[index] if index < len(buckets) else 0
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(bound)
+                lines.append(
+                    f"{prom_name}_bucket{_label_text(bucket_labels)} {cumulative}"
+                )
+            inf_labels = dict(labels)
+            inf_labels["le"] = "+Inf"
+            lines.append(f"{prom_name}_bucket{_label_text(inf_labels)} {count}")
+            lines.append(f"{prom_name}_sum{_label_text(labels)} {_format_value(total)}")
+            lines.append(f"{prom_name}_count{_label_text(labels)} {count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- the inverse, for tests and smokes ----------------------------------------
+
+
+@dataclass
+class Sample:
+    """One parsed exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+
+def _parse_labels(text: str, line: str) -> Tuple[Dict[str, str], str]:
+    """Parse ``{k="v",...}`` off the front of ``text``; returns (labels, rest)."""
+    labels: Dict[str, str] = {}
+    index = 1  # past '{'
+    while True:
+        while index < len(text) and text[index] in " \t":
+            index += 1
+        if index < len(text) and text[index] == "}":
+            return labels, text[index + 1 :]
+        start = index
+        while index < len(text) and text[index] not in "=}":
+            index += 1
+        if index >= len(text) or text[index] != "=":
+            raise ValueError(f"malformed label set: {line!r}")
+        label_name = text[start:index].strip()
+        if not label_name or not _NAME_OK.match(label_name):
+            raise ValueError(f"malformed label name in: {line!r}")
+        index += 1
+        if index >= len(text) or text[index] != '"':
+            raise ValueError(f"unquoted label value in: {line!r}")
+        index += 1
+        chunks: List[str] = []
+        while True:
+            if index >= len(text):
+                raise ValueError(f"unterminated label value in: {line!r}")
+            char = text[index]
+            if char == "\\":
+                if index + 1 >= len(text):
+                    raise ValueError(f"dangling escape in: {line!r}")
+                escape = text[index + 1]
+                if escape == "n":
+                    chunks.append("\n")
+                elif escape in ('"', "\\"):
+                    chunks.append(escape)
+                else:
+                    raise ValueError(f"bad escape \\{escape} in: {line!r}")
+                index += 2
+                continue
+            if char == '"':
+                index += 1
+                break
+            chunks.append(char)
+            index += 1
+        labels[label_name] = "".join(chunks)
+        if index < len(text) and text[index] == ",":
+            index += 1
+
+
+def parse_prometheus(text: str) -> List[Sample]:
+    """Parse exposition text into samples; raises ValueError on any
+    malformed non-comment line (the smoke's "every line parses" check)."""
+    samples: List[Sample] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rest = stripped
+        index = 0
+        while index < len(rest) and rest[index] not in "{ \t":
+            index += 1
+        name = rest[:index]
+        if not name or not _NAME_OK.match(name):
+            raise ValueError(f"malformed metric name in: {line!r}")
+        rest = rest[index:]
+        labels: Dict[str, str] = {}
+        if rest.startswith("{"):
+            labels, rest = _parse_labels(rest, line)
+        rest = rest.strip()
+        if not rest:
+            raise ValueError(f"missing sample value in: {line!r}")
+        value_text = rest.split()[0]
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(f"malformed sample value in: {line!r}")
+        samples.append(Sample(name=name, labels=labels, value=value))
+    return samples

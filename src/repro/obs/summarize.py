@@ -17,15 +17,21 @@ shows:
 
 A directory with no ``trace.jsonl`` of its own but run subdirectories
 (the ``--trace-dir`` layout: one subdirectory per spec) is summarised
-recursively, one section per run.
+recursively, one section per run.  A run directory whose trace is
+missing or empty but which carries a manifest (a run that crashed
+before its first span, or ran with tracing off) degrades to a
+manifest-plus-metrics summary with an explicit "no trace captured"
+note rather than crashing or being silently omitted.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.obs.manifest import read_manifest
+from repro.obs.manifest import MANIFEST_FILENAME, read_manifest
+from repro.obs.metrics import METRICS_FILENAME
 from repro.obs.tracing import TRACE_FILENAME, Span, read_spans
 
 #: Span name used for per-cell work units (see DESIGN.md §10 taxonomy).
@@ -118,9 +124,14 @@ def summarize_run(directory: Union[str, Path], top: int = 10) -> str:
     else:
         lines.append("  (no run_manifest.json)")
 
-    spans = read_spans(directory / TRACE_FILENAME)
+    trace_path = directory / TRACE_FILENAME
+    spans = read_spans(trace_path)
     if not spans:
-        lines.append("  (no spans in trace.jsonl)")
+        if not trace_path.exists():
+            lines.append(f"  (no trace captured: {TRACE_FILENAME} is missing)")
+        else:
+            lines.append(f"  (no trace captured: {TRACE_FILENAME} is empty)")
+        lines += _render_metrics(directory)
         return "\n".join(lines) + "\n"
 
     roots = [span for span in spans if span.parent_id is None]
@@ -151,6 +162,37 @@ def summarize_run(directory: Union[str, Path], top: int = 10) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _render_metrics(directory: Path, top: int = 12) -> List[str]:
+    """Lines for a run's ``metrics.json`` snapshot (empty when absent)."""
+    path = directory / METRICS_FILENAME
+    if not path.exists():
+        return []
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, OSError):
+        return [f"  ({METRICS_FILENAME} is unreadable)"]
+    if not isinstance(entries, list) or not entries:
+        return []
+    lines = ["", f"  metrics ({len(entries)} series)"]
+    for entry in entries[:top]:
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("name")
+        labels = entry.get("labels") or {}
+        label_text = ",".join(
+            f"{key}={value}" for key, value in sorted(labels.items())
+        )
+        series = f"{name}{{{label_text}}}" if label_text else str(name)
+        if entry.get("type") == "histogram":
+            value = f"count={entry.get('count')} sum={entry.get('sum')}s"
+        else:
+            value = f"{entry.get('value')}"
+        lines.append(f"    {series:<52}  {value}")
+    if len(entries) > top:
+        lines.append(f"    ... and {len(entries) - top} more series")
+    return lines
+
+
 def worker_cell_counts(
     cells: List[Span],
 ) -> "Dict[str, Tuple[int, float]]":
@@ -170,26 +212,45 @@ def worker_cell_counts(
     return counts
 
 
+def _is_run_dir(directory: Path) -> bool:
+    """Whether a directory is summarisable as one run.
+
+    A trace file marks a run; so does a manifest (or a metrics
+    snapshot) alone — a run that crashed before its first span or ran
+    with tracing off still deserves a summary, not an omission.
+    """
+    return any(
+        (directory / name).exists()
+        for name in (TRACE_FILENAME, MANIFEST_FILENAME, METRICS_FILENAME)
+    )
+
+
 def find_runs(directory: Union[str, Path]) -> List[Path]:
     """Run directories under ``directory`` (itself, or its children)."""
     directory = Path(directory)
-    if (directory / TRACE_FILENAME).exists():
+    if _is_run_dir(directory):
         return [directory]
     return sorted(
         child
         for child in directory.iterdir()
-        if child.is_dir() and (child / TRACE_FILENAME).exists()
+        if child.is_dir() and _is_run_dir(child)
     )
 
 
 def summarize_directory(directory: Union[str, Path], top: int = 10) -> str:
-    """Summarise a run directory, or every run nested one level below."""
+    """Summarise a run directory, or every run nested one level below.
+
+    Raises :class:`FileNotFoundError` only for a truly malformed
+    target — a directory that does not exist, or one containing neither
+    a trace, a manifest, nor a metrics snapshot at either level.
+    """
     directory = Path(directory)
     if not directory.exists():
         raise FileNotFoundError(f"no such trace directory: {directory}")
     runs = find_runs(directory)
     if not runs:
         raise FileNotFoundError(
-            f"no {TRACE_FILENAME} found in {directory} or its subdirectories"
+            f"no {TRACE_FILENAME}, {MANIFEST_FILENAME}, or {METRICS_FILENAME} "
+            f"found in {directory} or its subdirectories"
         )
     return "\n".join(summarize_run(run, top=top) for run in runs)

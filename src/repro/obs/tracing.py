@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -153,6 +154,11 @@ class Tracer:
         self._epoch = time.perf_counter()
         #: Wall-clock time the tracer was created (for manifests).
         self.started_at = time.time()
+        #: Run-scoped trace identity.  Propagated to worker processes by
+        #: the distributed sweep backends (see :mod:`repro.obs.distributed`)
+        #: so shipped spans can be attributed to the run that asked for
+        #: them; a worker-side capture overwrites this with the parent's.
+        self.trace_id = uuid.uuid4().hex
         self.directory = Path(directory) if directory is not None else None
         self.path: Optional[Path] = None
         self._handle = None
@@ -243,6 +249,31 @@ class Tracer:
             duration=seconds,
             attrs=dict(attrs),
         )
+        self._finish(span)
+        return span
+
+    def current_span_id(self) -> Optional[int]:
+        """The calling thread's innermost open span id (None at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def allocate_span_id(self) -> int:
+        """Reserve a fresh span id in this tracer's id space.
+
+        The distributed merge (:mod:`repro.obs.distributed`) re-identifies
+        spans shipped home by worker processes — whose tracers allocated
+        ids independently — before emitting them here.
+        """
+        return self._allocate_id()
+
+    def emit(self, span: Span) -> Span:
+        """Persist an externally constructed, already-finished span.
+
+        The span's ``span_id`` must come from :meth:`allocate_span_id`
+        and its ``start`` must already be expressed on this tracer's
+        clock; used by the distributed merge, never by live measurement
+        (use :meth:`span`/:meth:`record` for that).
+        """
         self._finish(span)
         return span
 

@@ -24,6 +24,7 @@ from .base import (  # noqa: F401
     cell_attrs,
     create_backend,
     default_backend,
+    merge_worker_obs,
     outcome_observer,
     record_cell_span,
     register_backend,
@@ -44,6 +45,7 @@ from .fleet import (  # noqa: F401
     FleetBackend,
     FleetWorker,
     live_worker_ids,
+    live_worker_status,
     live_workers,
     worker_command,
 )
@@ -62,7 +64,9 @@ __all__ = [
     "create_backend",
     "default_backend",
     "live_worker_ids",
+    "live_worker_status",
     "live_workers",
+    "merge_worker_obs",
     "outcome_observer",
     "register_backend",
     "resolve_backend",

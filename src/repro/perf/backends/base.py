@@ -62,6 +62,10 @@ class SweepContext:
     evaluator: Optional[CellEvaluator] = None
     batch_cells: int = 16
     fleet_hosts: List[str] = field(default_factory=list)
+    #: Trace propagation context (:func:`repro.obs.distributed
+    #: .propagation_context`) the backend forwards to worker processes;
+    #: None when tracing is off.
+    obs_ctx: Optional[Dict[str, object]] = None
 
     def record_success(
         self,
@@ -250,13 +254,17 @@ def cell_attrs(outcome: CellOutcome) -> Dict[str, object]:
     }
 
 
-def record_cell_span(outcome: CellOutcome, **extra: object) -> None:
+def record_cell_span(
+    outcome: CellOutcome, **extra: object
+) -> "Optional[obs_tracing.Span]":
     """Synthetic ``cell`` span for a cell executed outside this process.
 
     Worker processes cannot reach the parent's tracer, so the parent
     back-dates a span from the envelope's worker-measured seconds once
     the cell resolves (success or terminal failure).  ``extra`` tags the
     strategy (``pooled=True``, ``batched=True``, ``worker=...``).
+    Returns the recorded span (None when tracing is off) so the
+    distributed merge can parent the worker's shipped spans under it.
     """
     attrs = cell_attrs(outcome)
     attrs.update(extra)
@@ -264,4 +272,24 @@ def record_cell_span(outcome: CellOutcome, **extra: object) -> None:
         attrs["worker"] = outcome.worker
     if outcome.error is not None:
         attrs["error"] = outcome.error
-    obs_tracing.record("cell", outcome.seconds, **attrs)
+    return obs_tracing.record("cell", outcome.seconds, **attrs)
+
+
+def merge_worker_obs(
+    outcome: CellOutcome,
+    cell_span: "Optional[obs_tracing.Span]",
+    payload: object,
+) -> int:
+    """Fold a worker's shipped obs payload under the cell's span.
+
+    Thin wrapper over :func:`repro.obs.distributed.merge_cell_payload`
+    adding the sweep-side attribution (the envelope's ``worker`` id,
+    when the backend assigned one).
+    """
+    if not isinstance(payload, dict):
+        return 0
+    from ...obs import distributed as obs_distributed
+
+    return obs_distributed.merge_cell_payload(
+        payload, cell_span, worker=outcome.worker or ""
+    )

@@ -45,7 +45,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from ...obs import metrics as obs_metrics
 from ..cells import CellOutcome
-from .base import SweepBackend, SweepContext, record_cell_span, register_backend
+from .base import (
+    SweepBackend,
+    SweepContext,
+    merge_worker_obs,
+    record_cell_span,
+    register_backend,
+)
 
 #: Seconds close() waits for a worker to exit after a shutdown request
 #: before killing it.
@@ -96,6 +102,24 @@ def live_workers() -> int:
 def live_worker_ids() -> List[str]:
     with _LIVE_LOCK:
         return sorted(worker.id for worker in _LIVE_WORKERS)
+
+
+def live_worker_status() -> List[dict]:
+    """Per-worker snapshot for the serve daemon's ``/statusz``."""
+    with _LIVE_LOCK:
+        workers = sorted(_LIVE_WORKERS, key=lambda worker: worker.id)
+        return [
+            {
+                "id": worker.id,
+                "endpoint": worker.endpoint,
+                "slot": worker.slot,
+                "pid": worker.process.pid,
+                "ready": worker.ready,
+                "in_flight": worker.in_flight,
+                "cells_done": worker.cells_done,
+            }
+            for worker in workers
+        ]
 
 
 def _track(worker: "FleetWorker", alive: bool) -> None:
@@ -279,7 +303,10 @@ class FleetBackend(SweepBackend):
                     # Captured worker-side: deterministic, not retried.
                     outcome.seconds = seconds
                     ctx.fail(outcome, str(message.get("error")))
-                record_cell_span(outcome, fleet=True)
+                cell_span = record_cell_span(outcome, fleet=True)
+                obs_payload = message.get("obs")
+                if obs_payload is not None:
+                    merge_worker_obs(outcome, cell_span, obs_payload)
                 yield outcome
                 unresolved.discard(index)
             # "pong" and "error" events need no scheduling action.
@@ -365,12 +392,15 @@ class FleetBackend(SweepBackend):
             return False
         worker.in_flight = index
         worker.dispatched_at = time.monotonic()
-        worker.send({
+        request = {
             "op": "cell",
             "id": index,
             "engine": ctx.engine,
             "payload": payload,
-        })
+        }
+        if ctx.obs_ctx is not None:
+            request["obs"] = ctx.obs_ctx
+        worker.send(request)
         # A send failure surfaces as the worker's EOF event; the cell is
         # re-dispatched there.
         return True

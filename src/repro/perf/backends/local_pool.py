@@ -26,7 +26,13 @@ from ...obs import tracing as obs_tracing
 from ..cells import CellOutcome, cell_task
 from ..shared import SharedTrace
 from ..trace_cache import TraceLike, as_trace, is_trace_recipe
-from .base import SweepBackend, SweepContext, record_cell_span, register_backend
+from .base import (
+    SweepBackend,
+    SweepContext,
+    merge_worker_obs,
+    record_cell_span,
+    register_backend,
+)
 from .batched import apply_group_results, batch_eligible, batch_task, group_pending
 
 
@@ -108,7 +114,8 @@ class LocalPoolBackend(SweepBackend):
         cells = ctx.cells
         submitted = [
             (index, pool.submit(cell_task, cells[index][1], cells[index][2],
-                                cells[index][3], ctx.engine, ctx.evaluator))
+                                cells[index][3], ctx.engine, ctx.evaluator,
+                                ctx.obs_ctx))
             for index in pending
         ]
         still_pending: List[int] = []
@@ -118,7 +125,9 @@ class LocalPoolBackend(SweepBackend):
         for index, future in submitted:
             outcome = ctx.outcomes[index]
             try:
-                metrics, seconds = future.result(timeout=ctx.timeout)
+                result = future.result(timeout=ctx.timeout)
+                metrics, seconds = result[0], result[1]
+                obs_payload = result[2] if len(result) > 2 else None
             except CancelledError:
                 still_pending.append(index)  # no attempt consumed
                 continue
@@ -152,7 +161,9 @@ class LocalPoolBackend(SweepBackend):
             else:
                 outcome.attempts += 1
                 ctx.record_success(outcome, metrics, seconds)
-                record_cell_span(outcome, pooled=True)
+                cell_span = record_cell_span(outcome, pooled=True)
+                if obs_payload is not None:
+                    merge_worker_obs(outcome, cell_span, obs_payload)
             yield outcome
         return still_pending, crashed, broke
 
@@ -172,11 +183,14 @@ class LocalPoolBackend(SweepBackend):
             outcome = ctx.outcomes[index]
             _, factory, parameter, trace = ctx.cells[index]
             future = pool.submit(
-                cell_task, factory, parameter, trace, ctx.engine, ctx.evaluator
+                cell_task, factory, parameter, trace, ctx.engine, ctx.evaluator,
+                ctx.obs_ctx
             )
             outcome.attempts += 1
             try:
-                metrics, seconds = future.result(timeout=ctx.timeout)
+                result = future.result(timeout=ctx.timeout)
+                metrics, seconds = result[0], result[1]
+                obs_payload = result[2] if len(result) > 2 else None
             except FuturesTimeoutError as exc:
                 if ctx.timeout is None:
                     ctx.fail(outcome, f"{type(exc).__name__}: {exc}")
@@ -202,9 +216,12 @@ class LocalPoolBackend(SweepBackend):
                 return remaining[1:], True
             except Exception as exc:
                 ctx.fail(outcome, f"{type(exc).__name__}: {exc}")
+                record_cell_span(outcome, pooled=True)
             else:
                 ctx.record_success(outcome, metrics, seconds)
-            record_cell_span(outcome, pooled=True)
+                cell_span = record_cell_span(outcome, pooled=True)
+                if obs_payload is not None:
+                    merge_worker_obs(outcome, cell_span, obs_payload)
             yield outcome
             remaining = remaining[1:]
         return remaining, False

@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import tracing as obs_tracing
 from ..trace.trace import Trace
 from . import engine as engine_mod
 from .journal import canonical_parameter, content_key, is_stable_parameter
@@ -231,7 +232,8 @@ def evaluate_cell(
 ) -> Dict[str, float]:
     """Build one model, run one trace, return the cell's metric dict."""
     engine = engine_mod.resolve_engine(engine)
-    model = factory(parameter)
+    with obs_tracing.span("build_model", parameter=str(parameter)):
+        model = factory(parameter)
     materialised = as_trace(trace)
     if evaluator is None:
         stats = engine_mod.simulate(model, materialised, engine=engine)
@@ -251,8 +253,30 @@ def cell_task(
     trace: TraceLike,
     engine: str,
     evaluator: Optional[CellEvaluator] = None,
-) -> "tuple[Dict[str, float], float]":
-    """Worker-side cell execution: (metrics, compute seconds)."""
-    started = time.perf_counter()
-    metrics = evaluate_cell(factory, parameter, trace, engine, evaluator)
-    return metrics, time.perf_counter() - started
+    obs_ctx: "Optional[Dict[str, object]]" = None,
+) -> tuple:
+    """Worker-side cell execution.
+
+    Returns ``(metrics, compute_seconds)``, or — when the parent passed
+    a trace propagation context (``obs_ctx``) — a third element: the
+    worker's captured span/metric payload for
+    :func:`repro.obs.distributed.merge_cell_payload`.
+    """
+    if obs_ctx is None:
+        started = time.perf_counter()
+        metrics = evaluate_cell(factory, parameter, trace, engine, evaluator)
+        return metrics, time.perf_counter() - started
+    from repro.obs.distributed import WorkerCapture
+
+    with WorkerCapture(obs_ctx) as capture:
+        started = time.perf_counter()
+        # The cell_exec bracket ships the worker's own measurement of
+        # the region the parent back-dates as the cell span, so pauses
+        # that land between sub-phase spans (GC, scheduler preemption)
+        # are still accounted for in the merged trace.
+        with obs_tracing.span("cell_exec"):
+            metrics = evaluate_cell(
+                factory, parameter, trace, engine, evaluator
+            )
+        seconds = time.perf_counter() - started
+    return metrics, seconds, capture.payload()

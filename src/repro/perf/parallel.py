@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence
 from ..env import env_batch_cells
 from ..env import env_fleet_hosts  # noqa: F401 (re-exported; the one parser)
 from ..env import env_workers  # noqa: F401 (re-exported; the one parser)
+from ..obs import distributed as obs_distributed
 from ..obs import tracing as obs_tracing
 from . import engine as engine_mod
 from .backends import (
@@ -295,6 +296,9 @@ def run_labeled_cells(
             evaluator=evaluator,
             batch_cells=resolve_batch_cells(batch_cells),
             fleet_hosts=env_fleet_hosts(),
+            # Captured inside the sweep span, so shipped worker spans
+            # parent under it (per thread, the innermost open span).
+            obs_ctx=obs_distributed.propagation_context(),
         )
         runner = create_backend(backend_name)
         try:

@@ -7,7 +7,8 @@ at a time, speaking newline-delimited JSON over stdin/stdout:
 Requests (one JSON object per line, parent → worker)::
 
     {"op": "ping", "id": 7}
-    {"op": "cell", "id": 8, "engine": "fast", "payload": "<base64 pickle>"}
+    {"op": "cell", "id": 8, "engine": "fast", "payload": "<base64 pickle>",
+     "obs": {"version": 1, "trace_id": "...", "parent_span_id": 3}}
     {"op": "shutdown"}
 
 ``payload`` is a base64-encoded pickle of ``(factory, parameter,
@@ -28,6 +29,11 @@ Deterministic cell failures (a factory raise, a bad geometry) are
 captured worker-side into ``ok: false`` results — only a worker *death*
 (missing response + EOF) is a crash the parent retries.  stdout is
 reserved for the protocol; anything the simulation says goes to stderr.
+
+When the request carries an ``obs`` trace-propagation context the cell
+runs under a :class:`repro.obs.distributed.WorkerCapture`, and the
+result event (success *and* failure) gains an ``obs`` key with the
+captured spans and metric deltas for the parent to merge.
 """
 
 from __future__ import annotations
@@ -41,6 +47,9 @@ import sys
 import time
 from typing import IO, Optional
 
+from repro.obs import tracing as obs_tracing
+from repro.obs.distributed import WorkerCapture
+
 from .cells import evaluate_cell
 
 
@@ -50,28 +59,48 @@ def _emit(stream: IO[str], payload: dict) -> None:
 
 
 def _run_cell(request: dict) -> dict:
+    obs_ctx = request.get("obs")
+    capture = None
+    if isinstance(obs_ctx, dict):
+        # Enter before payload decode so the capture epoch brackets
+        # everything the parent's back-dated cell span times.
+        capture = WorkerCapture(obs_ctx)
+        capture.__enter__()
     started = time.perf_counter()
     try:
-        raw = base64.b64decode(request["payload"].encode("ascii"))
-        factory, parameter, trace, evaluator = pickle.loads(raw)
-        metrics = evaluate_cell(
-            factory, parameter, trace, request.get("engine"), evaluator
-        )
+        # cell_exec brackets the exact region ``seconds`` times (decode
+        # included), so the shipped trace accounts for the parent's
+        # whole back-dated cell span even when GC or the scheduler
+        # pauses the worker between sub-phase spans.
+        with obs_tracing.span("cell_exec"):
+            raw = base64.b64decode(request["payload"].encode("ascii"))
+            factory, parameter, trace, evaluator = pickle.loads(raw)
+            metrics = evaluate_cell(
+                factory, parameter, trace, request.get("engine"), evaluator
+            )
     except Exception as exc:
-        return {
+        result = {
             "event": "result",
             "id": request.get("id"),
             "ok": False,
             "error": f"{type(exc).__name__}: {exc}",
             "seconds": time.perf_counter() - started,
         }
-    return {
+        if capture is not None:
+            capture.__exit__(None, None, None)
+            result["obs"] = capture.payload()
+        return result
+    result = {
         "event": "result",
         "id": request.get("id"),
         "ok": True,
         "metrics": metrics,
         "seconds": time.perf_counter() - started,
     }
+    if capture is not None:
+        capture.__exit__(None, None, None)
+        result["obs"] = capture.payload()
+    return result
 
 
 def worker_main(

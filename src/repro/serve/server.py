@@ -25,7 +25,12 @@ Protocol (all JSON; ``POST /run`` streams newline-delimited events):
   backend, and the live fleet-worker count;
 * ``GET /metrics`` — the process obs metrics registry
   (``serve.*`` and ``fleet.*`` series included) plus the active
-  backend and live fleet-worker count;
+  backend and live fleet-worker count.  Content-negotiated: JSON by
+  default, Prometheus text exposition under ``?format=prometheus`` or
+  ``Accept: text/plain`` (see :mod:`repro.obs.promtext`);
+* ``GET /statusz`` — live-run snapshot: the active ``/run`` requests
+  (spec, elapsed seconds), per-fleet-worker in-flight cells, and
+  store/negcache generation state;
 * ``POST /run`` — body ``{"spec": id, "engine"?: name, "workers"?: n,
   "backend"?: name}``;
   the response is ``application/x-ndjson``: one ``plan`` event, a
@@ -75,8 +80,9 @@ from ..experiments.spec import (
 from ..obs import build_manifest, get_logger, write_manifest
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
+from ..obs.promtext import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from ..perf import engine as engine_mod
-from ..perf.backends import backend_names, live_workers
+from ..perf.backends import backend_names, live_worker_status, live_workers
 from ..perf.parallel import (
     CellIdentity,
     CellOutcome,
@@ -96,6 +102,16 @@ SERVE_VERSION = 1
 #: batch tier, and a store filled under one engine name answers every
 #: later request under the same name.
 DEFAULT_SERVE_ENGINE = "fast"
+
+#: Bucket bounds for ``serve.request.seconds``.  The default registry
+#: buckets start at 1ms, but a warm ETag/304 answer takes tens of
+#: microseconds — every request would land in the first bucket and the
+#: histogram would say nothing about the serving tier.  Sub-millisecond
+#: resolution below, sweep-scale tail above.
+SERVE_REQUEST_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 60.0,
+)
 
 _log = get_logger("serve")
 
@@ -357,6 +373,36 @@ def execute_run(
             f"unknown backend {run_backend!r}; expected one of "
             f"{sorted(backend_names())}"
         )
+    with obs_tracing.span(
+        "execute_run",
+        spec=spec.id,
+        engine=engine or default_engine,
+        backend=run_backend or "auto",
+    ) as run_span:
+        done = _execute_run_inner(
+            store, spec, emit, engine, workers, default_engine,
+            neg_ttl, run_backend, started_at, wall_started, cpu_started,
+        )
+        if run_span is not None:
+            manifest = done.get("manifest", {})
+            run_span.attrs["run_id"] = done.get("run_id")
+            run_span.attrs["cells_computed"] = manifest.get("cells_computed")
+    return done
+
+
+def _execute_run_inner(
+    store: ResultStore,
+    spec: ExperimentSpec,
+    emit: Emit,
+    engine: "Optional[str]",
+    workers: "Optional[int]",
+    default_engine: str,
+    neg_ttl: float,
+    run_backend: "Optional[str]",
+    started_at: float,
+    wall_started: float,
+    cpu_started: float,
+) -> dict:
     grids = expand_grid_specs(spec)
     plans = [
         plan_grid(grid, resolve_serve_engine(grid, engine, default_engine))
@@ -561,7 +607,10 @@ class _Handler(BaseHTTPRequestHandler):
                 "serve.requests", route=route, method=self.command,
                 status=str(status),
             )
-            obs_metrics.histogram("serve.request.seconds", seconds, route=route)
+            obs_metrics.histogram(
+                "serve.request.seconds", seconds,
+                bounds=SERVE_REQUEST_BUCKETS, route=route,
+            )
 
     # -- GET routes ------------------------------------------------------------
 
@@ -578,18 +627,46 @@ class _Handler(BaseHTTPRequestHandler):
             return self._get_cell(rest[0])
         if route == "/healthz":
             return self._get_healthz()
+        if route == "/statusz":
+            return self._get_statusz()
         if route == "/metrics":
-            self._send_json(
-                200,
-                {
-                    "metrics": obs_metrics.current_registry().export(),
-                    "backend": self.app.default_backend or "auto",
-                    "fleet_workers": live_workers(),
-                },
-            )
-            return 200
+            return self._get_metrics()
         self._send_json(404, {"error": f"unknown route {self.path!r}"})
         return 404
+
+    def _wants_prometheus(self) -> bool:
+        """Content negotiation for ``/metrics``.
+
+        An explicit ``?format=`` query parameter wins (``prometheus`` →
+        text exposition, anything else → JSON); otherwise a client
+        whose ``Accept`` prefers ``text/plain`` gets the exposition
+        format, everyone else the JSON registry dump.
+        """
+        query = self.path.split("?", 1)[1] if "?" in self.path else ""
+        for pair in query.split("&"):
+            if pair.startswith("format="):
+                return pair[len("format="):] == "prometheus"
+        accept = self.headers.get("Accept", "")
+        return "text/plain" in accept
+
+    def _get_metrics(self) -> int:
+        if self._wants_prometheus():
+            body = render_prometheus(obs_metrics.current_registry()).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return 200
+        self._send_json(
+            200,
+            {
+                "metrics": obs_metrics.current_registry().export(),
+                "backend": self.app.default_backend or "auto",
+                "fleet_workers": live_workers(),
+            },
+        )
+        return 200
 
     def _get_specs(self) -> int:
         specs = [
@@ -695,6 +772,42 @@ class _Handler(BaseHTTPRequestHandler):
         )
         return 200
 
+    def _get_statusz(self) -> int:
+        """Live-run snapshot: what the daemon is doing *right now*.
+
+        Where ``/healthz`` answers "is the process up", this answers
+        "what is it serving": the active ``POST /run`` requests with
+        elapsed seconds, each live fleet worker with its in-flight cell,
+        and the store/negcache state a stuck-run investigation needs.
+        """
+        registry = obs_metrics.current_registry()
+        negcache = {
+            "ttl": self.app.neg_ttl,
+            "hits": registry.total("serve.negcache.hits") or 0,
+            "misses": registry.total("serve.negcache.misses") or 0,
+            "expired": registry.total("serve.negcache.expired") or 0,
+            "stored": registry.total("serve.negcache.stored") or 0,
+        }
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "version": SERVE_VERSION,
+                "active_runs": self.app.active_runs(),
+                "fleet": {
+                    "live": live_workers(),
+                    "workers": live_worker_status(),
+                },
+                "store": {
+                    "generation": self.app.store.generation,
+                    "state_token": self.app.store.state_token(),
+                    "entries": len(self.app.store),
+                },
+                "negcache": negcache,
+            },
+        )
+        return 200
+
     # -- POST /run -------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
@@ -752,6 +865,7 @@ class _Handler(BaseHTTPRequestHandler):
                 stream_broken[0] = True
 
         obs_metrics.counter("serve.runs", spec=spec.id)
+        token = self.app.register_run(spec.id)
         try:
             with self.app.run_lock(spec.id):
                 done = execute_run(
@@ -769,6 +883,8 @@ class _Handler(BaseHTTPRequestHandler):
             emit({"event": "error", "error": f"{type(exc).__name__}: {exc}"})
             obs_metrics.counter("serve.run_errors", spec=spec.id)
             return 200
+        finally:
+            self.app.unregister_run(token)
         emit(done)
         return 200
 
@@ -826,6 +942,8 @@ class ResultServer:
         self._thread: "Optional[threading.Thread]" = None
         self._locks_guard = threading.Lock()
         self._run_locks: "Dict[str, threading.Lock]" = {}
+        self._active_guard = threading.Lock()
+        self._active_runs: "Dict[str, Dict[str, object]]" = {}
 
     def run_lock(self, spec_id: str) -> threading.Lock:
         """The per-spec lock serialising concurrent runs of one spec."""
@@ -834,6 +952,35 @@ class ResultServer:
             if lock is None:
                 lock = self._run_locks[spec_id] = threading.Lock()
             return lock
+
+    # -- live-run tracking (the /statusz surface) -----------------------------
+
+    def register_run(self, spec_id: str) -> str:
+        """Track one in-flight ``POST /run``; returns its token."""
+        token = uuid.uuid4().hex[:12]
+        with self._active_guard:
+            self._active_runs[token] = {
+                "spec": spec_id,
+                "started": time.monotonic(),
+            }
+        return token
+
+    def unregister_run(self, token: str) -> None:
+        with self._active_guard:
+            self._active_runs.pop(token, None)
+
+    def active_runs(self) -> "List[dict]":
+        """Snapshot of in-flight runs (spec id + elapsed seconds)."""
+        now = time.monotonic()
+        with self._active_guard:
+            return [
+                {
+                    "token": token,
+                    "spec": entry["spec"],
+                    "elapsed_seconds": round(now - entry["started"], 3),  # type: ignore[operator]
+                }
+                for token, entry in sorted(self._active_runs.items())
+            ]
 
     @property
     def host(self) -> str:

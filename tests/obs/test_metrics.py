@@ -129,6 +129,30 @@ class TestRegistry:
         registry.counter("a")
         assert registry.value("a") == 2
 
+    def test_custom_histogram_bounds_apply_at_creation(self):
+        registry = MetricsRegistry()
+        registry.histogram("serve.request.seconds", 0.0002,
+                           bounds=(0.0001, 0.001), route="/spec")
+        series = registry.get("serve.request.seconds", route="/spec")
+        assert series.bounds == (0.0001, 0.001)
+        assert series.buckets == [0, 1, 0]
+
+    def test_existing_series_keeps_its_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", 0.5, bounds=(1.0,))
+        registry.histogram("t", 0.5, bounds=(9.0, 99.0))  # ignored
+        assert registry.get("t").bounds == (1.0,)
+        assert registry.get("t").count == 2
+
+    def test_total_sums_label_supersets(self):
+        registry = MetricsRegistry()
+        registry.counter("fsm.flips", 2, benchmark="gcc", worker="w0")
+        registry.counter("fsm.flips", 3, benchmark="gcc", worker="w1")
+        registry.counter("fsm.flips", 7, benchmark="li", worker="w0")
+        assert registry.total("fsm.flips", benchmark="gcc") == 5
+        assert registry.total("fsm.flips") == 12
+        assert registry.total("fsm.flips", benchmark="absent") is None
+
     def test_clear(self):
         registry = MetricsRegistry(max_series=1)
         registry.counter("a")

@@ -1,0 +1,123 @@
+"""Tests for repro.obs.promtext — Prometheus text exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_name,
+)
+
+
+def _samples_by_name(text):
+    grouped = {}
+    for sample in parse_prometheus(text):
+        grouped.setdefault(sample.name, []).append(sample)
+    return grouped
+
+
+class TestRender:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == []
+
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("fsm.sticky_saves", 12, benchmark="gcc", engine="fast")
+        registry.gauge("sweep.workers", 4)
+        text = render_prometheus(registry)
+        assert "# TYPE fsm_sticky_saves counter" in text
+        assert "# TYPE sweep_workers gauge" in text
+        samples = _samples_by_name(text)
+        (counter,) = samples["fsm_sticky_saves"]
+        assert counter.value == 12
+        assert counter.labels == {"benchmark": "gcc", "engine": "fast"}
+        (gauge,) = samples["sweep_workers"]
+        assert gauge.value == 4
+
+    def test_dotted_names_sanitised(self):
+        assert sanitize_name("serve.request.seconds") == "serve_request_seconds"
+        assert sanitize_name("9lives") == "_9lives"
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        nasty = 'back\\slash "quoted"\nnewline'
+        registry.counter("events", 1, detail=nasty)
+        text = render_prometheus(registry)
+        (sample,) = parse_prometheus(text)
+        assert sample.labels["detail"] == nasty
+
+    def test_escape_label_value_rules(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 1.5, 99.0):
+            registry.histogram("cell.seconds", value, bounds=(1.0, 2.0))
+        text = render_prometheus(registry)
+        samples = _samples_by_name(text)
+        buckets = {s.labels["le"]: s.value for s in samples["cell_seconds_bucket"]}
+        assert buckets["1"] == 1
+        assert buckets["2"] == 2
+        assert buckets["+Inf"] == 3
+        (count,) = samples["cell_seconds_count"]
+        assert count.value == 3
+        (total,) = samples["cell_seconds_sum"]
+        assert total.value == pytest.approx(101.0)
+        # +Inf bucket always equals _count.
+        assert buckets["+Inf"] == count.value
+
+    def test_histogram_bucket_counts_monotone(self):
+        registry = MetricsRegistry()
+        for value in (0.0005, 0.003, 0.02, 0.2, 7.0, 400.0):
+            registry.histogram("latency", value)
+        samples = _samples_by_name(render_prometheus(registry))
+        values = [s.value for s in samples["latency_bucket"]]
+        assert values == sorted(values)
+
+    def test_round_trip_through_export_list(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", 3, k="v")
+        registry.histogram("h", 0.4)
+        from_registry = render_prometheus(registry)
+        from_export = render_prometheus(registry.export())
+        assert from_registry == from_export
+
+
+class TestParse:
+    def test_inf_and_nan_values(self):
+        samples = parse_prometheus('x{le="+Inf"} +Inf\ny -Inf\nz NaN\n')
+        assert samples[0].value == math.inf
+        assert samples[0].labels == {"le": "+Inf"}
+        assert samples[1].value == -math.inf
+        assert math.isnan(samples[2].value)
+
+    def test_comments_and_blanks_skipped(self):
+        samples = parse_prometheus("# TYPE x counter\n\nx 1\n")
+        assert len(samples) == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "no_value",
+            '{"just": "labels"} 1',
+            'name{unterminated="v 1',
+            'name{k=unquoted} 1',
+            "name{k=\"bad\\escape\"} 1",
+            "name value_not_a_number",
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ValueError):
+            parse_prometheus(line)
+
+    def test_content_type_names_the_exposition_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")

@@ -1,8 +1,11 @@
 """Tests for repro.obs.summarize — rendering trace directories."""
 
+import json
+
 import pytest
 
 from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import METRICS_FILENAME, MetricsRegistry
 from repro.obs.summarize import find_runs, summarize_directory, summarize_run
 from repro.obs.tracing import Tracer
 
@@ -49,9 +52,38 @@ class TestSummarizeRun:
         assert "(no run_manifest.json)" in text
         assert "span tree" in text
 
-    def test_without_spans(self, tmp_path):
+    def test_empty_trace_degrades_with_note(self, tmp_path):
         (tmp_path / "trace.jsonl").write_text("")
-        assert "(no spans in trace.jsonl)" in summarize_run(tmp_path)
+        assert "(no trace captured: trace.jsonl is empty)" in summarize_run(tmp_path)
+
+    def test_missing_trace_with_manifest_degrades(self, tmp_path):
+        manifest = build_manifest(
+            spec_id="fig04",
+            spec_fingerprint="abc123",
+            engine="fast",
+            workers=2,
+            wall_seconds=1.0,
+            cpu_seconds=0.9,
+            started_at=1700000000.0,
+        )
+        write_manifest(tmp_path, manifest)
+        text = summarize_run(tmp_path)
+        assert "spec=fig04" in text
+        assert "(no trace captured: trace.jsonl is missing)" in text
+
+    def test_traceless_run_renders_metrics_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("fsm.sticky_saves", 7, benchmark="gcc")
+        registry.histogram("cell.seconds", 0.25)
+        (tmp_path / METRICS_FILENAME).write_text(
+            json.dumps(registry.export()), encoding="utf-8"
+        )
+        text = summarize_run(tmp_path)
+        assert "no trace captured" in text
+        assert "metrics (2 series)" in text
+        assert "fsm.sticky_saves{benchmark=gcc}" in text
+        assert "7" in text
+        assert "count=1" in text
 
     def test_top_limits_the_cell_list(self, tmp_path):
         _make_run(tmp_path)
@@ -78,6 +110,23 @@ class TestSummarizeDirectory:
         text = summarize_directory(tmp_path)
         assert "spec=fig04" in text
         assert "spec=fig05" in text
+
+    def test_manifest_only_child_is_not_omitted(self, tmp_path):
+        _make_run(tmp_path / "fig04", spec="fig04")
+        manifest = build_manifest(
+            spec_id="fig05",
+            spec_fingerprint="def456",
+            engine="fast",
+            workers=None,
+            wall_seconds=2.0,
+            cpu_seconds=1.5,
+            started_at=1700000000.0,
+        )
+        write_manifest(tmp_path / "fig05", manifest)
+        text = summarize_directory(tmp_path)
+        assert "spec=fig04" in text
+        assert "spec=fig05" in text
+        assert "no trace captured" in text
 
     def test_missing_directory_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="no such trace directory"):

@@ -1,0 +1,179 @@
+"""Distributed observability across sweep backends.
+
+The differential contract: a fleet (or local-pool) run of a grid must
+produce (1) one merged trace whose worker-side ``simulate`` /
+``trace_gen`` spans nest under the parent's ``cell`` spans with
+``worker=``/``pid=`` attribution, and (2) merged ``fsm.*`` counters
+exactly equal to an inline run of the same grid — the paper's
+dynamic-exclusion state machine fires identically wherever the cell
+executes, so any drift is a propagation bug, not physics.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.experiments.common import StandardFactory
+from repro.obs import metrics as obs_metrics, tracing as obs_tracing
+from repro.perf.parallel import run_labeled_cells
+from repro.perf.trace_cache import TraceKey
+
+FSM_SERIES = ("fsm.sticky_saves", "fsm.hit_last_loads", "fsm.exclusion_flips")
+
+
+def _grid():
+    factory = StandardFactory("dynamic-exclusion", 4)
+    trace = TraceKey("espresso", max_refs=20_000)
+    return [(f"de@{64 << i}", factory, 64 << i, trace) for i in range(3)]
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_state():
+    yield
+    obs_tracing.uninstall_tracer()
+    obs_metrics.uninstall_registry()
+
+
+def _traced_run(tmp_path, backend):
+    tracer = obs.install_tracer(obs.Tracer(tmp_path))
+    registry = obs_metrics.install_registry(obs_metrics.MetricsRegistry())
+    outcomes = run_labeled_cells(
+        _grid(), engine="reference", workers=2, backend=backend, progress=False
+    )
+    obs.uninstall_tracer()
+    tracer.close()
+    obs_metrics.uninstall_registry()
+    assert all(outcome.ok for outcome in outcomes)
+    return obs.read_spans(tmp_path / obs.TRACE_FILENAME), registry, outcomes
+
+
+def _inline_fsm_totals():
+    registry = obs_metrics.install_registry(obs_metrics.MetricsRegistry())
+    outcomes = run_labeled_cells(
+        _grid(), engine="reference", workers=1, backend="inline", progress=False
+    )
+    obs_metrics.uninstall_registry()
+    assert all(outcome.ok for outcome in outcomes)
+    return {name: registry.total(name) for name in FSM_SERIES}
+
+
+class TestFleetDistributedObs:
+    def test_merged_trace_and_fsm_parity(self, tmp_path):
+        spans, registry, outcomes = _traced_run(tmp_path, "fleet")
+        by_id = {span.span_id: span for span in spans}
+        cells = [span for span in spans if span.name == "cell"]
+        assert len(cells) == 3
+
+        # Worker-side sub-phases arrived and nest under the cell spans
+        # via the worker's cell_exec bracket.
+        children = [
+            span for span in spans if span.name in ("simulate", "trace_gen")
+        ]
+        assert children, "no worker spans were shipped home"
+        for span in children:
+            parent = by_id[span.parent_id]
+            assert parent.name == "cell_exec"
+            assert by_id[parent.parent_id].name == "cell"
+            assert span.attrs["worker"].startswith("local#")
+            assert isinstance(span.attrs["pid"], int)
+            assert span.attrs["pid"] != os.getpid()
+            assert span.start >= parent.start
+        # The worker's cell_exec bracket accounts for each cell's wall
+        # time (the CI smoke pins >= 90% on a real fig05 run).
+        for cell in cells:
+            kids = [
+                s for s in spans
+                if s.parent_id == cell.span_id and "pid" in s.attrs
+            ]
+            assert kids, f"cell {cell.attrs.get('label')} shipped no spans"
+            coverage = sum(k.duration for k in kids) / max(cell.duration, 1e-9)
+            assert coverage > 0.9
+
+        # Merged fleet FSM counters == the same grid run inline.
+        inline = _inline_fsm_totals()
+        for name in FSM_SERIES:
+            assert registry.total(name) == inline[name], name
+        # Attribution survives: each per-worker slice is a labelled series.
+        exported = {
+            (entry["name"], entry["labels"].get("worker"))
+            for entry in registry.export()
+            if entry["name"] in FSM_SERIES
+        }
+        assert all(worker for _, worker in exported)
+
+    def test_cell_metrics_unaffected_by_tracing(self, tmp_path):
+        _, _, traced = _traced_run(tmp_path, "fleet")
+        bare = run_labeled_cells(
+            _grid(), engine="reference", workers=2, backend="fleet",
+            progress=False,
+        )
+        assert [outcome.miss_rate for outcome in traced] == [
+            outcome.miss_rate for outcome in bare
+        ]
+
+
+class TestLocalPoolDistributedObs:
+    def test_pool_workers_ship_spans_and_metrics(self, tmp_path):
+        spans, registry, _ = _traced_run(tmp_path, "local-pool")
+        children = [
+            span for span in spans if span.name in ("simulate", "trace_gen")
+        ]
+        assert children, "pool workers shipped no spans"
+        for span in children:
+            # Pool cells carry pid-based attribution (no fleet worker id).
+            assert str(span.attrs["worker"]).startswith("pid-")
+            assert span.attrs["pid"] != os.getpid()
+        inline = _inline_fsm_totals()
+        for name in FSM_SERIES:
+            assert registry.total(name) == inline[name], name
+
+
+class TestTracingOffIsFree:
+    def test_no_obs_payload_without_tracer(self):
+        from repro.perf.cells import cell_task
+
+        factory = StandardFactory("dynamic-exclusion", 4)
+        trace = TraceKey("espresso", max_refs=5_000)
+        result = cell_task(factory, 64, trace, "reference")
+        assert len(result) == 2  # the two-tuple contract is unchanged
+
+    def test_worker_protocol_omits_obs_key(self):
+        import base64
+        import pickle
+
+        from repro.perf.worker import _run_cell
+
+        factory = StandardFactory("dynamic-exclusion", 4)
+        trace = TraceKey("espresso", max_refs=5_000)
+        payload = base64.b64encode(
+            pickle.dumps((factory, 64, trace, None))
+        ).decode("ascii")
+        bare = _run_cell({"op": "cell", "id": 1, "engine": "reference",
+                          "payload": payload})
+        assert bare["ok"] and "obs" not in bare
+        traced = _run_cell({"op": "cell", "id": 2, "engine": "reference",
+                            "payload": payload,
+                            "obs": {"version": 1, "trace_id": "t"}})
+        assert traced["ok"]
+        assert traced["obs"]["trace_id"] == "t"
+        assert any(
+            entry["name"] == "simulate" for entry in traced["obs"]["spans"]
+        )
+
+    def test_worker_failure_still_ships_capture(self):
+        import base64
+        import pickle
+
+        from repro.perf.worker import _run_cell
+        from tests.perf.fleet_helpers import raise_for_2048
+
+        trace = TraceKey("espresso", max_refs=5_000)
+        payload = base64.b64encode(
+            pickle.dumps((raise_for_2048, 2048, trace, None))
+        ).decode("ascii")
+        result = _run_cell({"op": "cell", "id": 3, "engine": "reference",
+                            "payload": payload,
+                            "obs": {"version": 1, "trace_id": "t"}})
+        assert not result["ok"]
+        assert result["obs"]["trace_id"] == "t"

@@ -8,7 +8,9 @@ import urllib.request
 
 import pytest
 
+from repro.obs import tracing as obs_tracing
 from repro.obs.manifest import read_manifest
+from repro.obs.promtext import PROMETHEUS_CONTENT_TYPE, parse_prometheus
 from repro.serve import (
     ResultServer,
     ServeClient,
@@ -108,6 +110,103 @@ class TestReadRoutes:
         client.healthz()
         names = {row["name"] for row in client.metrics()}
         assert "serve.requests" in names
+
+
+class TestOpsEndpoints:
+    def _fetch(self, server, path, headers=None):
+        request = urllib.request.Request(
+            f"{server.url}{path}", headers=headers or {}
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.headers, response.read().decode("utf-8")
+
+    def test_metrics_query_param_selects_prometheus(self, server, client):
+        client.healthz()  # seed the request counters
+        headers, body = self._fetch(server, "/metrics?format=prometheus")
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        samples = parse_prometheus(body)  # every line must parse
+        names = {sample.name for sample in samples}
+        assert "serve_requests" in names
+
+    def test_accept_header_negotiates_prometheus(self, server):
+        headers, body = self._fetch(
+            server, "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        parse_prometheus(body)
+
+    def test_default_metrics_stay_json(self, server, client):
+        client.healthz()
+        headers, body = self._fetch(server, "/metrics")
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert {"metrics", "backend", "fleet_workers"} <= set(payload)
+        # An explicit format= wins even over a text/plain Accept.
+        headers, body = self._fetch(
+            server, "/metrics?format=json", headers={"Accept": "text/plain"}
+        )
+        assert "metrics" in json.loads(body)
+
+    def test_request_histogram_has_submillisecond_buckets(self, server, client):
+        client.healthz()
+        _, body = self._fetch(server, "/metrics?format=prometheus")
+        buckets = [
+            sample
+            for sample in parse_prometheus(body)
+            if sample.name == "serve_request_seconds_bucket"
+        ]
+        assert buckets
+        bounds = {sample.labels["le"] for sample in buckets}
+        assert "0.0001" in bounds  # sub-millisecond resolution
+        # Cumulative bucket counts are monotone within each series.
+        by_series = {}
+        for sample in buckets:
+            key = tuple(
+                sorted((k, v) for k, v in sample.labels.items() if k != "le")
+            )
+            by_series.setdefault(key, []).append(sample.value)
+        for values in by_series.values():
+            assert values == sorted(values)
+
+    def test_statusz_idle_snapshot(self, server, client):
+        status = client._get_json("/statusz")
+        assert status["ok"] is True
+        assert status["active_runs"] == []
+        assert status["fleet"]["live"] == 0
+        assert status["fleet"]["workers"] == []
+        assert status["store"]["entries"] == 0
+        assert status["store"]["state_token"]
+        assert status["negcache"]["ttl"] == server.neg_ttl
+        assert status["negcache"]["hits"] == 0
+
+    def test_statusz_counts_store_and_negcache_activity(self, server, client):
+        client.run("serve-test-grid")
+        status = client._get_json("/statusz")
+        assert status["store"]["entries"] == 4
+        assert status["active_runs"] == []  # the run has finished
+
+    def test_requests_are_spanned(self, server, client):
+        tracer = obs_tracing.install_tracer(obs_tracing.Tracer())
+        try:
+            client.run("serve-test-grid")
+        finally:
+            obs_tracing.uninstall_tracer()
+            tracer.close()
+        by_name = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert "serve.request" in by_name
+        (run_span,) = by_name["execute_run"]
+        assert run_span.attrs["spec"] == "serve-test-grid"
+        assert run_span.attrs["cells_computed"] == 4
+        assert run_span.attrs["run_id"]
+        # The run span nests inside the request span that carried it.
+        (request_span,) = [
+            span
+            for span in by_name["serve.request"]
+            if span.attrs.get("method") == "POST"
+        ]
+        assert run_span.parent_id == request_span.span_id
 
 
 class TestEtag:

@@ -16,7 +16,13 @@ used — and the way it is meant to fail:
    telemetry must name the ``fleet`` backend, attribute cells to
    workers, and (when the kill landed before the last dispatch) count
    at least one pool restart;
-4. **resume** — the identical command again must replay every cell
+4. **merged trace** — the sweep runs under ``--trace-dir``: the single
+   merged ``trace.jsonl`` must contain worker-attributed ``simulate`` /
+   ``trace_gen`` spans shipped home from at least two distinct worker
+   pids, nested under the parent's ``cell`` spans (via the worker's
+   ``cell_exec`` bracket), and the shipped spans hanging directly off
+   each cell must cover at least 90% of its wall time;
+5. **resume** — the identical command again must replay every cell
    from the journal (``cells_cached == cells_total``) and recompute
    nothing.
 
@@ -34,6 +40,9 @@ import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs import TRACE_FILENAME, read_spans  # noqa: E402  (path bootstrap)
 
 
 def _worker_pids(parent_pid: int) -> "list[tuple[int, int]]":
@@ -104,7 +113,92 @@ def _fleet_sweeps(resume_dir: Path, spec: str) -> "list[dict]":
     return payload["sweeps"]
 
 
-def check(spec: str, resume_dir: Path) -> int:
+def _check_merged_trace(trace_dir: Path, spec: str) -> "list[str]":
+    """The distributed-obs contract on the merged ``trace.jsonl``.
+
+    Worker subprocesses run their own tracer and ship finished spans
+    home in the cell reply; the parent re-parents them under its own
+    back-dated ``cell`` spans.  A merged trace therefore proves the
+    whole propagation path: spans from >= 2 distinct worker pids, each
+    with a cell span ancestor, whose cell-level brackets cover >= 90%
+    of every cell span's wall time.
+    """
+    failures = []
+    trace_path = trace_dir / spec / TRACE_FILENAME
+    if not trace_path.exists():
+        return [f"no merged trace at {trace_path}"]
+    spans = read_spans(trace_path)
+    by_id = {span.span_id: span for span in spans}
+    cells = [span for span in spans if span.name == "cell"]
+    shipped = [
+        span for span in spans
+        if span.name in ("simulate", "trace_gen") and "pid" in span.attrs
+    ]
+    if not cells:
+        return ["merged trace has no cell spans"]
+    if not shipped:
+        return ["merged trace has no worker-shipped simulate/trace_gen spans"]
+    # Coverage counts every worker sub-phase hanging directly off a cell
+    # (simulate, trace_gen, build_model, ...), not just the two names
+    # asserted above — nested grandchildren would double-count.
+    covering = [
+        span for span in spans
+        if "pid" in span.attrs
+        and span.parent_id in by_id
+        and by_id[span.parent_id].name == "cell"
+    ]
+
+    pids = {span.attrs["pid"] for span in shipped}
+    if len(pids) < 2:
+        failures.append(
+            f"shipped spans came from {len(pids)} worker pid(s), expected "
+            f">= 2 (pids: {sorted(pids)})"
+        )
+    parent_pid = os.getpid()
+    for span in shipped:
+        if not span.attrs.get("worker"):
+            failures.append(f"shipped span {span.name!r} has no worker label")
+            break
+        if span.attrs["pid"] == parent_pid:
+            failures.append(
+                f"shipped span {span.name!r} claims the parent's own pid"
+            )
+            break
+        # Sub-phases nest under the worker's cell_exec bracket, which
+        # in turn hangs off the parent's cell span — climb to it.
+        ancestor = by_id.get(span.parent_id)
+        while ancestor is not None and ancestor.name != "cell":
+            ancestor = by_id.get(ancestor.parent_id)
+        if ancestor is None:
+            failures.append(
+                f"shipped span {span.name!r} has no cell span ancestor"
+            )
+            break
+
+    uncovered = 0
+    for cell in cells:
+        kids = [s for s in covering if s.parent_id == cell.span_id]
+        coverage = sum(k.duration for k in kids) / max(cell.duration, 1e-9)
+        if coverage < 0.9:
+            uncovered += 1
+            if uncovered == 1:
+                failures.append(
+                    f"cell {cell.attrs.get('label')!r} wall time only "
+                    f"{coverage:.0%} covered by shipped spans (>= 90% "
+                    f"required)"
+                )
+    if uncovered > 1:
+        failures.append(f"... and {uncovered - 1} more cells under 90%")
+    if not failures:
+        print(
+            f"PASS: merged trace carries {len(shipped)} worker spans from "
+            f"{len(pids)} pids covering >= 90% of all {len(cells)} cell "
+            f"spans"
+        )
+    return failures
+
+
+def check(spec: str, resume_dir: Path, trace_dir: Path) -> int:
     failures = []
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
@@ -113,8 +207,12 @@ def check(spec: str, resume_dir: Path) -> int:
         "--backend", "fleet", "--workers", "2",
         "--resume-dir", str(resume_dir), "--progress",
     ]
+    # Only the cold run is traced: the resume run below would replay
+    # every cell from the journal and overwrite the merged trace with
+    # one that (correctly) ships no worker spans.
+    traced_command = command + ["--trace-dir", str(trace_dir)]
 
-    code, mid_sweep = _run_and_kill_worker(command, env, resume_dir)
+    code, mid_sweep = _run_and_kill_worker(traced_command, env, resume_dir)
     if code != 0:
         print(f"FAIL: fleet sweep exited {code} after the worker kill",
               file=sys.stderr)
@@ -150,6 +248,8 @@ def check(spec: str, resume_dir: Path) -> int:
         print(f"PASS: telemetry attributes the sweep to the fleet backend "
               f"({restarts} pool restart(s))")
 
+    failures.extend(_check_merged_trace(trace_dir, spec))
+
     # The rerun must answer entirely from the journal.
     rerun = subprocess.run(command, env=env)
     if rerun.returncode != 0:
@@ -181,9 +281,13 @@ def main(argv=None) -> int:
     parser.add_argument("--resume-dir", type=Path, required=True,
                         help="journal/telemetry directory for the run and "
                         "its resume")
+    parser.add_argument("--trace-dir", type=Path, default=None,
+                        help="observability directory for the cold run "
+                        "(default: <resume-dir>/trace)")
     args = parser.parse_args(argv)
     args.resume_dir.mkdir(parents=True, exist_ok=True)
-    return check(args.spec, args.resume_dir)
+    trace_dir = args.trace_dir or args.resume_dir / "trace"
+    return check(args.spec, args.resume_dir, trace_dir)
 
 
 if __name__ == "__main__":

@@ -24,7 +24,12 @@ the HTTP client:
 6. **compact then query** — after ``store.compact()`` the same run must
    still answer entirely from the index (zero cell events,
    byte-identical output) and ``/healthz`` must report the new
-   generation.
+   generation;
+7. **metrics scrape** — ``GET /metrics?format=prometheus`` must answer
+   with the Prometheus content type and a body in which every line
+   parses, the ``serve_request_seconds`` bucket counts are cumulative
+   (monotone within each series), and the ``fsm_*`` mechanism counters
+   published by the cold run are present and positive.
 
 Exits non-zero with a named complaint on the first violation, so a CI
 failure reads as "warm run recomputed 3 cells", not as a stack trace.
@@ -41,6 +46,10 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.obs.manifest import read_manifest  # noqa: E402  (path bootstrap)
+from repro.obs.promtext import (  # noqa: E402
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+)
 from repro.serve import ResultServer, ServeClient  # noqa: E402
 from repro.store import open_store  # noqa: E402
 
@@ -168,6 +177,50 @@ def check(spec: str, store_dir: Path) -> int:
                 f"returned {compaction.generation}"
             )
 
+        # Prometheus scrape: every line must parse, request-latency
+        # buckets must be cumulative, and the cold run must have left
+        # fsm_* mechanism counters behind.
+        with urllib.request.urlopen(
+            f"{server.url}/metrics?format=prometheus"
+        ) as response:
+            content_type = response.headers.get("Content-Type")
+            exposition = response.read().decode("utf-8")
+        if content_type != PROMETHEUS_CONTENT_TYPE:
+            failures.append(
+                f"/metrics?format=prometheus answered with content type "
+                f"{content_type!r}, expected {PROMETHEUS_CONTENT_TYPE!r}"
+            )
+        try:
+            samples = parse_prometheus(exposition)
+        except ValueError as exc:
+            failures.append(f"prometheus exposition failed to parse: {exc}")
+            samples = []
+        if samples:
+            buckets = {}
+            for sample in samples:
+                if sample.name != "serve_request_seconds_bucket":
+                    continue
+                series = tuple(sorted(
+                    (k, v) for k, v in sample.labels.items() if k != "le"
+                ))
+                buckets.setdefault(series, []).append(sample.value)
+            if not buckets:
+                failures.append("no serve_request_seconds_bucket samples "
+                                "in the scrape")
+            for series, values in buckets.items():
+                if values != sorted(values):
+                    failures.append(
+                        f"serve_request_seconds buckets not cumulative "
+                        f"for {dict(series)}"
+                    )
+            fsm = [s for s in samples if s.name.startswith("fsm_")]
+            if not fsm:
+                failures.append(
+                    "no fsm_* counters in the scrape after a cold run"
+                )
+            elif not any(s.value > 0 for s in fsm):
+                failures.append("fsm_* counters all zero after a cold run")
+
     if failures:
         for failure in failures:
             print(f"FAIL [{spec}]: {failure}", file=sys.stderr)
@@ -175,8 +228,9 @@ def check(spec: str, store_dir: Path) -> int:
     print(
         f"OK: served {spec} cold ({cold['manifest']['cells_computed']} computed) "
         f"then warm (0 computed, byte-identical), 304 on conditional GET, "
-        f"and warm again after compaction to generation "
-        f"{compaction.generation} at {server.url}"
+        f"warm again after compaction to generation "
+        f"{compaction.generation}, and scraped {len(samples)} prometheus "
+        f"samples at {server.url}"
     )
     return 0
 
